@@ -1,0 +1,28 @@
+//! Competing DFT-synthesis baselines for Table III.
+//!
+//! The paper compares against two earlier BIST-oriented synthesis
+//! systems on the Paulin benchmark. Neither is available, so this crate
+//! reimplements each one's published *strategy* (as characterized in the
+//! paper's Section I):
+//!
+//! * [`ralloc`] — Avra's RALLOC (ISCAS'91): register allocation that
+//!   minimizes the number of *self-adjacent* registers, assuming a full
+//!   BILBO methodology where every register becomes a BILBO and every
+//!   self-adjacent register a costly CBILBO. Extra registers are spent
+//!   to avoid self-adjacency.
+//! * [`syntest`] — Papachristou/Harmanani's SYNTEST (DAC'91 / ICCAD'93):
+//!   allocation constrained to *self-testable templates* with no
+//!   self-loops at all, yielding TPG/SA-only solutions at the price of
+//!   more registers.
+//!
+//! Both produce a [`BaselineReport`] comparable with the main flow's
+//! [`lobist_alloc::flow::Design`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ralloc;
+mod report;
+pub mod syntest;
+
+pub use report::BaselineReport;

@@ -1,0 +1,78 @@
+//! Common result type for baseline flows.
+
+use std::fmt;
+
+use lobist_datapath::area::{BistStyle, GateCount};
+
+/// The outcome of a baseline synthesis run, in Table III terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Flow name (`"RALLOC"`, `"SYNTEST"`, ...).
+    pub name: String,
+    /// Total registers allocated.
+    pub num_registers: usize,
+    /// Final style per register.
+    pub styles: Vec<BistStyle>,
+    /// Total BIST upgrade gates.
+    pub overhead: GateCount,
+    /// Overhead as a percentage of functional gates.
+    pub overhead_percent: f64,
+}
+
+impl BaselineReport {
+    /// Number of registers with the given style.
+    pub fn count(&self, style: BistStyle) -> usize {
+        self.styles.iter().filter(|&&s| s == style).count()
+    }
+
+    /// Total modified registers.
+    pub fn num_test_registers(&self) -> usize {
+        self.styles.len() - self.count(BistStyle::Normal)
+    }
+}
+
+impl fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} registers — {} TPG, {} SA, {} BILBO, {} CBILBO (+{}, {:.2}%)",
+            self.name,
+            self.num_registers,
+            self.count(BistStyle::Tpg),
+            self.count(BistStyle::Sa),
+            self.count(BistStyle::Bilbo),
+            self.count(BistStyle::Cbilbo),
+            self.overhead,
+            self.overhead_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_display() {
+        let r = BaselineReport {
+            name: "RALLOC".into(),
+            num_registers: 5,
+            styles: vec![
+                BistStyle::Bilbo,
+                BistStyle::Bilbo,
+                BistStyle::Bilbo,
+                BistStyle::Bilbo,
+                BistStyle::Cbilbo,
+            ],
+            overhead: GateCount(208),
+            overhead_percent: 10.0,
+        };
+        assert_eq!(r.count(BistStyle::Bilbo), 4);
+        assert_eq!(r.count(BistStyle::Cbilbo), 1);
+        assert_eq!(r.num_test_registers(), 5);
+        let s = r.to_string();
+        assert!(s.contains("RALLOC"));
+        assert!(s.contains("4 BILBO"));
+        assert!(s.contains("1 CBILBO"));
+    }
+}

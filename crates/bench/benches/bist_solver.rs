@@ -1,0 +1,61 @@
+//! Criterion benchmarks: the BIST test-resource solver — exact
+//! branch-and-bound vs. greedy vs. the exhaustive reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lobist_alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist_bist::{solve, solve_exhaustive, SolverConfig, SolverMode};
+use lobist_datapath::area::AreaModel;
+use lobist_dfg::benchmarks;
+
+fn bench_solver_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist_solver");
+    let model = AreaModel::default();
+    for bench in benchmarks::paper_suite() {
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+        let dp = d.data_path.clone();
+        group.bench_with_input(
+            BenchmarkId::new("exact", &bench.name),
+            &bench.name,
+            |b, _| {
+                b.iter(|| {
+                    solve(
+                        &dp,
+                        &model,
+                        &SolverConfig {
+                            mode: SolverMode::Exact,
+                            ..SolverConfig::default()
+                        },
+                    )
+                    .expect("testable")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", &bench.name),
+            &bench.name,
+            |b, _| {
+                b.iter(|| {
+                    solve(
+                        &dp,
+                        &model,
+                        &SolverConfig {
+                            mode: SolverMode::Greedy,
+                            ..SolverConfig::default()
+                        },
+                    )
+                    .expect("testable")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", &bench.name),
+            &bench.name,
+            |b, _| b.iter(|| solve_exhaustive(&dp, &model).expect("testable")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_modes);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks: gate-level evaluation and fault simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lobist_dfg::OpKind;
+use lobist_gatesim::bist_mode::run_session;
+use lobist_gatesim::coverage::{enumerate_faults, random_pattern_coverage};
+use lobist_gatesim::modules::unit_for;
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    for kind in [OpKind::Add, OpKind::Mul] {
+        for width in [4u32, 8] {
+            let net = unit_for(kind, width);
+            let id = format!("{kind}{width}");
+            group.bench_with_input(BenchmarkId::new("coverage_256", &id), &id, |b, _| {
+                b.iter(|| random_pattern_coverage(&net, 256, 7))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bist_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist_session");
+    for kind in [OpKind::Add, OpKind::Mul] {
+        let net = unit_for(kind, 8);
+        let faults = enumerate_faults(&net);
+        group.bench_function(format!("session_{kind}8"), |b| {
+            b.iter(|| run_session(&net, 8, 255, (1, 2), &faults))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim, bench_bist_session);
+criterion_main!(benches);

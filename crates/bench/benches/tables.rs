@@ -1,0 +1,22 @@
+//! Criterion benchmarks: full regeneration of each paper table (the whole
+//! two-flow pipeline per benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_full", |b| {
+        b.iter(|| lobist_bench::table1().expect("runs"))
+    });
+    c.bench_function("table2_full", |b| {
+        b.iter(|| lobist_bench::table2().expect("runs"))
+    });
+    c.bench_function("table3_full", |b| {
+        b.iter(|| lobist_bench::table3().expect("runs"))
+    });
+    c.bench_function("ablation_full", |b| {
+        b.iter(|| lobist_bench::ablation().expect("runs"))
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation (ours, beyond the paper): which allocator ingredient buys
+//! what, across the paper suite.
+
+fn main() {
+    let rows = lobist_bench::ablation().expect("flows succeed");
+    let names: Vec<String> = rows[0].outcomes.iter().map(|(n, _, _)| n.clone()).collect();
+    let mut header: Vec<&str> = vec!["Config"];
+    let name_cols: Vec<String> = names.iter().map(|n| format!("{n} (gates/CB)")).collect();
+    header.extend(name_cols.iter().map(|s| s.as_str()));
+    header.push("Total gates");
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.config.clone()];
+            row.extend(r.outcomes.iter().map(|(_, gates, cb)| {
+                if *cb == usize::MAX {
+                    format!("{gates}/-")
+                } else {
+                    format!("{gates}/{cb}")
+                }
+            }));
+            row.push(r.total_overhead.to_string());
+            row
+        })
+        .collect();
+    println!("Ablation — BIST overhead (gates) / CBILBO count per benchmark\n");
+    print!("{}", lobist_bench::text_table(&header, &data));
+}

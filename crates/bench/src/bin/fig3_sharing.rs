@@ -1,0 +1,56 @@
+//! Regenerates Fig. 3: how assigning variables of two modules to a common
+//! register creates shared-head and shared-tail I-paths.
+
+use lobist_alloc::module_assign::assign_modules;
+use lobist_alloc::variable_sets::SharingContext;
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_datapath::{DataPath, PortSide, RegisterAssignment};
+use lobist_dfg::benchmarks;
+
+fn main() {
+    let bench = benchmarks::ex1();
+    let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+        .expect("assigns");
+    let ctx = SharingContext::new(&bench.dfg, &ma);
+    println!("Fig. 3 — Sharing of I-paths (ex1)\n");
+    println!("Sharing degrees SD(v) under M1 = {{add1, add2}}, M2 = {{mul1, mul2}}:");
+    for v in bench.dfg.var_ids() {
+        println!("  SD({}) = {}", bench.dfg.var(v).name, ctx.sd_var(v));
+    }
+
+    // (a) separate registers: no sharing; (b) merged: c joins a register
+    // feeding both modules.
+    for (label, groups) in [
+        ("separate registers (Fig. 3a)", vec![vec!["c"], vec!["f", "a"], vec!["d", "g"], vec!["b", "h"], vec!["e"]]),
+        ("merged for sharing (Fig. 3b)", vec![vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]]),
+    ] {
+        let ra = RegisterAssignment::from_names(&bench.dfg, &groups).expect("proper names");
+        let (ic, _) = lobist_alloc::interconnect::assign_interconnect(
+            &bench.dfg, &ma, &ra, &ctx, true,
+        );
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            ma.clone(),
+            ra,
+            ic,
+        )
+        .expect("proper");
+        let ip = IPathAnalysis::of(&dp);
+        let shared_heads = ip.shared_tpg_registers();
+        let shared_tails = ip.shared_sa_registers();
+        println!("\n{label}: {} registers", dp.num_registers());
+        for m in dp.module_ids() {
+            let l: Vec<String> = ip.tpg_candidates(m, PortSide::Left).iter().map(|r| r.to_string()).collect();
+            let r: Vec<String> = ip.tpg_candidates(m, PortSide::Right).iter().map(|r| r.to_string()).collect();
+            let s: Vec<String> = ip.sa_candidates(m).iter().map(|r| r.to_string()).collect();
+            println!("  {m}: TPG heads L={{{}}} R={{{}}}, SA tails {{{}}}", l.join(","), r.join(","), s.join(","));
+        }
+        println!(
+            "  shared TPG heads: {:?}; shared SA tails: {:?}",
+            shared_heads.iter().map(|r| r.to_string()).collect::<Vec<_>>(),
+            shared_tails.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

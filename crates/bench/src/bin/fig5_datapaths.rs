@@ -1,0 +1,30 @@
+//! Regenerates Fig. 5: the two data paths synthesized from the running
+//! example — (a) testability-driven, (b) traditional — with their
+//! minimal-area BIST solutions.
+
+use lobist_bench::both_flows;
+use lobist_datapath::dot::to_dot_with_styles;
+use lobist_dfg::benchmarks;
+
+fn main() {
+    let bench = benchmarks::ex1();
+    let (trad, test) = both_flows(&bench).expect("both flows synthesize ex1");
+    println!("Fig. 5(a) — data path from the testable register assignment\n");
+    println!("{}", lobist_datapath::stats::describe(&test.data_path, &bench.dfg));
+    println!("{}", test.bist);
+    println!("\nFig. 5(b) — data path from the traditional register assignment\n");
+    println!("{}", lobist_datapath::stats::describe(&trad.data_path, &bench.dfg));
+    println!("{}", trad.bist);
+    println!(
+        "Overhead: testable {:.2}% vs traditional {:.2}% ({:.1}% reduction)",
+        test.bist.overhead_percent,
+        trad.bist.overhead_percent,
+        100.0 * (trad.bist.overhead.get() as f64 - test.bist.overhead.get() as f64)
+            / trad.bist.overhead.get() as f64
+    );
+    println!("\nGraphviz (testable, registers colored by BIST style):\n");
+    print!(
+        "{}",
+        to_dot_with_styles(&test.data_path, &bench.dfg, &test.bist.styles)
+    );
+}

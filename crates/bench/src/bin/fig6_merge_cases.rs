@@ -1,0 +1,225 @@
+//! Regenerates Fig. 6: the five variable-merge cases and their effect on
+//! multiplexers and BIST resources.
+//!
+//! Each case builds a miniature DFG realizing the scenario, synthesizes
+//! it with the two focal variables (i) in separate registers and (ii)
+//! merged into one, and reports the mux-leg and BIST-overhead deltas.
+//! Constant operands are avoided so every port keeps a controllable
+//! pattern source.
+
+use lobist_alloc::interconnect::assign_interconnect;
+use lobist_alloc::module_assign::assign_modules;
+use lobist_alloc::variable_sets::SharingContext;
+use lobist_bist::{solve, SolverConfig};
+use lobist_datapath::area::AreaModel;
+use lobist_datapath::{DataPath, RegisterAssignment};
+use lobist_dfg::lifetime::LifetimeOptions;
+use lobist_dfg::{Dfg, DfgBuilder, OpKind, Schedule};
+
+struct Case {
+    label: &'static str,
+    dfg: Dfg,
+    schedule: Schedule,
+    modules: lobist_dfg::modules::ModuleSet,
+    separate: Vec<Vec<&'static str>>,
+    merged: Vec<Vec<&'static str>>,
+}
+
+fn report(case: &Case) {
+    let ma = assign_modules(&case.dfg, &case.schedule, &case.modules).expect("assigns");
+    let ctx = SharingContext::new(&case.dfg, &ma);
+    let model = AreaModel::default();
+    let mut line = format!("{}:", case.label);
+    let mut prev: Option<(usize, u64)> = None;
+    for (tag, groups) in [("separate", &case.separate), ("merged", &case.merged)] {
+        let ra = RegisterAssignment::from_names(&case.dfg, groups).expect("names");
+        let (ic, _) = assign_interconnect(&case.dfg, &ma, &ra, &ctx, true);
+        let dp = DataPath::build(
+            &case.dfg,
+            &case.schedule,
+            LifetimeOptions::registered_inputs(),
+            ma.clone(),
+            ra,
+            ic,
+        )
+        .unwrap_or_else(|e| panic!("{}/{tag}: {e}", case.label));
+        let legs = dp.total_mux_legs();
+        let overhead = solve(&dp, &model, &SolverConfig::default())
+            .map(|b| b.overhead.get())
+            .expect("testable mini design");
+        line.push_str(&format!(
+            "  {tag}: {} regs, {legs} legs, BIST +{overhead}g;",
+            dp.num_registers()
+        ));
+        prev = match prev {
+            None => Some((legs, overhead)),
+            Some((l0, o0)) => {
+                line.push_str(&format!(
+                    "  Δlegs={:+}, ΔBIST={:+}g",
+                    legs as i64 - l0 as i64,
+                    overhead as i64 - o0 as i64
+                ));
+                None
+            }
+        };
+    }
+    println!("{line}");
+}
+
+fn main() {
+    println!("Fig. 6 — Effect of register merging on interconnect and BIST\n");
+
+    // Case 1: merged variables u, v have different source modules and
+    // different destination modules.
+    {
+        let mut b = DfgBuilder::new();
+        let (p, q, r, s) = (b.input("p"), b.input("q"), b.input("r"), b.input("s"));
+        let (k1, k2) = (b.input("k1"), b.input("k2"));
+        let u = b.op(OpKind::Add, "u", p.into(), q.into());
+        let v = b.op(OpKind::Mul, "v", r.into(), s.into());
+        let w = b.op(OpKind::Sub, "w", u.into(), k1.into());
+        let x = b.op(OpKind::And, "x", v.into(), k2.into());
+        b.mark_output(w);
+        b.mark_output(x);
+        let dfg = b.build().expect("ok");
+        // u@1, v@2, w@2, x@3: u and v have disjoint lifetimes.
+        let schedule = Schedule::new(&dfg, vec![1, 2, 2, 3]).expect("ok");
+        report(&Case {
+            label: "Case 1 (diff src, diff dest)        ",
+            modules: "1+,1*,1-,1&".parse().expect("ok"),
+            separate: vec![
+                vec!["p", "u", "w"],
+                vec!["q", "v", "x"],
+                vec!["r", "k2"],
+                vec!["s"],
+                vec!["k1"],
+            ],
+            merged: vec![
+                vec!["p", "u", "v", "x"],
+                vec!["q", "w"],
+                vec!["r", "k2"],
+                vec!["s"],
+                vec!["k1"],
+            ],
+            dfg,
+            schedule,
+        });
+    }
+
+    // Case 2: the source module of one variable is the destination
+    // module of the other (u feeds the adder that produces v).
+    {
+        let mut b = DfgBuilder::new();
+        let (p, q, r) = (b.input("p"), b.input("q"), b.input("r"));
+        let u = b.op(OpKind::Add, "u", p.into(), q.into());
+        let v = b.op(OpKind::Add, "v", u.into(), r.into());
+        b.mark_output(v);
+        let dfg = b.build().expect("ok");
+        let schedule = Schedule::new(&dfg, vec![1, 2]).expect("ok");
+        report(&Case {
+            label: "Case 2 (src of one = dest of other) ",
+            modules: "1+".parse().expect("ok"),
+            separate: vec![vec!["p", "u"], vec!["q", "v"], vec!["r"]],
+            merged: vec![vec!["p", "u", "v"], vec!["q"], vec!["r"]],
+            dfg,
+            schedule,
+        });
+    }
+
+    // Case 3: one destination module in common, different sources.
+    {
+        let mut b = DfgBuilder::new();
+        let (p, q, r, s) = (b.input("p"), b.input("q"), b.input("r"), b.input("s"));
+        let (k1, k2) = (b.input("k1"), b.input("k2"));
+        let u = b.op(OpKind::Add, "u", p.into(), q.into());
+        let v = b.op(OpKind::Mul, "v", r.into(), s.into());
+        let w = b.op(OpKind::Sub, "w", u.into(), k1.into());
+        let x = b.op(OpKind::Sub, "x", v.into(), k2.into());
+        b.mark_output(w);
+        b.mark_output(x);
+        let dfg = b.build().expect("ok");
+        let schedule = Schedule::new(&dfg, vec![1, 2, 2, 3]).expect("ok");
+        report(&Case {
+            label: "Case 3 (common dest module)         ",
+            modules: "1+,1*,1-".parse().expect("ok"),
+            separate: vec![
+                vec!["p", "u", "w"],
+                vec!["q", "v", "x"],
+                vec!["r", "k2"],
+                vec!["s"],
+                vec!["k1"],
+            ],
+            merged: vec![
+                vec!["p", "u", "v", "x"],
+                vec!["q", "w"],
+                vec!["r", "k2"],
+                vec!["s"],
+                vec!["k1"],
+            ],
+            dfg,
+            schedule,
+        });
+    }
+
+    // Case 4: one source module in common (both u and v come off the
+    // adder), different destination modules.
+    {
+        let mut b = DfgBuilder::new();
+        let (p, q, r, s, k) = (
+            b.input("p"),
+            b.input("q"),
+            b.input("r"),
+            b.input("s"),
+            b.input("k"),
+        );
+        let u = b.op(OpKind::Add, "u", p.into(), q.into());
+        let v = b.op(OpKind::Add, "v", u.into(), r.into());
+        let w = b.op(OpKind::Mul, "w", v.into(), s.into());
+        let x = b.op(OpKind::Sub, "x", v.into(), k.into());
+        b.mark_output(w);
+        b.mark_output(x);
+        let dfg = b.build().expect("ok");
+        let schedule = Schedule::new(&dfg, vec![1, 2, 3, 3]).expect("ok");
+        report(&Case {
+            label: "Case 4 (common src module)          ",
+            modules: "1+,1*,1-".parse().expect("ok"),
+            separate: vec![
+                vec!["p", "u", "w"],
+                vec!["q", "v", "x"],
+                vec!["r", "s"],
+                vec!["k"],
+            ],
+            merged: vec![
+                vec!["p", "u", "v"],
+                vec!["q", "w"],
+                vec!["r", "s", "x"],
+                vec!["k"],
+            ],
+            dfg,
+            schedule,
+        });
+    }
+
+    // Case 5: common source and destination module.
+    {
+        let mut b = DfgBuilder::new();
+        let (p, q, r, s) = (b.input("p"), b.input("q"), b.input("r"), b.input("s"));
+        let u = b.op(OpKind::Add, "u", p.into(), q.into());
+        let v = b.op(OpKind::Add, "v", u.into(), r.into());
+        let w = b.op(OpKind::Add, "w", v.into(), s.into());
+        b.mark_output(w);
+        let dfg = b.build().expect("ok");
+        let schedule = Schedule::new(&dfg, vec![1, 2, 3]).expect("ok");
+        report(&Case {
+            label: "Case 5 (common src and dest)        ",
+            modules: "1+".parse().expect("ok"),
+            separate: vec![vec!["p", "u", "w"], vec!["q", "v"], vec!["r", "s"]],
+            merged: vec![vec!["p", "u", "v"], vec!["q", "w"], vec!["r", "s"]],
+            dfg,
+            schedule,
+        });
+    }
+
+    println!("\n(The paper's qualitative claim: merges sharing a source or destination");
+    println!("module save mux legs, and BIST savings compensate any mux increase.)");
+}

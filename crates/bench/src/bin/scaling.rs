@@ -1,0 +1,62 @@
+//! Extension experiment: allocator behaviour as designs grow — register
+//! counts, BIST overhead and CBILBO avoidance on the parametric
+//! benchmark families (FIR taps, IIR sections, matrix sizes, unrolled
+//! diff-eq iterations).
+
+use std::time::Instant;
+
+use lobist_alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist_datapath::area::BistStyle;
+use lobist_dfg::benchmarks::{self, Benchmark};
+
+fn row(bench: &Benchmark) {
+    let t0 = Instant::now();
+    let test = synthesize_benchmark(bench, &FlowOptions::testable());
+    let trad = synthesize_benchmark(bench, &FlowOptions::traditional());
+    let elapsed = t0.elapsed();
+    match (test, trad) {
+        (Ok(t), Ok(tr)) => {
+            let red = if tr.bist.overhead.get() > 0 {
+                100.0 * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
+                    / tr.bist.overhead.get() as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<14} {:>5} {:>6} {:>5} {:>5} {:>10} {:>10} {:>8.1}% {:>4}/{:<4} {:>9.1?}",
+                bench.name,
+                bench.dfg.num_ops(),
+                bench.dfg.num_vars(),
+                bench.schedule.max_step(),
+                t.data_path.num_registers(),
+                tr.bist.overhead.get(),
+                t.bist.overhead.get(),
+                red,
+                t.bist.count(BistStyle::Cbilbo),
+                tr.bist.count(BistStyle::Cbilbo),
+                elapsed,
+            );
+        }
+        (Err(e), _) | (_, Err(e)) => println!("{:<14} failed: {e}", bench.name),
+    }
+}
+
+fn main() {
+    println!(
+        "{:<14} {:>5} {:>6} {:>5} {:>5} {:>10} {:>10} {:>9} {:>9} {:>10}",
+        "design", "ops", "vars", "steps", "regs", "trad gates", "test gates", "reduction",
+        "CB t/tr", "both-flow t"
+    );
+    for n in [4usize, 8, 16, 24] {
+        row(&benchmarks::fir(n));
+    }
+    for n in [1usize, 2, 4, 6] {
+        row(&benchmarks::iir_biquad_cascade(n));
+    }
+    for n in [2usize, 3] {
+        row(&benchmarks::matmul(n));
+    }
+    for k in [1usize, 2, 4, 8] {
+        row(&benchmarks::diffeq_unrolled(k));
+    }
+}

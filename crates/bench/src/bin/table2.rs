@@ -1,0 +1,21 @@
+//! Regenerates the paper's Table II: minimal-area BIST solutions (the
+//! register-style mixes) for both flows.
+
+fn main() {
+    let rows = lobist_bench::table2().expect("flows succeed on the paper suite");
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.dfg.clone(), r.traditional.clone(), r.testable.clone()])
+        .collect();
+    println!("Table II — Minimal-area BIST solutions\n");
+    print!(
+        "{}",
+        lobist_bench::text_table(&["DFG", "Traditional HLS", "Testable HLS"], &data)
+    );
+    println!("\nPaper reported:");
+    println!("  ex1:    2 CBILBO, 1 TPG            → 1 CBILBO, 1 TPG");
+    println!("  ex2:    2 CBILBO, 1 TPG/SA, 2 TPG  → 1 CBILBO, 2 TPG/SA, 1 TPG");
+    println!("  Tseng1: 2 CBILBO, 3 TPG/SA         → 1 CBILBO, 3 TPG/SA, 1 TPG");
+    println!("  Tseng2: 2 CBILBO, 1 TPG/SA, 1 TPG  → 2 TPG/SA, 1 TPG");
+    println!("  Paulin: 3 CBILBO, 1 TPG/SA         → 1 CBILBO, 2 TPG, 1 SA");
+}

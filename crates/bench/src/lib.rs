@@ -1,0 +1,410 @@
+//! Experiment harness: programmatic runners for every table and figure
+//! of the paper, shared by the `table*`/`fig*` binaries, the Criterion
+//! benches and the integration tests.
+//!
+//! * [`table1`] — Table I: registers, muxes and % BIST area overhead for
+//!   the five benchmarks under traditional vs. testable HLS.
+//! * [`table2`] — Table II: the minimal-area BIST register mixes.
+//! * [`table3`] — Table III: Paulin under RALLOC, SYNTEST and our flow.
+//! * [`ablation`] — which allocator ingredient buys what (ours).
+//! * [`text_table`] — fixed-width table rendering for the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lobist_alloc::flow::{synthesize_benchmark, Design, FlowError, FlowOptions};
+use lobist_alloc::testable_regalloc::TestableAllocOptions;
+use lobist_baselines::BaselineReport;
+use lobist_datapath::area::{AreaModel, BistStyle};
+use lobist_dfg::benchmarks::{self, Benchmark};
+
+/// One Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub dfg: String,
+    /// Module allocation string.
+    pub module_assignment: String,
+    /// Traditional flow: registers, muxes, % BIST area.
+    pub traditional: (usize, usize, f64),
+    /// Testable flow: registers, muxes, % BIST area.
+    pub testable: (usize, usize, f64),
+    /// Percentage reduction in BIST area overhead.
+    pub reduction_percent: f64,
+}
+
+/// Runs the Table I experiment over the paper suite.
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`] from either flow.
+pub fn table1() -> Result<Vec<Table1Row>, FlowError> {
+    let mut rows = Vec::new();
+    for bench in benchmarks::paper_suite() {
+        let trad = synthesize_benchmark(&bench, &FlowOptions::traditional())?;
+        let test = synthesize_benchmark(&bench, &FlowOptions::testable())?;
+        let reduction = 100.0
+            * (trad.bist.overhead.get() as f64 - test.bist.overhead.get() as f64)
+            / trad.bist.overhead.get() as f64;
+        rows.push(Table1Row {
+            dfg: bench.name.clone(),
+            module_assignment: bench.module_allocation.to_string(),
+            traditional: (
+                trad.data_path.num_registers(),
+                trad.data_path.num_muxes(),
+                trad.bist.overhead_percent,
+            ),
+            testable: (
+                test.data_path.num_registers(),
+                test.data_path.num_muxes(),
+                test.bist.overhead_percent,
+            ),
+            reduction_percent: reduction,
+        });
+    }
+    Ok(rows)
+}
+
+/// One Table II row: the minimal-area BIST register mixes.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub dfg: String,
+    /// Traditional flow's mix, e.g. `"1 CBILBO, 2 TPG"`.
+    pub traditional: String,
+    /// Testable flow's mix.
+    pub testable: String,
+}
+
+/// Runs the Table II experiment.
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`].
+pub fn table2() -> Result<Vec<Table2Row>, FlowError> {
+    let mut rows = Vec::new();
+    for bench in benchmarks::paper_suite() {
+        let trad = synthesize_benchmark(&bench, &FlowOptions::traditional())?;
+        let test = synthesize_benchmark(&bench, &FlowOptions::testable())?;
+        rows.push(Table2Row {
+            dfg: bench.name.clone(),
+            traditional: trad.bist.mix(),
+            testable: test.bist.mix(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// System name.
+    pub system: String,
+    /// Module allocation description.
+    pub modules: String,
+    /// Registers allocated.
+    pub registers: usize,
+    /// TPG / SA / BILBO / CBILBO counts.
+    pub counts: [usize; 4],
+    /// Overhead percent.
+    pub overhead_percent: f64,
+}
+
+impl Table3Row {
+    fn from_baseline(r: &BaselineReport, modules: &str) -> Self {
+        Self {
+            system: r.name.clone(),
+            modules: modules.to_owned(),
+            registers: r.num_registers,
+            counts: [
+                r.count(BistStyle::Tpg),
+                r.count(BistStyle::Sa),
+                r.count(BistStyle::Bilbo),
+                r.count(BistStyle::Cbilbo),
+            ],
+            overhead_percent: r.overhead_percent,
+        }
+    }
+
+    fn from_design(d: &Design, modules: &str) -> Self {
+        Self {
+            system: "Ours".to_owned(),
+            modules: modules.to_owned(),
+            registers: d.data_path.num_registers(),
+            counts: [
+                d.bist.count(BistStyle::Tpg),
+                d.bist.count(BistStyle::Sa),
+                d.bist.count(BistStyle::Bilbo),
+                d.bist.count(BistStyle::Cbilbo),
+            ],
+            overhead_percent: d.bist.overhead_percent,
+        }
+    }
+}
+
+/// Errors from the Table III experiment.
+#[derive(Debug)]
+pub enum Table3Error {
+    /// Our flow failed.
+    Flow(FlowError),
+    /// The RALLOC baseline failed.
+    Ralloc(lobist_baselines::ralloc::RallocError),
+    /// The SYNTEST baseline failed.
+    Syntest(lobist_baselines::syntest::SyntestError),
+}
+
+impl std::fmt::Display for Table3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Table3Error::Flow(e) => write!(f, "ours: {e}"),
+            Table3Error::Ralloc(e) => write!(f, "RALLOC: {e}"),
+            Table3Error::Syntest(e) => write!(f, "SYNTEST: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Table3Error {}
+
+/// Runs the Table III experiment on the Paulin benchmark.
+///
+/// # Errors
+///
+/// Returns [`Table3Error`] from whichever system failed.
+pub fn table3() -> Result<Vec<Table3Row>, Table3Error> {
+    let bench = benchmarks::paulin();
+    let model = AreaModel::default();
+    let ralloc = lobist_baselines::ralloc::run(&bench, &model).map_err(Table3Error::Ralloc)?;
+    let syntest =
+        lobist_baselines::syntest::run(&bench, &model).map_err(Table3Error::Syntest)?;
+    let ours = synthesize_benchmark(&bench, &FlowOptions::testable()).map_err(Table3Error::Flow)?;
+    let modstr = bench.module_allocation.to_string();
+    Ok(vec![
+        Table3Row::from_baseline(&ralloc, &modstr),
+        Table3Row::from_baseline(&syntest, &modstr),
+        Table3Row::from_design(&ours, &modstr),
+    ])
+}
+
+/// One ablation row: a heuristic configuration and its outcome per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Per-benchmark (overhead gates, CBILBO count).
+    pub outcomes: Vec<(String, u64, usize)>,
+    /// Total overhead across the suite.
+    pub total_overhead: u64,
+}
+
+/// Runs the allocator-ingredient ablation across the paper suite: all
+/// heuristics on, each one individually disabled, all off, plus a
+/// simulated-annealing search at the same register count as a headroom
+/// yardstick.
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`].
+pub fn ablation() -> Result<Vec<AblationRow>, FlowError> {
+    let configs: Vec<(&str, TestableAllocOptions)> = vec![
+        ("all on", TestableAllocOptions::default()),
+        (
+            "no SD ordering",
+            TestableAllocOptions {
+                sd_ordering: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no case overrides",
+            TestableAllocOptions {
+                case_overrides: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no lemma-2 check",
+            TestableAllocOptions {
+                lemma2_check: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "all off",
+            TestableAllocOptions {
+                sd_ordering: false,
+                case_overrides: false,
+                lemma2_check: false,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, opts) in configs {
+        let mut outcomes = Vec::new();
+        let mut total = 0u64;
+        for bench in benchmarks::paper_suite() {
+            let mut flow = FlowOptions::testable();
+            flow.strategy = lobist_alloc::flow::RegAllocStrategy::Testable(opts);
+            let d = synthesize_benchmark(&bench, &flow)?;
+            total += d.bist.overhead.get();
+            outcomes.push((
+                bench.name.clone(),
+                d.bist.overhead.get(),
+                d.bist.count(BistStyle::Cbilbo),
+            ));
+        }
+        rows.push(AblationRow {
+            config: label.to_owned(),
+            outcomes,
+            total_overhead: total,
+        });
+    }
+    // Search-based yardstick at the same register count.
+    {
+        use lobist_alloc::anneal::{anneal_registers, AnnealConfig};
+        use lobist_alloc::module_assign::assign_modules;
+        let mut outcomes = Vec::new();
+        let mut total = 0u64;
+        for bench in benchmarks::paper_suite() {
+            let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+            let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+                .map_err(lobist_alloc::flow::FlowError::ModuleAssign)?;
+            let result = anneal_registers(
+                &bench.dfg,
+                &bench.schedule,
+                bench.lifetime_options,
+                &ma,
+                &flow,
+                &AnnealConfig::default(),
+            )?;
+            total += result.overhead;
+            outcomes.push((bench.name.clone(), result.overhead, usize::MAX));
+        }
+        // CBILBO counts are not tracked by the annealer; mark with MAX
+        // and render as "-" in the binary.
+        rows.push(AblationRow {
+            config: "annealed search".to_owned(),
+            outcomes,
+            total_overhead: total,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders rows of equal length as a fixed-width text table with a
+/// header rule.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, &w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    out.push_str(&format!("|-{}-|\n", rule.join("-|-")));
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &widths));
+    }
+    out
+}
+
+/// Runs both flows on one benchmark (used by figure binaries and tests).
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`].
+pub fn both_flows(bench: &Benchmark) -> Result<(Design, Design), FlowError> {
+    let trad = synthesize_benchmark(bench, &FlowOptions::traditional())?;
+    let test = synthesize_benchmark(bench, &FlowOptions::testable())?;
+    Ok((trad, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shows_reduction_everywhere() {
+        let rows = table1().unwrap();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(
+                row.reduction_percent > 0.0,
+                "{}: expected a BIST-area reduction, got {:.1}%",
+                row.dfg,
+                row.reduction_percent
+            );
+            assert_eq!(row.traditional.0, row.testable.0, "{}: register counts", row.dfg);
+        }
+    }
+
+    #[test]
+    fn table2_testable_mixes_have_no_more_cbilbos() {
+        let rows = table2().unwrap();
+        for row in &rows {
+            let cb = |s: &str| {
+                s.split(',')
+                    .find(|p| p.contains("CBILBO"))
+                    .and_then(|p| p.trim().split(' ').next().map(|n| n.parse::<usize>().unwrap_or(0)))
+                    .unwrap_or(0)
+            };
+            assert!(cb(&row.testable) <= cb(&row.traditional), "{}", row.dfg);
+        }
+    }
+
+    #[test]
+    fn table3_ours_uses_fewest_registers() {
+        let rows = table3().unwrap();
+        assert_eq!(rows.len(), 3);
+        let ours = rows.iter().find(|r| r.system == "Ours").unwrap();
+        for r in &rows {
+            assert!(ours.registers <= r.registers, "{}", r.system);
+        }
+        // The paper's headline: ours needs both fewer registers and
+        // fewer/cheaper BIST registers than RALLOC.
+        let ralloc = rows.iter().find(|r| r.system == "RALLOC").unwrap();
+        assert!(ours.overhead_percent < ralloc.overhead_percent);
+    }
+
+    #[test]
+    fn ablation_all_on_is_best_or_tied() {
+        let rows = ablation().unwrap();
+        let all_on = rows.iter().find(|r| r.config == "all on").unwrap();
+        let all_off = rows.iter().find(|r| r.config == "all off").unwrap();
+        assert!(all_on.total_overhead <= all_off.total_overhead);
+    }
+
+    #[test]
+    fn text_table_alignment() {
+        let t = text_table(
+            &["a", "bb"],
+            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+        );
+        assert!(t.contains("| a    | bb |"));
+        assert!(t.contains("| long | z  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn text_table_rejects_ragged_rows() {
+        text_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Smoke tests: every table/figure binary runs to completion and prints
+//! its headline. (The release-oriented `fault_coverage` and `scaling`
+//! binaries are exercised manually; their logic is covered by the
+//! gatesim and flow test suites.)
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let out = Command::new(bin).output().unwrap_or_else(|e| panic!("{bin}: {e}"));
+    assert!(out.status.success(), "{bin}: {out:?}");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table_binaries_print_their_tables() {
+    let t1 = run(env!("CARGO_BIN_EXE_table1"));
+    assert!(t1.contains("Table I"));
+    assert!(t1.contains("Paulin"));
+    let t2 = run(env!("CARGO_BIN_EXE_table2"));
+    assert!(t2.contains("Table II"));
+    assert!(t2.contains("TPG"));
+    let t3 = run(env!("CARGO_BIN_EXE_table3"));
+    assert!(t3.contains("Table III"));
+    assert!(t3.contains("RALLOC"));
+}
+
+#[test]
+fn figure_binaries_print_their_figures() {
+    assert!(run(env!("CARGO_BIN_EXE_fig1_ipaths")).contains("I-paths to port"));
+    assert!(run(env!("CARGO_BIN_EXE_fig2_dfg")).contains("digraph"));
+    assert!(run(env!("CARGO_BIN_EXE_fig3_sharing")).contains("shared TPG heads"));
+    let f4 = run(env!("CARGO_BIN_EXE_fig4_trace"));
+    assert!(f4.contains("SD="));
+    assert!(f4.contains("Final assignment"));
+    let f5 = run(env!("CARGO_BIN_EXE_fig5_datapaths"));
+    assert!(f5.contains("Fig. 5(a)"));
+    assert!(f5.contains("reduction"));
+    assert!(run(env!("CARGO_BIN_EXE_fig6_merge_cases")).contains("Case 5"));
+}
+
+#[test]
+fn ablation_binary_prints_all_configs() {
+    let out = run(env!("CARGO_BIN_EXE_ablation"));
+    for config in ["all on", "no lemma-2 check", "all off", "annealed search"] {
+        assert!(out.contains(config), "missing {config}\n{out}");
+    }
+}
+
+#[test]
+fn baselines_sweep_covers_the_suite() {
+    let out = run(env!("CARGO_BIN_EXE_baselines_sweep"));
+    for name in ["ex1", "ex2", "Tseng1", "Tseng2", "Paulin"] {
+        assert!(out.contains(name), "missing {name}");
+    }
+    assert!(out.contains("SYNTEST"));
+}

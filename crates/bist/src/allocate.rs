@@ -1,0 +1,462 @@
+//! Global minimal-area selection of BIST embeddings and register styles.
+//!
+//! Given one embedding per module, each register's required style is
+//! determined: a register that is TPG and SA *for the same module* must
+//! be a CBILBO; TPG for some modules and SA for others needs a BILBO;
+//! otherwise a TPG or SA suffices. The solver searches the cross product
+//! of per-module embeddings for the choice minimizing total upgrade area.
+//!
+//! Styles only ever move *up* the capability lattice as more roles
+//! accumulate, so partial cost is a valid lower bound — the exact solver
+//! is a depth-first branch-and-bound over modules ordered by fewest
+//! embeddings first. For large designs a greedy pass (cheapest
+//! incremental embedding per module) with local re-optimization is used
+//! instead.
+
+use std::fmt;
+
+use lobist_datapath::area::{AreaModel, BistStyle, GateCount};
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_datapath::{DataPath, ModuleId};
+
+use crate::embedding::{enumerate, Embedding};
+use crate::report::BistSolution;
+use crate::session;
+
+/// Errors from the BIST solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BistError {
+    /// A module has no BIST embedding: some port has no register I-path
+    /// or both ports are fed by one register only. Such a data path
+    /// cannot be made self-testable without structural changes.
+    NoEmbedding {
+        /// The untestable module.
+        module: ModuleId,
+    },
+}
+
+impl fmt::Display for BistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BistError::NoEmbedding { module } => {
+                write!(f, "module {module} has no BIST embedding (insufficient I-paths)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BistError {}
+
+/// Search strategy for the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Exact branch-and-bound if the design is small enough, greedy
+    /// otherwise (the threshold is [`SolverConfig::exact_module_limit`]).
+    #[default]
+    Auto,
+    /// Always exact branch-and-bound (exponential worst case).
+    Exact,
+    /// Always greedy with local improvement.
+    Greedy,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// The strategy.
+    pub mode: SolverMode,
+    /// In [`SolverMode::Auto`], use exact search up to this many modules.
+    pub exact_module_limit: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            mode: SolverMode::Auto,
+            exact_module_limit: 10,
+        }
+    }
+}
+
+/// Per-register accumulated test roles for a partial embedding choice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Roles {
+    /// Styles per register index.
+    styles: Vec<BistStyle>,
+}
+
+impl Roles {
+    fn new(num_registers: usize) -> Self {
+        Self {
+            styles: vec![BistStyle::Normal; num_registers],
+        }
+    }
+
+    /// Applies one module's embedding, upgrading register styles.
+    fn apply(&mut self, e: &Embedding) {
+        if let Some(c) = e.cbilbo_register() {
+            self.styles[c.index()] = BistStyle::Cbilbo;
+        }
+        for tpg in e.tpg_registers() {
+            let s = &mut self.styles[tpg.index()];
+            *s = s.join(BistStyle::Tpg);
+        }
+        let s = &mut self.styles[e.sa.index()];
+        *s = s.join(BistStyle::Sa);
+    }
+
+    fn cost(&self, model: &AreaModel) -> GateCount {
+        self.styles.iter().map(|&s| model.style_extra(s)).sum()
+    }
+}
+
+fn embeddings_per_module(
+    dp: &DataPath,
+    ipaths: &IPathAnalysis,
+) -> Result<Vec<Vec<Embedding>>, BistError> {
+    let mut all = Vec::with_capacity(dp.num_modules());
+    for m in dp.module_ids() {
+        let embs = enumerate(ipaths, m);
+        if embs.is_empty() {
+            return Err(BistError::NoEmbedding { module: m });
+        }
+        all.push(embs);
+    }
+    Ok(all)
+}
+
+fn finish(
+    dp: &DataPath,
+    model: &AreaModel,
+    choice: Vec<Embedding>,
+) -> BistSolution {
+    let mut roles = Roles::new(dp.num_registers());
+    for e in &choice {
+        roles.apply(e);
+    }
+    let overhead = roles.cost(model);
+    let functional = model.functional_area(dp);
+    let sessions = session::schedule(dp, &choice, &roles.styles);
+    BistSolution::new(
+        roles.styles,
+        choice,
+        sessions,
+        overhead,
+        overhead.percent_of(functional),
+    )
+}
+
+/// Finds a minimal-area BIST configuration for `dp`.
+///
+/// # Errors
+///
+/// Returns [`BistError::NoEmbedding`] if some module cannot be tested at
+/// all on this data path.
+pub fn solve(
+    dp: &DataPath,
+    model: &AreaModel,
+    cfg: &SolverConfig,
+) -> Result<BistSolution, BistError> {
+    let ipaths = IPathAnalysis::of(dp);
+    let embs = embeddings_per_module(dp, &ipaths)?;
+    let exact = match cfg.mode {
+        SolverMode::Exact => true,
+        SolverMode::Greedy => false,
+        SolverMode::Auto => dp.num_modules() <= cfg.exact_module_limit,
+    };
+    let choice = if exact {
+        branch_and_bound(dp, model, &embs)
+    } else {
+        greedy(dp, model, &embs)
+    };
+    Ok(finish(dp, model, choice))
+}
+
+/// Brute-force reference solver: full cross-product enumeration, no
+/// pruning. Exponential; intended for validating [`solve`] on small
+/// designs in tests.
+///
+/// # Errors
+///
+/// Returns [`BistError::NoEmbedding`] if some module cannot be tested.
+///
+/// # Panics
+///
+/// Panics if the cross product exceeds 10⁷ combinations.
+pub fn solve_exhaustive(dp: &DataPath, model: &AreaModel) -> Result<BistSolution, BistError> {
+    let ipaths = IPathAnalysis::of(dp);
+    let embs = embeddings_per_module(dp, &ipaths)?;
+    let combos: usize = embs.iter().map(|e| e.len()).product();
+    assert!(combos <= 10_000_000, "design too large for exhaustive search");
+    let mut best: Option<(GateCount, Vec<Embedding>)> = None;
+    let mut idx = vec![0usize; embs.len()];
+    loop {
+        let choice: Vec<Embedding> = idx.iter().zip(&embs).map(|(&i, e)| e[i]).collect();
+        let mut roles = Roles::new(dp.num_registers());
+        for e in &choice {
+            roles.apply(e);
+        }
+        let cost = roles.cost(model);
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            best = Some((cost, choice));
+        }
+        // Odometer.
+        let mut k = 0;
+        loop {
+            if k == idx.len() {
+                let (_, choice) = best.expect("at least one combination exists");
+                return Ok(finish(dp, model, choice));
+            }
+            idx[k] += 1;
+            if idx[k] < embs[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+fn branch_and_bound(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embedding> {
+    // Order modules by ascending embedding count: tight choices first.
+    let mut order: Vec<usize> = (0..embs.len()).collect();
+    order.sort_by_key(|&m| embs[m].len());
+
+    let mut best_cost = GateCount(u64::MAX);
+    let mut best: Option<Vec<Embedding>> = None;
+    let mut current: Vec<Option<Embedding>> = vec![None; embs.len()];
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        depth: usize,
+        order: &[usize],
+        embs: &[Vec<Embedding>],
+        model: &AreaModel,
+        roles: &Roles,
+        current: &mut Vec<Option<Embedding>>,
+        best_cost: &mut GateCount,
+        best: &mut Option<Vec<Embedding>>,
+    ) {
+        if roles.cost(model) >= *best_cost {
+            return; // roles only upgrade; cost can only grow
+        }
+        if depth == order.len() {
+            let cost = roles.cost(model);
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best = Some(current.iter().map(|e| e.expect("complete choice")).collect());
+            }
+            return;
+        }
+        let m = order[depth];
+        // Explore embeddings cheapest-first for faster convergence.
+        let mut ranked: Vec<&Embedding> = embs[m].iter().collect();
+        ranked.sort_by_key(|e| {
+            let mut r = roles.clone();
+            r.apply(e);
+            r.cost(model)
+        });
+        for e in ranked {
+            let mut r = roles.clone();
+            r.apply(e);
+            current[m] = Some(*e);
+            rec(depth + 1, order, embs, model, &r, current, best_cost, best);
+            current[m] = None;
+        }
+    }
+
+    let roles = Roles::new(dp.num_registers());
+    rec(
+        0,
+        &order,
+        embs,
+        model,
+        &roles,
+        &mut current,
+        &mut best_cost,
+        &mut best,
+    );
+    best.expect("every module has at least one embedding")
+}
+
+fn greedy(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embedding> {
+    // Seed: process modules tightest-first, picking the embedding with the
+    // smallest incremental cost.
+    let mut order: Vec<usize> = (0..embs.len()).collect();
+    order.sort_by_key(|&m| embs[m].len());
+    let mut roles = Roles::new(dp.num_registers());
+    let mut choice: Vec<Option<Embedding>> = vec![None; embs.len()];
+    for &m in &order {
+        let pick = embs[m]
+            .iter()
+            .min_by_key(|e| {
+                let mut r = roles.clone();
+                r.apply(e);
+                r.cost(model)
+            })
+            .expect("non-empty embedding list");
+        roles.apply(pick);
+        choice[m] = Some(*pick);
+    }
+    // Local improvement: re-pick each module's embedding with the others
+    // fixed until no change lowers the cost.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for m in 0..embs.len() {
+            let base_cost = {
+                let mut r = Roles::new(dp.num_registers());
+                for (i, e) in choice.iter().enumerate() {
+                    if i != m {
+                        r.apply(&e.expect("seeded"));
+                    }
+                }
+                r
+            };
+            let current_cost = {
+                let mut r = base_cost.clone();
+                r.apply(&choice[m].expect("seeded"));
+                r.cost(model)
+            };
+            for e in &embs[m] {
+                let mut r = base_cost.clone();
+                r.apply(e);
+                if r.cost(model) < current_cost {
+                    choice[m] = Some(*e);
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    choice.into_iter().map(|e| e.expect("seeded")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_datapath::{InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+    use lobist_dfg::benchmarks;
+
+    fn ex1_dp(groups: &[Vec<&str>], swaps: &[&str]) -> DataPath {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(&bench.dfg, groups).unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let mut ic = InterconnectAssignment::straight(&bench.dfg);
+        for s in swaps {
+            ic.swap(bench.dfg.op_by_name(s).unwrap());
+        }
+        DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options, modules, regs, ic)
+            .unwrap()
+    }
+
+    /// The paper's testable data path for ex1. Straight interconnect
+    /// already exposes the shared I-paths: the multiplier's left port
+    /// sees {R3 (e), R1 (c)} and its right port {R2 (g), R3 (e)}.
+    fn testable() -> DataPath {
+        ex1_dp(
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+            &[],
+        )
+    }
+
+    #[test]
+    fn ex1_testable_reaches_paper_minimum() {
+        // Paper (Table II, ex1 testable): exactly 1 CBILBO + 1 TPG —
+        // R1 generates for both modules' left ports, R2 is a CBILBO
+        // (TPG for the right ports and SA for both modules).
+        let sol = solve(&testable(), &AreaModel::default(), &SolverConfig::default()).unwrap();
+        assert_eq!(sol.count(BistStyle::Cbilbo), 1);
+        assert_eq!(sol.count(BistStyle::Tpg), 1);
+        assert_eq!(sol.count(BistStyle::Bilbo), 0);
+        assert_eq!(sol.count(BistStyle::Sa), 0);
+        assert_eq!(sol.num_test_registers(), 2);
+    }
+
+    #[test]
+    fn exact_matches_exhaustive_on_ex1() {
+        let dp = testable();
+        let model = AreaModel::default();
+        let exact = solve(&dp, &model, &SolverConfig { mode: SolverMode::Exact, ..Default::default() })
+            .unwrap();
+        let brute = solve_exhaustive(&dp, &model).unwrap();
+        assert_eq!(exact.overhead, brute.overhead);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_close_on_ex1() {
+        let dp = testable();
+        let model = AreaModel::default();
+        let greedy = solve(&dp, &model, &SolverConfig { mode: SolverMode::Greedy, ..Default::default() })
+            .unwrap();
+        let exact = solve_exhaustive(&dp, &model).unwrap();
+        assert!(greedy.overhead >= exact.overhead);
+        // Greedy should be within 2x on this tiny design.
+        assert!(greedy.overhead.get() <= exact.overhead.get() * 2);
+    }
+
+    #[test]
+    fn no_embedding_reported() {
+        // Single-op DFG with both operands in one register.
+        use lobist_dfg::{DfgBuilder, OpKind, Schedule};
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let t = b.op(OpKind::Add, "t", x.into(), x.into());
+        b.mark_output(t);
+        let dfg = b.build().unwrap();
+        let schedule = Schedule::new(&dfg, vec![1]).unwrap();
+        let modules: lobist_dfg::modules::ModuleSet = "1+".parse().unwrap();
+        let ma = ModuleAssignment::from_op_names(&dfg, &modules, &[("t_op", 0)]).unwrap();
+        let ra = RegisterAssignment::from_names(&dfg, &[vec!["x"], vec!["t"]]).unwrap();
+        let ic = InterconnectAssignment::straight(&dfg);
+        let dp = DataPath::build(
+            &dfg,
+            &schedule,
+            lobist_dfg::lifetime::LifetimeOptions::registered_inputs(),
+            ma,
+            ra,
+            ic,
+        )
+        .unwrap();
+        let err = solve(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap_err();
+        assert!(matches!(err, BistError::NoEmbedding { .. }));
+        assert!(err.to_string().contains("no BIST embedding"));
+    }
+
+    #[test]
+    fn solver_is_optimal_on_multiple_assignments() {
+        // Whatever the register assignment, the default solver must match
+        // the brute-force optimum (these colorings are all proper for ex1).
+        let model = AreaModel::default();
+        let cfg = SolverConfig::default();
+        for groups in [
+            vec![vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+            vec![vec!["e", "f"], vec!["g", "a", "c", "h"], vec!["b", "d"]],
+            vec![vec!["e", "h"], vec!["g", "a", "c", "f"], vec!["b", "d"]],
+        ] {
+            let dp = ex1_dp(&groups, &[]);
+            let sol = solve(&dp, &model, &cfg).unwrap();
+            let brute = solve_exhaustive(&dp, &model).unwrap();
+            assert_eq!(sol.overhead, brute.overhead, "groups {groups:?}");
+        }
+    }
+
+    #[test]
+    fn solution_styles_cover_every_module() {
+        let sol = solve(&testable(), &AreaModel::default(), &SolverConfig::default()).unwrap();
+        for e in &sol.embeddings {
+            for t in e.tpg_registers() {
+                assert!(sol.style(t).can_generate());
+            }
+            assert!(sol.style(e.sa).can_analyze());
+            if let Some(c) = e.cbilbo_register() {
+                assert!(sol.style(c).can_do_both_concurrently());
+            }
+        }
+    }
+}

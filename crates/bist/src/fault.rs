@@ -1,0 +1,100 @@
+//! Pseudo-random test-length estimation.
+//!
+//! An extension beyond the paper's tables: once a BIST solution is
+//! chosen, the time to run the self-test is the sum over sessions of the
+//! longest pattern requirement in that session. Pattern requirements per
+//! module kind follow the usual random-pattern-testability folklore:
+//! random-pattern-resistant structures (dividers, comparators with long
+//! carry chains) need more patterns than RP-easy logic.
+
+use lobist_datapath::DataPath;
+use lobist_dfg::modules::ModuleClass;
+use lobist_dfg::OpKind;
+
+/// Pseudo-random patterns needed to reach high stuck-at coverage on a
+/// module of the given class at the given bit width (a coarse but
+/// monotone model: wider and RP-harder units need more patterns).
+pub fn patterns_required(class: ModuleClass, width: u32) -> u64 {
+    let w = width as u64;
+    match class {
+        ModuleClass::Op(OpKind::Add) => 64 * w,
+        ModuleClass::Op(OpKind::Sub) => 64 * w,
+        ModuleClass::Op(OpKind::Mul) => 256 * w,
+        ModuleClass::Op(OpKind::Div) => 1024 * w,
+        ModuleClass::Op(OpKind::And | OpKind::Or | OpKind::Xor) => 16 * w,
+        ModuleClass::Op(OpKind::Lt) => 128 * w,
+        ModuleClass::Alu => 512 * w,
+    }
+}
+
+/// Total self-test time in clock cycles: sessions run one after another,
+/// and a session lasts as long as its most pattern-hungry module.
+pub fn test_cycles(dp: &DataPath, sessions: &[u32], width: u32) -> u64 {
+    let num_sessions = sessions.iter().copied().max().map_or(0, |m| m + 1);
+    (0..num_sessions)
+        .map(|s| {
+            dp.module_ids()
+                .filter(|m| sessions[m.index()] == s)
+                .map(|m| patterns_required(dp.module_class(m), width))
+                .max()
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harder_modules_need_more_patterns() {
+        let w = 8;
+        let add = patterns_required(ModuleClass::Op(OpKind::Add), w);
+        let mul = patterns_required(ModuleClass::Op(OpKind::Mul), w);
+        let div = patterns_required(ModuleClass::Op(OpKind::Div), w);
+        let and = patterns_required(ModuleClass::Op(OpKind::And), w);
+        assert!(and < add && add < mul && mul < div);
+    }
+
+    #[test]
+    fn wider_units_need_more_patterns() {
+        assert!(
+            patterns_required(ModuleClass::Alu, 16) > patterns_required(ModuleClass::Alu, 8)
+        );
+    }
+
+    #[test]
+    fn parallel_sessions_save_time() {
+        use lobist_datapath::{
+            DataPath, InterconnectAssignment, ModuleAssignment, RegisterAssignment,
+        };
+        use lobist_dfg::benchmarks;
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            modules,
+            regs,
+            ic,
+        )
+        .unwrap();
+        // One shared session vs two sequential ones.
+        let together = test_cycles(&dp, &[0, 0], 8);
+        let apart = test_cycles(&dp, &[0, 1], 8);
+        assert!(together < apart);
+        assert_eq!(test_cycles(&dp, &[], 8), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal-area BIST test-resource allocation — the BITS substrate.
+//!
+//! The paper evaluates its data paths with the USC *BITS* system (Lin,
+//! 1994): given an RTL data path, BITS picks which registers to
+//! reconfigure as TPGs, SAs, BILBOs and CBILBOs so that **every operator
+//! module is tested** with **minimum added area**. BITS itself is
+//! unavailable; this crate is a from-scratch substitute with the same
+//! contract (see DESIGN.md, "Substitutions").
+//!
+//! Pipeline:
+//!
+//! 1. [`embedding`] enumerates, per module, the *BIST embeddings* — one
+//!    TPG register per input port (distinct) and one SA register, drawn
+//!    from the data path's I-paths.
+//! 2. [`allocate`] searches the cross product of embeddings for the
+//!    register-style assignment of minimum upgrade area (exact
+//!    branch-and-bound for paper-scale designs, greedy with local
+//!    improvement beyond).
+//! 3. [`session`] schedules module tests into conflict-free test
+//!    sessions.
+//! 4. [`report`] summarizes everything as a [`BistSolution`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lobist_bist::{solve, SolverConfig};
+//! use lobist_datapath::area::AreaModel;
+//! use lobist_datapath::{DataPath, InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+//! use lobist_dfg::benchmarks;
+//!
+//! let bench = benchmarks::ex1();
+//! let regs = RegisterAssignment::from_names(
+//!     &bench.dfg,
+//!     &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+//! )?;
+//! let modules = ModuleAssignment::from_op_names(
+//!     &bench.dfg,
+//!     &bench.module_allocation,
+//!     &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+//! )?;
+//! let mut ic = InterconnectAssignment::straight(&bench.dfg);
+//! ic.swap(bench.dfg.op_by_name("mul2").expect("op exists"));
+//! let dp = DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options,
+//!                          modules, regs, ic)?;
+//! let solution = solve(&dp, &AreaModel::default(), &SolverConfig::default())?;
+//! println!("{solution}");
+//! assert!(solution.overhead_percent < 25.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocate;
+pub mod embedding;
+pub mod fault;
+pub mod plan;
+pub mod repair;
+pub mod report;
+pub mod session;
+pub mod verify;
+
+pub use allocate::{solve, solve_exhaustive, BistError, SolverConfig, SolverMode};
+pub use embedding::Embedding;
+pub use plan::TestPlan;
+pub use repair::{solve_with_repair, RepairedSolution, TestPoint};
+pub use report::BistSolution;

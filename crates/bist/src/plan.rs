@@ -1,0 +1,169 @@
+//! Test-plan reporting: sessions, their modules and the overall self-test
+//! length.
+
+use std::fmt;
+
+use lobist_datapath::DataPath;
+
+use crate::fault;
+use crate::report::BistSolution;
+
+/// One test session: which modules run and how long the session lasts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SessionInfo {
+    /// Session index (0-based, run in order).
+    pub index: u32,
+    /// Modules tested in this session (indices).
+    pub modules: Vec<usize>,
+    /// Session length in clock cycles (the most pattern-hungry module).
+    pub cycles: u64,
+}
+
+/// The full self-test plan derived from a BIST solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestPlan {
+    /// Sessions in execution order.
+    pub sessions: Vec<SessionInfo>,
+    /// Total self-test length in clock cycles.
+    pub total_cycles: u64,
+}
+
+impl TestPlan {
+    /// Derives the plan from a solved design at the given data-path
+    /// width.
+    pub fn new(dp: &DataPath, solution: &BistSolution, width: u32) -> Self {
+        let n = solution
+            .sessions
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut sessions = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            let modules: Vec<usize> = dp
+                .module_ids()
+                .filter(|m| solution.sessions[m.index()] == s)
+                .map(|m| m.index())
+                .collect();
+            let cycles = modules
+                .iter()
+                .map(|&mi| {
+                    fault::patterns_required(
+                        dp.module_class(lobist_datapath::ModuleId(mi as u32)),
+                        width,
+                    )
+                })
+                .max()
+                .unwrap_or(0);
+            sessions.push(SessionInfo {
+                index: s,
+                modules,
+                cycles,
+            });
+        }
+        let total_cycles = sessions.iter().map(|s| s.cycles).sum();
+        Self {
+            sessions,
+            total_cycles,
+        }
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+impl fmt::Display for TestPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Test plan: {} sessions, {} cycles total",
+            self.num_sessions(),
+            self.total_cycles
+        )?;
+        for s in &self.sessions {
+            let mods: Vec<String> = s.modules.iter().map(|m| format!("M{}", m + 1)).collect();
+            writeln!(
+                f,
+                "  session {}: {{{}}} for {} cycles",
+                s.index,
+                mods.join(", "),
+                s.cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolverConfig};
+    use lobist_datapath::area::AreaModel;
+    use lobist_datapath::{InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+    use lobist_dfg::benchmarks;
+
+    fn ex1_solution() -> (DataPath, BistSolution) {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            modules,
+            regs,
+            ic,
+        )
+        .unwrap();
+        let sol = solve(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap();
+        (dp, sol)
+    }
+
+    #[test]
+    fn plan_covers_every_module_once() {
+        let (dp, sol) = ex1_solution();
+        let plan = TestPlan::new(&dp, &sol, 8);
+        let mut seen: Vec<usize> = plan.sessions.iter().flat_map(|s| s.modules.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..dp.num_modules()).collect::<Vec<_>>());
+        assert_eq!(
+            plan.total_cycles,
+            fault::test_cycles(&dp, &sol.sessions, 8)
+        );
+    }
+
+    #[test]
+    fn display_lists_sessions() {
+        let (dp, sol) = ex1_solution();
+        let plan = TestPlan::new(&dp, &sol, 8);
+        let text = plan.to_string();
+        assert!(text.contains("Test plan:"));
+        assert!(text.contains("session 0:"));
+        assert!(text.contains("cycles"));
+    }
+
+    #[test]
+    fn sessions_are_nonempty_and_ordered() {
+        let (dp, sol) = ex1_solution();
+        let plan = TestPlan::new(&dp, &sol, 8);
+        for (i, s) in plan.sessions.iter().enumerate() {
+            assert_eq!(s.index as usize, i);
+            assert!(!s.modules.is_empty());
+            assert!(s.cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The solved BIST configuration and its presentation.
+
+use std::fmt;
+
+use lobist_datapath::area::{BistStyle, GateCount};
+use lobist_datapath::RegisterId;
+
+use crate::embedding::Embedding;
+use crate::session;
+
+/// A complete minimal-area BIST solution for a data path.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BistSolution {
+    /// Final style of each register (indexed by register).
+    pub styles: Vec<BistStyle>,
+    /// The chosen embedding of each module (indexed by module).
+    pub embeddings: Vec<Embedding>,
+    /// Test session of each module (0-based, indexed by module).
+    pub sessions: Vec<u32>,
+    /// Total extra gates for the BIST registers.
+    pub overhead: GateCount,
+    /// Overhead as a percentage of the functional gate count.
+    pub overhead_percent: f64,
+}
+
+impl BistSolution {
+    pub(crate) fn new(
+        styles: Vec<BistStyle>,
+        embeddings: Vec<Embedding>,
+        sessions: Vec<u32>,
+        overhead: GateCount,
+        overhead_percent: f64,
+    ) -> Self {
+        Self {
+            styles,
+            embeddings,
+            sessions,
+            overhead,
+            overhead_percent,
+        }
+    }
+
+    /// The style of register `r`.
+    pub fn style(&self, r: RegisterId) -> BistStyle {
+        self.styles[r.index()]
+    }
+
+    /// Number of registers configured with the given style.
+    pub fn count(&self, style: BistStyle) -> usize {
+        self.styles.iter().filter(|&&s| s == style).count()
+    }
+
+    /// Total number of modified (non-normal) registers.
+    pub fn num_test_registers(&self) -> usize {
+        self.styles.len() - self.count(BistStyle::Normal)
+    }
+
+    /// Number of test sessions.
+    pub fn num_sessions(&self) -> usize {
+        session::session_count(&self.sessions)
+    }
+
+    /// The paper's Table II-style mix, e.g. `"1 CBILBO, 1 TPG/SA, 2 TPG"`.
+    /// Styles with zero count are omitted; an all-normal solution prints
+    /// `"none"`.
+    pub fn mix(&self) -> String {
+        let order = [
+            BistStyle::Cbilbo,
+            BistStyle::Bilbo,
+            BistStyle::Tpg,
+            BistStyle::Sa,
+        ];
+        let parts: Vec<String> = order
+            .into_iter()
+            .filter_map(|s| {
+                let n = self.count(s);
+                (n > 0).then(|| format!("{n} {s}"))
+            })
+            .collect();
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+impl fmt::Display for BistSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BIST solution: {} (+{}, {:.2}% overhead, {} sessions)",
+            self.mix(),
+            self.overhead,
+            self.overhead_percent,
+            self.num_sessions()
+        )?;
+        for (i, (e, s)) in self.embeddings.iter().zip(&self.sessions).enumerate() {
+            writeln!(f, "  M{}: {e} [session {s}]", i + 1)?;
+        }
+        for (i, style) in self.styles.iter().enumerate() {
+            if *style != BistStyle::Normal {
+                writeln!(f, "  R{}: {style}", i + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BistSolution {
+        BistSolution::new(
+            vec![BistStyle::Tpg, BistStyle::Cbilbo, BistStyle::Normal],
+            vec![
+                Embedding::with_registers(RegisterId(0), RegisterId(1), RegisterId(1)),
+            ],
+            vec![0],
+            GateCount(104),
+            9.5,
+        )
+    }
+
+    #[test]
+    fn counts_and_mix() {
+        let s = sample();
+        assert_eq!(s.count(BistStyle::Tpg), 1);
+        assert_eq!(s.count(BistStyle::Cbilbo), 1);
+        assert_eq!(s.count(BistStyle::Normal), 1);
+        assert_eq!(s.num_test_registers(), 2);
+        assert_eq!(s.mix(), "1 CBILBO, 1 TPG");
+        assert_eq!(s.num_sessions(), 1);
+    }
+
+    #[test]
+    fn empty_mix_prints_none() {
+        let s = BistSolution::new(vec![BistStyle::Normal], vec![], vec![], GateCount::ZERO, 0.0);
+        assert_eq!(s.mix(), "none");
+    }
+
+    #[test]
+    fn display_includes_mix_and_overhead() {
+        let text = sample().to_string();
+        assert!(text.contains("1 CBILBO, 1 TPG"));
+        assert!(text.contains("9.50%"));
+        assert!(text.contains("R2: CBILBO"));
+        assert!(text.contains("M1: TPG(L)=R1"));
+    }
+}
+
+impl BistSolution {
+    /// Converts the solution into the per-module test roles consumed by
+    /// the BIST-mode Verilog backend
+    /// ([`lobist_datapath::verilog_bist::to_bist_verilog`]).
+    pub fn test_roles(&self) -> Vec<lobist_datapath::verilog_bist::ModuleTestRole> {
+        self.embeddings
+            .iter()
+            .zip(&self.sessions)
+            .map(|(e, &session)| lobist_datapath::verilog_bist::ModuleTestRole {
+                left_tpg: e.left.register(),
+                right_tpg: e.right.register(),
+                sa: e.sa,
+                session,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod role_tests {
+    use super::*;
+    use lobist_datapath::area::BistStyle;
+
+    #[test]
+    fn roles_mirror_embeddings_and_sessions() {
+        let sol = BistSolution::new(
+            vec![BistStyle::Tpg, BistStyle::Cbilbo],
+            vec![Embedding::with_registers(RegisterId(0), RegisterId(1), RegisterId(1))],
+            vec![3],
+            GateCount(96),
+            10.0,
+        );
+        let roles = sol.test_roles();
+        assert_eq!(roles.len(), 1);
+        assert_eq!(roles[0].left_tpg, Some(RegisterId(0)));
+        assert_eq!(roles[0].right_tpg, Some(RegisterId(1)));
+        assert_eq!(roles[0].sa, RegisterId(1));
+        assert_eq!(roles[0].session, 3);
+    }
+}

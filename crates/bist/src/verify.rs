@@ -1,0 +1,285 @@
+//! Independent validation of BIST solutions.
+//!
+//! [`verify`] re-derives, from the data path alone, everything a
+//! [`BistSolution`] claims: that each module's embedding is drawn from
+//! real I-paths, that register styles provide the capabilities the
+//! embeddings demand, that CBILBOs appear exactly where an embedding
+//! reuses its SA as a TPG, that sessions never double-book a signature
+//! register, and that the overhead accounting adds up. The test suite
+//! runs it over every flow result; downstream users can run it over
+//! hand-written or deserialized solutions.
+
+use std::fmt;
+
+use lobist_datapath::area::AreaModel;
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_datapath::{DataPath, ModuleId, PortSide, RegisterId};
+
+use crate::embedding::PatternSource;
+use crate::report::BistSolution;
+
+/// A violated invariant found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The solution's vectors do not match the data path's shape.
+    ShapeMismatch {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// An embedding names a pattern source with no I-path to the port.
+    NoSuchIPath {
+        /// The module.
+        module: ModuleId,
+        /// Which port.
+        side: PortSide,
+    },
+    /// An embedding's SA register does not receive the module's output.
+    NoSuchSaPath {
+        /// The module.
+        module: ModuleId,
+    },
+    /// The two pattern sources of an embedding coincide.
+    DuplicateTpg {
+        /// The module.
+        module: ModuleId,
+    },
+    /// A register's style lacks a capability its roles demand.
+    InsufficientStyle {
+        /// The register.
+        register: RegisterId,
+        /// Why.
+        needs: &'static str,
+    },
+    /// Two module tests in the same session contend for a register.
+    SessionConflict {
+        /// First module.
+        a: ModuleId,
+        /// Second module.
+        b: ModuleId,
+    },
+    /// The recorded overhead differs from the sum of style extras.
+    OverheadMismatch {
+        /// Recorded total.
+        recorded: u64,
+        /// Recomputed total.
+        recomputed: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            Violation::NoSuchIPath { module, side } => {
+                write!(f, "{module}.{side}: pattern source has no I-path")
+            }
+            Violation::NoSuchSaPath { module } => {
+                write!(f, "{module}: SA register receives no output I-path")
+            }
+            Violation::DuplicateTpg { module } => {
+                write!(f, "{module}: both ports fed by the same pattern source")
+            }
+            Violation::InsufficientStyle { register, needs } => {
+                write!(f, "{register}: style cannot {needs}")
+            }
+            Violation::SessionConflict { a, b } => {
+                write!(f, "{a} and {b} conflict within one session")
+            }
+            Violation::OverheadMismatch {
+                recorded,
+                recomputed,
+            } => write!(f, "overhead {recorded} != recomputed {recomputed}"),
+        }
+    }
+}
+
+/// Checks every invariant of `solution` against `dp`; returns all
+/// violations found (empty = valid).
+pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if solution.styles.len() != dp.num_registers() {
+        out.push(Violation::ShapeMismatch { what: "styles length" });
+        return out;
+    }
+    if solution.embeddings.len() != dp.num_modules()
+        || solution.sessions.len() != dp.num_modules()
+    {
+        out.push(Violation::ShapeMismatch { what: "embeddings/sessions length" });
+        return out;
+    }
+    let ipaths = IPathAnalysis::of(dp);
+    for m in dp.module_ids() {
+        let e = &solution.embeddings[m.index()];
+        for (src, side) in [(e.left, PortSide::Left), (e.right, PortSide::Right)] {
+            let ok = match src {
+                PatternSource::Register(r) => ipaths.tpg_candidates(m, side).contains(&r),
+                PatternSource::Input(v) => ipaths.input_candidates(m, side).contains(&v),
+            };
+            if !ok {
+                out.push(Violation::NoSuchIPath { module: m, side });
+            }
+        }
+        if e.left == e.right {
+            out.push(Violation::DuplicateTpg { module: m });
+        }
+        if !ipaths.sa_candidates(m).contains(&e.sa) {
+            out.push(Violation::NoSuchSaPath { module: m });
+        }
+        // Styles vs roles.
+        for t in e.tpg_registers() {
+            if !solution.style(t).can_generate() {
+                out.push(Violation::InsufficientStyle {
+                    register: t,
+                    needs: "generate patterns",
+                });
+            }
+        }
+        if !solution.style(e.sa).can_analyze() {
+            out.push(Violation::InsufficientStyle {
+                register: e.sa,
+                needs: "compact responses",
+            });
+        }
+        if let Some(c) = e.cbilbo_register() {
+            if !solution.style(c).can_do_both_concurrently() {
+                out.push(Violation::InsufficientStyle {
+                    register: c,
+                    needs: "generate and compact concurrently",
+                });
+            }
+        }
+    }
+    // Session rules.
+    for a in dp.module_ids() {
+        for b in dp.module_ids().filter(|b| b.index() > a.index()) {
+            if solution.sessions[a.index()] != solution.sessions[b.index()] {
+                continue;
+            }
+            let ea = &solution.embeddings[a.index()];
+            let eb = &solution.embeddings[b.index()];
+            let sa_clash = ea.sa == eb.sa;
+            let cross = |gen: &crate::embedding::Embedding, ana: &crate::embedding::Embedding| {
+                gen.tpg_registers().any(|t| {
+                    t == ana.sa && !solution.style(t).can_do_both_concurrently()
+                })
+            };
+            if sa_clash || cross(ea, eb) || cross(eb, ea) {
+                out.push(Violation::SessionConflict { a, b });
+            }
+        }
+    }
+    // Overhead accounting.
+    let recomputed: u64 = solution
+        .styles
+        .iter()
+        .map(|&s| model.style_extra(s).get())
+        .sum();
+    if recomputed != solution.overhead.get() {
+        out.push(Violation::OverheadMismatch {
+            recorded: solution.overhead.get(),
+            recomputed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolverConfig};
+    use lobist_datapath::area::BistStyle;
+    use lobist_datapath::{InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+    use lobist_dfg::benchmarks;
+
+    fn ex1_solved() -> (DataPath, BistSolution) {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            modules,
+            regs,
+            ic,
+        )
+        .unwrap();
+        let sol = solve(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap();
+        (dp, sol)
+    }
+
+    #[test]
+    fn solver_output_verifies_clean() {
+        let (dp, sol) = ex1_solved();
+        assert!(verify(&dp, &sol, &AreaModel::default()).is_empty());
+    }
+
+    #[test]
+    fn downgraded_style_is_caught() {
+        let (dp, mut sol) = ex1_solved();
+        // Break a TPG into a plain register.
+        let tpg = dp
+            .register_ids()
+            .find(|&r| sol.style(r).can_generate())
+            .expect("solution has a generator");
+        sol.styles[tpg.index()] = BistStyle::Normal;
+        let violations = verify(&dp, &sol, &AreaModel::default());
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::InsufficientStyle { .. })));
+        // The accounting is now off too.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::OverheadMismatch { .. })));
+    }
+
+    #[test]
+    fn fake_ipath_is_caught() {
+        let (dp, mut sol) = ex1_solved();
+        // Point a TPG at a register with no I-path to that port: R3 only
+        // feeds the multiplier's ports, never the adder's right port.
+        sol.embeddings[0].right = PatternSource::Register(RegisterId(2));
+        sol.styles[2] = BistStyle::Tpg;
+        let violations = verify(&dp, &sol, &AreaModel::default());
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NoSuchIPath { .. })), "{violations:?}");
+    }
+
+    #[test]
+    fn session_collision_is_caught() {
+        let (dp, mut sol) = ex1_solved();
+        if sol.sessions[0] != sol.sessions[1] {
+            // Force the two modules (which share an SA) together.
+            sol.sessions[1] = sol.sessions[0];
+        }
+        let same_sa = sol.embeddings[0].sa == sol.embeddings[1].sa;
+        let violations = verify(&dp, &sol, &AreaModel::default());
+        if same_sa {
+            assert!(violations
+                .iter()
+                .any(|v| matches!(v, Violation::SessionConflict { .. })), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_short_circuits() {
+        let (dp, mut sol) = ex1_solved();
+        sol.styles.pop();
+        let violations = verify(&dp, &sol, &AreaModel::default());
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], Violation::ShapeMismatch { .. }));
+        assert!(violations[0].to_string().contains("styles length"));
+    }
+
+}

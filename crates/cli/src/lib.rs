@@ -1,0 +1,730 @@
+//! Command-line interface for BIST-aware data path synthesis.
+//!
+//! ```text
+//! lobist synth <design.dfg> --modules "1+,1*" [--flow testable|traditional]
+//!        [--width N] [--port-inputs] [--netlist] [--trace]
+//! lobist compare <design.dfg> --modules "1+,1*" [--width N] [--port-inputs]
+//! lobist suite
+//! ```
+//!
+//! The design file uses the text format of [`lobist_dfg::parse`]. All
+//! command logic lives in [`run`], which returns the output as a string
+//! so the test suite can drive it without a subprocess.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use lobist_alloc::flow::{synthesize, FlowError, FlowOptions};
+use lobist_datapath::area::AreaModel;
+use lobist_dfg::lifetime::LifetimeOptions;
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::parse::parse_dfg;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Could not read the design file.
+    Io(String, std::io::Error),
+    /// The design file failed to parse.
+    Parse(lobist_dfg::parse::ParseDfgError),
+    /// The module set string failed to parse.
+    Modules(lobist_dfg::modules::ParseModuleSetError),
+    /// Synthesis failed.
+    Flow(FlowError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(path, e) => write!(f, "cannot read `{path}`: {e}"),
+            CliError::Parse(e) => write!(f, "design file: {e}"),
+            CliError::Modules(e) => write!(f, "--modules: {e}"),
+            CliError::Flow(e) => write!(f, "synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+lobist — BIST-aware data path synthesis (DAC'95 reproduction)
+
+USAGE:
+  lobist synth <design.dfg> --modules <SET> [OPTIONS]
+  lobist compare <design.dfg> --modules <SET> [OPTIONS]
+  lobist schedule <design.dfg> --latency <N>
+  lobist faultsim <design.dfg> --modules <SET> [OPTIONS]
+  lobist explore <design.dfg> --candidates <SET;SET;...>
+  lobist suite
+
+COMMANDS:
+  synth     synthesize one design and report its BIST solution
+  compare   run the testable and traditional flows side by side
+  schedule  force-directed-schedule an unscheduled design (steps optional)
+  faultsim  gate-level stuck-at fault simulation of the BIST sessions
+  explore   Pareto exploration over candidate module allocations
+  suite     run the five paper benchmarks (Table I summary)
+
+OPTIONS:
+  --modules <SET>   functional units, e.g. \"1+,2*,1-\" or \"1+,3ALU\"
+  --flow <F>        testable (default) | traditional
+  --width <N>       data-path bit width (default 8)
+  --port-inputs     primary inputs live on ports (not registers)
+  --netlist         print the structural netlist
+  --trace           print the allocator's decision trace (testable flow)
+  --verilog         emit the synthesized design as Verilog RTL
+  --json            machine-readable output for `synth` and `compare`
+  --repair          insert test points for otherwise-untestable modules
+  --latency <N>     target latency for `schedule` (default: critical path)
+  --candidates <L>  semicolon-separated module sets for `explore`
+
+DESIGN FILE FORMAT (one statement per line):
+  input a b c
+  s = a + b @ 1      # result = lhs OP rhs @ control-step
+  y = s * c @ 2      # operators: + - * / & | ^ <
+  output y
+";
+
+struct Options {
+    modules: Option<String>,
+    flow: String,
+    width: u32,
+    port_inputs: bool,
+    netlist: bool,
+    trace: bool,
+    verilog: bool,
+    json: bool,
+    repair: bool,
+    latency: Option<u32>,
+    candidates: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options {
+        modules: None,
+        flow: "testable".to_owned(),
+        width: 8,
+        port_inputs: false,
+        netlist: false,
+        trace: false,
+        verilog: false,
+        json: false,
+        repair: false,
+        latency: None,
+        candidates: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--modules" => {
+                o.modules = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--modules needs a value".into()))?
+                        .clone(),
+                )
+            }
+            "--flow" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--flow needs a value".into()))?;
+                if v != "testable" && v != "traditional" {
+                    return Err(CliError::Usage(format!("unknown flow `{v}`")));
+                }
+                o.flow = v.clone();
+            }
+            "--width" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--width needs a value".into()))?;
+                o.width = v
+                    .parse()
+                    .ok()
+                    .filter(|w| (2..=64).contains(w))
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("bad width `{v}` (expected 2..=64)"))
+                    })?;
+            }
+            "--port-inputs" => o.port_inputs = true,
+            "--netlist" => o.netlist = true,
+            "--trace" => o.trace = true,
+            "--verilog" => o.verilog = true,
+            "--json" => o.json = true,
+            "--repair" => o.repair = true,
+            "--candidates" => {
+                o.candidates = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--candidates needs a value".into()))?
+                        .clone(),
+                )
+            }
+            "--latency" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--latency needs a value".into()))?;
+                o.latency = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad latency `{v}`")))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option `{other}`")))
+            }
+            other => o.positional.push(other.to_owned()),
+        }
+    }
+    Ok(o)
+}
+
+fn flow_options(o: &Options, traditional: bool) -> FlowOptions {
+    let mut f = if traditional {
+        FlowOptions::traditional()
+    } else {
+        FlowOptions::testable()
+    };
+    f.area = AreaModel::with_width(o.width);
+    f.lifetime_options = if o.port_inputs {
+        LifetimeOptions::port_inputs()
+    } else {
+        LifetimeOptions::registered_inputs()
+    };
+    f.repair_untestable = o.repair;
+    f
+}
+
+fn load_design(o: &Options) -> Result<(lobist_dfg::Dfg, lobist_dfg::Schedule, ModuleSet), CliError> {
+    let path = o
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::Usage("missing design file".into()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+    let (dfg, schedule) = parse_dfg(&text).map_err(CliError::Parse)?;
+    let modules: ModuleSet = o
+        .modules
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("missing --modules".into()))?
+        .parse()
+        .map_err(CliError::Modules)?;
+    Ok((dfg, schedule, modules))
+}
+
+/// Renders one synthesized design as a JSON object (hand-rolled: the
+/// schema is tiny and the crate stays dependency-free).
+fn design_json(flow: &str, d: &lobist_alloc::flow::Design) -> String {
+    use lobist_datapath::area::BistStyle;
+    let styles: Vec<String> = d
+        .bist
+        .styles
+        .iter()
+        .map(|s| format!("\"{}\"", s.label()))
+        .collect();
+    let sessions: Vec<String> = d.bist.sessions.iter().map(u32::to_string).collect();
+    format!(
+        concat!(
+            "{{\"flow\":\"{flow}\",\"registers\":{regs},\"muxes\":{muxes},",
+            "\"functional_gates\":{func},\"bist\":{{\"overhead_gates\":{ov},",
+            "\"overhead_percent\":{pct:.4},\"mix\":\"{mix}\",",
+            "\"cbilbos\":{cb},\"styles\":[{styles}],\"sessions\":[{sessions}]}}}}"
+        ),
+        flow = flow,
+        regs = d.data_path.num_registers(),
+        muxes = d.data_path.num_muxes(),
+        func = d.stats.functional_gates.get(),
+        ov = d.bist.overhead.get(),
+        pct = d.bist.overhead_percent,
+        mix = d.bist.mix(),
+        cb = d.bist.count(BistStyle::Cbilbo),
+        styles = styles.join(","),
+        sessions = sessions.join(","),
+    )
+}
+
+/// Executes a CLI invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, unreadable or invalid design
+/// files, and synthesis failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let o = parse_args(args)?;
+    let command = o
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let mut out = String::new();
+    match command {
+        "help" | "--help" | "-h" => out.push_str(USAGE),
+        "synth" => {
+            let (dfg, schedule, modules) = load_design(&o)?;
+            let opts = flow_options(&o, o.flow == "traditional");
+            let d = synthesize(&dfg, &schedule, &modules, &opts).map_err(CliError::Flow)?;
+            if o.json {
+                let _ = writeln!(out, "{}", design_json(&o.flow, &d));
+                return Ok(out);
+            }
+            let _ = writeln!(
+                out,
+                "{} flow: {} registers, {} muxes, {} functional gates",
+                o.flow,
+                d.data_path.num_registers(),
+                d.data_path.num_muxes(),
+                d.stats.functional_gates.get()
+            );
+            let _ = write!(out, "{}", d.bist);
+            if o.netlist {
+                let _ = writeln!(out, "\nNetlist:");
+                let _ = write!(out, "{}", lobist_datapath::stats::describe(&d.data_path, &dfg));
+            }
+            if o.trace {
+                if let Some(trace) = &d.trace {
+                    let _ = writeln!(out, "\nAllocator trace:");
+                    let _ = write!(out, "{trace}");
+                } else {
+                    let _ = writeln!(out, "\n(no trace: traditional flow)");
+                }
+            }
+            if o.verilog {
+                let _ = writeln!(out, "\n// ---- Verilog ----");
+                let _ = write!(
+                    out,
+                    "{}",
+                    lobist_datapath::verilog::to_verilog(
+                        &d.data_path,
+                        &dfg,
+                        &schedule,
+                        "lobist_design",
+                        o.width,
+                    )
+                );
+            }
+        }
+        "compare" => {
+            let (dfg, schedule, modules) = load_design(&o)?;
+            let mut rows = Vec::new();
+            for (label, traditional) in [("testable", false), ("traditional", true)] {
+                let opts = flow_options(&o, traditional);
+                let d = synthesize(&dfg, &schedule, &modules, &opts).map_err(CliError::Flow)?;
+                rows.push((label, d));
+            }
+            if o.json {
+                let items: Vec<String> =
+                    rows.iter().map(|(l, d)| design_json(l, d)).collect();
+                let _ = writeln!(out, "[{}]", items.join(","));
+                return Ok(out);
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:>4} {:>5} {:>12} {:>22} {:>8}",
+                "flow", "reg", "mux", "func gates", "BIST mix", "BIST %"
+            );
+            for (label, d) in &rows {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>4} {:>5} {:>12} {:>22} {:>7.2}%",
+                    label,
+                    d.data_path.num_registers(),
+                    d.data_path.num_muxes(),
+                    d.stats.functional_gates.get(),
+                    d.bist.mix(),
+                    d.bist.overhead_percent
+                );
+            }
+            let (_, t) = &rows[0];
+            let (_, tr) = &rows[1];
+            if tr.bist.overhead.get() > 0 {
+                let red = 100.0
+                    * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
+                    / tr.bist.overhead.get() as f64;
+                let _ = writeln!(out, "BIST area reduction: {red:.1}%");
+            }
+        }
+        "schedule" => {
+            let path = o
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("missing design file".into()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
+            let critical = lobist_dfg::scheduling::asap(&dfg).max_step();
+            let latency = o.latency.unwrap_or(critical);
+            let schedule = lobist_dfg::fds::force_directed_schedule(&dfg, latency)
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "force-directed schedule, latency {latency} (critical path {critical}):"
+            );
+            for step in 1..=schedule.max_step() {
+                let ops: Vec<String> = schedule
+                    .ops_in_step(step)
+                    .iter()
+                    .map(|&op| dfg.var(dfg.op(op).out).name.clone())
+                    .collect();
+                let _ = writeln!(out, "  step {step}: {}", ops.join(", "));
+            }
+            let peaks = lobist_dfg::fds::peak_usage(&dfg, &schedule);
+            let mut peaks: Vec<(String, usize)> =
+                peaks.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+            peaks.sort();
+            let summary: Vec<String> =
+                peaks.into_iter().map(|(k, c)| format!("{c}{k}")).collect();
+            let _ = writeln!(out, "peak units: {}", summary.join(","));
+            let _ = writeln!(out, "{}", lobist_dfg::parse::to_text(&dfg, &schedule));
+        }
+        "faultsim" => {
+            let (dfg, schedule, modules) = load_design(&o)?;
+            let opts = flow_options(&o, false);
+            let d = synthesize(&dfg, &schedule, &modules, &opts).map_err(CliError::Flow)?;
+            let width = o.width.clamp(2, 32);
+            let patterns = lobist_gatesim::lfsr::max_useful_patterns(width);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>9} {:>11} {:>8}",
+                "module", "faults", "ideal", "signature", "aliased"
+            );
+            for m in d.data_path.module_ids() {
+                use lobist_dfg::modules::ModuleClass;
+                let report = match d.data_path.module_class(m) {
+                    ModuleClass::Op(kind) => {
+                        let net = lobist_gatesim::modules::unit_for(kind, width);
+                        let faults = lobist_gatesim::coverage::enumerate_faults(&net);
+                        lobist_gatesim::bist_mode::run_session(
+                            &net,
+                            width,
+                            patterns,
+                            (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64),
+                            &faults,
+                        )
+                    }
+                    ModuleClass::Alu => {
+                        let mut kinds: Vec<lobist_dfg::OpKind> = d
+                            .data_path
+                            .module_ops(m)
+                            .iter()
+                            .map(|&op| dfg.op(op).kind)
+                            .collect();
+                        kinds.sort();
+                        kinds.dedup();
+                        let net = lobist_gatesim::modules::alu(&kinds, width);
+                        let faults = lobist_gatesim::coverage::enumerate_faults(&net);
+                        let mut controls = vec![false; kinds.len()];
+                        controls[0] = true;
+                        lobist_gatesim::bist_mode::run_session_with_controls(
+                            &net,
+                            &controls,
+                            width,
+                            patterns,
+                            (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64),
+                            &faults,
+                        )
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>7} {:>8.1}% {:>10.1}% {:>8}",
+                    format!("M{} ({})", m.index() + 1, d.data_path.module_class(m)),
+                    report.total_faults,
+                    report.detected_ideal as f64 * 100.0 / report.total_faults.max(1) as f64,
+                    report.coverage() * 100.0,
+                    report.aliased()
+                );
+            }
+            let _ = writeln!(out, "({patterns} patterns per session, width {width})");
+        }
+        "explore" => {
+            let path = o
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("missing design file".into()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
+            let candidates: Vec<ModuleSet> = o
+                .candidates
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("missing --candidates".into()))?
+                .split(';')
+                .map(|s| s.trim().parse().map_err(CliError::Modules))
+                .collect::<Result<_, _>>()?;
+            let mut config = lobist_alloc::explore::ExploreConfig::new(candidates);
+            config.flow = flow_options(&o, false);
+            let result = lobist_alloc::explore::explore(&dfg, &config);
+            let _ = writeln!(
+                out,
+                "{:<18} {:>7} {:>12} {:>10} {:>5}  on Pareto front",
+                "modules", "latency", "func gates", "BIST gates", "regs"
+            );
+            for (i, p) in result.points.iter().enumerate() {
+                let star = if result.pareto.contains(&i) { "*" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>7} {:>12} {:>10} {:>5}  {star}",
+                    p.modules.to_string(),
+                    p.latency,
+                    p.functional_gates.get(),
+                    p.bist_gates.get(),
+                    p.registers
+                );
+            }
+            for (m, e) in &result.failures {
+                let _ = writeln!(out, "infeasible {m}: {e}");
+            }
+        }
+        "suite" => {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<20} {:>4} {:>12} {:>12} {:>10}",
+                "design", "modules", "reg", "trad BIST%", "test BIST%", "reduction"
+            );
+            for bench in lobist_dfg::benchmarks::paper_suite() {
+                let mk = |traditional: bool| {
+                    let mut f = if traditional {
+                        FlowOptions::traditional()
+                    } else {
+                        FlowOptions::testable()
+                    };
+                    f.area = AreaModel::with_width(o.width);
+                    f.lifetime_options = bench.lifetime_options;
+                    f
+                };
+                let t = synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &mk(false))
+                    .map_err(CliError::Flow)?;
+                let tr = synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &mk(true))
+                    .map_err(CliError::Flow)?;
+                let red = 100.0
+                    * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
+                    / tr.bist.overhead.get() as f64;
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:<20} {:>4} {:>11.2}% {:>11.2}% {:>9.1}%",
+                    bench.name,
+                    bench.module_allocation.to_string(),
+                    t.data_path.num_registers(),
+                    tr.bist.overhead_percent,
+                    t.bist.overhead_percent,
+                    red
+                );
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!("unknown command `{other}`")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).expect("temp file");
+        path.to_string_lossy().into_owned()
+    }
+
+    const DESIGN: &str = "input a b c d\n\
+                          s1 = a + b @ 1\n\
+                          s2 = c + d @ 2\n\
+                          y = s1 * s2 @ 3\n\
+                          output y\n";
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn synth_reports_bist_solution() {
+        let path = write_temp("lobist_cli_synth.dfg", DESIGN);
+        let out = run(&argv(&["synth", &path, "--modules", "1+,1*", "--netlist", "--trace"]))
+            .unwrap();
+        assert!(out.contains("testable flow: 3 registers"), "{out}");
+        assert!(out.contains("BIST solution:"));
+        assert!(out.contains("Netlist:"));
+        assert!(out.contains("Allocator trace:"));
+    }
+
+    #[test]
+    fn compare_shows_reduction() {
+        let path = write_temp("lobist_cli_compare.dfg", DESIGN);
+        let out = run(&argv(&["compare", &path, "--modules", "1+,1*"])).unwrap();
+        assert!(out.contains("testable"));
+        assert!(out.contains("traditional"));
+        assert!(out.contains("BIST area reduction"), "{out}");
+    }
+
+    #[test]
+    fn suite_lists_five_benchmarks() {
+        let out = run(&argv(&["suite"])).unwrap();
+        for name in ["ex1", "ex2", "Tseng1", "Tseng2", "Paulin"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn width_option_changes_costs() {
+        let path = write_temp("lobist_cli_width.dfg", DESIGN);
+        let narrow = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", "4"])).unwrap();
+        let wide = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", "16"])).unwrap();
+        assert_ne!(narrow, wide);
+    }
+
+    #[test]
+    fn width_bounds_are_enforced() {
+        let path = write_temp("lobist_cli_width_bounds.dfg", DESIGN);
+        for bad in ["0", "1", "65", "-4", "wide"] {
+            let err = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", bad]))
+                .unwrap_err();
+            assert!(err.to_string().contains("bad width"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(run(&argv(&["synth"])), Err(CliError::Usage(_))));
+        let path = write_temp("lobist_cli_err.dfg", DESIGN);
+        assert!(matches!(
+            run(&argv(&["synth", &path])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["synth", &path, "--modules", "9?"])),
+            Err(CliError::Modules(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["synth", "/nonexistent/x.dfg", "--modules", "1+"])),
+            Err(CliError::Io(..))
+        ));
+        let err = run(&argv(&["synth", &path, "--flow", "magic", "--modules", "1+"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown flow"));
+    }
+
+    #[test]
+    fn schedule_command_runs_fds() {
+        let path = write_temp(
+            "lobist_cli_sched.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&["schedule", &path, "--latency", "3"])).unwrap();
+        assert!(out.contains("force-directed schedule"), "{out}");
+        assert!(out.contains("step 3"), "{out}");
+        assert!(out.contains("peak units"), "{out}");
+        assert!(out.contains("@ "), "round-trip text emitted: {out}");
+        // Too-tight latency reports the critical path.
+        let err = run(&argv(&["schedule", &path, "--latency", "1"])).unwrap_err();
+        assert!(err.to_string().contains("critical path"), "{err}");
+    }
+
+    #[test]
+    fn repair_flag_rescues_untestable_designs() {
+        let path = write_temp(
+            "lobist_cli_repair.dfg",
+            "input x y\nt = x * x @ 1\nu = t + y @ 2\noutput u\n",
+        );
+        let err = run(&argv(&["synth", &path, "--modules", "1*,1+"])).unwrap_err();
+        assert!(err.to_string().contains("no BIST embedding"), "{err}");
+        let out =
+            run(&argv(&["synth", &path, "--modules", "1*,1+", "--repair"])).unwrap();
+        assert!(out.contains("BIST solution:"), "{out}");
+    }
+
+    #[test]
+    fn json_output_is_parseable_shape() {
+        let path = write_temp("lobist_cli_json.dfg", DESIGN);
+        let out = run(&argv(&["synth", &path, "--modules", "1+,1*", "--json"])).unwrap();
+        let line = out.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for key in [
+            "\"flow\":\"testable\"",
+            "\"registers\":3",
+            "\"overhead_gates\"",
+            "\"styles\":[",
+            "\"sessions\":[",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(line.matches('[').count(), line.matches(']').count());
+        let both = run(&argv(&["compare", &path, "--modules", "1+,1*", "--json"])).unwrap();
+        let line = both.trim();
+        assert!(line.starts_with('[') && line.ends_with(']'), "{line}");
+        assert!(line.contains("\"flow\":\"traditional\""), "{line}");
+    }
+
+    #[test]
+    fn explore_lists_pareto_front() {
+        let path = write_temp(
+            "lobist_cli_explore.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&[
+            "explore",
+            &path,
+            "--candidates",
+            "1+,1*;2+,1*",
+        ]))
+        .unwrap();
+        assert!(out.contains("Pareto front"), "{out}");
+        assert!(out.contains('*'), "{out}");
+        assert!(out.contains("1+,1*"), "{out}");
+    }
+
+    #[test]
+    fn faultsim_reports_coverage() {
+        let path = write_temp("lobist_cli_faultsim.dfg", DESIGN);
+        let out = run(&argv(&["faultsim", &path, "--modules", "1+,1*", "--width", "6"])).unwrap();
+        assert!(out.contains("signature"), "{out}");
+        assert!(out.contains("M1 (+)"), "{out}");
+        assert!(out.contains("M2 (*)"), "{out}");
+        assert!(out.contains("63 patterns per session, width 6"), "{out}");
+    }
+
+    #[test]
+    fn verilog_flag_emits_rtl() {
+        let path = write_temp("lobist_cli_verilog.dfg", DESIGN);
+        let out = run(&argv(&["synth", &path, "--modules", "1+,1*", "--verilog"])).unwrap();
+        assert!(out.contains("module lobist_design ("), "{out}");
+        assert!(out.contains("endmodule"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_surface_line_numbers() {
+        let path = write_temp("lobist_cli_bad.dfg", "input a\nthis is wrong\n");
+        let err = run(&argv(&["synth", &path, "--modules", "1+"])).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn overcommitted_modules_fail_cleanly() {
+        let path = write_temp(
+            "lobist_cli_over.dfg",
+            "input a b c d\ns1 = a + b @ 1\ns2 = c + d @ 1\ny = s1 * s2 @ 2\noutput y\n",
+        );
+        let err = run(&argv(&["synth", &path, "--modules", "1+,1*"])).unwrap_err();
+        assert!(matches!(err, CliError::Flow(_)));
+        assert!(err.to_string().contains("synthesis failed"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `lobist` command-line entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lobist_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! End-to-end smoke test of the built `lobist` binary.
+
+use std::process::Command;
+
+#[test]
+fn binary_runs_the_suite() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .arg("suite")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Paulin"), "{text}");
+}
+
+#[test]
+fn binary_reports_errors_on_stderr_with_nonzero_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .args(["synth", "/nonexistent.dfg", "--modules", "1+"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+}
+
+#[test]
+fn binary_help_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .arg("help")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

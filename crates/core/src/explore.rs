@@ -1,0 +1,268 @@
+//! Design-space exploration: the paper's motivating use case.
+//!
+//! "Considering testability at an earlier stage in a design can lead to a
+//! more efficient exploration of the design space" (Section I). This
+//! module automates that exploration: given an unscheduled DFG and a
+//! library of candidate module allocations, it schedules each candidate
+//! (force-directed, over a range of latencies), synthesizes it with the
+//! BIST-aware flow, and returns the Pareto-optimal designs over
+//! `(latency, functional gates, BIST overhead gates)`.
+
+use lobist_bist::BistSolution;
+use lobist_datapath::area::GateCount;
+use lobist_dfg::fds::force_directed_schedule;
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::scheduling::{asap, list_schedule};
+use lobist_dfg::{Dfg, Schedule};
+
+use crate::flow::{synthesize, FlowOptions};
+
+/// One explored design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The module allocation tried.
+    pub modules: ModuleSet,
+    /// The schedule latency.
+    pub latency: u32,
+    /// Functional gate count (registers + modules + muxes).
+    pub functional_gates: GateCount,
+    /// BIST upgrade gate count.
+    pub bist_gates: GateCount,
+    /// Registers used.
+    pub registers: usize,
+    /// The BIST solution.
+    pub bist: BistSolution,
+    /// The schedule that produced this point.
+    pub schedule: Schedule,
+}
+
+impl DesignPoint {
+    /// `true` if `self` dominates `other`: no worse on latency,
+    /// functional area and BIST overhead, and strictly better on at
+    /// least one.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let le = self.latency <= other.latency
+            && self.functional_gates <= other.functional_gates
+            && self.bist_gates <= other.bist_gates;
+        let lt = self.latency < other.latency
+            || self.functional_gates < other.functional_gates
+            || self.bist_gates < other.bist_gates;
+        le && lt
+    }
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Candidate module allocations.
+    pub module_candidates: Vec<ModuleSet>,
+    /// Extra latency slack values to try beyond each candidate's
+    /// resource-feasible minimum (0 = as fast as possible).
+    pub latency_slacks: Vec<u32>,
+    /// Flow options used for every candidate (strategy, area model, ...).
+    pub flow: FlowOptions,
+}
+
+impl ExploreConfig {
+    /// A default exploration: the given candidates, slacks {0, 1, 2},
+    /// testable flow.
+    pub fn new(module_candidates: Vec<ModuleSet>) -> Self {
+        Self {
+            module_candidates,
+            latency_slacks: vec![0, 1, 2],
+            flow: FlowOptions::testable(),
+        }
+    }
+}
+
+/// The exploration outcome: every feasible point plus the Pareto front.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// All feasible points, in evaluation order.
+    pub points: Vec<DesignPoint>,
+    /// Indices into `points` of the Pareto-optimal designs, sorted by
+    /// latency.
+    pub pareto: Vec<usize>,
+    /// Candidates that failed and why (module set string, error text).
+    pub failures: Vec<(String, String)>,
+}
+
+/// Explores the design space of `dfg` under `config`.
+///
+/// Each candidate is scheduled with force-directed scheduling at its
+/// resource-feasible latency plus each slack, then synthesized; BIST
+/// failures (untestable structures) are recorded, not fatal.
+pub fn explore(dfg: &Dfg, config: &ExploreConfig) -> ExploreResult {
+    let critical = asap(dfg).max_step();
+    let mut points: Vec<DesignPoint> = Vec::new();
+    let mut failures = Vec::new();
+    for modules in &config.module_candidates {
+        // The resource-constrained list schedule is always feasible for a
+        // capable module set and anchors the candidate's latency range;
+        // force-directed schedules that respect the capacity add
+        // (usually better-balanced) alternatives.
+        let Ok(anchor) = list_schedule(dfg, modules) else {
+            failures.push((
+                modules.to_string(),
+                "no feasible schedule (missing unit kind?)".to_owned(),
+            ));
+            continue;
+        };
+        let max_slack = config.latency_slacks.iter().copied().max().unwrap_or(0);
+        let mut schedules: Vec<Schedule> = vec![anchor.clone()];
+        for latency in critical..=anchor.max_step() + max_slack {
+            if schedule_fits(dfg, modules, latency) {
+                let s = force_directed_schedule(dfg, latency)
+                    .expect("latency >= critical path");
+                if !schedules.contains(&s) {
+                    schedules.push(s);
+                }
+            }
+        }
+        for schedule in schedules {
+            match synthesize(dfg, &schedule, modules, &config.flow) {
+                Ok(d) => points.push(DesignPoint {
+                    modules: modules.clone(),
+                    latency: schedule.max_step(),
+                    functional_gates: d.stats.functional_gates,
+                    bist_gates: d.bist.overhead,
+                    registers: d.data_path.num_registers(),
+                    bist: d.bist,
+                    schedule,
+                }),
+                Err(e) => failures.push((modules.to_string(), e.to_string())),
+            }
+        }
+    }
+    let mut pareto: Vec<usize> = (0..points.len())
+        .filter(|&i| !points.iter().any(|p| p.dominates(&points[i])))
+        .collect();
+    pareto.sort_by_key(|&i| (points[i].latency, points[i].functional_gates));
+    ExploreResult {
+        points,
+        pareto,
+        failures,
+    }
+}
+
+/// `true` if an FDS schedule at `latency` respects the per-step capacity
+/// of `modules` (checked by running the scheduler and verifying usage).
+fn schedule_fits(dfg: &Dfg, modules: &ModuleSet, latency: u32) -> bool {
+    // Every kind must be executable at all.
+    for op in dfg.op_ids() {
+        if modules.supporting(dfg.op(op).kind).next().is_none() {
+            return false;
+        }
+    }
+    let Ok(schedule) = force_directed_schedule(dfg, latency) else {
+        return false;
+    };
+    for step in 1..=schedule.max_step() {
+        // Greedy capacity check, dedicated units first (the same rule as
+        // module assignment uses).
+        let mut free = vec![true; modules.len()];
+        let mut placed = 0usize;
+        for dedicated_pass in [true, false] {
+            for op in schedule.ops_in_step(step) {
+                let kind = dfg.op(op).kind;
+                let pick = modules
+                    .supporting(kind)
+                    .filter(|&m| free[m])
+                    .find(|&m| match modules.class(m) {
+                        lobist_dfg::modules::ModuleClass::Op(_) => dedicated_pass,
+                        lobist_dfg::modules::ModuleClass::Alu => !dedicated_pass,
+                    });
+                if let Some(m) = pick {
+                    free[m] = false;
+                    placed += 1;
+                }
+            }
+        }
+        if placed < schedule.ops_in_step(step).len() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_dfg::benchmarks;
+
+    fn paulin_candidates() -> Vec<ModuleSet> {
+        ["1+,1*,1-", "1+,2*,1-", "2+,2*,2-", "1+,3ALU"]
+            .iter()
+            .map(|s| s.parse().expect("valid"))
+            .collect()
+    }
+
+    #[test]
+    fn exploration_finds_multiple_feasible_points() {
+        let bench = benchmarks::paulin();
+        let mut config = ExploreConfig::new(paulin_candidates());
+        config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+        let result = explore(&bench.dfg, &config);
+        assert!(result.points.len() >= 4, "{} points", result.points.len());
+        assert!(!result.pareto.is_empty());
+        // Every Pareto point is actually non-dominated.
+        for &i in &result.pareto {
+            assert!(!result
+                .points
+                .iter()
+                .any(|p| p.dominates(&result.points[i])));
+        }
+    }
+
+    #[test]
+    fn serial_designs_trade_latency_for_area() {
+        let bench = benchmarks::paulin();
+        let mut config = ExploreConfig::new(paulin_candidates());
+        config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+        let result = explore(&bench.dfg, &config);
+        // The front must contain at least two distinct latencies (serial
+        // and parallel corners).
+        let mut latencies: Vec<u32> =
+            result.pareto.iter().map(|&i| result.points[i].latency).collect();
+        latencies.dedup();
+        assert!(latencies.len() >= 2, "{latencies:?}");
+        // And along the front, a slower point must win on some other
+        // axis — otherwise the faster one would dominate it.
+        let first = &result.points[result.pareto[0]];
+        let last = &result.points[*result.pareto.last().expect("non-empty")];
+        if first.latency < last.latency {
+            assert!(
+                last.functional_gates < first.functional_gates
+                    || last.bist_gates < first.bist_gates,
+                "slower Pareto point wins nowhere: {first:?} vs {last:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let bench = benchmarks::paulin();
+        let mut config = ExploreConfig::new(paulin_candidates());
+        config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+        let result = explore(&bench.dfg, &config);
+        for a in &result.points {
+            assert!(!a.dominates(a));
+        }
+        for a in &result.points {
+            for b in &result.points {
+                assert!(!(a.dominates(b) && b.dominates(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_candidates_are_reported() {
+        let bench = benchmarks::paulin();
+        let mut config = ExploreConfig::new(vec!["2+".parse().expect("valid")]);
+        config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+        let result = explore(&bench.dfg, &config);
+        assert!(result.points.is_empty());
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].1.contains("missing unit kind"));
+    }
+}

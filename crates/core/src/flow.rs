@@ -1,0 +1,373 @@
+//! The end-to-end synthesis flow: module assignment → register
+//! assignment → interconnect assignment → data path → minimal-area BIST.
+//!
+//! [`synthesize`] runs the whole pipeline in the paper's order and
+//! returns a [`Design`] carrying every intermediate artifact, so the
+//! experiment harness can report registers, muxes, gate counts and the
+//! BIST solution side by side for the testable and traditional flows.
+
+use std::fmt;
+
+use lobist_bist::{BistError, BistSolution, SolverConfig};
+use lobist_datapath::area::AreaModel;
+use lobist_datapath::stats::DataPathStats;
+use lobist_datapath::{DataPath, DataPathError, ModuleAssignment, RegisterAssignment};
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::{Dfg, Schedule};
+use lobist_graph::pves::NotChordalError;
+
+use crate::baseline_regalloc::{self, BaselineAlgorithm};
+use crate::interconnect::{assign_interconnect, PortPartition};
+use crate::module_assign::{assign_modules, ModuleAssignError};
+use crate::testable_regalloc::{self, TestableAllocOptions};
+use crate::trace::AllocTrace;
+use crate::variable_sets::SharingContext;
+
+/// Which register-allocation strategy the flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegAllocStrategy {
+    /// The paper's BIST-aware allocator.
+    Testable(TestableAllocOptions),
+    /// A traditional testability-blind allocator.
+    Traditional(BaselineAlgorithm),
+}
+
+/// Full flow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOptions {
+    /// Register allocation strategy.
+    pub strategy: RegAllocStrategy,
+    /// Direct the interconnect partition toward BIST sharing
+    /// (Section IV weighting).
+    pub bist_aware_interconnect: bool,
+    /// The gate-count model.
+    pub area: AreaModel,
+    /// BIST solver configuration.
+    pub solver: SolverConfig,
+    /// Lifetime conventions (defaults to the benchmark's own when driven
+    /// through the experiment harness).
+    pub lifetime_options: lobist_dfg::lifetime::LifetimeOptions,
+    /// Insert test points (test-only register→port connections) when a
+    /// module would otherwise be untestable, charging their mux legs to
+    /// the BIST overhead.
+    pub repair_untestable: bool,
+}
+
+impl FlowOptions {
+    /// The paper's testable flow with every heuristic enabled.
+    pub fn testable() -> Self {
+        Self {
+            strategy: RegAllocStrategy::Testable(TestableAllocOptions::default()),
+            bist_aware_interconnect: true,
+            area: AreaModel::default(),
+            solver: SolverConfig::default(),
+            lifetime_options: lobist_dfg::lifetime::LifetimeOptions::registered_inputs(),
+            repair_untestable: false,
+        }
+    }
+
+    /// The traditional comparison flow (left-edge allocation, unweighted
+    /// minimum interconnect).
+    pub fn traditional() -> Self {
+        Self {
+            strategy: RegAllocStrategy::Traditional(BaselineAlgorithm::LeftEdge),
+            bist_aware_interconnect: false,
+            ..Self::testable()
+        }
+    }
+
+    /// Sets the lifetime conventions (builder style).
+    pub fn with_lifetimes(mut self, lt: lobist_dfg::lifetime::LifetimeOptions) -> Self {
+        self.lifetime_options = lt;
+        self
+    }
+
+    /// Sets the area model (builder style).
+    pub fn with_area(mut self, area: AreaModel) -> Self {
+        self.area = area;
+        self
+    }
+}
+
+/// Errors from the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Module assignment failed (overcommitted step or invalid set).
+    ModuleAssign(ModuleAssignError),
+    /// The conflict graph was not chordal (cannot happen for well-formed
+    /// scheduled DFGs).
+    NotChordal(NotChordalError),
+    /// Data-path assembly failed.
+    DataPath(DataPathError),
+    /// The BIST solver found an untestable module.
+    Bist(BistError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::ModuleAssign(e) => write!(f, "module assignment: {e}"),
+            FlowError::NotChordal(e) => write!(f, "register allocation: {e}"),
+            FlowError::DataPath(e) => write!(f, "data path assembly: {e}"),
+            FlowError::Bist(e) => write!(f, "BIST allocation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ModuleAssignError> for FlowError {
+    fn from(e: ModuleAssignError) -> Self {
+        FlowError::ModuleAssign(e)
+    }
+}
+impl From<NotChordalError> for FlowError {
+    fn from(e: NotChordalError) -> Self {
+        FlowError::NotChordal(e)
+    }
+}
+impl From<DataPathError> for FlowError {
+    fn from(e: DataPathError) -> Self {
+        FlowError::DataPath(e)
+    }
+}
+impl From<BistError> for FlowError {
+    fn from(e: BistError) -> Self {
+        FlowError::Bist(e)
+    }
+}
+
+/// A fully synthesized, BIST-solved design.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Operations → modules.
+    pub module_assignment: ModuleAssignment,
+    /// Variables → registers.
+    pub register_assignment: RegisterAssignment,
+    /// The assembled netlist.
+    pub data_path: DataPath,
+    /// Port partitions chosen by interconnect assignment.
+    pub port_partitions: Vec<PortPartition>,
+    /// Netlist statistics under the flow's area model.
+    pub stats: DataPathStats,
+    /// The minimal-area BIST solution.
+    pub bist: BistSolution,
+    /// The allocator's decision trace (testable strategy only).
+    pub trace: Option<AllocTrace>,
+    /// Test points inserted by repair (empty unless
+    /// [`FlowOptions::repair_untestable`] was set and needed).
+    pub test_points: Vec<lobist_bist::TestPoint>,
+}
+
+/// Runs the complete flow on a scheduled DFG.
+///
+/// # Errors
+///
+/// Any stage's failure is wrapped in [`FlowError`].
+pub fn synthesize(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    modules: &ModuleSet,
+    options: &FlowOptions,
+) -> Result<Design, FlowError> {
+    let ma = assign_modules(dfg, schedule, modules)?;
+    let (registers, trace) = match options.strategy {
+        RegAllocStrategy::Testable(opts) => {
+            let alloc = testable_regalloc::allocate_registers(
+                dfg,
+                schedule,
+                options.lifetime_options,
+                &ma,
+                &opts,
+            )?;
+            (alloc.registers, Some(alloc.trace))
+        }
+        RegAllocStrategy::Traditional(alg) => {
+            let ra = baseline_regalloc::allocate_registers(
+                dfg,
+                schedule,
+                options.lifetime_options,
+                alg,
+            )?;
+            (ra, None)
+        }
+    };
+    let ctx = SharingContext::new(dfg, &ma);
+    let (ic, port_partitions) =
+        assign_interconnect(dfg, &ma, &registers, &ctx, options.bist_aware_interconnect);
+    let data_path = DataPath::build(
+        dfg,
+        schedule,
+        options.lifetime_options,
+        ma.clone(),
+        registers.clone(),
+        ic,
+    )?;
+    let (data_path, bist, test_points) = if options.repair_untestable {
+        let repaired =
+            lobist_bist::solve_with_repair(&data_path, &options.area, &options.solver)?;
+        let mut bist = repaired.solution;
+        // Charge the test points' interconnect to the BIST budget.
+        bist.overhead += repaired.repair_gates;
+        let functional = options.area.functional_area(&repaired.data_path);
+        bist.overhead_percent = bist.overhead.percent_of(functional);
+        (repaired.data_path, bist, repaired.test_points)
+    } else {
+        let bist = lobist_bist::solve(&data_path, &options.area, &options.solver)?;
+        (data_path, bist, Vec::new())
+    };
+    let stats = DataPathStats::of(&data_path, &options.area);
+    Ok(Design {
+        module_assignment: ma,
+        register_assignment: registers,
+        data_path,
+        port_partitions,
+        stats,
+        bist,
+        trace,
+        test_points,
+    })
+}
+
+/// Convenience: run [`synthesize`] on a benchmark, using its own module
+/// allocation and lifetime conventions.
+///
+/// # Errors
+///
+/// As [`synthesize`].
+pub fn synthesize_benchmark(
+    bench: &lobist_dfg::benchmarks::Benchmark,
+    options: &FlowOptions,
+) -> Result<Design, FlowError> {
+    let opts = options.clone().with_lifetimes(bench.lifetime_options);
+    synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_datapath::area::BistStyle;
+    use lobist_dfg::benchmarks;
+
+    #[test]
+    fn testable_flow_on_ex1_beats_paper_minimum() {
+        // The paper's Table II reports 1 CBILBO + 1 TPG for testable ex1;
+        // our allocator's Lemma-2 avoidance finds a CBILBO-free
+        // assignment (2 TPG/SA + 1 TPG) that is cheaper still under the
+        // documented area model.
+        let bench = benchmarks::ex1();
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+        assert_eq!(d.data_path.num_registers(), 3);
+        assert_eq!(d.bist.count(BistStyle::Cbilbo), 0, "{}", d.bist);
+        assert_eq!(d.bist.count(BistStyle::Bilbo), 2, "{}", d.bist);
+        assert_eq!(d.bist.count(BistStyle::Tpg), 1, "{}", d.bist);
+    }
+
+    #[test]
+    fn testable_beats_or_ties_traditional_everywhere() {
+        for bench in benchmarks::paper_suite() {
+            let t = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+            let trad = synthesize_benchmark(&bench, &FlowOptions::traditional()).unwrap();
+            assert!(
+                t.bist.overhead <= trad.bist.overhead,
+                "{}: testable {} vs traditional {}",
+                bench.name,
+                t.bist.overhead,
+                trad.bist.overhead
+            );
+            assert_eq!(
+                t.data_path.num_registers(),
+                trad.data_path.num_registers(),
+                "{}: register counts must match (both minimum)",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn testable_never_needs_more_cbilbos() {
+        for bench in benchmarks::paper_suite() {
+            let t = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+            let trad = synthesize_benchmark(&bench, &FlowOptions::traditional()).unwrap();
+            assert!(
+                t.bist.count(BistStyle::Cbilbo) <= trad.bist.count(BistStyle::Cbilbo),
+                "{}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn overheads_land_in_plausible_band() {
+        // The paper's Table I reports 5–19% overheads; our area model is
+        // calibrated to land in the same decade.
+        for bench in benchmarks::paper_suite() {
+            let t = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+            assert!(
+                t.bist.overhead_percent > 0.5 && t.bist.overhead_percent < 30.0,
+                "{}: {:.2}%",
+                bench.name,
+                t.bist.overhead_percent
+            );
+        }
+    }
+
+    #[test]
+    fn trace_present_only_for_testable() {
+        let bench = benchmarks::ex1();
+        let t = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+        let trad = synthesize_benchmark(&bench, &FlowOptions::traditional()).unwrap();
+        assert!(t.trace.is_some());
+        assert!(trad.trace.is_none());
+    }
+
+    #[test]
+    fn repair_option_rescues_untestable_designs() {
+        use lobist_dfg::{DfgBuilder, OpKind, Schedule};
+        // t = x*x, u = t + y: the multiplier's ports both see only x's
+        // register, so the design is untestable until a test point wires
+        // a second register across.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let t = b.op(OpKind::Mul, "t", x.into(), x.into());
+        let u = b.op(OpKind::Add, "u", t.into(), y.into());
+        b.mark_output(u);
+        let dfg = b.build().unwrap();
+        let schedule = Schedule::new(&dfg, vec![1, 2]).unwrap();
+        let modules: ModuleSet = "1*,1+".parse().unwrap();
+        let plain = synthesize(&dfg, &schedule, &modules, &FlowOptions::testable());
+        assert!(matches!(plain, Err(FlowError::Bist(_))));
+        let mut opts = FlowOptions::testable();
+        opts.repair_untestable = true;
+        let d = synthesize(&dfg, &schedule, &modules, &opts).expect("repaired");
+        assert_eq!(d.test_points.len(), 1);
+        assert!(d.bist.overhead.get() > 0);
+    }
+
+    #[test]
+    fn repair_is_a_no_op_on_testable_designs() {
+        let bench = benchmarks::ex1();
+        let mut opts = FlowOptions::testable();
+        opts.repair_untestable = true;
+        let with = synthesize_benchmark(&bench, &opts).unwrap();
+        let without = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+        assert!(with.test_points.is_empty());
+        assert_eq!(with.bist.overhead, without.bist.overhead);
+    }
+
+    #[test]
+    fn flow_errors_are_reported() {
+        let bench = benchmarks::ex2();
+        let small: ModuleSet = "1/,1*,2+,1&".parse().unwrap();
+        let err = synthesize(
+            &bench.dfg,
+            &bench.schedule,
+            &small,
+            &FlowOptions::testable(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::ModuleAssign(_)));
+        assert!(err.to_string().contains("module assignment"));
+    }
+}

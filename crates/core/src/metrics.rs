@@ -1,0 +1,154 @@
+//! Testability metrics of a synthesized design.
+//!
+//! Quantifies the structural properties the paper's heuristics target:
+//! how many registers can head/tail I-paths for multiple modules (the
+//! sharing the ΔSD rule maximizes), how many are self-adjacent, and how
+//! many modules are in a forced-CBILBO situation per Lemma 2. Useful for
+//! comparing allocation strategies beyond the final gate count.
+
+use std::fmt;
+
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_dfg::Dfg;
+
+use crate::cbilbo::forced_cbilbos;
+use crate::flow::Design;
+use crate::variable_sets::SharingContext;
+
+/// Structural testability statistics of a [`Design`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestabilityMetrics {
+    /// Sharing degree of each register (Definition 5).
+    pub register_sd: Vec<usize>,
+    /// Registers holding both an input and an output variable of the same
+    /// module (self-adjacent in Avra's sense).
+    pub self_adjacent_registers: usize,
+    /// Modules whose every BIST embedding needs a CBILBO (Lemma 2).
+    pub forced_cbilbo_modules: usize,
+    /// Registers that can generate patterns for more than one module.
+    pub shared_tpg_registers: usize,
+    /// Registers that can compact responses for more than one module.
+    pub shared_sa_registers: usize,
+}
+
+impl TestabilityMetrics {
+    /// Computes the metrics for a synthesized design.
+    pub fn of(design: &Design, dfg: &Dfg) -> Self {
+        let ctx = SharingContext::new(dfg, &design.module_assignment);
+        let register_sd: Vec<usize> = design
+            .register_assignment
+            .classes()
+            .iter()
+            .map(|class| ctx.sd_register(ctx.register_mask(class.iter().copied())))
+            .collect();
+        let self_adjacent_registers = design
+            .register_assignment
+            .classes()
+            .iter()
+            .filter(|class| {
+                (0..ctx.num_modules()).any(|j| {
+                    class.iter().any(|&v| ctx.is_input_of(v, j))
+                        && class.iter().any(|&v| ctx.is_output_of(v, j))
+                })
+            })
+            .count();
+        let classes = design.register_assignment.classes().to_vec();
+        let forced = forced_cbilbos(dfg, &design.module_assignment, &classes);
+        let forced_cbilbo_modules = {
+            let mut mods: Vec<_> = forced.iter().map(|f| f.module).collect();
+            mods.sort();
+            mods.dedup();
+            mods.len()
+        };
+        let ipaths = IPathAnalysis::of(&design.data_path);
+        Self {
+            register_sd,
+            self_adjacent_registers,
+            forced_cbilbo_modules,
+            shared_tpg_registers: ipaths.shared_tpg_registers().len(),
+            shared_sa_registers: ipaths.shared_sa_registers().len(),
+        }
+    }
+
+    /// Mean register sharing degree.
+    pub fn mean_sd(&self) -> f64 {
+        if self.register_sd.is_empty() {
+            0.0
+        } else {
+            self.register_sd.iter().sum::<usize>() as f64 / self.register_sd.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for TestabilityMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean SD {:.2} (per register {:?}); {} self-adjacent, {} forced-CBILBO modules, \
+             {} shared TPG heads, {} shared SA tails",
+            self.mean_sd(),
+            self.register_sd,
+            self.self_adjacent_registers,
+            self.forced_cbilbo_modules,
+            self.shared_tpg_registers,
+            self.shared_sa_registers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{synthesize_benchmark, FlowOptions};
+    use lobist_dfg::benchmarks;
+
+    #[test]
+    fn testable_flow_shares_more_and_forces_less() {
+        let mut shared_t = 0usize;
+        let mut shared_tr = 0usize;
+        let mut forced_t = 0usize;
+        let mut forced_tr = 0usize;
+        for bench in benchmarks::paper_suite() {
+            let t = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+            let tr = synthesize_benchmark(&bench, &FlowOptions::traditional()).unwrap();
+            let mt = TestabilityMetrics::of(&t, &bench.dfg);
+            let mtr = TestabilityMetrics::of(&tr, &bench.dfg);
+            shared_t += mt.shared_tpg_registers + mt.shared_sa_registers;
+            shared_tr += mtr.shared_tpg_registers + mtr.shared_sa_registers;
+            forced_t += mt.forced_cbilbo_modules;
+            forced_tr += mtr.forced_cbilbo_modules;
+        }
+        assert!(
+            shared_t >= shared_tr,
+            "testable should share more test resources: {shared_t} vs {shared_tr}"
+        );
+        assert!(
+            forced_t <= forced_tr,
+            "testable should force fewer CBILBOs: {forced_t} vs {forced_tr}"
+        );
+    }
+
+    #[test]
+    fn mean_sd_and_display() {
+        let bench = benchmarks::ex1();
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).unwrap();
+        let m = TestabilityMetrics::of(&d, &bench.dfg);
+        assert!(m.mean_sd() > 0.0);
+        assert_eq!(m.register_sd.len(), 3);
+        let text = m.to_string();
+        assert!(text.contains("mean SD"));
+        assert!(text.contains("shared TPG"));
+    }
+
+    #[test]
+    fn empty_metrics_mean_is_zero() {
+        let m = TestabilityMetrics {
+            register_sd: vec![],
+            self_adjacent_registers: 0,
+            forced_cbilbo_modules: 0,
+            shared_tpg_registers: 0,
+            shared_sa_registers: 0,
+        };
+        assert_eq!(m.mean_sd(), 0.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Gate-count area model, including BIST register styles.
+//!
+//! The paper reports BIST area overhead "as a percentage increase in the
+//! gate count as a result of using the BIST registers from our library"
+//! (the USC BITS library, unavailable). This module substitutes a
+//! documented, parameterized model: every component cost is a per-bit (or
+//! per-bit² for array structures) gate count times the data-path width.
+//! Because both the traditional and the testable flows are scored by the
+//! same model, the paper's *relative* comparisons survive even though the
+//! absolute percentages shift.
+//!
+//! Default per-bit costs (8-bit width unless configured otherwise):
+//!
+//! | Component            | gates          |
+//! |----------------------|----------------|
+//! | D-FF register        | 8 /bit         |
+//! | 2:1 mux leg          | 3 /bit         |
+//! | ripple adder         | 9 /bit         |
+//! | subtractor           | 10 /bit        |
+//! | array multiplier     | 9 /bit²        |
+//! | divider              | 12 /bit²       |
+//! | AND / OR / XOR       | 2 /bit         |
+//! | comparator           | 4 /bit         |
+//! | ALU                  | 16 /bit        |
+//! | TPG upgrade          | +2 /bit        |
+//! | SA upgrade           | +3 /bit        |
+//! | BILBO upgrade        | +4 /bit        |
+//! | CBILBO upgrade       | +10 /bit (≈2.25× register, CBILBOs duplicate the flip-flop rank) |
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use lobist_dfg::modules::ModuleClass;
+use lobist_dfg::OpKind;
+
+use crate::netlist::DataPath;
+
+/// A quantity of logic gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GateCount(pub u64);
+
+impl GateCount {
+    /// Zero gates.
+    pub const ZERO: GateCount = GateCount(0);
+
+    /// The raw gate count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This count as a percentage of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn percent_of(self, base: GateCount) -> f64 {
+        assert!(base.0 > 0, "percentage of a zero base is undefined");
+        self.0 as f64 * 100.0 / base.0 as f64
+    }
+}
+
+impl Add for GateCount {
+    type Output = GateCount;
+    fn add(self, rhs: GateCount) -> GateCount {
+        GateCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for GateCount {
+    fn add_assign(&mut self, rhs: GateCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for GateCount {
+    fn sum<I: Iterator<Item = GateCount>>(iter: I) -> GateCount {
+        GateCount(iter.map(|g| g.0).sum())
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gates", self.0)
+    }
+}
+
+/// How a register is configured for BIST.
+///
+/// Ordered by capability: every style can do everything the styles below
+/// it can. Costs are *not* monotonic in this order alone — see
+/// [`AreaModel::style_extra`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BistStyle {
+    /// An unmodified register.
+    #[default]
+    Normal,
+    /// Test pattern generator (pseudo-random, LFSR-based).
+    Tpg,
+    /// Signature analyzer (MISR-based).
+    Sa,
+    /// BILBO: can act as TPG in one test session and SA in another, but
+    /// not both at once.
+    Bilbo,
+    /// Concurrent BILBO: generates patterns and compacts responses
+    /// *simultaneously* — required when one register must be TPG and SA
+    /// for the same module's test. Roughly twice the area of a register.
+    Cbilbo,
+}
+
+impl BistStyle {
+    /// All styles in capability order.
+    pub const ALL: [BistStyle; 5] = [
+        BistStyle::Normal,
+        BistStyle::Tpg,
+        BistStyle::Sa,
+        BistStyle::Bilbo,
+        BistStyle::Cbilbo,
+    ];
+
+    /// `true` if this style can generate test patterns.
+    pub fn can_generate(self) -> bool {
+        matches!(self, BistStyle::Tpg | BistStyle::Bilbo | BistStyle::Cbilbo)
+    }
+
+    /// `true` if this style can compact responses (signature analysis).
+    pub fn can_analyze(self) -> bool {
+        matches!(self, BistStyle::Sa | BistStyle::Bilbo | BistStyle::Cbilbo)
+    }
+
+    /// `true` if this style can generate and analyze *in the same test
+    /// session* (only the CBILBO can).
+    pub fn can_do_both_concurrently(self) -> bool {
+        matches!(self, BistStyle::Cbilbo)
+    }
+
+    /// The least style satisfying both `self` and `other`'s capabilities
+    /// (lattice join). `Tpg ∨ Sa = Bilbo`; anything with `Cbilbo` is
+    /// `Cbilbo`.
+    pub fn join(self, other: BistStyle) -> BistStyle {
+        use BistStyle::*;
+        match (self, other) {
+            (Cbilbo, _) | (_, Cbilbo) => Cbilbo,
+            (Bilbo, _) | (_, Bilbo) => Bilbo,
+            (Tpg, Sa) | (Sa, Tpg) => Bilbo,
+            (Normal, x) | (x, Normal) => x,
+            (Tpg, Tpg) => Tpg,
+            (Sa, Sa) => Sa,
+        }
+    }
+
+    /// Short label as used in the paper's Table II (`TPG`, `SA`,
+    /// `TPG/SA`, `CBILBO`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BistStyle::Normal => "-",
+            BistStyle::Tpg => "TPG",
+            BistStyle::Sa => "SA",
+            BistStyle::Bilbo => "TPG/SA",
+            BistStyle::Cbilbo => "CBILBO",
+        }
+    }
+}
+
+impl fmt::Display for BistStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The parameterized gate-count model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AreaModel {
+    /// Data-path bit width.
+    pub width: u32,
+    /// Register gates per bit.
+    pub register_per_bit: u64,
+    /// Mux gates per leg per bit.
+    pub mux_leg_per_bit: u64,
+    /// Adder gates per bit.
+    pub add_per_bit: u64,
+    /// Subtractor gates per bit.
+    pub sub_per_bit: u64,
+    /// Multiplier gates per bit² (array multiplier).
+    pub mul_per_bit2: u64,
+    /// Divider gates per bit².
+    pub div_per_bit2: u64,
+    /// Bitwise-logic gates per bit.
+    pub logic_per_bit: u64,
+    /// Comparator gates per bit.
+    pub cmp_per_bit: u64,
+    /// ALU gates per bit.
+    pub alu_per_bit: u64,
+    /// Extra gates per bit to upgrade a register to a TPG.
+    pub tpg_extra_per_bit: u64,
+    /// Extra gates per bit to upgrade a register to an SA.
+    pub sa_extra_per_bit: u64,
+    /// Extra gates per bit for a BILBO.
+    pub bilbo_extra_per_bit: u64,
+    /// Extra gates per bit for a CBILBO.
+    pub cbilbo_extra_per_bit: u64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            width: 8,
+            register_per_bit: 8,
+            mux_leg_per_bit: 3,
+            add_per_bit: 9,
+            sub_per_bit: 10,
+            mul_per_bit2: 9,
+            div_per_bit2: 12,
+            logic_per_bit: 2,
+            cmp_per_bit: 4,
+            alu_per_bit: 16,
+            tpg_extra_per_bit: 2,
+            sa_extra_per_bit: 3,
+            bilbo_extra_per_bit: 4,
+            cbilbo_extra_per_bit: 10,
+        }
+    }
+}
+
+impl AreaModel {
+    /// The default model at a given bit width.
+    pub fn with_width(width: u32) -> Self {
+        Self {
+            width,
+            ..Self::default()
+        }
+    }
+
+    /// Gate cost of one plain register.
+    pub fn register(&self) -> GateCount {
+        GateCount(self.register_per_bit * self.width as u64)
+    }
+
+    /// Gate cost of a multiplexer with `legs` inputs (zero below fan-in
+    /// 2: a single source needs no mux).
+    pub fn mux(&self, legs: usize) -> GateCount {
+        if legs < 2 {
+            GateCount::ZERO
+        } else {
+            GateCount((legs as u64 - 1) * self.mux_leg_per_bit * self.width as u64)
+        }
+    }
+
+    /// Gate cost of a functional-unit module. For an ALU this is the bare
+    /// control/skeleton cost only — use [`alu_with_kinds`](Self::alu_with_kinds)
+    /// (as [`functional_area`](Self::functional_area) does) to price the
+    /// function blocks it actually contains.
+    pub fn module(&self, class: ModuleClass) -> GateCount {
+        let w = self.width as u64;
+        let gates = match class {
+            ModuleClass::Alu => self.alu_per_bit * w,
+            ModuleClass::Op(k) => match k {
+                OpKind::Add => self.add_per_bit * w,
+                OpKind::Sub => self.sub_per_bit * w,
+                OpKind::Mul => self.mul_per_bit2 * w * w,
+                OpKind::Div => self.div_per_bit2 * w * w,
+                OpKind::And | OpKind::Or | OpKind::Xor => self.logic_per_bit * w,
+                OpKind::Lt => self.cmp_per_bit * w,
+            },
+        };
+        GateCount(gates)
+    }
+
+    /// Realistic cost of an ALU executing the given operation kinds: one
+    /// function block per kind plus the per-bit selection logic per kind
+    /// plus the base control skeleton (mirrors the structure of the
+    /// gate-level `lobist-gatesim` ALU generator).
+    pub fn alu_with_kinds(&self, kinds: &[OpKind]) -> GateCount {
+        let w = self.width as u64;
+        let blocks: u64 = kinds
+            .iter()
+            .map(|&k| self.module(ModuleClass::Op(k)).get())
+            .sum();
+        let selection = 2 * w * kinds.len() as u64;
+        GateCount(blocks + selection + self.alu_per_bit * w)
+    }
+
+    /// The *extra* gates to upgrade a plain register to the given style.
+    pub fn style_extra(&self, style: BistStyle) -> GateCount {
+        let per_bit = match style {
+            BistStyle::Normal => 0,
+            BistStyle::Tpg => self.tpg_extra_per_bit,
+            BistStyle::Sa => self.sa_extra_per_bit,
+            BistStyle::Bilbo => self.bilbo_extra_per_bit,
+            BistStyle::Cbilbo => self.cbilbo_extra_per_bit,
+        };
+        GateCount(per_bit * self.width as u64)
+    }
+
+    /// Total functional (pre-BIST) gate count of a data path: registers,
+    /// modules (ALUs priced by their actual function kinds) and
+    /// multiplexers.
+    pub fn functional_area(&self, dp: &DataPath) -> GateCount {
+        let regs: GateCount = (0..dp.num_registers()).map(|_| self.register()).sum();
+        let mods: GateCount = dp
+            .module_ids()
+            .map(|m| match dp.module_class(m) {
+                ModuleClass::Alu => self.alu_with_kinds(dp.module_kinds(m)),
+                class => self.module(class),
+            })
+            .sum();
+        let muxes = self.mux_area(dp);
+        regs + mods + muxes
+    }
+
+    /// Multiplexer gate count of a data path.
+    pub fn mux_area(&self, dp: &DataPath) -> GateCount {
+        let mut total = GateCount::ZERO;
+        for m in dp.module_ids() {
+            for side in [crate::PortSide::Left, crate::PortSide::Right] {
+                let fan = dp.port_sources(crate::Port { module: m, side }).len();
+                total += self.mux(fan);
+            }
+        }
+        for r in dp.register_ids() {
+            total += self.mux(dp.register_fan_in(r));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let a = GateCount(10);
+        let b = GateCount(5);
+        assert_eq!(a + b, GateCount(15));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, GateCount(15));
+        let s: GateCount = [a, b, b].into_iter().sum();
+        assert_eq!(s, GateCount(20));
+        assert!((b.percent_of(a) - 50.0).abs() < 1e-9);
+        assert_eq!(a.to_string(), "10 gates");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero base")]
+    fn percent_of_zero_panics() {
+        GateCount(1).percent_of(GateCount::ZERO);
+    }
+
+    #[test]
+    fn style_capabilities() {
+        assert!(!BistStyle::Normal.can_generate());
+        assert!(BistStyle::Tpg.can_generate());
+        assert!(!BistStyle::Tpg.can_analyze());
+        assert!(BistStyle::Sa.can_analyze());
+        assert!(BistStyle::Bilbo.can_generate() && BistStyle::Bilbo.can_analyze());
+        assert!(!BistStyle::Bilbo.can_do_both_concurrently());
+        assert!(BistStyle::Cbilbo.can_do_both_concurrently());
+    }
+
+    #[test]
+    fn style_join_is_a_lattice() {
+        use BistStyle::*;
+        assert_eq!(Tpg.join(Sa), Bilbo);
+        assert_eq!(Sa.join(Tpg), Bilbo);
+        assert_eq!(Normal.join(Tpg), Tpg);
+        assert_eq!(Tpg.join(Tpg), Tpg);
+        assert_eq!(Bilbo.join(Sa), Bilbo);
+        assert_eq!(Cbilbo.join(Normal), Cbilbo);
+        // Join is commutative and idempotent over all pairs.
+        for a in BistStyle::ALL {
+            assert_eq!(a.join(a), a);
+            for b in BistStyle::ALL {
+                assert_eq!(a.join(b), b.join(a));
+                let j = a.join(b);
+                assert!(j.can_generate() || !(a.can_generate() || b.can_generate()));
+                assert!(j.can_analyze() || !(a.can_analyze() || b.can_analyze()));
+            }
+        }
+    }
+
+    #[test]
+    fn default_model_costs() {
+        let m = AreaModel::default();
+        assert_eq!(m.register(), GateCount(64));
+        assert_eq!(m.mux(1), GateCount::ZERO);
+        assert_eq!(m.mux(2), GateCount(24));
+        assert_eq!(m.mux(3), GateCount(48));
+        assert_eq!(m.module(ModuleClass::Op(OpKind::Add)), GateCount(72));
+        assert_eq!(m.module(ModuleClass::Op(OpKind::Mul)), GateCount(9 * 64));
+        assert_eq!(m.module(ModuleClass::Alu), GateCount(128));
+    }
+
+    #[test]
+    fn cbilbo_is_roughly_twice_a_register() {
+        let m = AreaModel::default();
+        let reg = m.register().get();
+        let cbilbo_total = reg + m.style_extra(BistStyle::Cbilbo).get();
+        assert!(cbilbo_total >= 2 * reg, "CBILBO should cost ≈2 registers");
+        assert!(cbilbo_total <= 5 * reg / 2);
+    }
+
+    #[test]
+    fn style_extras_are_monotone_in_capability() {
+        let m = AreaModel::default();
+        assert!(m.style_extra(BistStyle::Normal) < m.style_extra(BistStyle::Tpg));
+        assert!(m.style_extra(BistStyle::Tpg) < m.style_extra(BistStyle::Bilbo));
+        assert!(m.style_extra(BistStyle::Sa) < m.style_extra(BistStyle::Bilbo));
+        assert!(m.style_extra(BistStyle::Bilbo) < m.style_extra(BistStyle::Cbilbo));
+    }
+
+    #[test]
+    fn width_scales_costs() {
+        let m8 = AreaModel::with_width(8);
+        let m16 = AreaModel::with_width(16);
+        assert_eq!(m16.register().get(), 2 * m8.register().get());
+        // Multiplier scales quadratically.
+        assert_eq!(
+            m16.module(ModuleClass::Op(OpKind::Mul)).get(),
+            4 * m8.module(ModuleClass::Op(OpKind::Mul)).get()
+        );
+    }
+}

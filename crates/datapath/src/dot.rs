@@ -1,0 +1,177 @@
+//! Graphviz (DOT) export of data-path netlists.
+//!
+//! Renders registers as boxes and operator modules as trapezoid-ish
+//! records with left/right ports, mirroring the paper's Fig. 5 block
+//! diagrams. An optional per-register style map highlights the BIST
+//! configuration (TPG/SA/BILBO/CBILBO).
+
+use std::fmt::Write as _;
+
+use lobist_dfg::Dfg;
+
+use crate::area::BistStyle;
+use crate::netlist::{DataPath, Port, PortSide, SourceRef};
+
+/// Renders the netlist as a Graphviz digraph.
+pub fn to_dot(dp: &DataPath, dfg: &Dfg) -> String {
+    render(dp, dfg, None)
+}
+
+/// As [`to_dot`], coloring each register by its BIST style (`styles` is
+/// indexed by register, as in `lobist_bist::BistSolution::styles`).
+pub fn to_dot_with_styles(dp: &DataPath, dfg: &Dfg, styles: &[BistStyle]) -> String {
+    render(dp, dfg, Some(styles))
+}
+
+fn style_color(style: BistStyle) -> &'static str {
+    match style {
+        BistStyle::Normal => "white",
+        BistStyle::Tpg => "palegreen",
+        BistStyle::Sa => "lightskyblue",
+        BistStyle::Bilbo => "khaki",
+        BistStyle::Cbilbo => "lightcoral",
+    }
+}
+
+fn render(dp: &DataPath, dfg: &Dfg, styles: Option<&[BistStyle]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph datapath {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    // Registers.
+    for r in dp.register_ids() {
+        let vars: Vec<&str> = dp
+            .register_vars(r)
+            .iter()
+            .map(|&v| dfg.var(v).name.as_str())
+            .collect();
+        let (fill, extra_label) = match styles {
+            Some(s) => {
+                let st = s[r.index()];
+                let label = if st == BistStyle::Normal {
+                    String::new()
+                } else {
+                    format!("\\n[{st}]")
+                };
+                (style_color(st), label)
+            }
+            None => ("white", String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "  R{} [shape=box, style=filled, fillcolor={fill}, label=\"R{}\\n{{{}}}{extra_label}\"];",
+            r.0 + 1,
+            r.0 + 1,
+            vars.join(",")
+        );
+    }
+    // Modules with L/R input fields.
+    for m in dp.module_ids() {
+        let _ = writeln!(
+            out,
+            "  M{} [shape=record, label=\"{{{{<l>L|<r>R}}|M{} ({})}}\"];",
+            m.0 + 1,
+            m.0 + 1,
+            dp.module_class(m)
+        );
+    }
+    // Port edges.
+    for m in dp.module_ids() {
+        for (side, anchor) in [(PortSide::Left, "l"), (PortSide::Right, "r")] {
+            for s in dp.port_sources(Port { module: m, side }) {
+                match s {
+                    SourceRef::Register(r) => {
+                        let _ = writeln!(out, "  R{} -> M{}:{anchor};", r.0 + 1, m.0 + 1);
+                    }
+                    SourceRef::ExternalInput(v) => {
+                        let name = &dfg.var(*v).name;
+                        let _ = writeln!(out, "  \"in_{name}\" [shape=plaintext];");
+                        let _ = writeln!(out, "  \"in_{name}\" -> M{}:{anchor};", m.0 + 1);
+                    }
+                    SourceRef::Constant(c) => {
+                        let cid = format!("const_{}_{anchor}_{c}", m.0 + 1);
+                        let _ = writeln!(out, "  \"{cid}\" [shape=plaintext, label=\"{c}\"];");
+                        let _ = writeln!(out, "  \"{cid}\" -> M{}:{anchor};", m.0 + 1);
+                    }
+                }
+            }
+        }
+        for r in dp.output_destinations(m) {
+            let _ = writeln!(out, "  M{} -> R{};", m.0 + 1, r.0 + 1);
+        }
+    }
+    // External loads into registers.
+    for r in dp.register_ids() {
+        if dp.has_external_load(r) {
+            let _ = writeln!(out, "  \"ext{}\" [shape=point];", r.0 + 1);
+            let _ = writeln!(out, "  \"ext{}\" -> R{};", r.0 + 1, r.0 + 1);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+    use lobist_dfg::benchmarks;
+
+    fn ex1_dp() -> (DataPath, Dfg) {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            modules,
+            regs,
+            ic,
+        )
+        .unwrap();
+        (dp, bench.dfg)
+    }
+
+    #[test]
+    fn dot_contains_all_components() {
+        let (dp, dfg) = ex1_dp();
+        let dot = to_dot(&dp, &dfg);
+        assert!(dot.starts_with("digraph"));
+        for node in ["R1 [", "R2 [", "R3 [", "M1 [", "M2 ["] {
+            assert!(dot.contains(node), "missing {node}\n{dot}");
+        }
+        assert!(dot.contains("M1 -> R1;") || dot.contains("M1 -> R2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn styles_color_registers() {
+        let (dp, dfg) = ex1_dp();
+        let styles = vec![BistStyle::Tpg, BistStyle::Cbilbo, BistStyle::Normal];
+        let dot = to_dot_with_styles(&dp, &dfg, &styles);
+        assert!(dot.contains("palegreen"));
+        assert!(dot.contains("lightcoral"));
+        assert!(dot.contains("[TPG]"));
+        assert!(dot.contains("[CBILBO]"));
+        assert!(!dot.contains("[-]"));
+    }
+
+    #[test]
+    fn port_anchors_present() {
+        let (dp, dfg) = ex1_dp();
+        let dot = to_dot(&dp, &dfg);
+        assert!(dot.contains(":l;"));
+        assert!(dot.contains(":r;"));
+    }
+}

@@ -1,0 +1,57 @@
+//! RTL data-path netlists, I-path analysis and the gate-count area model.
+//!
+//! A data path in the paper's architecture consists of **registers**,
+//! combinational **operator modules** (each with a left input port, a
+//! right input port and an output port) and **multiplexers** implied by
+//! fan-in at ports and register inputs. The BIST methodology reconfigures
+//! some registers as test pattern generators (TPG), signature analyzers
+//! (SA), BILBOs or CBILBOs; which registers *can* play those roles is
+//! determined by the **I-paths** (identity paths, Abadir & Breuer) of the
+//! netlist.
+//!
+//! * [`DataPath`] — the netlist, built from a scheduled DFG plus module,
+//!   register and interconnect assignments.
+//! * [`ipath`] — simple I-path enumeration (TPG/SA candidate sets).
+//! * [`area`] — a parameterized gate-count model including the BIST
+//!   register styles ([`area::BistStyle`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lobist_datapath::{DataPath, ModuleAssignment, RegisterAssignment, InterconnectAssignment};
+//! use lobist_dfg::benchmarks;
+//!
+//! let bench = benchmarks::ex1();
+//! // Paper's testable register assignment: ({c,f,a}, {d,g,b,h}, {e}).
+//! let names = [vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]];
+//! let regs = RegisterAssignment::from_names(&bench.dfg, &names)?;
+//! let modules = ModuleAssignment::from_op_names(
+//!     &bench.dfg,
+//!     &bench.module_allocation,
+//!     &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+//! )?;
+//! let ic = InterconnectAssignment::straight(&bench.dfg);
+//! let dp = DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options,
+//!                          modules, regs, ic)?;
+//! assert_eq!(dp.num_registers(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+mod assignment;
+pub mod dot;
+pub mod ipath;
+mod netlist;
+pub mod simulate;
+pub mod stats;
+pub mod vcd;
+pub mod verilog;
+pub mod verilog_bist;
+
+pub use assignment::{
+    AssignmentError, InterconnectAssignment, ModuleAssignment, RegisterAssignment,
+};
+pub use netlist::{DataPath, DataPathError, ModuleId, Port, PortSide, RegisterId, SourceRef};

@@ -1,0 +1,170 @@
+//! Summary statistics and pretty-printing for data paths.
+
+use std::fmt;
+
+use crate::area::{AreaModel, GateCount};
+use crate::netlist::{DataPath, Port, PortSide};
+
+/// Headline statistics of a data path under an area model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPathStats {
+    /// Number of registers.
+    pub registers: usize,
+    /// Number of operator modules.
+    pub modules: usize,
+    /// Number of multiplexers (fan-in points > 1).
+    pub muxes: usize,
+    /// Total multiplexer legs.
+    pub mux_legs: usize,
+    /// Functional gate count (registers + modules + muxes).
+    pub functional_gates: GateCount,
+}
+
+impl DataPathStats {
+    /// Computes statistics for `dp` under `model`.
+    pub fn of(dp: &DataPath, model: &AreaModel) -> Self {
+        Self {
+            registers: dp.num_registers(),
+            modules: dp.num_modules(),
+            muxes: dp.num_muxes(),
+            mux_legs: dp.total_mux_legs(),
+            functional_gates: model.functional_area(dp),
+        }
+    }
+}
+
+impl fmt::Display for DataPathStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} registers, {} modules, {} muxes ({} legs), {}",
+            self.registers, self.modules, self.muxes, self.mux_legs, self.functional_gates
+        )
+    }
+}
+
+/// Renders a human-readable netlist description: one line per register
+/// (with its variables), per module (with ops and port sources) — the
+/// textual analogue of the paper's Fig. 5 block diagrams.
+pub fn describe(dp: &DataPath, dfg: &lobist_dfg::Dfg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in dp.register_ids() {
+        let vars: Vec<&str> = dp
+            .register_vars(r)
+            .iter()
+            .map(|&v| dfg.var(v).name.as_str())
+            .collect();
+        let srcs: Vec<String> = dp
+            .register_sources(r)
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
+        let ext = if dp.has_external_load(r) { " +ext" } else { "" };
+        let _ = writeln!(
+            out,
+            "{r}: {{{}}} <- [{}{}]",
+            vars.join(","),
+            srcs.join(","),
+            ext
+        );
+    }
+    for m in dp.module_ids() {
+        let ops: Vec<&str> = dp
+            .module_ops(m)
+            .iter()
+            .map(|&o| dfg.op(o).name.as_str())
+            .collect();
+        let fmt_port = |side: PortSide| -> String {
+            dp.port_sources(Port { module: m, side })
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let dests: Vec<String> = dp
+            .output_destinations(m)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{m} ({}) ops={{{}}} L=[{}] R=[{}] -> [{}]",
+            dp.module_class(m),
+            ops.join(","),
+            fmt_port(PortSide::Left),
+            fmt_port(PortSide::Right),
+            dests.join(",")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{InterconnectAssignment, ModuleAssignment, RegisterAssignment};
+    use lobist_dfg::benchmarks;
+
+    fn ex1_dp() -> (DataPath, lobist_dfg::Dfg) {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            modules,
+            regs,
+            ic,
+        )
+        .unwrap();
+        (dp, bench.dfg)
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (dp, _) = ex1_dp();
+        let model = AreaModel::default();
+        let stats = DataPathStats::of(&dp, &model);
+        assert_eq!(stats.registers, 3);
+        assert_eq!(stats.modules, 2);
+        assert!(stats.functional_gates.get() > 0);
+        // Functional area decomposes into parts.
+        let parts = model.mux_area(&dp).get()
+            + (0..dp.num_registers()).map(|_| model.register().get()).sum::<u64>()
+            + dp.module_ids().map(|m| model.module(dp.module_class(m)).get()).sum::<u64>();
+        assert_eq!(stats.functional_gates.get(), parts);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let (dp, _) = ex1_dp();
+        let stats = DataPathStats::of(&dp, &AreaModel::default());
+        let s = stats.to_string();
+        assert!(s.contains("3 registers"));
+        assert!(s.contains("2 modules"));
+    }
+
+    #[test]
+    fn describe_lists_every_component() {
+        let (dp, dfg) = ex1_dp();
+        let text = describe(&dp, &dfg);
+        assert!(text.contains("R1:"));
+        assert!(text.contains("R3:"));
+        assert!(text.contains("M1"));
+        assert!(text.contains("M2"));
+        assert!(text.contains("add1"));
+        assert!(text.contains("mul2"));
+    }
+}

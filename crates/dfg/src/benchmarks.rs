@@ -1,0 +1,660 @@
+//! The paper's evaluation designs and larger synthetic extras.
+//!
+//! Five scheduled DFGs drive Tables I–III:
+//!
+//! * [`ex1`] — the running example of the paper's Fig. 2 (reconstructed;
+//!   see DESIGN.md for the reconstruction constraints).
+//! * [`ex2`] — a design in the style of Papachristou et al. (DAC'91),
+//!   with the paper's module allocation `1/,2*,2+,1&` and 5 registers.
+//! * [`tseng`] — the Tseng–Siewiorek benchmark; [`tseng1_modules`] and
+//!   [`tseng2_modules`] give the two module allocations of Table I.
+//! * [`paulin`] — the Paulin–Knight differential-equation solver (HAL),
+//!   port-resident inputs, 4 registers.
+//! * [`paulin_full`] — Paulin including the loop comparison, used by the
+//!   SYNTEST-style baseline.
+//!
+//! Extras for scaling studies: [`fir`] and [`diffeq_unrolled`].
+
+use crate::dfg::{Dfg, DfgBuilder};
+use crate::lifetime::LifetimeOptions;
+use crate::modules::ModuleSet;
+use crate::schedule::Schedule;
+use crate::scheduling;
+use crate::types::OpKind;
+
+/// A scheduled benchmark design with its module allocation and lifetime
+/// conventions.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name used in tables (`"ex1"`, `"Paulin"`, ...).
+    pub name: String,
+    /// The data flow graph.
+    pub dfg: Dfg,
+    /// The control-step schedule.
+    pub schedule: Schedule,
+    /// Available functional units (the paper's "Module Assignment" column).
+    pub module_allocation: ModuleSet,
+    /// Register conventions for primary inputs.
+    pub lifetime_options: LifetimeOptions,
+    /// The minimum register count this encoding is known to admit
+    /// (matching the paper's Table I).
+    pub expected_min_registers: usize,
+}
+
+/// The paper's running example (Fig. 2): two additions on module `M1`,
+/// two multiplications on `M2`, eight variables `a..h`, minimum three
+/// registers.
+///
+/// Reconstruction (the original figure is unavailable):
+///
+/// ```text
+/// step 1:  b := e * g          (mul1 on M2)
+/// step 2:  d := a + b          (add1 on M1)
+/// step 3:  f := c + d          (add2 on M1)
+/// step 3:  h := c * e          (mul2 on M2)
+/// ```
+///
+/// giving `I_M1 = {a,b,c,d}`, `O_M1 = {d,f}`, `I_M2 = {c,e,g}`,
+/// `O_M2 = {b,h}` exactly as stated in the paper's Section III, and
+/// admitting the paper's final testable assignment
+/// `({c,f,a}, {d,g,b,h}, {e})`.
+pub fn ex1() -> Benchmark {
+    let mut b = DfgBuilder::new();
+    let a = b.input("a");
+    let c = b.input("c");
+    let e = b.input("e");
+    let g = b.input("g");
+    let bb = b.op_named(OpKind::Mul, "mul1", "b", e.into(), g.into());
+    let d = b.op_named(OpKind::Add, "add1", "d", a.into(), bb.into());
+    let f = b.op_named(OpKind::Add, "add2", "f", c.into(), d.into());
+    let h = b.op_named(OpKind::Mul, "mul2", "h", c.into(), e.into());
+    b.mark_output(f);
+    b.mark_output(h);
+    let dfg = b.build().expect("ex1 is well-formed");
+    let schedule = Schedule::new(&dfg, vec![1, 2, 3, 3]).expect("ex1 schedule is valid");
+    Benchmark {
+        name: "ex1".to_owned(),
+        dfg,
+        schedule,
+        module_allocation: "1+,1*".parse().expect("valid module string"),
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        expected_min_registers: 3,
+    }
+}
+
+/// A design in the style of the Papachristou et al. DAC'91 example, sized
+/// for the paper's Table I row: module allocation `1/,2*,2+,1&` and a
+/// 5-register minimum.
+///
+/// ```text
+/// step 1:  t1 := a * b ;  t2 := c * d
+/// step 2:  t3 := t1 + t2 ;  t4 := e + g ;  t5 := t1 * c
+/// step 3:  t6 := t3 / t4 ;  t7 := t5 * e
+/// step 4:  t8 := t6 & t7
+/// ```
+pub fn ex2() -> Benchmark {
+    let mut b = DfgBuilder::new();
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let g = b.input("g");
+    let t1 = b.op_named(OpKind::Mul, "mul1", "t1", a.into(), bb.into());
+    let t2 = b.op_named(OpKind::Mul, "mul2", "t2", c.into(), d.into());
+    let t3 = b.op_named(OpKind::Add, "add1", "t3", t1.into(), t2.into());
+    let t4 = b.op_named(OpKind::Add, "add2", "t4", e.into(), g.into());
+    let t5 = b.op_named(OpKind::Mul, "mul3", "t5", t1.into(), c.into());
+    let t6 = b.op_named(OpKind::Div, "div1", "t6", t3.into(), t4.into());
+    let t7 = b.op_named(OpKind::Mul, "mul4", "t7", t5.into(), e.into());
+    let t8 = b.op_named(OpKind::And, "and1", "t8", t6.into(), t7.into());
+    b.mark_output(t8);
+    let dfg = b.build().expect("ex2 is well-formed");
+    let schedule =
+        Schedule::new(&dfg, vec![1, 1, 2, 2, 2, 3, 3, 4]).expect("ex2 schedule is valid");
+    Benchmark {
+        name: "ex2".to_owned(),
+        dfg,
+        schedule,
+        module_allocation: "1/,2*,2+,1&".parse().expect("valid module string"),
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        expected_min_registers: 5,
+    }
+}
+
+/// The Tseng–Siewiorek benchmark (canonicalized encoding) with a
+/// 5-register minimum. Pair with [`tseng1_modules`] or [`tseng2_modules`]
+/// for the paper's two configurations.
+///
+/// ```text
+/// step 1:  t1 := a + b ;  t2 := c + d
+/// step 2:  t3 := e & f ;  t4 := t1 | g
+/// step 3:  t5 := t2 * t3 ;  t7 := t1 - t2
+/// step 4:  t6 := t4 / t5
+/// step 5:  t8 := t6 + t7
+/// ```
+pub fn tseng() -> Benchmark {
+    let mut b = DfgBuilder::new();
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+    let f = b.input("f");
+    let g = b.input("g");
+    let t1 = b.op_named(OpKind::Add, "add1", "t1", a.into(), bb.into());
+    let t2 = b.op_named(OpKind::Add, "add2", "t2", c.into(), d.into());
+    let t3 = b.op_named(OpKind::And, "and1", "t3", e.into(), f.into());
+    let t4 = b.op_named(OpKind::Or, "or1", "t4", t1.into(), g.into());
+    let t5 = b.op_named(OpKind::Mul, "mul1", "t5", t2.into(), t3.into());
+    let t7 = b.op_named(OpKind::Sub, "sub1", "t7", t1.into(), t2.into());
+    let t6 = b.op_named(OpKind::Div, "div1", "t6", t4.into(), t5.into());
+    let t8 = b.op_named(OpKind::Add, "add3", "t8", t6.into(), t7.into());
+    b.mark_output(t8);
+    let dfg = b.build().expect("tseng is well-formed");
+    let schedule =
+        Schedule::new(&dfg, vec![1, 1, 2, 2, 3, 3, 4, 5]).expect("tseng schedule is valid");
+    Benchmark {
+        name: "Tseng".to_owned(),
+        dfg,
+        schedule,
+        module_allocation: tseng1_modules(),
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        expected_min_registers: 5,
+    }
+}
+
+/// Table I's `Tseng1` module allocation: `2+,1*,1-,1&,1|,1/`.
+pub fn tseng1_modules() -> ModuleSet {
+    "2+,1*,1-,1&,1|,1/".parse().expect("valid module string")
+}
+
+/// Table I's `Tseng2` module allocation: `1+,3ALU`.
+pub fn tseng2_modules() -> ModuleSet {
+    "1+,3ALU".parse().expect("valid module string")
+}
+
+/// The [`tseng`] benchmark configured with [`tseng2_modules`].
+///
+/// A different module allocation implies a different resource-driven
+/// schedule: step 2 runs three ALU operations at once (`&`, `|`, `-`),
+/// which is what motivates three ALUs. Register minimum stays at 5.
+///
+/// ```text
+/// step 1:  t1 := a + b ;  t2 := c + d
+/// step 2:  t3 := e & f ;  t4 := t1 | g ;  t7 := t1 - t2
+/// step 3:  t5 := t2 * t3
+/// step 4:  t6 := t4 / t5
+/// step 5:  t8 := t6 + t7
+/// ```
+pub fn tseng2() -> Benchmark {
+    let mut b = tseng();
+    b.name = "Tseng2".to_owned();
+    b.module_allocation = tseng2_modules();
+    // Op order: add1, add2, and1, or1, mul1, sub1, div1, add3.
+    b.schedule =
+        Schedule::new(&b.dfg, vec![1, 1, 2, 2, 3, 2, 4, 5]).expect("tseng2 schedule is valid");
+    b
+}
+
+/// The Paulin–Knight second-order differential-equation solver ("HAL"),
+/// one loop iteration, common-subexpression-eliminated (5 multiplies),
+/// scheduled in 4 steps on `1+,2*,1-`. Primary inputs are port-resident
+/// (the Table III convention), yielding the paper's 4-register minimum.
+///
+/// ```text
+/// step 1:  t1 := 3 * x ;  t2 := u * dx ;  xl := x + dx
+/// step 2:  t3 := t1 * t2 ;  t4 := 3 * y ;  yl := y + t2
+/// step 3:  t5 := t4 * dx ;  t6 := u - t3
+/// step 4:  ul := t6 - t5
+/// ```
+pub fn paulin() -> Benchmark {
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let y = b.input("y");
+    let t1 = b.op_named(OpKind::Mul, "mul1", "t1", 3i64.into(), x.into());
+    let t2 = b.op_named(OpKind::Mul, "mul2", "t2", u.into(), dx.into());
+    let xl = b.op_named(OpKind::Add, "add1", "xl", x.into(), dx.into());
+    let t3 = b.op_named(OpKind::Mul, "mul3", "t3", t1.into(), t2.into());
+    let t4 = b.op_named(OpKind::Mul, "mul4", "t4", 3i64.into(), y.into());
+    let yl = b.op_named(OpKind::Add, "add2", "yl", y.into(), t2.into());
+    let t5 = b.op_named(OpKind::Mul, "mul5", "t5", t4.into(), dx.into());
+    let t6 = b.op_named(OpKind::Sub, "sub1", "t6", u.into(), t3.into());
+    let ul = b.op_named(OpKind::Sub, "sub2", "ul", t6.into(), t5.into());
+    b.mark_output(xl);
+    b.mark_output(yl);
+    b.mark_output(ul);
+    let dfg = b.build().expect("paulin is well-formed");
+    let schedule =
+        Schedule::new(&dfg, vec![1, 1, 1, 2, 2, 2, 3, 3, 4]).expect("paulin schedule is valid");
+    Benchmark {
+        name: "Paulin".to_owned(),
+        dfg,
+        schedule,
+        module_allocation: "1+,2*,1-".parse().expect("valid module string"),
+        lifetime_options: LifetimeOptions::port_inputs(),
+        expected_min_registers: 4,
+    }
+}
+
+/// [`paulin`] extended with the loop-bound comparison `c := xl < a`, the
+/// variant the SYNTEST-style baseline synthesizes (its templates include
+/// a `>`-capable module group).
+pub fn paulin_full() -> Benchmark {
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let y = b.input("y");
+    let a = b.input("a");
+    let t1 = b.op_named(OpKind::Mul, "mul1", "t1", 3i64.into(), x.into());
+    let t2 = b.op_named(OpKind::Mul, "mul2", "t2", u.into(), dx.into());
+    let xl = b.op_named(OpKind::Add, "add1", "xl", x.into(), dx.into());
+    let t3 = b.op_named(OpKind::Mul, "mul3", "t3", t1.into(), t2.into());
+    let t4 = b.op_named(OpKind::Mul, "mul4", "t4", 3i64.into(), y.into());
+    let yl = b.op_named(OpKind::Add, "add2", "yl", y.into(), t2.into());
+    let c = b.op_named(OpKind::Lt, "cmp1", "c", xl.into(), a.into());
+    let t5 = b.op_named(OpKind::Mul, "mul5", "t5", t4.into(), dx.into());
+    let t6 = b.op_named(OpKind::Sub, "sub1", "t6", u.into(), t3.into());
+    let ul = b.op_named(OpKind::Sub, "sub2", "ul", t6.into(), t5.into());
+    b.mark_output(xl);
+    b.mark_output(yl);
+    b.mark_output(ul);
+    b.mark_output(c);
+    let dfg = b.build().expect("paulin_full is well-formed");
+    let schedule = Schedule::new(&dfg, vec![1, 1, 1, 2, 2, 2, 2, 3, 3, 4])
+        .expect("paulin_full schedule is valid");
+    Benchmark {
+        name: "Paulin(full)".to_owned(),
+        dfg,
+        schedule,
+        module_allocation: "1+,2*,1-,1<".parse().expect("valid module string"),
+        lifetime_options: LifetimeOptions::port_inputs(),
+        expected_min_registers: 5,
+    }
+}
+
+/// An `n`-tap FIR filter `y = Σ cᵢ·xᵢ` with programmable coefficients
+/// (each `cᵢ` is a primary input, as in a coefficient-memory filter):
+/// `n` multiplies and an addition tree, list-scheduled on `2*,2+`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn fir(n: usize) -> Benchmark {
+    assert!(n >= 2, "FIR needs at least two taps");
+    let mut b = DfgBuilder::new();
+    let xs: Vec<_> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
+    let cs: Vec<_> = (0..n).map(|i| b.input(&format!("c{i}"))).collect();
+    let mut layer: Vec<_> = xs
+        .iter()
+        .zip(&cs)
+        .enumerate()
+        .map(|(i, (&x, &c))| {
+            b.op_named(OpKind::Mul, &format!("mul{i}"), &format!("p{i}"), x.into(), c.into())
+        })
+        .collect();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let s = b.op_named(
+                    OpKind::Add,
+                    &format!("add{level}_{i}"),
+                    &format!("s{level}_{i}"),
+                    pair[0].into(),
+                    pair[1].into(),
+                );
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    b.mark_output(layer[0]);
+    let dfg = b.build().expect("fir is well-formed");
+    let modules: ModuleSet = "2*,2+".parse().expect("valid module string");
+    let schedule = scheduling::list_schedule(&dfg, &modules).expect("modules cover FIR kinds");
+    Benchmark {
+        name: format!("FIR{n}"),
+        dfg,
+        schedule,
+        module_allocation: modules,
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        expected_min_registers: 0, // not pinned; used for scaling studies
+    }
+}
+
+/// The Paulin differential-equation body unrolled `k` times (each
+/// iteration feeding the next), list-scheduled on `1+,2*,1-`. Produces
+/// progressively larger realistic DFGs for scaling experiments.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn diffeq_unrolled(k: usize) -> Benchmark {
+    assert!(k >= 1, "need at least one iteration");
+    let mut b = DfgBuilder::new();
+    let mut x = b.input("x");
+    let mut u = b.input("u");
+    let mut y = b.input("y");
+    let dx = b.input("dx");
+    for i in 0..k {
+        let t1 = b.op_named(OpKind::Mul, &format!("i{i}_mul1"), &format!("i{i}_t1"), 3i64.into(), x.into());
+        let t2 = b.op_named(OpKind::Mul, &format!("i{i}_mul2"), &format!("i{i}_t2"), u.into(), dx.into());
+        let xl = b.op_named(OpKind::Add, &format!("i{i}_add1"), &format!("i{i}_xl"), x.into(), dx.into());
+        let t3 = b.op_named(OpKind::Mul, &format!("i{i}_mul3"), &format!("i{i}_t3"), t1.into(), t2.into());
+        let t4 = b.op_named(OpKind::Mul, &format!("i{i}_mul4"), &format!("i{i}_t4"), 3i64.into(), y.into());
+        let yl = b.op_named(OpKind::Add, &format!("i{i}_add2"), &format!("i{i}_yl"), y.into(), t2.into());
+        let t5 = b.op_named(OpKind::Mul, &format!("i{i}_mul5"), &format!("i{i}_t5"), t4.into(), dx.into());
+        let t6 = b.op_named(OpKind::Sub, &format!("i{i}_sub1"), &format!("i{i}_t6"), u.into(), t3.into());
+        let ul = b.op_named(OpKind::Sub, &format!("i{i}_sub2"), &format!("i{i}_ul"), t6.into(), t5.into());
+        x = xl;
+        u = ul;
+        y = yl;
+    }
+    b.mark_output(x);
+    b.mark_output(u);
+    b.mark_output(y);
+    let dfg = b.build().expect("diffeq_unrolled is well-formed");
+    let modules: ModuleSet = "1+,2*,1-".parse().expect("valid module string");
+    let schedule = scheduling::list_schedule(&dfg, &modules).expect("modules cover all kinds");
+    Benchmark {
+        name: format!("DiffEq x{k}"),
+        dfg,
+        schedule,
+        module_allocation: modules,
+        lifetime_options: LifetimeOptions::port_inputs(),
+        expected_min_registers: 0, // not pinned; used for scaling studies
+    }
+}
+
+/// A cascade of `n` direct-form-I IIR biquad sections with programmable
+/// coefficients: per section five multiplies and four additions
+/// (`y = b0·x + b1·x1 + b2·x2 + a1·y1 + a2·y2`), the output feeding the
+/// next section. List-scheduled on `2*,2+`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn iir_biquad_cascade(n: usize) -> Benchmark {
+    assert!(n >= 1, "need at least one section");
+    let mut b = DfgBuilder::new();
+    let mut x = b.input("x");
+    for s in 0..n {
+        let x1 = b.input(&format!("s{s}_x1"));
+        let x2 = b.input(&format!("s{s}_x2"));
+        let y1 = b.input(&format!("s{s}_y1"));
+        let y2 = b.input(&format!("s{s}_y2"));
+        let coeff: Vec<_> = ["b0", "b1", "b2", "a1", "a2"]
+            .iter()
+            .map(|c| b.input(&format!("s{s}_{c}")))
+            .collect();
+        let p0 = b.op_named(OpKind::Mul, &format!("s{s}_m0"), &format!("s{s}_p0"), x.into(), coeff[0].into());
+        let p1 = b.op_named(OpKind::Mul, &format!("s{s}_m1"), &format!("s{s}_p1"), x1.into(), coeff[1].into());
+        let p2 = b.op_named(OpKind::Mul, &format!("s{s}_m2"), &format!("s{s}_p2"), x2.into(), coeff[2].into());
+        let p3 = b.op_named(OpKind::Mul, &format!("s{s}_m3"), &format!("s{s}_p3"), y1.into(), coeff[3].into());
+        let p4 = b.op_named(OpKind::Mul, &format!("s{s}_m4"), &format!("s{s}_p4"), y2.into(), coeff[4].into());
+        let t0 = b.op_named(OpKind::Add, &format!("s{s}_a0"), &format!("s{s}_t0"), p0.into(), p1.into());
+        let t1 = b.op_named(OpKind::Add, &format!("s{s}_a1x"), &format!("s{s}_t1"), p2.into(), p3.into());
+        let t2 = b.op_named(OpKind::Add, &format!("s{s}_a2x"), &format!("s{s}_t2"), t0.into(), t1.into());
+        let y = b.op_named(OpKind::Add, &format!("s{s}_a3"), &format!("s{s}_y"), t2.into(), p4.into());
+        x = y;
+    }
+    b.mark_output(x);
+    let dfg = b.build().expect("iir cascade is well-formed");
+    let modules: ModuleSet = "2*,2+".parse().expect("valid module string");
+    let schedule = scheduling::list_schedule(&dfg, &modules).expect("modules cover all kinds");
+    Benchmark {
+        name: format!("IIR x{n}"),
+        dfg,
+        schedule,
+        module_allocation: modules,
+        lifetime_options: LifetimeOptions::port_inputs(),
+        expected_min_registers: 0, // not pinned; used for scaling studies
+    }
+}
+
+/// An `n×n` matrix multiply (`C = A·B`): `n³` multiplies and `n²(n−1)`
+/// additions over programmable inputs, list-scheduled on `2*,2+`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn matmul(n: usize) -> Benchmark {
+    assert!(n >= 2, "need at least a 2x2 multiply");
+    let mut b = DfgBuilder::new();
+    let a: Vec<Vec<_>> = (0..n)
+        .map(|i| (0..n).map(|j| b.input(&format!("a{i}{j}"))).collect())
+        .collect();
+    let bm: Vec<Vec<_>> = (0..n)
+        .map(|i| (0..n).map(|j| b.input(&format!("b{i}{j}"))).collect())
+        .collect();
+    for (i, a_row) in a.iter().enumerate() {
+        for j in 0..n {
+            let mut acc: Option<crate::VarId> = None;
+            for (k, bm_row) in bm.iter().enumerate() {
+                let p = b.op_named(
+                    OpKind::Mul,
+                    &format!("m{i}{j}{k}"),
+                    &format!("p{i}{j}{k}"),
+                    a_row[k].into(),
+                    bm_row[j].into(),
+                );
+                acc = Some(match acc {
+                    None => p,
+                    Some(prev) => b.op_named(
+                        OpKind::Add,
+                        &format!("s{i}{j}{k}"),
+                        &format!("c{i}{j}{k}"),
+                        prev.into(),
+                        p.into(),
+                    ),
+                });
+            }
+            b.mark_output(acc.expect("n >= 2"));
+        }
+    }
+    let dfg = b.build().expect("matmul is well-formed");
+    let modules: ModuleSet = "2*,2+".parse().expect("valid module string");
+    let schedule = scheduling::list_schedule(&dfg, &modules).expect("modules cover all kinds");
+    Benchmark {
+        name: format!("MatMul {n}x{n}"),
+        dfg,
+        schedule,
+        module_allocation: modules,
+        lifetime_options: LifetimeOptions::port_inputs(),
+        expected_min_registers: 0, // not pinned; used for scaling studies
+    }
+}
+
+/// All five paper benchmarks in Table I order: ex1, ex2, Tseng1, Tseng2,
+/// Paulin.
+pub fn paper_suite() -> Vec<Benchmark> {
+    let mut t1 = tseng();
+    t1.name = "Tseng1".to_owned();
+    vec![ex1(), ex2(), t1, tseng2(), paulin()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::Lifetimes;
+    use lobist_graph::chordal::is_chordal;
+    use lobist_graph::count::count_colorings;
+
+    fn min_regs(b: &Benchmark) -> usize {
+        Lifetimes::compute(&b.dfg, &b.schedule, b.lifetime_options).min_registers()
+    }
+
+    #[test]
+    fn register_minimums_match_table_one() {
+        assert_eq!(min_regs(&ex1()), 3);
+        assert_eq!(min_regs(&ex2()), 5);
+        assert_eq!(min_regs(&tseng()), 5);
+        assert_eq!(min_regs(&tseng2()), 5);
+        assert_eq!(min_regs(&paulin()), 4);
+    }
+
+    #[test]
+    fn ex1_matches_paper_structure() {
+        let bench = ex1();
+        let dfg = &bench.dfg;
+        // I_M1 = {a, b, c, d}: operands of the two additions.
+        let mut im1: Vec<String> = dfg
+            .op_ids()
+            .filter(|&o| dfg.op(o).kind == OpKind::Add)
+            .flat_map(|o| dfg.op(o).input_vars())
+            .map(|v| dfg.var(v).name.clone())
+            .collect();
+        im1.sort();
+        im1.dedup();
+        assert_eq!(im1, vec!["a", "b", "c", "d"]);
+        // O_M1 = {d, f}: results of the two additions.
+        let mut om1: Vec<String> = dfg
+            .op_ids()
+            .filter(|&o| dfg.op(o).kind == OpKind::Add)
+            .map(|o| dfg.var(dfg.op(o).out).name.clone())
+            .collect();
+        om1.sort();
+        assert_eq!(om1, vec!["d", "f"]);
+    }
+
+    #[test]
+    fn ex1_final_testable_assignment_is_proper() {
+        // The paper's worked example ends at ({c,f,a}, {d,g,b,h}, {e}).
+        let bench = ex1();
+        let lt = Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
+        let groups = [vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]];
+        for group in &groups {
+            for (i, n1) in group.iter().enumerate() {
+                for n2 in &group[i + 1..] {
+                    let u = bench.dfg.var_by_name(n1).unwrap();
+                    let v = bench.dfg.var_by_name(n2).unwrap();
+                    assert!(!lt.conflicts(u, v), "{n1} conflicts with {n2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ex1_conflict_trace_facts() {
+        let bench = ex1();
+        let lt = Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
+        let v = |n: &str| bench.dfg.var_by_name(n).unwrap();
+        // c and d conflict (the first two colored vertices get distinct
+        // registers) and e conflicts with members of both partial
+        // registers {c,f} and {d,g}.
+        assert!(lt.conflicts(v("c"), v("d")));
+        assert!(lt.conflicts(v("e"), v("c")) || lt.conflicts(v("e"), v("f")));
+        assert!(lt.conflicts(v("e"), v("d")) || lt.conflicts(v("e"), v("g")));
+    }
+
+    #[test]
+    fn ex1_assignment_count_is_close_to_paper() {
+        // The paper reports 108 distinct assignments to three registers
+        // for its exact figure; our reconstruction admits 144 (one
+        // lifetime boundary cannot be recovered from the text). Pin the
+        // count so the encoding stays stable.
+        let bench = ex1();
+        let lt = Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
+        let g = lt.conflict_graph();
+        assert_eq!(count_colorings(&g, 3), 144);
+    }
+
+    #[test]
+    fn all_conflict_graphs_are_interval_hence_chordal() {
+        for b in paper_suite() {
+            let lt = Lifetimes::compute(&b.dfg, &b.schedule, b.lifetime_options);
+            assert!(is_chordal(&lt.conflict_graph()), "{} not chordal", b.name);
+        }
+    }
+
+    #[test]
+    fn module_allocations_cover_every_step() {
+        // Each step's operations must be executable on the declared
+        // module set (necessary condition for a valid module assignment).
+        for b in paper_suite() {
+            for step in 1..=b.schedule.max_step() {
+                let ops = b.schedule.ops_in_step(step);
+                // Greedy bipartite check: dedicated units first.
+                let mut free: Vec<bool> = vec![true; b.module_allocation.len()];
+                for &op in &ops {
+                    let kind = b.dfg.op(op).kind;
+                    let slot = b
+                        .module_allocation
+                        .supporting(kind)
+                        .filter(|&m| free[m])
+                        .min_by_key(|&m| match b.module_allocation.class(m) {
+                            crate::modules::ModuleClass::Op(_) => 0,
+                            crate::modules::ModuleClass::Alu => 1,
+                        });
+                    let m = slot.unwrap_or_else(|| {
+                        panic!("{}: step {step} overcommits {kind}", b.name)
+                    });
+                    free[m] = false;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paulin_full_has_comparison() {
+        let b = paulin_full();
+        assert!(b.dfg.op_ids().any(|o| b.dfg.op(o).kind == OpKind::Lt));
+        assert_eq!(min_regs(&b), 5);
+    }
+
+    #[test]
+    fn fir_scales() {
+        for n in [2, 5, 16] {
+            let b = fir(n);
+            assert_eq!(
+                b.dfg.num_ops(),
+                n + (n - 1),
+                "FIR{n} should have n muls and n-1 adds"
+            );
+            assert!(min_regs(&b) >= 1);
+        }
+    }
+
+    #[test]
+    fn diffeq_unrolled_grows_linearly() {
+        let b1 = diffeq_unrolled(1);
+        let b3 = diffeq_unrolled(3);
+        assert_eq!(b1.dfg.num_ops() * 3, b3.dfg.num_ops());
+        assert!(b3.schedule.max_step() > b1.schedule.max_step());
+    }
+
+    #[test]
+    fn iir_cascade_scales_and_chains() {
+        let b1 = iir_biquad_cascade(1);
+        assert_eq!(b1.dfg.num_ops(), 9);
+        let b3 = iir_biquad_cascade(3);
+        assert_eq!(b3.dfg.num_ops(), 27);
+        // The cascade has exactly one primary output (the last section's y).
+        assert_eq!(b3.dfg.primary_outputs().count(), 1);
+        assert!(min_regs(&b3) > min_regs(&b1));
+    }
+
+    #[test]
+    fn matmul_op_counts() {
+        let m2 = matmul(2);
+        assert_eq!(m2.dfg.num_ops(), 8 + 4); // n³ muls + n²(n−1) adds
+        assert_eq!(m2.dfg.primary_outputs().count(), 4);
+        let m3 = matmul(3);
+        assert_eq!(m3.dfg.num_ops(), 27 + 18);
+        assert!(m3.schedule.max_step() >= 14, "2 mults bound the schedule");
+    }
+
+    #[test]
+    fn paper_suite_names() {
+        let names: Vec<String> = paper_suite().into_iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["ex1", "ex2", "Tseng1", "Tseng2", "Paulin"]);
+    }
+}

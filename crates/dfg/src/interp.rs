@@ -1,0 +1,179 @@
+//! Reference interpretation of a data flow graph.
+//!
+//! Evaluates the DFG as a pure function from primary-input values to
+//! primary-output values, with wrapping fixed-width arithmetic. This is
+//! the golden model the RTL data-path simulator is checked against.
+
+use std::collections::HashMap;
+
+use crate::dfg::Dfg;
+use crate::types::{OpKind, Operand, VarId};
+
+/// Masks `x` to `width` bits.
+fn mask(x: u64, width: u32) -> u64 {
+    if width >= 64 {
+        x
+    } else {
+        x & ((1u64 << width) - 1)
+    }
+}
+
+/// Applies a binary operation at the given bit width.
+///
+/// Semantics: wrapping add/sub/mul, bitwise logic, and `Lt` producing
+/// 0/1. Division by zero yields the all-ones word (a common hardware
+/// convention), and the multiplier keeps the low `width` bits.
+pub fn apply(kind: OpKind, a: u64, b: u64, width: u32) -> u64 {
+    let v = match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => a.checked_div(b).unwrap_or(u64::MAX),
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Lt => u64::from(a < b),
+    };
+    mask(v, width)
+}
+
+/// Errors from DFG interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A primary input was not supplied a value.
+    MissingInput(VarId),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::MissingInput(v) => write!(f, "no value supplied for input {v}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Evaluates the whole DFG, returning the value of every variable.
+///
+/// # Errors
+///
+/// Returns [`InterpError::MissingInput`] if `inputs` lacks a primary
+/// input.
+pub fn interpret(
+    dfg: &Dfg,
+    inputs: &HashMap<VarId, u64>,
+    width: u32,
+) -> Result<Vec<u64>, InterpError> {
+    let mut values = vec![0u64; dfg.num_vars()];
+    for v in dfg.primary_inputs() {
+        let x = inputs.get(&v).ok_or(InterpError::MissingInput(v))?;
+        values[v.index()] = mask(*x, width);
+    }
+    for op in dfg.topo_order() {
+        let info = dfg.op(op);
+        let read = |o: Operand, values: &[u64]| -> u64 {
+            match o {
+                Operand::Var(v) => values[v.index()],
+                Operand::Const(c) => mask(c as u64, width),
+            }
+        };
+        let a = read(info.lhs, &values);
+        let b = read(info.rhs, &values);
+        values[info.out.index()] = apply(info.kind, a, b, width);
+    }
+    Ok(values)
+}
+
+/// Evaluates the DFG and returns just the primary outputs, keyed by
+/// variable.
+///
+/// # Errors
+///
+/// As [`interpret`].
+pub fn outputs(
+    dfg: &Dfg,
+    inputs: &HashMap<VarId, u64>,
+    width: u32,
+) -> Result<HashMap<VarId, u64>, InterpError> {
+    let values = interpret(dfg, inputs, width)?;
+    Ok(dfg
+        .primary_outputs()
+        .map(|v| (v, values[v.index()]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::dfg::DfgBuilder;
+
+    #[test]
+    fn apply_semantics() {
+        assert_eq!(apply(OpKind::Add, 250, 10, 8), 4); // wraps at 8 bits
+        assert_eq!(apply(OpKind::Sub, 3, 5, 8), 254);
+        assert_eq!(apply(OpKind::Mul, 16, 16, 8), 0);
+        assert_eq!(apply(OpKind::Div, 17, 5, 8), 3);
+        assert_eq!(apply(OpKind::Div, 17, 0, 8), 255);
+        assert_eq!(apply(OpKind::And, 0b1100, 0b1010, 8), 0b1000);
+        assert_eq!(apply(OpKind::Or, 0b1100, 0b1010, 8), 0b1110);
+        assert_eq!(apply(OpKind::Xor, 0b1100, 0b1010, 8), 0b0110);
+        assert_eq!(apply(OpKind::Lt, 3, 5, 8), 1);
+        assert_eq!(apply(OpKind::Lt, 5, 3, 8), 0);
+    }
+
+    #[test]
+    fn interpret_small_expression() {
+        // y = (a + b) * c at width 8.
+        let mut b = DfgBuilder::new();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let s = b.op(OpKind::Add, "s", a.into(), bb.into());
+        let y = b.op(OpKind::Mul, "y", s.into(), c.into());
+        b.mark_output(y);
+        let dfg = b.build().unwrap();
+        let inputs: HashMap<VarId, u64> = [(a, 3), (bb, 4), (c, 5)].into_iter().collect();
+        let out = outputs(&dfg, &inputs, 8).unwrap();
+        assert_eq!(out[&y], 35);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let mut b = DfgBuilder::new();
+        let a = b.input("a");
+        let y = b.op(OpKind::Add, "y", a.into(), 1i64.into());
+        b.mark_output(y);
+        let dfg = b.build().unwrap();
+        let err = interpret(&dfg, &HashMap::new(), 8).unwrap_err();
+        assert_eq!(err, InterpError::MissingInput(a));
+    }
+
+    #[test]
+    fn paulin_iteration_matches_hand_computation() {
+        let bench = benchmarks::paulin();
+        let v = |n: &str| bench.dfg.var_by_name(n).unwrap();
+        // x=2, u=3, dx=1, y=4, width 16:
+        // t1=6, t2=3, xl=3, t3=18, t4=12, yl=7, t5=12, t6=3-18=-15 (wrap),
+        // ul=t6-12=-27 (wrap).
+        let inputs: HashMap<VarId, u64> =
+            [(v("x"), 2), (v("u"), 3), (v("dx"), 1), (v("y"), 4)].into_iter().collect();
+        let out = outputs(&bench.dfg, &inputs, 16).unwrap();
+        assert_eq!(out[&v("xl")], 3);
+        assert_eq!(out[&v("yl")], 7);
+        assert_eq!(out[&v("ul")], (3u64.wrapping_sub(18).wrapping_sub(12)) & 0xFFFF);
+    }
+
+    #[test]
+    fn constants_are_masked() {
+        let mut b = DfgBuilder::new();
+        let a = b.input("a");
+        let y = b.op(OpKind::Add, "y", a.into(), 257i64.into());
+        b.mark_output(y);
+        let dfg = b.build().unwrap();
+        let inputs: HashMap<VarId, u64> = [(a, 1)].into_iter().collect();
+        let out = outputs(&dfg, &inputs, 8).unwrap();
+        assert_eq!(out[&y], 2); // 257 masked to 1, plus 1
+    }
+}

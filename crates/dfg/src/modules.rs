@@ -1,0 +1,267 @@
+//! Functional-unit resource descriptions.
+//!
+//! The paper's Tables describe module allocations as strings such as
+//! `"1+,2*,1-"` (one adder, two multipliers, one subtractor) or
+//! `"1+,3ALU"`. A [`ModuleSet`] is the multiset of available functional
+//! units against which operations are assigned.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::types::OpKind;
+
+/// The class of a functional-unit module: a dedicated operator or a
+/// general ALU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ModuleClass {
+    /// A dedicated unit performing exactly one operation kind.
+    Op(OpKind),
+    /// A general ALU capable of any operation kind.
+    Alu,
+}
+
+impl ModuleClass {
+    /// `true` if this module can execute operations of kind `k`.
+    pub fn supports(self, k: OpKind) -> bool {
+        match self {
+            ModuleClass::Op(mk) => mk == k,
+            ModuleClass::Alu => true,
+        }
+    }
+}
+
+impl fmt::Display for ModuleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleClass::Op(k) => write!(f, "{k}"),
+            ModuleClass::Alu => write!(f, "ALU"),
+        }
+    }
+}
+
+/// A multiset of available functional units, one entry per physical
+/// module.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_dfg::modules::{ModuleClass, ModuleSet};
+/// use lobist_dfg::OpKind;
+///
+/// let set: ModuleSet = "1+,2*,1-".parse()?;
+/// assert_eq!(set.len(), 4);
+/// assert_eq!(set.count(ModuleClass::Op(OpKind::Mul)), 2);
+/// assert_eq!(set.to_string(), "1+,2*,1-");
+/// # Ok::<(), lobist_dfg::modules::ParseModuleSetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleSet {
+    classes: Vec<ModuleClass>,
+}
+
+impl ModuleSet {
+    /// Creates a module set from explicit classes (order preserved; the
+    /// index in this list is the module id used by assignment).
+    pub fn new(classes: Vec<ModuleClass>) -> Self {
+        Self { classes }
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` if the set has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The class of module `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn class(&self, i: usize) -> ModuleClass {
+        self.classes[i]
+    }
+
+    /// All classes, by module id.
+    pub fn classes(&self) -> &[ModuleClass] {
+        &self.classes
+    }
+
+    /// How many modules of the given class are available.
+    pub fn count(&self, class: ModuleClass) -> usize {
+        self.classes.iter().filter(|&&c| c == class).count()
+    }
+
+    /// Module ids able to execute operation kind `k`.
+    pub fn supporting(&self, k: OpKind) -> impl Iterator<Item = usize> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.supports(k))
+            .map(|(i, _)| i)
+    }
+}
+
+impl FromIterator<ModuleClass> for ModuleSet {
+    fn from_iter<T: IntoIterator<Item = ModuleClass>>(iter: T) -> Self {
+        ModuleSet::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ModuleClass> for ModuleSet {
+    fn extend<T: IntoIterator<Item = ModuleClass>>(&mut self, iter: T) {
+        self.classes.extend(iter);
+    }
+}
+
+/// Error parsing a module-set string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModuleSetError {
+    /// The offending component of the input.
+    pub component: String,
+}
+
+impl fmt::Display for ParseModuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid module component `{}`", self.component)
+    }
+}
+
+impl std::error::Error for ParseModuleSetError {}
+
+impl FromStr for ModuleSet {
+    type Err = ParseModuleSetError;
+
+    /// Parses strings like `"1+,2*,1-"`, `"1+,3ALU"`, `"1/,2*,2+,1&"`.
+    /// Whitespace around components is ignored; a missing count means 1.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut classes = Vec::new();
+        for raw in s.split(',') {
+            let comp = raw.trim();
+            if comp.is_empty() {
+                return Err(ParseModuleSetError {
+                    component: raw.to_owned(),
+                });
+            }
+            let digits: String = comp.chars().take_while(|c| c.is_ascii_digit()).collect();
+            let rest = comp[digits.len()..].trim();
+            let count: usize = if digits.is_empty() {
+                1
+            } else {
+                digits.parse().map_err(|_| ParseModuleSetError {
+                    component: comp.to_owned(),
+                })?
+            };
+            let class = if rest.eq_ignore_ascii_case("alu") || rest.eq_ignore_ascii_case("alus") {
+                ModuleClass::Alu
+            } else if rest.chars().count() == 1 {
+                let c = rest.chars().next().expect("one char");
+                match OpKind::from_symbol(c) {
+                    Some(k) => ModuleClass::Op(k),
+                    None => {
+                        return Err(ParseModuleSetError {
+                            component: comp.to_owned(),
+                        })
+                    }
+                }
+            } else {
+                return Err(ParseModuleSetError {
+                    component: comp.to_owned(),
+                });
+            };
+            classes.extend(std::iter::repeat_n(class, count));
+        }
+        Ok(ModuleSet::new(classes))
+    }
+}
+
+impl fmt::Display for ModuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Group runs of equal classes in first-appearance order.
+        let mut groups: Vec<(ModuleClass, usize)> = Vec::new();
+        for &c in &self.classes {
+            match groups.iter_mut().find(|(gc, _)| *gc == c) {
+                Some((_, n)) => *n += 1,
+                None => groups.push((c, 1)),
+            }
+        }
+        for (i, (c, n)) in groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_allocations() {
+        for s in ["1+,1*", "1/,2*,2+,1&", "2+,1*,1-,1&,1|,1/", "1+,3ALU", "1+,2*,1-"] {
+            let set: ModuleSet = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_counts_and_classes() {
+        let set: ModuleSet = "2+,1*".parse().unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.count(ModuleClass::Op(OpKind::Add)), 2);
+        assert_eq!(set.count(ModuleClass::Op(OpKind::Mul)), 1);
+        assert_eq!(set.class(0), ModuleClass::Op(OpKind::Add));
+        assert_eq!(set.class(2), ModuleClass::Op(OpKind::Mul));
+    }
+
+    #[test]
+    fn implicit_count_is_one() {
+        let set: ModuleSet = "+,*".parse().unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn alu_supports_everything() {
+        let set: ModuleSet = "1+,3ALU".parse().unwrap();
+        assert_eq!(set.count(ModuleClass::Alu), 3);
+        let mul_capable: Vec<usize> = set.supporting(OpKind::Mul).collect();
+        assert_eq!(mul_capable, vec![1, 2, 3]);
+        let add_capable: Vec<usize> = set.supporting(OpKind::Add).collect();
+        assert_eq!(add_capable, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("2?".parse::<ModuleSet>().is_err());
+        assert!("".parse::<ModuleSet>().is_err());
+        assert!("1+,,1*".parse::<ModuleSet>().is_err());
+        assert!("1plus".parse::<ModuleSet>().is_err());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut set: ModuleSet =
+            [ModuleClass::Op(OpKind::Add), ModuleClass::Alu].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        set.extend([ModuleClass::Op(OpKind::Mul)]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.class(2), ModuleClass::Op(OpKind::Mul));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["1+,2*,1-", "1+,3ALU", "1/,2*,2+,1&"] {
+            let set: ModuleSet = s.parse().unwrap();
+            let printed = set.to_string();
+            let reparsed: ModuleSet = printed.parse().unwrap();
+            assert_eq!(set, reparsed, "{s} -> {printed}");
+        }
+    }
+}

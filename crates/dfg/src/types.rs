@@ -1,0 +1,207 @@
+//! Core identifier and operation-kind types.
+
+use std::fmt;
+
+/// Identifier of a variable (an edge of the data flow graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index into [`crate::Dfg`] storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an operation (a vertex of the data flow graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The operation's index into [`crate::Dfg`] storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The kind of a binary operation.
+///
+/// The paper assumes binary, commutative operators; non-commutative
+/// operators (subtraction, division, comparison) are handled by adding
+/// port constraints during interconnect assignment, and unary operators
+/// are treated as binary with a constant second operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OpKind {
+    /// Addition (`+`), commutative.
+    Add,
+    /// Subtraction (`-`), non-commutative.
+    Sub,
+    /// Multiplication (`*`), commutative.
+    Mul,
+    /// Division (`/`), non-commutative.
+    Div,
+    /// Bitwise AND (`&`), commutative.
+    And,
+    /// Bitwise OR (`|`), commutative.
+    Or,
+    /// Bitwise XOR (`^`), commutative.
+    Xor,
+    /// Less-than comparison (`<`), non-commutative.
+    Lt,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Lt,
+    ];
+
+    /// `true` if operand order is irrelevant.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor
+        )
+    }
+
+    /// The conventional one-character symbol (`<` is rendered as `<`).
+    pub fn symbol(self) -> char {
+        match self {
+            OpKind::Add => '+',
+            OpKind::Sub => '-',
+            OpKind::Mul => '*',
+            OpKind::Div => '/',
+            OpKind::And => '&',
+            OpKind::Or => '|',
+            OpKind::Xor => '^',
+            OpKind::Lt => '<',
+        }
+    }
+
+    /// Parses a symbol as produced by [`OpKind::symbol`].
+    pub fn from_symbol(c: char) -> Option<OpKind> {
+        OpKind::ALL.iter().copied().find(|k| k.symbol() == c)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// An operand of an operation: either a variable or an inline constant.
+///
+/// Constants (e.g. the literal `3` in the Paulin differential-equation
+/// benchmark) are hard-wired and never occupy a register, so they are
+/// excluded from lifetime analysis and allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Operand {
+    /// A variable operand.
+    Var(VarId),
+    /// A hard-wired constant operand.
+    Const(i64),
+}
+
+impl Operand {
+    /// The variable, if this operand is one.
+    pub fn var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// `true` for constant operands.
+    pub fn is_const(self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Var(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutativity_table() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(OpKind::Mul.is_commutative());
+        assert!(OpKind::And.is_commutative());
+        assert!(OpKind::Or.is_commutative());
+        assert!(OpKind::Xor.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Div.is_commutative());
+        assert!(!OpKind::Lt.is_commutative());
+    }
+
+    #[test]
+    fn symbol_round_trip() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::from_symbol(k.symbol()), Some(k));
+        }
+        assert_eq!(OpKind::from_symbol('?'), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(OpId(7).to_string(), "op7");
+        assert_eq!(OpKind::Mul.to_string(), "*");
+        assert_eq!(Operand::Var(VarId(1)).to_string(), "v1");
+        assert_eq!(Operand::Const(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let v: Operand = VarId(2).into();
+        assert_eq!(v.var(), Some(VarId(2)));
+        assert!(!v.is_const());
+        let c: Operand = 5i64.into();
+        assert_eq!(c.var(), None);
+        assert!(c.is_const());
+    }
+}

@@ -1,0 +1,55 @@
+//! Parser robustness: arbitrary input never panics, and generated valid
+//! programs round-trip exactly.
+
+use proptest::prelude::*;
+
+use lobist_dfg::parse::{parse_dfg, parse_unscheduled_dfg, to_text};
+use lobist_dfg::random::{random_scheduled_dfg, RandomDfgConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        let _ = parse_dfg(&text);
+        let _ = parse_unscheduled_dfg(&text);
+    }
+
+    #[test]
+    fn near_miss_programs_never_panic(
+        name in "[a-z]{1,4}",
+        op in prop::sample::select(vec!["+", "-", "*", "/", "&", "|", "^", "<", "?", "++"]),
+        step in prop::sample::select(vec!["1", "0", "-3", "x", ""]),
+        trailer in prop::sample::select(vec!["", "output y", "output", "input"]),
+    ) {
+        let text = format!("input a b\n{name} = a {op} b @ {step}\n{trailer}\n");
+        let _ = parse_dfg(&text);
+    }
+
+    #[test]
+    fn random_designs_round_trip(seed in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 12,
+            num_inputs: 4,
+            max_ops_per_step: 3,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let text = to_text(&dfg, &schedule);
+        let (dfg2, schedule2) = parse_dfg(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(dfg2.num_ops(), dfg.num_ops());
+        prop_assert_eq!(dfg2.num_vars(), dfg.num_vars());
+        prop_assert_eq!(schedule2.as_slice(), schedule.as_slice());
+        // Names and kinds survive.
+        for op in dfg.op_ids() {
+            let name = &dfg.var(dfg.op(op).out).name;
+            let v2 = dfg2.var_by_name(name).expect("name survives");
+            let op2 = dfg2.var(v2).producer.expect("still computed");
+            prop_assert_eq!(dfg2.op(op2).kind, dfg.op(op).kind);
+        }
+        // And a second round trip is a fixpoint.
+        let text2 = to_text(&dfg2, &schedule2);
+        prop_assert_eq!(text, text2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Chordal graph recognition and clique extraction.
+//!
+//! Interval graphs are chordal, and a graph is chordal iff it admits a
+//! *perfect elimination ordering* (PEO): an ordering `v1, ..., vn` such
+//! that each `vi` is simplicial in the subgraph induced by `{vi, ..., vn}`.
+//! Lexicographic breadth-first search (Lex-BFS, Rose–Tarjan–Lueker 1976)
+//! produces the reverse of a PEO on chordal graphs in linear time; we
+//! verify the candidate ordering to decide chordality.
+
+use crate::UGraph;
+
+/// A lexicographic BFS ordering of the vertices of `g`, starting from
+/// vertex 0 (or the lowest-numbered vertex of each component).
+///
+/// On a chordal graph the *reverse* of this ordering is a perfect
+/// elimination ordering.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{chordal::lex_bfs, UGraph};
+///
+/// let g = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let order = lex_bfs(&g);
+/// assert_eq!(order.len(), 3);
+/// ```
+pub fn lex_bfs(g: &UGraph) -> Vec<usize> {
+    let n = g.len();
+    // Simple O(n^2) partition-refinement-free implementation: maintain a
+    // label (set of positions of already-visited neighbors) per vertex and
+    // repeatedly pick the unvisited vertex with lexicographically largest
+    // label. Adequate for allocation-sized graphs.
+    let mut labels: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for position in (0..n).rev() {
+        // Pick unvisited vertex with lexicographically largest label; ties
+        // broken by lowest vertex id for determinism.
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if visited[v] {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) => {
+                    if labels[v] > labels[b] {
+                        best = Some(v);
+                    }
+                }
+            }
+        }
+        let v = best.expect("at least one unvisited vertex remains");
+        visited[v] = true;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !visited[w] {
+                labels[w].push(position);
+            }
+        }
+    }
+    order
+}
+
+/// Checks whether `order` (eliminated first to last) is a perfect
+/// elimination ordering of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{chordal::is_perfect_elimination_ordering, UGraph};
+///
+/// // Triangle: any order is a PEO.
+/// let g = UGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// assert!(is_perfect_elimination_ordering(&g, &[0, 1, 2]));
+/// // 4-cycle: no PEO exists.
+/// let c4 = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert!(!is_perfect_elimination_ordering(&c4, &[0, 1, 2, 3]));
+/// ```
+pub fn is_perfect_elimination_ordering(g: &UGraph, order: &[usize]) -> bool {
+    let n = g.len();
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        if v >= n || seen[v] {
+            return false; // not a permutation
+        }
+        seen[v] = true;
+    }
+    let mut alive = vec![true; n];
+    for &v in order {
+        if !g.is_simplicial_in(v, &alive) {
+            return false;
+        }
+        alive[v] = false;
+    }
+    true
+}
+
+/// Returns `true` if `g` is chordal (every cycle of length ≥ 4 has a
+/// chord). Interval conflict graphs are always chordal.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{chordal::is_chordal, UGraph};
+///
+/// assert!(is_chordal(&UGraph::from_edges(3, &[(0, 1), (1, 2)])));
+/// assert!(!is_chordal(&UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])));
+/// ```
+pub fn is_chordal(g: &UGraph) -> bool {
+    let lbfs = lex_bfs(g);
+    let peo: Vec<usize> = lbfs.into_iter().rev().collect();
+    is_perfect_elimination_ordering(g, &peo)
+}
+
+/// The maximal cliques of a chordal graph, extracted from a perfect
+/// elimination ordering: for each vertex `v`, `{v} ∪ later-neighbors(v)`
+/// is a clique, and the maximal ones among these are exactly the maximal
+/// cliques of the graph.
+///
+/// Returns each clique as a sorted vertex list.
+///
+/// # Panics
+///
+/// Panics if `g` is not chordal.
+pub fn maximal_cliques_chordal(g: &UGraph) -> Vec<Vec<usize>> {
+    let lbfs = lex_bfs(g);
+    let peo: Vec<usize> = lbfs.into_iter().rev().collect();
+    assert!(
+        is_perfect_elimination_ordering(g, &peo),
+        "maximal_cliques_chordal requires a chordal graph"
+    );
+    let n = g.len();
+    let mut position = vec![0usize; n];
+    for (i, &v) in peo.iter().enumerate() {
+        position[v] = i;
+    }
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for (i, &v) in peo.iter().enumerate() {
+        let mut c: Vec<usize> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| position[w] > i)
+            .collect();
+        c.push(v);
+        c.sort_unstable();
+        if !cliques
+            .iter()
+            .any(|big| c.iter().all(|x| big.binary_search(x).is_ok()))
+        {
+            cliques.retain(|old| !old.iter().all(|x| c.binary_search(x).is_ok()));
+            cliques.push(c);
+        }
+    }
+    cliques
+}
+
+/// `MCS(v)` for every vertex of a chordal graph: the size of the largest
+/// maximal clique containing each vertex.
+///
+/// # Panics
+///
+/// Panics if `g` is not chordal.
+pub fn max_clique_size_per_vertex(g: &UGraph) -> Vec<usize> {
+    let cliques = maximal_cliques_chordal(g);
+    let mut mcs = vec![1usize; g.len()];
+    for c in &cliques {
+        for &v in c {
+            mcs[v] = mcs[v].max(c.len());
+        }
+    }
+    mcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{conflict_graph, max_clique_sizes, Interval};
+
+    #[test]
+    fn lex_bfs_is_a_permutation() {
+        let g = UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]);
+        let mut order = lex_bfs(&g);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trees_are_chordal() {
+        let g = UGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn cycles_of_length_four_plus_are_not_chordal() {
+        for n in 4..8 {
+            let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+            let g = UGraph::from_edges(n, &edges);
+            assert!(!is_chordal(&g), "C{n} should not be chordal");
+        }
+    }
+
+    #[test]
+    fn chorded_cycle_is_chordal() {
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn empty_and_complete_graphs_are_chordal() {
+        assert!(is_chordal(&UGraph::new(0)));
+        assert!(is_chordal(&UGraph::new(4)));
+        let mut k4 = UGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                k4.add_edge(u, v);
+            }
+        }
+        assert!(is_chordal(&k4));
+    }
+
+    #[test]
+    fn interval_conflict_graphs_are_chordal() {
+        let spans = [
+            Interval::new(0, 4),
+            Interval::new(1, 3),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+            Interval::new(7, 9),
+            Interval::new(0, 9),
+        ];
+        assert!(is_chordal(&conflict_graph(&spans)));
+    }
+
+    #[test]
+    fn maximal_cliques_of_triangle_plus_pendant() {
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut cliques = maximal_cliques_chordal(&g);
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn chordal_mcs_matches_interval_sweep() {
+        let spans = [
+            Interval::new(0, 4),
+            Interval::new(1, 3),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+            Interval::new(7, 9),
+        ];
+        let g = conflict_graph(&spans);
+        assert_eq!(max_clique_size_per_vertex(&g), max_clique_sizes(&spans));
+    }
+
+    #[test]
+    #[should_panic(expected = "chordal")]
+    fn maximal_cliques_rejects_non_chordal() {
+        let c4 = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        maximal_cliques_chordal(&c4);
+    }
+
+    #[test]
+    fn peo_rejects_non_permutations() {
+        let g = UGraph::new(3);
+        assert!(!is_perfect_elimination_ordering(&g, &[0, 1]));
+        assert!(!is_perfect_elimination_ordering(&g, &[0, 0, 1]));
+        assert!(!is_perfect_elimination_ordering(&g, &[0, 1, 5]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Weighted clique partitioning on compatibility graphs.
+//!
+//! Classic HLS binding (Tseng & Siewiorek, 1986) groups compatible
+//! operations/values by partitioning a *compatibility graph* into cliques,
+//! merging the pair with the highest affinity first. The DAC'95 paper uses
+//! a weighted variant for interconnect assignment (Section IV), directing
+//! the partition so registers with high sharing degrees end up connected
+//! to both input ports of a module.
+
+use crate::UGraph;
+
+/// A partition of the vertices of a compatibility graph into cliques.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliquePartition {
+    /// `group[v]` is the clique index of vertex `v`.
+    pub group: Vec<usize>,
+    /// The cliques themselves, each a sorted vertex list.
+    pub cliques: Vec<Vec<usize>>,
+}
+
+impl CliquePartition {
+    /// Number of cliques in the partition.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// `true` if the partition has no cliques (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+}
+
+/// Greedy weighted clique partitioning.
+///
+/// `compat` is the compatibility graph: an edge means the two vertices may
+/// share a clique (e.g. two operations that can share a functional unit).
+/// `weight(u, v)` scores the desirability of merging `u` and `v`; pairs
+/// with larger weight merge first. Merging group A with group B requires
+/// every cross pair to be compatible, and the merged weight is the sum of
+/// cross-pair weights (standard "sum" update rule).
+///
+/// Runs until no two groups can merge. Deterministic: ties break toward
+/// the lexicographically smallest group pair.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{clique_partition::partition_weighted, UGraph};
+///
+/// // Two compatible pairs: {0,1} and {2,3}; 0 is incompatible with 2,3.
+/// let g = UGraph::from_edges(4, &[(0, 1), (2, 3), (1, 2), (1, 3)]);
+/// let p = partition_weighted(&g, |_, _| 1i64);
+/// assert_eq!(p.len(), 2);
+/// ```
+pub fn partition_weighted<F>(compat: &UGraph, mut weight: F) -> CliquePartition
+where
+    F: FnMut(usize, usize) -> i64,
+{
+    let n = compat.len();
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    // Merge until fixpoint.
+    loop {
+        let mut best: Option<(i64, usize, usize)> = None;
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                // All cross pairs must be compatible.
+                let ok = groups[i]
+                    .iter()
+                    .all(|&u| groups[j].iter().all(|&v| compat.has_edge(u, v)));
+                if !ok {
+                    continue;
+                }
+                let w: i64 = groups[i]
+                    .iter()
+                    .map(|&u| groups[j].iter().map(|&v| weight(u, v)).sum::<i64>())
+                    .sum();
+                match best {
+                    None => best = Some((w, i, j)),
+                    Some((bw, _, _)) if w > bw => best = Some((w, i, j)),
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            Some((_, i, j)) => {
+                let absorbed = groups.remove(j);
+                groups[i].extend(absorbed);
+                groups[i].sort_unstable();
+            }
+            None => break,
+        }
+    }
+    groups.sort_by(|a, b| a[0].cmp(&b[0]));
+    let mut group = vec![0usize; n];
+    for (gi, g) in groups.iter().enumerate() {
+        for &v in g {
+            group[v] = gi;
+        }
+    }
+    CliquePartition { group, cliques: groups }
+}
+
+/// Unweighted clique partitioning (all merges equally desirable).
+pub fn partition(compat: &UGraph) -> CliquePartition {
+    partition_weighted(compat, |_, _| 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_gives_empty_partition() {
+        let p = partition(&UGraph::new(0));
+        assert!(p.is_empty());
+        assert_eq!(p.group.len(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_gives_singletons() {
+        let p = partition(&UGraph::new(3));
+        assert_eq!(p.len(), 3);
+        assert!(p.cliques.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn complete_graph_gives_one_clique() {
+        let mut g = UGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let p = partition(&g);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.cliques[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn result_groups_are_cliques() {
+        let g = UGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (2, 3), (1, 3)],
+        );
+        let p = partition(&g);
+        for c in &p.cliques {
+            assert!(g.is_clique(c), "group {c:?} is not a clique");
+        }
+        // Every vertex appears exactly once.
+        let mut all: Vec<usize> = p.cliques.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn weights_steer_merges() {
+        // Triangle 0-1-2 plus vertex 3 compatible only with 0.
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        // Heavy weight on (0,3): expect {0,3} to merge first, leaving {1,2}.
+        let p = partition_weighted(&g, |u, v| if (u.min(v), u.max(v)) == (0, 3) { 100 } else { 1 });
+        assert_eq!(p.len(), 2);
+        assert!(p.cliques.contains(&vec![0, 3]));
+        assert!(p.cliques.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn group_index_matches_cliques() {
+        let g = UGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let p = partition(&g);
+        for (gi, c) in p.cliques.iter().enumerate() {
+            for &v in c {
+                assert_eq!(p.group[v], gi);
+            }
+        }
+    }
+}

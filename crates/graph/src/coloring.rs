@@ -1,0 +1,297 @@
+//! Graph colorings (register assignments) and standard coloring algorithms.
+
+use crate::interval::Interval;
+use crate::UGraph;
+
+/// A proper vertex coloring: `color[v]` is the register index of vertex
+/// (variable) `v`. Colors are contiguous `0..num_colors`.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{Coloring, UGraph};
+///
+/// let g = UGraph::from_edges(3, &[(0, 1)]);
+/// let c = Coloring::new(&g, vec![0, 1, 0]).expect("proper");
+/// assert_eq!(c.num_colors(), 2);
+/// assert_eq!(c.class(0), vec![0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+/// Error produced when a candidate coloring is not proper or not contiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// Two adjacent vertices share a color.
+    Conflict {
+        /// First endpoint of the violated edge.
+        u: usize,
+        /// Second endpoint of the violated edge.
+        v: usize,
+        /// The shared color.
+        color: usize,
+    },
+    /// `colors.len()` differs from the number of vertices.
+    WrongLength {
+        /// Number of color entries supplied.
+        got: usize,
+        /// Number of vertices expected.
+        expected: usize,
+    },
+    /// A color index is skipped (colors must be contiguous from 0).
+    NonContiguous {
+        /// The first missing color index.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::Conflict { u, v, color } => {
+                write!(f, "adjacent vertices {u} and {v} share color {color}")
+            }
+            ColoringError::WrongLength { got, expected } => {
+                write!(f, "coloring has {got} entries but graph has {expected} vertices")
+            }
+            ColoringError::NonContiguous { missing } => {
+                write!(f, "color {missing} is unused but higher colors exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+impl Coloring {
+    /// Validates and wraps an explicit color vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColoringError`] if the vector has the wrong length, skips
+    /// a color index, or assigns equal colors to adjacent vertices.
+    pub fn new(g: &UGraph, colors: Vec<usize>) -> Result<Self, ColoringError> {
+        if colors.len() != g.len() {
+            return Err(ColoringError::WrongLength {
+                got: colors.len(),
+                expected: g.len(),
+            });
+        }
+        let num_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
+        let mut used = vec![false; num_colors];
+        for &c in &colors {
+            used[c] = true;
+        }
+        if let Some(missing) = used.iter().position(|&u| !u) {
+            return Err(ColoringError::NonContiguous { missing });
+        }
+        for (u, v) in g.edges() {
+            if colors[u] == colors[v] {
+                return Err(ColoringError::Conflict { u, v, color: colors[u] });
+            }
+        }
+        Ok(Self { colors, num_colors })
+    }
+
+    /// The color (register index) of vertex `v`.
+    pub fn color(&self, v: usize) -> usize {
+        self.colors[v]
+    }
+
+    /// Number of colors (registers) used.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// The vertices assigned color `c`, in increasing order.
+    pub fn class(&self, c: usize) -> Vec<usize> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// All color classes, indexed by color.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        (0..self.num_colors).map(|c| self.class(c)).collect()
+    }
+
+    /// The raw color vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Consumes the coloring, returning the color vector.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.colors
+    }
+}
+
+/// Greedy coloring in the supplied vertex order: each vertex receives the
+/// lowest color not used by an already-colored neighbor.
+///
+/// When `order` is the reverse of a perfect elimination scheme of a
+/// chordal graph, this uses the minimum possible number of colors.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the vertices.
+pub fn greedy_in_order(g: &UGraph, order: &[usize]) -> Coloring {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover every vertex");
+    let mut colors = vec![usize::MAX; n];
+    for &v in order {
+        assert!(v < n && colors[v] == usize::MAX, "order must be a permutation");
+        let mut used: Vec<bool> = Vec::new();
+        for &w in g.neighbors(v) {
+            let c = colors[w];
+            if c != usize::MAX {
+                if c >= used.len() {
+                    used.resize(c + 1, false);
+                }
+                used[c] = true;
+            }
+        }
+        let c = used.iter().position(|&u| !u).unwrap_or(used.len());
+        colors[v] = c;
+    }
+    Coloring::new(g, colors).expect("greedy coloring is proper by construction")
+}
+
+/// Minimum coloring of a chordal graph: greedy in reverse-PVES order.
+///
+/// # Errors
+///
+/// Returns [`crate::pves::NotChordalError`] if the graph is not chordal.
+pub fn min_color_chordal(g: &UGraph) -> Result<Coloring, crate::pves::NotChordalError> {
+    let order = crate::pves::pves(g)?;
+    let rev: Vec<usize> = order.into_iter().rev().collect();
+    Ok(greedy_in_order(g, &rev))
+}
+
+/// The classic **left-edge algorithm** for interval coloring: sort
+/// intervals by start time and place each on the first "track" (register)
+/// whose last interval has ended. Produces a minimum coloring equal to the
+/// maximum overlap.
+///
+/// The i-th result entry is the color of `intervals[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{coloring::left_edge, interval::Interval};
+///
+/// let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(2, 4)];
+/// let colors = left_edge(&spans);
+/// assert_eq!(colors[0], colors[2]); // [0,2) and [2,4) can share
+/// assert_ne!(colors[0], colors[1]);
+/// ```
+pub fn left_edge(intervals: &[Interval]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].start, intervals[i].end, i));
+    let mut track_end: Vec<u32> = Vec::new(); // exclusive end per track
+    let mut colors = vec![0usize; intervals.len()];
+    for i in order {
+        let iv = intervals[i];
+        match track_end.iter().position(|&e| e <= iv.start) {
+            Some(t) => {
+                colors[i] = t;
+                track_end[t] = iv.end.max(track_end[t]);
+            }
+            None => {
+                colors[i] = track_end.len();
+                track_end.push(iv.end);
+            }
+        }
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{conflict_graph, max_overlap};
+
+    #[test]
+    fn coloring_validation_catches_conflicts() {
+        let g = UGraph::from_edges(2, &[(0, 1)]);
+        let err = Coloring::new(&g, vec![0, 0]).unwrap_err();
+        assert!(matches!(err, ColoringError::Conflict { .. }));
+    }
+
+    #[test]
+    fn coloring_validation_catches_wrong_length() {
+        let g = UGraph::new(3);
+        let err = Coloring::new(&g, vec![0, 1]).unwrap_err();
+        assert_eq!(err, ColoringError::WrongLength { got: 2, expected: 3 });
+    }
+
+    #[test]
+    fn coloring_validation_catches_gaps() {
+        let g = UGraph::new(2);
+        let err = Coloring::new(&g, vec![0, 2]).unwrap_err();
+        assert_eq!(err, ColoringError::NonContiguous { missing: 1 });
+    }
+
+    #[test]
+    fn classes_partition_vertices() {
+        let g = UGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let c = Coloring::new(&g, vec![0, 1, 1, 0]).unwrap();
+        assert_eq!(c.classes(), vec![vec![0, 3], vec![1, 2]]);
+    }
+
+    #[test]
+    fn greedy_on_reverse_peo_is_optimal_for_chordal() {
+        // Interval graph with known chromatic number 3.
+        let spans = [
+            Interval::new(0, 4),
+            Interval::new(1, 3),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+            Interval::new(0, 9),
+        ];
+        let g = conflict_graph(&spans);
+        let c = min_color_chordal(&g).unwrap();
+        assert_eq!(c.num_colors(), max_overlap(&spans));
+    }
+
+    #[test]
+    fn left_edge_matches_max_overlap() {
+        let spans = [
+            Interval::new(0, 3),
+            Interval::new(1, 4),
+            Interval::new(2, 5),
+            Interval::new(4, 7),
+            Interval::new(3, 6),
+            Interval::new(6, 9),
+        ];
+        let colors = left_edge(&spans);
+        let g = conflict_graph(&spans);
+        let c = Coloring::new(&g, colors).expect("left-edge must be proper");
+        assert_eq!(c.num_colors(), max_overlap(&spans));
+    }
+
+    #[test]
+    fn left_edge_empty_input() {
+        assert!(left_edge(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn greedy_rejects_duplicate_order() {
+        let g = UGraph::new(2);
+        greedy_in_order(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let g = UGraph::new(0);
+        let c = greedy_in_order(&g, &[]);
+        assert_eq!(c.num_colors(), 0);
+    }
+}

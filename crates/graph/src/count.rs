@@ -1,0 +1,175 @@
+//! Exact counting of proper colorings for small graphs.
+//!
+//! The paper remarks that its running example admits "108 distinct
+//! assignments of the variables to three registers". These helpers count
+//! such assignments exactly, which the test suite uses to pin down the
+//! structure of the reconstructed benchmark DFGs.
+
+use crate::UGraph;
+
+/// Counts proper colorings of `g` with at most `k` *labeled* colors
+/// (i.e. registers are distinguishable). This is the chromatic polynomial
+/// evaluated at `k`, computed by brute force.
+///
+/// Intended for small graphs; work is `O(k^n · m)`.
+///
+/// # Panics
+///
+/// Panics if `g.len() > 20` (to guard against accidental blowups).
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{count::count_colorings, UGraph};
+///
+/// let triangle = UGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(count_colorings(&triangle, 3), 6); // 3! ways
+/// ```
+pub fn count_colorings(g: &UGraph, k: usize) -> u64 {
+    let n = g.len();
+    assert!(n <= 20, "count_colorings is exponential; graph too large ({n} vertices)");
+    if n == 0 {
+        return 1;
+    }
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut assign = vec![0usize; n];
+    let mut count = 0u64;
+    // Iterative odometer over k^n assignments with early edge checks would
+    // be faster, but plain enumeration is fine at n <= 20 with small k.
+    fn rec(
+        v: usize,
+        n: usize,
+        k: usize,
+        g: &UGraph,
+        assign: &mut Vec<usize>,
+        count: &mut u64,
+    ) {
+        if v == n {
+            *count += 1;
+            return;
+        }
+        'color: for c in 0..k {
+            for &w in g.neighbors(v) {
+                if w < v && assign[w] == c {
+                    continue 'color;
+                }
+            }
+            assign[v] = c;
+            rec(v + 1, n, k, g, assign, count);
+        }
+    }
+    let _ = edges;
+    rec(0, n, k, g, &mut assign, &mut count);
+    count
+}
+
+/// Counts *unlabeled* partitions of the vertices into at most `k`
+/// independent sets (registers indistinguishable).
+///
+/// # Panics
+///
+/// Panics if `g.len() > 20`.
+pub fn count_partitions(g: &UGraph, k: usize) -> u64 {
+    let n = g.len();
+    assert!(n <= 20, "count_partitions is exponential; graph too large ({n} vertices)");
+    if n == 0 {
+        return 1;
+    }
+    // Canonical form: each vertex may reuse an existing color or open the
+    // next fresh one (capped at k), so every set partition into at most k
+    // blocks is enumerated exactly once.
+    fn rec(v: usize, n: usize, k: usize, used: usize, g: &UGraph, assign: &mut Vec<usize>) -> u64 {
+        if v == n {
+            return 1;
+        }
+        let mut total = 0u64;
+        let limit = (used + 1).min(k); // colors 0..limit (exclusive)
+        'color: for c in 0..limit {
+            for &w in g.neighbors(v) {
+                if w < v && assign[w] == c {
+                    continue 'color;
+                }
+            }
+            assign[v] = c;
+            total += rec(v + 1, n, k, used.max(c + 1), g, assign);
+        }
+        total
+    }
+    let mut assign = vec![0usize; n];
+    rec(0, n, k, 0, g, &mut assign)
+}
+
+/// The chromatic number of a small graph by iterative deepening over
+/// [`count_partitions`].
+///
+/// # Panics
+///
+/// Panics if `g.len() > 20`.
+pub fn chromatic_number(g: &UGraph) -> usize {
+    if g.is_empty() {
+        return 0;
+    }
+    for k in 1..=g.len() {
+        if count_partitions(g, k) > 0 {
+            return k;
+        }
+    }
+    unreachable!("n colors always suffice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chromatic_polynomial_of_triangle() {
+        let t = UGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_colorings(&t, 2), 0);
+        assert_eq!(count_colorings(&t, 3), 6);
+        assert_eq!(count_colorings(&t, 4), 24); // 4*3*2
+    }
+
+    #[test]
+    fn chromatic_polynomial_of_path() {
+        // P(path_n, k) = k (k-1)^(n-1)
+        let p = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count_colorings(&p, 3), 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn edgeless_counts() {
+        let g = UGraph::new(3);
+        assert_eq!(count_colorings(&g, 2), 8);
+        // Partitions of 3 elements into <= 2 blocks: {abc}, {ab|c}, {ac|b}, {bc|a} = 4
+        assert_eq!(count_partitions(&g, 2), 4);
+    }
+
+    #[test]
+    fn partitions_of_triangle() {
+        let t = UGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_partitions(&t, 3), 1);
+        assert_eq!(count_partitions(&t, 2), 0);
+    }
+
+    #[test]
+    fn chromatic_number_examples() {
+        assert_eq!(chromatic_number(&UGraph::new(0)), 0);
+        assert_eq!(chromatic_number(&UGraph::new(5)), 1);
+        let c5 = UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(chromatic_number(&c5), 3); // odd cycle
+    }
+
+    #[test]
+    fn labeled_equals_unlabeled_times_factorials() {
+        // For a graph whose chromatic number equals k and all proper
+        // colorings use all k colors, labeled = unlabeled * k!.
+        let t = UGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_colorings(&t, 3), count_partitions(&t, 3) * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn guards_against_large_graphs() {
+        count_colorings(&UGraph::new(21), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Intervals, interval conflict graphs and sweep-based clique analysis.
+//!
+//! Variable lifetimes in a scheduled data flow graph are half-open integer
+//! intervals `[start, end)`. Two variables *conflict* (cannot share a
+//! register) exactly when their intervals overlap, so the conflict graph of
+//! a straight-line behavioural description is an interval graph.
+
+use crate::UGraph;
+
+/// A half-open integer interval `[start, end)`.
+///
+/// Used to model variable lifetimes measured in control steps. An empty
+/// interval (`start == end`) conflicts with nothing.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::interval::Interval;
+///
+/// let a = Interval::new(0, 2);
+/// let b = Interval::new(1, 3);
+/// let c = Interval::new(2, 4);
+/// assert!(a.overlaps(&b));
+/// assert!(!a.overlaps(&c)); // half-open: [0,2) and [2,4) only touch
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Inclusive start (the control step at which the value becomes live).
+    pub start: u32,
+    /// Exclusive end (the first control step at which the value is dead).
+    pub end: u32,
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Self { start, end }
+    }
+
+    /// Length of the interval in control steps.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// `true` if the interval covers no control steps.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if the two half-open intervals intersect.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start.max(other.start) < self.end.min(other.end)
+    }
+
+    /// `true` if `point` lies inside `[start, end)`.
+    pub fn contains(&self, point: u32) -> bool {
+        self.start <= point && point < self.end
+    }
+}
+
+/// Builds the conflict graph of a set of lifetimes: vertex per interval,
+/// edge where two intervals overlap.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::interval::{conflict_graph, Interval};
+///
+/// let g = conflict_graph(&[Interval::new(0, 3), Interval::new(2, 4), Interval::new(3, 5)]);
+/// assert!(g.has_edge(0, 1));
+/// assert!(g.has_edge(1, 2));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+pub fn conflict_graph(intervals: &[Interval]) -> UGraph {
+    let mut g = UGraph::new(intervals.len());
+    for (i, a) in intervals.iter().enumerate() {
+        for (j, b) in intervals.iter().enumerate().skip(i + 1) {
+            if a.overlaps(b) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// The maximum number of simultaneously live intervals — the size of the
+/// largest clique of the conflict graph, and therefore the minimum number
+/// of registers required.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::interval::{max_overlap, Interval};
+///
+/// let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(1, 4)];
+/// assert_eq!(max_overlap(&spans), 3);
+/// ```
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let mut events: Vec<(u32, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        if !iv.is_empty() {
+            events.push((iv.start, 1));
+            events.push((iv.end, -1));
+        }
+    }
+    // Process departures before arrivals at the same time point so that
+    // half-open touching intervals do not count as overlapping.
+    events.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut live = 0i32;
+    let mut best = 0i32;
+    for (_, d) in events {
+        live += d;
+        best = best.max(live);
+    }
+    best as usize
+}
+
+/// For each interval, the size of the largest clique it belongs to in the
+/// conflict graph — i.e. the maximum number of intervals simultaneously
+/// live at some control step within it.
+///
+/// This is the paper's `MCS(v)` statistic used to order the perfect vertex
+/// elimination scheme: a variable in a large clique has few registers it
+/// can go to, so it is colored early.
+///
+/// Empty intervals belong only to the trivial clique of themselves and get
+/// `MCS = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::interval::{max_clique_sizes, Interval};
+///
+/// let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(1, 4), Interval::new(5, 6)];
+/// assert_eq!(max_clique_sizes(&spans), vec![3, 3, 3, 1]);
+/// ```
+pub fn max_clique_sizes(intervals: &[Interval]) -> Vec<usize> {
+    // Density of live intervals at each step, then per interval take the
+    // max density over its span. Interval graphs have the Helly property,
+    // so every maximal clique corresponds to a time point.
+    let mut mcs = vec![1usize; intervals.len()];
+    let points: Vec<u32> = intervals
+        .iter()
+        .filter(|iv| !iv.is_empty())
+        .map(|iv| iv.start)
+        .collect();
+    for &t in &points {
+        let live: Vec<usize> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.contains(t))
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &live {
+            mcs[i] = mcs[i].max(live.len());
+        }
+    }
+    mcs
+}
+
+/// The distinct maximal cliques of an interval conflict graph, each as a
+/// sorted vertex list. Returned in increasing order of the time point that
+/// witnesses them.
+pub fn maximal_cliques(intervals: &[Interval]) -> Vec<Vec<usize>> {
+    let mut points: Vec<u32> = intervals
+        .iter()
+        .filter(|iv| !iv.is_empty())
+        .map(|iv| iv.start)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for t in points {
+        let live: Vec<usize> = intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.contains(t))
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        // Keep only maximal sets: drop subsets of an already-found clique
+        // and cliques subsumed by this one.
+        if cliques
+            .iter()
+            .any(|c| live.iter().all(|v| c.binary_search(v).is_ok()))
+        {
+            continue;
+        }
+        cliques.retain(|c| !c.iter().all(|v| live.binary_search(v).is_ok()));
+        cliques.push(live);
+    }
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_interval_overlaps_nothing() {
+        let e = Interval::new(2, 2);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&Interval::new(0, 5)));
+        assert!(!Interval::new(0, 5).overlaps(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn backwards_interval_panics() {
+        Interval::new(3, 2);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        assert!(!Interval::new(0, 2).overlaps(&Interval::new(2, 4)));
+        assert!(Interval::new(0, 3).overlaps(&Interval::new(2, 4)));
+    }
+
+    #[test]
+    fn contains_respects_half_open_bounds() {
+        let iv = Interval::new(1, 3);
+        assert!(!iv.contains(0));
+        assert!(iv.contains(1));
+        assert!(iv.contains(2));
+        assert!(!iv.contains(3));
+    }
+
+    #[test]
+    fn conflict_graph_matches_pairwise_overlap() {
+        let spans = [
+            Interval::new(0, 2),
+            Interval::new(1, 4),
+            Interval::new(3, 5),
+            Interval::new(5, 6),
+        ];
+        let g = conflict_graph(&spans);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn max_overlap_handles_touching_endpoints() {
+        let spans = [Interval::new(0, 2), Interval::new(2, 4), Interval::new(4, 6)];
+        assert_eq!(max_overlap(&spans), 1);
+    }
+
+    #[test]
+    fn max_overlap_empty_input() {
+        assert_eq!(max_overlap(&[]), 0);
+    }
+
+    #[test]
+    fn max_clique_sizes_of_nested_intervals() {
+        // One long interval containing two short disjoint ones.
+        let spans = [Interval::new(0, 10), Interval::new(1, 2), Interval::new(5, 6)];
+        assert_eq!(max_clique_sizes(&spans), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn max_clique_sizes_isolated_vertex() {
+        let spans = [Interval::new(0, 1), Interval::new(2, 3)];
+        assert_eq!(max_clique_sizes(&spans), vec![1, 1]);
+    }
+
+    #[test]
+    fn maximal_cliques_of_staircase() {
+        let spans = [Interval::new(0, 3), Interval::new(2, 5), Interval::new(4, 7)];
+        let cliques = maximal_cliques(&spans);
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn maximal_cliques_dedup_subsets() {
+        // All three live at step 1; pairwise-only sets must not appear.
+        let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(1, 2)];
+        let cliques = maximal_cliques(&spans);
+        assert_eq!(cliques, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn mcs_is_consistent_with_max_overlap() {
+        let spans = [
+            Interval::new(0, 4),
+            Interval::new(1, 3),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+            Interval::new(7, 9),
+        ];
+        let mcs = max_clique_sizes(&spans);
+        let global = max_overlap(&spans);
+        assert_eq!(mcs.iter().copied().max().unwrap(), global);
+        // Every vertex's MCS is at least 1 + its ... no: at least 1.
+        assert!(mcs.iter().all(|&m| m >= 1 && m <= global));
+    }
+}

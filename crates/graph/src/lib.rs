@@ -1,0 +1,52 @@
+//! Graph algorithms underpinning register and interconnect allocation.
+//!
+//! High-level synthesis register allocation is graph coloring on the
+//! *variable conflict graph*. When the behavioural description has no
+//! mutual exclusion or loops, that conflict graph is an **interval graph**
+//! (Springer & Thomas, ICCAD'90), a subclass of chordal graphs for which
+//! minimum coloring is polynomial via *perfect vertex elimination schemes*
+//! (PVES, Golumbic 1980).
+//!
+//! This crate provides the machinery the allocation layers build on:
+//!
+//! * [`UGraph`] — a small dense undirected graph.
+//! * [`interval`] — interval conflict graphs and exact per-vertex maximum
+//!   clique sizes via sweep.
+//! * [`chordal`] — Lex-BFS, chordality testing, maximal cliques of chordal
+//!   graphs.
+//! * [`pves`] — perfect vertex elimination schemes with pluggable vertex
+//!   priorities (the DAC'95 allocator orders by sharing degree and clique
+//!   size).
+//! * [`coloring`] — greedy/reverse-PVES coloring, the left-edge algorithm,
+//!   and validity checks.
+//! * [`clique_partition`] — weighted clique partitioning for operand
+//!   binding and module assignment.
+//! * [`count`] — exact proper-coloring counts for small graphs (used to
+//!   validate benchmark reconstructions, e.g. the paper's "108 distinct
+//!   assignments" remark).
+//!
+//! # Examples
+//!
+//! ```
+//! use lobist_graph::interval::{conflict_graph, Interval};
+//!
+//! // Three variables; the first two overlap in time, the third does not.
+//! let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(3, 4)];
+//! let g = conflict_graph(&spans);
+//! assert!(g.has_edge(0, 1));
+//! assert!(!g.has_edge(0, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chordal;
+pub mod clique_partition;
+pub mod coloring;
+pub mod count;
+pub mod interval;
+pub mod pves;
+mod ugraph;
+
+pub use coloring::{Coloring, ColoringError};
+pub use ugraph::UGraph;

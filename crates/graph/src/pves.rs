@@ -1,0 +1,174 @@
+//! Perfect vertex elimination schemes (PVES) with pluggable priorities.
+//!
+//! A PVES is an ordering `v1, ..., vn` in which each `vi` is simplicial in
+//! the graph induced by the not-yet-eliminated vertices. Chordal graphs
+//! always have one, and coloring greedily in *reverse* PVES order uses the
+//! minimum number of colors.
+//!
+//! An interval graph typically has many PVESs. The DAC'95 allocator picks
+//! among simplicial candidates using a *priority key* — variables with
+//! small sharing degree (and, among ties, small max-clique size) are
+//! eliminated first, so that when coloring runs in reverse, high-sharing
+//! variables are colored while the most flexibility remains.
+
+use crate::UGraph;
+
+/// Error returned when a PVES is requested for a non-chordal graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotChordalError {
+    /// A vertex at which elimination got stuck (no simplicial vertex among
+    /// the remaining ones).
+    pub remaining: Vec<usize>,
+}
+
+impl std::fmt::Display for NotChordalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph is not chordal: no simplicial vertex among remaining vertices {:?}",
+            self.remaining
+        )
+    }
+}
+
+impl std::error::Error for NotChordalError {}
+
+/// Computes a PVES choosing, at every step, the simplicial vertex with the
+/// **smallest** key (ties broken by the lowest vertex index, making the
+/// result deterministic).
+///
+/// The returned vector lists vertices in *elimination order*; color in the
+/// reverse of this order for a minimum coloring.
+///
+/// # Errors
+///
+/// Returns [`NotChordalError`] if at some step no remaining vertex is
+/// simplicial, i.e. the graph is not chordal.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::{pves::pves_by_key, UGraph};
+///
+/// let g = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// // Keys make vertex 2 most attractive to eliminate first.
+/// let order = pves_by_key(&g, |v| std::cmp::Reverse(v)).expect("path is chordal");
+/// assert_eq!(order[0], 2);
+/// ```
+pub fn pves_by_key<K, F>(g: &UGraph, mut key: F) -> Result<Vec<usize>, NotChordalError>
+where
+    K: Ord,
+    F: FnMut(usize) -> K,
+{
+    let n = g.len();
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(K, usize)> = None;
+        for v in 0..n {
+            if !alive[v] || !g.is_simplicial_in(v, &alive) {
+                continue;
+            }
+            let k = key(v);
+            match &best {
+                None => best = Some((k, v)),
+                Some((bk, _)) if k < *bk => best = Some((k, v)),
+                _ => {}
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                alive[v] = false;
+                order.push(v);
+            }
+            None => {
+                return Err(NotChordalError {
+                    remaining: (0..n).filter(|&v| alive[v]).collect(),
+                })
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// A PVES with the default priority (lowest vertex index first among
+/// simplicial candidates).
+///
+/// # Errors
+///
+/// Returns [`NotChordalError`] if the graph is not chordal.
+pub fn pves(g: &UGraph) -> Result<Vec<usize>, NotChordalError> {
+    pves_by_key(g, |v| v)
+}
+
+/// Verifies that `order` is a valid PVES of `g` (same predicate as a
+/// perfect elimination ordering).
+pub fn is_pves(g: &UGraph, order: &[usize]) -> bool {
+    crate::chordal::is_perfect_elimination_ordering(g, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{conflict_graph, Interval};
+
+    #[test]
+    fn pves_of_path_is_valid() {
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let order = pves(&g).unwrap();
+        assert!(is_pves(&g, &order));
+    }
+
+    #[test]
+    fn pves_fails_on_cycle() {
+        let c4 = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let err = pves(&c4).unwrap_err();
+        assert_eq!(err.remaining.len(), 4);
+        assert!(err.to_string().contains("not chordal"));
+    }
+
+    #[test]
+    fn key_steers_elimination_order() {
+        // Path 0-1-2-3: both endpoints are simplicial initially.
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let asc = pves_by_key(&g, |v| v).unwrap();
+        assert_eq!(asc[0], 0);
+        let desc = pves_by_key(&g, std::cmp::Reverse).unwrap();
+        assert_eq!(desc[0], 3);
+        assert!(is_pves(&g, &asc));
+        assert!(is_pves(&g, &desc));
+    }
+
+    #[test]
+    fn pves_on_interval_graph_always_exists() {
+        let spans = [
+            Interval::new(0, 5),
+            Interval::new(1, 2),
+            Interval::new(1, 4),
+            Interval::new(3, 7),
+            Interval::new(6, 8),
+        ];
+        let g = conflict_graph(&spans);
+        let order = pves(&g).unwrap();
+        assert!(is_pves(&g, &order));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_pves() {
+        let g = UGraph::new(0);
+        assert_eq!(pves(&g).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn complete_graph_any_order_works() {
+        let mut g = UGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let order = pves(&g).unwrap();
+        assert!(is_pves(&g, &order));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the graph substrate: chordality, elimination
+//! schemes, coloring optimality and clique partitions over random
+//! interval families and random graphs.
+
+use proptest::prelude::*;
+
+use lobist_graph::chordal::{is_chordal, max_clique_size_per_vertex, maximal_cliques_chordal};
+use lobist_graph::clique_partition::partition_weighted;
+use lobist_graph::coloring::{greedy_in_order, left_edge, min_color_chordal, Coloring};
+use lobist_graph::count::{chromatic_number, count_partitions};
+use lobist_graph::interval::{conflict_graph, max_clique_sizes, max_overlap, Interval};
+use lobist_graph::pves::{is_pves, pves_by_key};
+use lobist_graph::UGraph;
+
+fn intervals_strategy(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0u32..20, 1u32..8), 1..max_n)
+        .prop_map(|pairs| pairs.into_iter().map(|(s, l)| Interval::new(s, s + l)).collect())
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = UGraph> {
+    (2..max_n).prop_flat_map(|n| {
+        prop::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |bits| {
+            let mut g = UGraph::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interval_graphs_are_chordal(spans in intervals_strategy(16)) {
+        prop_assert!(is_chordal(&conflict_graph(&spans)));
+    }
+
+    #[test]
+    fn left_edge_is_optimal(spans in intervals_strategy(16)) {
+        let colors = left_edge(&spans);
+        let g = conflict_graph(&spans);
+        let c = Coloring::new(&g, colors).expect("left-edge is proper");
+        prop_assert_eq!(c.num_colors(), max_overlap(&spans));
+    }
+
+    #[test]
+    fn reverse_pves_coloring_is_optimal(spans in intervals_strategy(16)) {
+        let g = conflict_graph(&spans);
+        let c = min_color_chordal(&g).expect("interval graphs are chordal");
+        prop_assert_eq!(c.num_colors(), max_overlap(&spans));
+    }
+
+    #[test]
+    fn pves_with_any_key_is_valid(spans in intervals_strategy(14), salt in any::<u64>()) {
+        let g = conflict_graph(&spans);
+        // An arbitrary (hash-ish) priority must still yield a valid PVES.
+        let order = pves_by_key(&g, |v| (v as u64).wrapping_mul(salt | 1) % 97)
+            .expect("chordal");
+        prop_assert!(is_pves(&g, &order));
+        // And reverse-order greedy coloring stays optimal.
+        let rev: Vec<usize> = order.into_iter().rev().collect();
+        let c = greedy_in_order(&g, &rev);
+        prop_assert_eq!(c.num_colors(), max_overlap(&spans));
+    }
+
+    #[test]
+    fn sweep_mcs_matches_chordal_mcs(spans in intervals_strategy(14)) {
+        let g = conflict_graph(&spans);
+        prop_assert_eq!(max_clique_sizes(&spans), max_clique_size_per_vertex(&g));
+    }
+
+    #[test]
+    fn maximal_cliques_cover_all_edges(spans in intervals_strategy(14)) {
+        let g = conflict_graph(&spans);
+        let cliques = maximal_cliques_chordal(&g);
+        for (u, v) in g.edges() {
+            prop_assert!(
+                cliques.iter().any(|c| c.contains(&u) && c.contains(&v)),
+                "edge {u}-{v} uncovered"
+            );
+        }
+        for c in &cliques {
+            prop_assert!(g.is_clique(c));
+        }
+    }
+
+    #[test]
+    fn chromatic_number_matches_clique_bound_on_intervals(spans in intervals_strategy(10)) {
+        // Interval graphs are perfect: χ = ω.
+        let g = conflict_graph(&spans);
+        if g.len() <= 12 {
+            prop_assert_eq!(chromatic_number(&g), max_overlap(&spans).max(usize::from(!g.is_empty())));
+        }
+    }
+
+    #[test]
+    fn clique_partition_is_a_partition_of_cliques(g in graph_strategy(10)) {
+        let p = partition_weighted(&g, |u, v| (u + v) as i64);
+        let mut all: Vec<usize> = p.cliques.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.len()).collect::<Vec<_>>());
+        for c in &p.cliques {
+            prop_assert!(g.is_clique(c));
+        }
+        for (i, c) in p.cliques.iter().enumerate() {
+            for &v in c {
+                prop_assert_eq!(p.group[v], i);
+            }
+        }
+    }
+
+    #[test]
+    fn count_partitions_monotone_in_k(g in graph_strategy(8)) {
+        if g.len() <= 8 {
+            let mut prev = 0;
+            for k in 1..=g.len() {
+                let c = count_partitions(&g, k);
+                prop_assert!(c >= prev, "k={k}: {c} < {prev}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive(g in graph_strategy(10)) {
+        prop_assert_eq!(g.complement().complement(), g);
+    }
+}

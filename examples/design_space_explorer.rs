@@ -1,0 +1,102 @@
+//! Design-space exploration: sweep module allocations and bit widths for
+//! the Tseng benchmark and report how the functional-area / BIST-overhead
+//! trade-off moves — the kind of exploration the paper argues early
+//! testability consideration enables. Finishes with the automated
+//! Pareto-front exploration of [`lobist::alloc::explore`] on Paulin.
+//!
+//! Run with `cargo run --example design_space_explorer`.
+
+use lobist::alloc::explore::{explore, ExploreConfig};
+use lobist::alloc::flow::{synthesize, FlowOptions};
+use lobist::datapath::area::AreaModel;
+use lobist::dfg::benchmarks;
+use lobist::dfg::modules::ModuleSet;
+use lobist::dfg::scheduling::list_schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = benchmarks::tseng();
+    println!("Tseng benchmark, {} operations\n", bench.dfg.num_ops());
+    println!(
+        "{:<22} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "modules", "steps", "regs", "func gates", "BIST gates", "BIST %"
+    );
+
+    // Candidate module allocations, from serial to parallel. Each implies
+    // its own resource-constrained schedule.
+    for spec in [
+        "1+,1*,1-,1&,1|,1/",
+        "2+,1*,1-,1&,1|,1/",
+        "1+,3ALU",
+        "1+,1*,2ALU",
+        "2+,2*,1-,1&,1|,1/",
+    ] {
+        let modules: ModuleSet = spec.parse()?;
+        let schedule = list_schedule(&bench.dfg, &modules)?;
+        let opts = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+        match synthesize(&bench.dfg, &schedule, &modules, &opts) {
+            Ok(d) => println!(
+                "{:<22} {:>6} {:>6} {:>10} {:>10} {:>7.2}%",
+                spec,
+                schedule.max_step(),
+                d.data_path.num_registers(),
+                d.stats.functional_gates.get(),
+                d.bist.overhead.get(),
+                d.bist.overhead_percent
+            ),
+            Err(e) => println!("{spec:<22} failed: {e}"),
+        }
+    }
+
+    println!("\nBit-width sweep (modules {}):", bench.module_allocation);
+    println!("{:<8} {:>12} {:>12} {:>8}", "width", "func gates", "BIST gates", "BIST %");
+    for width in [4u32, 8, 16, 32] {
+        let opts = FlowOptions::testable()
+            .with_lifetimes(bench.lifetime_options)
+            .with_area(AreaModel::with_width(width));
+        let d = synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &opts)?;
+        println!(
+            "{:<8} {:>12} {:>12} {:>7.2}%",
+            width,
+            d.stats.functional_gates.get(),
+            d.bist.overhead.get(),
+            d.bist.overhead_percent
+        );
+    }
+    println!("\n(Wider data paths amortize BIST control overhead over larger");
+    println!("functional units — the overhead percentage falls with width.)");
+
+    // Automated Pareto exploration on the Paulin solver: latency vs
+    // functional area vs BIST overhead.
+    let paulin = benchmarks::paulin();
+    let mut config = ExploreConfig::new(
+        ["1+,1*,1-", "1+,2*,1-", "2+,2*,2-", "1+,3ALU", "1+,2ALU"]
+            .iter()
+            .map(|s| s.parse())
+            .collect::<Result<Vec<ModuleSet>, _>>()?,
+    );
+    config.flow = config.flow.with_lifetimes(paulin.lifetime_options);
+    let result = explore(&paulin.dfg, &config);
+    println!("\nPaulin Pareto front over (latency, functional gates, BIST gates):");
+    println!(
+        "{:<14} {:>7} {:>12} {:>10} {:>6}",
+        "modules", "latency", "func gates", "BIST gates", "regs"
+    );
+    for &i in &result.pareto {
+        let p = &result.points[i];
+        println!(
+            "{:<14} {:>7} {:>12} {:>10} {:>6}",
+            p.modules.to_string(),
+            p.latency,
+            p.functional_gates.get(),
+            p.bist_gates.get(),
+            p.registers
+        );
+    }
+    println!(
+        "({} points explored, {} on the front, {} infeasible candidates)",
+        result.points.len(),
+        result.pareto.len(),
+        result.failures.len()
+    );
+    Ok(())
+}

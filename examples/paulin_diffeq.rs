@@ -1,0 +1,58 @@
+//! The Paulin–Knight differential-equation solver (the "HAL" benchmark):
+//! synthesize it three ways — our testable flow, a traditional flow, and
+//! the two published baselines — and compare, reproducing the paper's
+//! Table III narrative.
+//!
+//! Run with `cargo run --example paulin_diffeq`.
+
+use lobist::alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist::baselines::{ralloc, syntest};
+use lobist::datapath::area::{AreaModel, BistStyle};
+use lobist::dfg::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = benchmarks::paulin();
+    println!(
+        "Paulin (HAL): {} operations, {} variables, {} control steps, modules {}",
+        bench.dfg.num_ops(),
+        bench.dfg.num_vars(),
+        bench.schedule.max_step(),
+        bench.module_allocation
+    );
+    println!();
+
+    let model = AreaModel::default();
+    let ours = synthesize_benchmark(&bench, &FlowOptions::testable())?;
+    let trad = synthesize_benchmark(&bench, &FlowOptions::traditional())?;
+    let avra = ralloc::run(&bench, &model)?;
+    let papach = syntest::run(&bench, &model)?;
+
+    println!(
+        "Ours (testable):    {} registers, {} — {:.2}% overhead",
+        ours.data_path.num_registers(),
+        ours.bist.mix(),
+        ours.bist.overhead_percent
+    );
+    println!(
+        "Traditional HLS:    {} registers, {} — {:.2}% overhead",
+        trad.data_path.num_registers(),
+        trad.bist.mix(),
+        trad.bist.overhead_percent
+    );
+    println!("{avra}");
+    println!("{papach}");
+    println!();
+    println!(
+        "CBILBOs: ours {}, traditional {}, RALLOC {}, SYNTEST {}",
+        ours.bist.count(BistStyle::Cbilbo),
+        trad.bist.count(BistStyle::Cbilbo),
+        avra.count(BistStyle::Cbilbo),
+        papach.count(BistStyle::Cbilbo),
+    );
+    println!();
+    println!("Self-test schedule (ours):");
+    println!("{}", ours.bist);
+    let cycles = lobist::bist::fault::test_cycles(&ours.data_path, &ours.bist.sessions, 8);
+    println!("Estimated self-test length: {cycles} clock cycles");
+    Ok(())
+}

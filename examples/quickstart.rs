@@ -1,0 +1,36 @@
+//! Quickstart: build a small behavioural description, synthesize it with
+//! the BIST-aware flow, and inspect the resulting data path and test
+//! configuration.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lobist::alloc::flow::{synthesize, FlowOptions};
+use lobist::dfg::{DfgBuilder, OpKind, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y = (a + b) * (c + d), over three control steps with one adder and
+    // one multiplier.
+    let mut b = DfgBuilder::new();
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let s1 = b.op(OpKind::Add, "s1", a.into(), bb.into());
+    let s2 = b.op(OpKind::Add, "s2", c.into(), d.into());
+    let y = b.op(OpKind::Mul, "y", s1.into(), s2.into());
+    b.mark_output(y);
+    let dfg = b.build()?;
+    let schedule = Schedule::new(&dfg, vec![1, 2, 3])?;
+    let modules = "1+,1*".parse()?;
+
+    let design = synthesize(&dfg, &schedule, &modules, &FlowOptions::testable())?;
+
+    println!("Netlist:");
+    println!("{}", lobist::datapath::stats::describe(&design.data_path, &dfg));
+    println!("Statistics: {}", design.stats);
+    println!();
+    println!("{}", design.bist);
+    println!("Allocator decisions:");
+    print!("{}", design.trace.as_ref().expect("testable flow keeps a trace"));
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! # lobist — low-overhead BIST data path allocation
+//!
+//! A Rust reproduction of *"Data Path Allocation for Synthesizing RTL
+//! Designs with Low BIST Area Overhead"* (Parulkar, Gupta, Breuer, DAC
+//! 1995): high-level synthesis register and interconnect allocation that
+//! maximizes sharing of built-in self-test registers and minimizes costly
+//! CBILBO registers.
+//!
+//! ## The problem
+//!
+//! A scheduled data flow graph admits many register assignments with the
+//! same register count — for the paper's running example, 108 distinct
+//! ways to put eight variables into three registers. They cost the same
+//! *functionally*, but they differ sharply in how cheaply the resulting
+//! data path can test itself: pseudo-random BIST needs registers
+//! reconfigured as test pattern generators (TPGs) and signature
+//! analyzers (SAs), and a register that must do both *for the same
+//! module's test* becomes a CBILBO at roughly twice the register's area.
+//! The paper steers allocation toward the corner of the solution space
+//! where test registers are shared between modules and CBILBOs are never
+//! forced.
+//!
+//! ## Paper → code map
+//!
+//! | Paper concept | Implementation |
+//! |---------------|----------------|
+//! | scheduled DFG `G=(V,E)`, `S:V→ℕ` | [`dfg::Dfg`], [`dfg::Schedule`] |
+//! | module assignment `σ:V→M`, `TM(Mᵢ)` | [`alloc::module_assign`], [`datapath::ModuleAssignment`] |
+//! | `I_M`, `O_M`, `SD(v)`, `SD(R)`, `ΔSD` (Defs. 3–5) | [`alloc::variable_sets::SharingContext`] |
+//! | variable conflict graph, PVES, `MCS(v)` | [`graph::interval`], [`graph::pves`], [`dfg::lifetime`] |
+//! | the testable register allocator (III-A/B) | [`alloc::testable_regalloc`] |
+//! | Lemma 1 / Lemma 2 CBILBO conditions | [`alloc::cbilbo`] |
+//! | interconnect partition `IR^L/IR^R/IR^{LR}` (IV) | [`alloc::interconnect`] |
+//! | I-paths, BIST embeddings (II) | [`datapath::ipath`], [`bist::embedding`] |
+//! | the BITS minimal-area optimizer \[16\] | [`bist::solve`] |
+//! | test sessions | [`bist::session`], [`bist::plan`] |
+//! | RALLOC \[5\], SYNTEST \[7\] | [`baselines`] |
+//! | Tables I–III, Figs. 1–6 | `lobist-bench` binaries (see EXPERIMENTS.md) |
+//!
+//! ## Beyond the paper
+//!
+//! * [`dfg::fds`] — force-directed scheduling (the provenance of the
+//!   Paulin benchmark).
+//! * [`dfg::interp`] + [`datapath::simulate`] — a golden interpreter and
+//!   a cycle-accurate netlist simulator, equivalence-checked so every
+//!   synthesized design is proven to compute its DFG.
+//! * [`datapath::verilog`] / [`datapath::verilog_bist`] — synthesizable
+//!   RTL and the BIST-mode test wrapper (LFSR/MISR reconfiguration,
+//!   session controller), plus self-checking testbenches.
+//! * [`gatesim`] — gate-level functional units, maximal
+//!   LFSRs/MISRs and parallel-pattern stuck-at fault simulation, so the
+//!   chosen BIST configurations' fault coverage and signature aliasing
+//!   are *measured*, not assumed.
+//! * [`alloc::explore`] — Pareto design-space exploration over module
+//!   allocations and latencies; [`alloc::anneal`] — a simulated-annealing
+//!   yardstick showing the paper's constructive heuristic lands within a
+//!   few percent of search.
+//! * [`bist::verify`] — an independent checker for any BIST solution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lobist::alloc::flow::{synthesize, FlowOptions, RegAllocStrategy};
+//! use lobist::dfg::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::ex1();
+//! let design = synthesize(
+//!     &bench.dfg,
+//!     &bench.schedule,
+//!     &bench.module_allocation,
+//!     &FlowOptions::testable(),
+//! )?;
+//! println!("{} registers, BIST overhead {:.2}%",
+//!          design.data_path.num_registers(),
+//!          design.bist.overhead_percent);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Building from a textual design instead:
+//!
+//! ```
+//! use lobist::alloc::flow::{synthesize, FlowOptions};
+//! use lobist::dfg::parse::parse_dfg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (dfg, schedule) = parse_dfg(
+//!     "input a b c d\n\
+//!      s1 = a + b @ 1\n\
+//!      s2 = c + d @ 2\n\
+//!      y  = s1 * s2 @ 3\n\
+//!      output y\n",
+//! )?;
+//! let design = synthesize(&dfg, &schedule, &"1+,1*".parse()?, &FlowOptions::testable())?;
+//! assert_eq!(design.data_path.num_registers(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! And comparing against the testability-blind baseline:
+//!
+//! ```
+//! use lobist::alloc::flow::{synthesize_benchmark, FlowOptions};
+//! use lobist::dfg::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::paulin();
+//! let testable = synthesize_benchmark(&bench, &FlowOptions::testable())?;
+//! let traditional = synthesize_benchmark(&bench, &FlowOptions::traditional())?;
+//! assert!(testable.bist.overhead <= traditional.bist.overhead);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lobist_alloc as alloc;
+pub use lobist_baselines as baselines;
+pub use lobist_bist as bist;
+pub use lobist_datapath as datapath;
+pub use lobist_dfg as dfg;
+pub use lobist_gatesim as gatesim;
+pub use lobist_graph as graph;

@@ -1,0 +1,224 @@
+//! End-to-end flow tests across the whole benchmark family, including
+//! the larger synthetic designs and both lifetime conventions.
+
+use lobist::alloc::flow::{synthesize, synthesize_benchmark, FlowOptions, RegAllocStrategy};
+use lobist::alloc::testable_regalloc::TestableAllocOptions;
+use lobist::bist::fault;
+use lobist::datapath::area::AreaModel;
+use lobist::dfg::benchmarks::{self, Benchmark};
+use lobist::dfg::lifetime::Lifetimes;
+
+fn check_design(bench: &Benchmark, opts: &FlowOptions) {
+    let d = synthesize_benchmark(bench, opts).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    // Registers cover exactly the lifetime-bearing variables, properly.
+    let lt = Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
+    for &v in lt.reg_vars() {
+        assert!(
+            d.register_assignment.register_of(v).is_some(),
+            "{}: {v} unassigned",
+            bench.name
+        );
+    }
+    for class in d.register_assignment.classes() {
+        for (i, &u) in class.iter().enumerate() {
+            for &v in &class[i + 1..] {
+                assert!(!lt.conflicts(u, v), "{}: {u}/{v} share a register", bench.name);
+            }
+        }
+    }
+    // Every module is tested in some session, and session ids are dense.
+    assert_eq!(d.bist.embeddings.len(), d.data_path.num_modules());
+    assert_eq!(d.bist.sessions.len(), d.data_path.num_modules());
+    let max = d.bist.sessions.iter().copied().max().unwrap_or(0);
+    for s in 0..=max {
+        assert!(
+            d.bist.sessions.contains(&s),
+            "{}: session {s} empty",
+            bench.name
+        );
+    }
+    // Overhead accounting is the sum of the style extras.
+    let model = &opts.area;
+    let sum: u64 = d
+        .bist
+        .styles
+        .iter()
+        .map(|&s| model.style_extra(s).get())
+        .sum();
+    assert_eq!(d.bist.overhead.get(), sum, "{}", bench.name);
+    // Test-time estimation is positive and finite.
+    let cycles = fault::test_cycles(&d.data_path, &d.bist.sessions, model.width);
+    assert!(cycles > 0, "{}", bench.name);
+}
+
+#[test]
+fn paper_suite_full_checks() {
+    for bench in benchmarks::paper_suite() {
+        check_design(&bench, &FlowOptions::testable());
+        check_design(&bench, &FlowOptions::traditional());
+    }
+}
+
+#[test]
+fn extended_benchmarks_synthesize() {
+    for bench in [
+        benchmarks::paulin_full(),
+        benchmarks::fir(4),
+        benchmarks::fir(8),
+        benchmarks::diffeq_unrolled(2),
+        benchmarks::diffeq_unrolled(3),
+    ] {
+        check_design(&bench, &FlowOptions::testable());
+    }
+}
+
+#[test]
+fn greedy_solver_handles_large_designs() {
+    use lobist::bist::{SolverConfig, SolverMode};
+    let bench = benchmarks::diffeq_unrolled(4);
+    let mut opts = FlowOptions::testable();
+    opts.solver = SolverConfig {
+        mode: SolverMode::Greedy,
+        ..SolverConfig::default()
+    };
+    let d = synthesize_benchmark(&bench, &opts).expect("greedy flow succeeds");
+    assert!(d.bist.overhead.get() > 0);
+}
+
+#[test]
+fn exact_and_auto_agree_on_paper_suite() {
+    use lobist::bist::{SolverConfig, SolverMode};
+    for bench in benchmarks::paper_suite() {
+        let mut exact = FlowOptions::testable();
+        exact.solver = SolverConfig {
+            mode: SolverMode::Exact,
+            ..SolverConfig::default()
+        };
+        let auto = FlowOptions::testable();
+        let de = synthesize_benchmark(&bench, &exact).expect("exact");
+        let da = synthesize_benchmark(&bench, &auto).expect("auto");
+        assert_eq!(de.bist.overhead, da.bist.overhead, "{}", bench.name);
+    }
+}
+
+#[test]
+fn ablation_options_all_synthesize() {
+    for sd in [false, true] {
+        for cases in [false, true] {
+            for lemma2 in [false, true] {
+                let opts = TestableAllocOptions {
+                    sd_ordering: sd,
+                    case_overrides: cases,
+                    lemma2_check: lemma2,
+                };
+                let mut flow = FlowOptions::testable();
+                flow.strategy = RegAllocStrategy::Testable(opts);
+                for bench in benchmarks::paper_suite() {
+                    let d = synthesize_benchmark(&bench, &flow)
+                        .unwrap_or_else(|e| panic!("{} with {opts:?}: {e}", bench.name));
+                    assert_eq!(
+                        d.data_path.num_registers(),
+                        bench.expected_min_registers,
+                        "{} with {opts:?}",
+                        bench.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn width_scaling_preserves_the_win() {
+    for width in [4u32, 16, 32] {
+        let bench = benchmarks::ex1();
+        let t = synthesize_benchmark(
+            &bench,
+            &FlowOptions::testable().with_area(AreaModel::with_width(width)),
+        )
+        .expect("testable");
+        let trad = synthesize_benchmark(
+            &bench,
+            &FlowOptions::traditional().with_area(AreaModel::with_width(width)),
+        )
+        .expect("traditional");
+        assert!(
+            t.bist.overhead <= trad.bist.overhead,
+            "width {width}: {} vs {}",
+            t.bist.overhead,
+            trad.bist.overhead
+        );
+    }
+}
+
+#[test]
+fn unscheduled_flow_via_list_scheduler() {
+    // A user starting from an unscheduled DFG can list-schedule and then
+    // synthesize.
+    let bench = benchmarks::tseng();
+    let schedule =
+        lobist::dfg::scheduling::list_schedule(&bench.dfg, &bench.module_allocation)
+            .expect("schedulable");
+    let opts = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+    let d = synthesize(&bench.dfg, &schedule, &bench.module_allocation, &opts)
+        .expect("synthesizes");
+    assert!(d.data_path.num_registers() >= 5);
+}
+
+#[test]
+fn explorer_api_is_consistent_end_to_end() {
+    use lobist::alloc::explore::{explore, ExploreConfig};
+    let bench = benchmarks::paulin();
+    let mut config = ExploreConfig::new(
+        ["1+,2*,1-", "1+,2ALU"].iter().map(|s| s.parse().expect("valid")).collect(),
+    );
+    config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+    let result = explore(&bench.dfg, &config);
+    assert!(!result.pareto.is_empty());
+    for p in &result.points {
+        // Every point's schedule must be a valid schedule of the DFG and
+        // its BIST solution must verify against a rebuilt design.
+        assert!(p.latency >= 4, "below the critical path");
+        assert_eq!(p.schedule.len(), bench.dfg.num_ops());
+        let opts = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+        let d = synthesize(&bench.dfg, &p.schedule, &p.modules, &opts)
+            .expect("point re-synthesizes");
+        assert_eq!(d.bist.overhead, p.bist.overhead);
+        assert_eq!(d.stats.functional_gates, p.functional_gates);
+    }
+}
+
+#[test]
+fn ex1_trace_structure_matches_the_papers_walkthrough() {
+    use lobist::alloc::trace::ChoiceReason;
+    let bench = benchmarks::ex1();
+    let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+    let trace = d.trace.expect("testable flow records a trace");
+    // Eight coloring steps, exactly three register openings (the
+    // minimum), and the first opening is step one.
+    assert_eq!(trace.len(), 8);
+    let openings: Vec<usize> = trace
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.reason == ChoiceReason::NewRegister)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(openings.len(), 3, "{trace}");
+    assert_eq!(openings[0], 0);
+    // As in the paper's walkthrough, the highest-sharing variables are
+    // colored while all registers are still open: the first half of the
+    // ordering carries SD ≥ the second half's average.
+    let first_half: usize = trace.steps[..4].iter().map(|s| s.sd).sum();
+    let second_half: usize = trace.steps[4..].iter().map(|s| s.sd).sum();
+    assert!(first_half >= second_half, "{trace}");
+    // Every step's decision cites a known rationale and a register that
+    // exists by that point.
+    let mut max_reg = 0usize;
+    for step in &trace.steps {
+        if step.reason == ChoiceReason::NewRegister {
+            max_reg += 1;
+        }
+        assert!(step.chosen < max_reg, "{trace}");
+    }
+}

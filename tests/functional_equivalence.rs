@@ -1,0 +1,102 @@
+//! Functional equivalence: every synthesized data path — whatever flow
+//! produced it — must compute exactly the function of its DFG. The
+//! cycle-accurate netlist simulation is compared against the DFG
+//! interpreter over many input vectors.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lobist::alloc::baseline_regalloc::BaselineAlgorithm;
+use lobist::alloc::flow::{synthesize, synthesize_benchmark, FlowError, FlowOptions, RegAllocStrategy};
+use lobist::datapath::simulate::simulate;
+use lobist::dfg::benchmarks::{self, Benchmark};
+use lobist::dfg::interp;
+use lobist::dfg::random::{random_scheduled_dfg, RandomDfgConfig};
+use lobist::dfg::VarId;
+
+fn random_inputs(dfg: &lobist::dfg::Dfg, rng: &mut StdRng, width: u32) -> HashMap<VarId, u64> {
+    let limit = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    dfg.primary_inputs()
+        .map(|v| (v, rng.gen_range(0..=limit)))
+        .collect()
+}
+
+fn check_equivalence(bench: &Benchmark, opts: &FlowOptions, vectors: usize, width: u32) {
+    let d = synthesize_benchmark(bench, opts).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..vectors {
+        let inputs = random_inputs(&bench.dfg, &mut rng, width);
+        let sim = simulate(&d.data_path, &bench.dfg, &bench.schedule, &inputs, width)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let gold = interp::outputs(&bench.dfg, &inputs, width)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert_eq!(sim, gold, "{} diverged", bench.name);
+    }
+}
+
+#[test]
+fn paper_suite_is_functionally_correct_in_both_flows() {
+    for bench in benchmarks::paper_suite() {
+        check_equivalence(&bench, &FlowOptions::testable(), 50, 8);
+        check_equivalence(&bench, &FlowOptions::traditional(), 50, 8);
+    }
+}
+
+#[test]
+fn extended_benchmarks_are_functionally_correct() {
+    for bench in [
+        benchmarks::paulin_full(),
+        benchmarks::fir(6),
+        benchmarks::diffeq_unrolled(3),
+    ] {
+        check_equivalence(&bench, &FlowOptions::testable(), 25, 16);
+    }
+}
+
+#[test]
+fn wide_and_narrow_widths_agree_with_interpreter() {
+    let bench = benchmarks::ex2();
+    for width in [4u32, 8, 16, 32, 64] {
+        check_equivalence(&bench, &FlowOptions::testable(), 20, width);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_designs_simulate_correctly(seed in any::<u64>(), vec_seed in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 16,
+            num_inputs: 5,
+            max_ops_per_step: 3,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let modules: lobist::dfg::modules::ModuleSet = "3+,3-,3*,3&".parse().expect("valid");
+        for strategy in [
+            RegAllocStrategy::Testable(Default::default()),
+            RegAllocStrategy::Traditional(BaselineAlgorithm::LeftEdge),
+        ] {
+            let mut opts = FlowOptions::testable();
+            opts.strategy = strategy;
+            let d = match synthesize(&dfg, &schedule, &modules, &opts) {
+                Ok(d) => d,
+                Err(FlowError::Bist(_)) => continue, // untestable is fine here
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            };
+            let mut rng = StdRng::seed_from_u64(vec_seed);
+            for _ in 0..10 {
+                let inputs = random_inputs(&dfg, &mut rng, 8);
+                let sim = simulate(&d.data_path, &dfg, &schedule, &inputs, 8)
+                    .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                let gold = interp::outputs(&dfg, &inputs, 8)
+                    .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                prop_assert_eq!(&sim, &gold);
+            }
+        }
+    }
+}

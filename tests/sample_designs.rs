@@ -1,0 +1,50 @@
+//! The shipped sample designs under `designs/` must keep parsing and
+//! synthesizing (they are quoted in the tutorial and README).
+
+use lobist::alloc::flow::{synthesize, FlowOptions};
+use lobist::dfg::parse::{parse_dfg, parse_unscheduled_dfg};
+
+fn read(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/designs/");
+    std::fs::read_to_string(format!("{path}{name}")).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn ex1_design_matches_the_benchmark() {
+    let (dfg, schedule) = parse_dfg(&read("ex1.dfg")).expect("parses");
+    let bench = lobist::dfg::benchmarks::ex1();
+    assert_eq!(dfg.num_ops(), bench.dfg.num_ops());
+    assert_eq!(dfg.num_vars(), bench.dfg.num_vars());
+    assert_eq!(schedule.max_step(), bench.schedule.max_step());
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &FlowOptions::testable())
+        .expect("synthesizes");
+    assert_eq!(d.data_path.num_registers(), 3);
+}
+
+#[test]
+fn quickstart_design_synthesizes() {
+    let (dfg, schedule) = parse_dfg(&read("quickstart.dfg")).expect("parses");
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &FlowOptions::testable())
+        .expect("synthesizes");
+    assert_eq!(d.data_path.num_registers(), 3);
+    assert!(d.bist.overhead.get() > 0);
+}
+
+#[test]
+fn polynomial_design_synthesizes() {
+    let (dfg, schedule) = parse_dfg(&read("polynomial.dfg")).expect("parses");
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &FlowOptions::testable())
+        .expect("synthesizes");
+    assert!(d.data_path.num_registers() >= 2);
+}
+
+#[test]
+fn diffeq_design_schedules_and_synthesizes() {
+    let dfg = parse_unscheduled_dfg(&read("diffeq.dfg")).expect("parses");
+    let schedule = lobist::dfg::fds::force_directed_schedule(&dfg, 4).expect("schedules");
+    let opts = FlowOptions::testable()
+        .with_lifetimes(lobist::dfg::lifetime::LifetimeOptions::port_inputs());
+    let d = synthesize(&dfg, &schedule, &"1+,2*,1-".parse().unwrap(), &opts)
+        .expect("synthesizes");
+    assert_eq!(d.data_path.num_registers(), 4);
+}

@@ -1,0 +1,55 @@
+//! Serde round-trips for the report types (compiled only with the
+//! `serde` feature: `cargo test --features serde --test serde_roundtrip`).
+
+#![cfg(feature = "serde")]
+
+use lobist::alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist::bist::{BistSolution, TestPlan};
+use lobist::datapath::area::{AreaModel, BistStyle, GateCount};
+use lobist::dfg::benchmarks;
+use lobist::dfg::OpKind;
+
+#[test]
+fn bist_solution_round_trips_through_json() {
+    for bench in benchmarks::paper_suite() {
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+        let json = serde_json::to_string(&d.bist).expect("serializes");
+        let back: BistSolution = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, d.bist, "{}", bench.name);
+        // Spot-check the wire format.
+        assert!(json.contains("overhead"), "{json}");
+        assert!(json.contains("styles"), "{json}");
+    }
+}
+
+#[test]
+fn test_plan_round_trips() {
+    let bench = benchmarks::ex1();
+    let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+    let plan = TestPlan::new(&d.data_path, &d.bist, 8);
+    let json = serde_json::to_string(&plan).expect("serializes");
+    let back: TestPlan = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, plan);
+}
+
+#[test]
+fn leaf_types_round_trip() {
+    let model = AreaModel::default();
+    let json = serde_json::to_string(&model).expect("serializes");
+    let back: AreaModel = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, model);
+
+    for style in BistStyle::ALL {
+        let json = serde_json::to_string(&style).expect("serializes");
+        let back: BistStyle = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, style);
+    }
+    for kind in OpKind::ALL {
+        let json = serde_json::to_string(&kind).expect("serializes");
+        let back: OpKind = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, kind);
+    }
+    let g = GateCount(42);
+    let back: GateCount = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+    assert_eq!(back, g);
+}

@@ -1,0 +1,91 @@
+//! The BIST solver's optimality contract: on every design small enough
+//! for the exhaustive reference, branch-and-bound must match it exactly,
+//! and the greedy heuristic must be feasible and close.
+
+use proptest::prelude::*;
+
+use lobist::alloc::baseline_regalloc::BaselineAlgorithm;
+use lobist::alloc::flow::{synthesize, FlowError, FlowOptions, RegAllocStrategy};
+use lobist::bist::{solve, solve_exhaustive, SolverConfig, SolverMode};
+use lobist::datapath::area::AreaModel;
+use lobist::dfg::random::{random_scheduled_dfg, RandomDfgConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive(seed in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 10,
+            num_inputs: 4,
+            max_ops_per_step: 2,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let modules: lobist::dfg::modules::ModuleSet = "2+,2-,2*,2&".parse().expect("valid");
+        for strategy in [
+            RegAllocStrategy::Testable(Default::default()),
+            RegAllocStrategy::Traditional(BaselineAlgorithm::LeftEdge),
+            RegAllocStrategy::Traditional(BaselineAlgorithm::GreedyPves),
+        ] {
+            let mut opts = FlowOptions::testable();
+            opts.strategy = strategy;
+            let d = match synthesize(&dfg, &schedule, &modules, &opts) {
+                Ok(d) => d,
+                Err(FlowError::Bist(_)) => continue,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            };
+            let model = AreaModel::default();
+            let exact = solve(
+                &d.data_path,
+                &model,
+                &SolverConfig { mode: SolverMode::Exact, ..Default::default() },
+            )
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            let brute = solve_exhaustive(&d.data_path, &model)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(exact.overhead, brute.overhead);
+            // The flow's own (auto) answer can never beat the optimum.
+            prop_assert!(d.bist.overhead >= exact.overhead);
+            // Greedy is feasible and within 2x of optimal on these sizes.
+            let greedy = solve(
+                &d.data_path,
+                &model,
+                &SolverConfig { mode: SolverMode::Greedy, ..Default::default() },
+            )
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert!(greedy.overhead >= exact.overhead);
+            prop_assert!(
+                greedy.overhead.get() <= exact.overhead.get() * 2,
+                "greedy {} vs exact {}",
+                greedy.overhead,
+                exact.overhead
+            );
+        }
+    }
+
+    #[test]
+    fn solutions_are_deterministic(seed in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 12,
+            num_inputs: 4,
+            max_ops_per_step: 2,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let modules: lobist::dfg::modules::ModuleSet = "2+,2-,2*,2&".parse().expect("valid");
+        let run = || synthesize(&dfg, &schedule, &modules, &FlowOptions::testable());
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.bist.overhead, b.bist.overhead);
+                prop_assert_eq!(a.bist.styles, b.bist.styles);
+                prop_assert_eq!(
+                    a.register_assignment.classes(),
+                    b.register_assignment.classes()
+                );
+            }
+            (Err(_), Err(_)) => {}
+            _ => return Err(TestCaseError::fail("nondeterministic failure")),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural validation of the Verilog backends across every benchmark
+//! and both flows: balanced constructs, all components present, and the
+//! BIST wrapper consistent with the solved configuration.
+
+use lobist::alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist::datapath::area::BistStyle;
+use lobist::datapath::verilog::to_verilog;
+use lobist::datapath::verilog_bist::to_bist_verilog;
+use lobist::dfg::benchmarks;
+
+fn token_count(text: &str, word: &str) -> usize {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|t| *t == word)
+        .count()
+}
+
+#[test]
+fn functional_rtl_is_structurally_sound_everywhere() {
+    for bench in benchmarks::paper_suite() {
+        for opts in [FlowOptions::testable(), FlowOptions::traditional()] {
+            let d = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+            let v = to_verilog(&d.data_path, &bench.dfg, &bench.schedule, "dut", 8);
+            assert_eq!(token_count(&v, "begin"), token_count(&v, "end"), "{}", bench.name);
+            assert_eq!(token_count(&v, "case"), token_count(&v, "endcase"), "{}", bench.name);
+            assert_eq!(token_count(&v, "module"), token_count(&v, "endmodule"));
+            // Every register and module appears.
+            for r in 0..d.data_path.num_registers() {
+                assert!(v.contains(&format!("R{}", r + 1)), "{}: R{}", bench.name, r + 1);
+            }
+            for m in 0..d.data_path.num_modules() {
+                assert!(v.contains(&format!("M{}_y", m + 1)), "{}: M{}", bench.name, m + 1);
+            }
+            // Every output is wired.
+            for vout in bench.dfg.primary_outputs() {
+                let name = &bench.dfg.var(vout).name;
+                assert!(v.contains(&format!("out_{name}")), "{}: {name}", bench.name);
+            }
+            // Every identifier referenced as RN is declared.
+            for tok in v
+                .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .filter(|t| t.starts_with('R') && t[1..].chars().all(|c| c.is_ascii_digit()) && t.len() > 1)
+            {
+                assert!(
+                    v.contains(&format!("reg [7:0] {tok};")),
+                    "{}: {tok} used but not declared",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bist_wrapper_matches_solution_everywhere() {
+    for bench in benchmarks::paper_suite() {
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+        let v = to_bist_verilog(
+            &d.data_path,
+            &bench.dfg,
+            &d.bist.styles,
+            &d.bist.test_roles(),
+            "dut_bist",
+            8,
+            255,
+        );
+        assert_eq!(token_count(&v, "begin"), token_count(&v, "end"), "{}", bench.name);
+        assert_eq!(token_count(&v, "case"), token_count(&v, "endcase"), "{}", bench.name);
+        // One session-fold arm per session.
+        let sessions = d.bist.num_sessions();
+        for s in 0..sessions {
+            assert!(
+                v.contains(&format!("8'd{s}: ")),
+                "{}: session {s} missing\n{v}",
+                bench.name
+            );
+        }
+        assert!(v.contains(&format!("session >= 8'd{sessions};")), "{}", bench.name);
+        // Each CBILBO register gets its generator rank; others do not.
+        for r in d.data_path.register_ids() {
+            let gen = format!("R{}_gen", r.0 + 1);
+            if d.bist.style(r) == BistStyle::Cbilbo {
+                assert!(v.contains(&gen), "{}: missing {gen}", bench.name);
+            } else {
+                assert!(!v.contains(&gen), "{}: unexpected {gen}", bench.name);
+            }
+        }
+        // LFSR and MISR steps exist whenever the solution has generators
+        // and analyzers.
+        assert!(v.contains("MISR step"), "{}", bench.name);
+        if d.bist.styles.iter().any(|s| s.can_generate()) {
+            assert!(v.contains("LFSR step"), "{}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn interconnect_labels_agree_with_bound_sides() {
+    use lobist::alloc::interconnect::PortLabel;
+    use lobist::datapath::{PortSide, SourceRef};
+    use lobist::dfg::Operand;
+    for bench in benchmarks::paper_suite() {
+        let d = synthesize_benchmark(&bench, &FlowOptions::testable()).expect("synthesizes");
+        for part in &d.port_partitions {
+            for op in d.data_path.module_ops(part.module) {
+                let info = bench.dfg.op(*op);
+                let source_of = |o: Operand| -> SourceRef {
+                    match o {
+                        Operand::Const(c) => SourceRef::Constant(c),
+                        Operand::Var(v) => match d.data_path.register_of(v) {
+                            Some(r) => SourceRef::Register(r),
+                            None => SourceRef::ExternalInput(v),
+                        },
+                    }
+                };
+                let lhs_side = d.data_path.lhs_side(*op);
+                for (operand, side) in [(info.lhs, lhs_side), (info.rhs, lhs_side.other())] {
+                    let src = source_of(operand);
+                    let label = part.labels.get(&src).unwrap_or_else(|| {
+                        panic!("{}: source {src} unlabeled", bench.name)
+                    });
+                    let ok = matches!(
+                        (label, side),
+                        (PortLabel::Both, _)
+                            | (PortLabel::Left, PortSide::Left)
+                            | (PortLabel::Right, PortSide::Right)
+                    );
+                    assert!(
+                        ok,
+                        "{}: {src} labeled {label:?} but bound to {side} for {}",
+                        bench.name, info.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bist_wrapper_taps_match_the_gate_level_lfsrs() {
+    for width in 2..=32u32 {
+        assert_eq!(
+            lobist::datapath::verilog_bist::tap_mask(width),
+            lobist::gatesim::lfsr::tap_mask(width),
+            "width {width}"
+        );
+    }
+}
