@@ -13,7 +13,6 @@ use lobist_dfg::VarId;
 /// primary input driven by the test wrapper (which is free — the paper's
 /// Paulin comparison keeps loop inputs on ports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PatternSource {
     /// A register upgraded to TPG.
     Register(RegisterId),
@@ -49,7 +48,6 @@ impl fmt::Display for PatternSource {
 /// still tests the module but forces the shared register to be a CBILBO
 /// (it must generate and analyze in the same session).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Embedding {
     /// Pattern source for the left input port.
     pub left: PatternSource,

@@ -10,7 +10,6 @@ use crate::report::BistSolution;
 
 /// One test session: which modules run and how long the session lasts.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SessionInfo {
     /// Session index (0-based, run in order).
     pub index: u32,
@@ -22,7 +21,6 @@ pub struct SessionInfo {
 
 /// The full self-test plan derived from a BIST solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestPlan {
     /// Sessions in execution order.
     pub sessions: Vec<SessionInfo>,

@@ -21,7 +21,6 @@ use crate::report::BistSolution;
 
 /// One inserted test point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestPoint {
     /// The starved port.
     pub port: Port,

@@ -10,7 +10,6 @@ use crate::session;
 
 /// A complete minimal-area BIST solution for a data path.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BistSolution {
     /// Final style of each register (indexed by register).
     pub styles: Vec<BistStyle>,

@@ -60,7 +60,8 @@ USAGE:
   lobist compare <design.dfg> --modules <SET> [OPTIONS]
   lobist schedule <design.dfg> --latency <N>
   lobist faultsim <design.dfg> --modules <SET> [OPTIONS]
-  lobist explore <design.dfg> --candidates <SET;SET;...>
+  lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
+  lobist batch <design.dfg>... --modules <SET> [--jobs <N>] [--metrics]
   lobist suite
 
 COMMANDS:
@@ -69,6 +70,7 @@ COMMANDS:
   schedule  force-directed-schedule an unscheduled design (steps optional)
   faultsim  gate-level stuck-at fault simulation of the BIST sessions
   explore   Pareto exploration over candidate module allocations
+  batch     synthesize many design files in one parallel run
   suite     run the five paper benchmarks (Table I summary)
 
 OPTIONS:
@@ -83,6 +85,9 @@ OPTIONS:
   --repair          insert test points for otherwise-untestable modules
   --latency <N>     target latency for `schedule` (default: critical path)
   --candidates <L>  semicolon-separated module sets for `explore`
+  --jobs <N>        worker threads for `explore`/`batch` (default: all
+                    cores; must be at least 1)
+  --metrics         print engine metrics as JSON after `explore`/`batch`
 
 DESIGN FILE FORMAT (one statement per line):
   input a b c
@@ -103,6 +108,8 @@ struct Options {
     repair: bool,
     latency: Option<u32>,
     candidates: Option<String>,
+    jobs: Option<usize>,
+    metrics: bool,
     positional: Vec<String>,
 }
 
@@ -119,6 +126,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         repair: false,
         latency: None,
         candidates: None,
+        jobs: None,
+        metrics: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -165,6 +174,22 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .clone(),
                 )
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--jobs needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad job count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--jobs 0 makes no sense: the engine needs at least one worker"
+                            .into(),
+                    ));
+                }
+                o.jobs = Some(n);
+            }
+            "--metrics" => o.metrics = true,
             "--latency" => {
                 let v = it
                     .next()
@@ -181,6 +206,16 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         }
     }
     Ok(o)
+}
+
+/// The engine worker budget: `--jobs` if given, otherwise every
+/// available core.
+fn worker_count(o: &Options) -> usize {
+    o.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 fn flow_options(o: &Options, traditional: bool) -> FlowOptions {
@@ -457,26 +492,81 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .collect::<Result<_, _>>()?;
             let mut config = lobist_alloc::explore::ExploreConfig::new(candidates);
             config.flow = flow_options(&o, false);
-            let result = lobist_alloc::explore::explore(&dfg, &config);
+            let engine = lobist_engine::Engine::new(worker_count(&o));
+            let result = lobist_engine::explore_parallel(&dfg, &config, &engine);
+            out.push_str(&lobist_engine::render_report(&result));
+            if o.metrics {
+                let _ = writeln!(out, "{}", engine.metrics().to_json());
+            }
+        }
+        "batch" => {
+            if o.positional.len() < 2 {
+                return Err(CliError::Usage("batch needs at least one design file".into()));
+            }
+            let modules: ModuleSet = o
+                .modules
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("missing --modules".into()))?
+                .parse()
+                .map_err(CliError::Modules)?;
+            let flow = flow_options(&o, o.flow == "traditional");
+            let mut jobs = Vec::new();
+            for path in &o.positional[1..] {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+                // Scheduled files keep their `@ step` annotations;
+                // unscheduled ones get a resource-constrained list
+                // schedule under the shared module set.
+                let (dfg, schedule) = match parse_dfg(&text) {
+                    Ok(parsed) => parsed,
+                    Err(_) => {
+                        let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text)
+                            .map_err(CliError::Parse)?;
+                        let schedule = lobist_dfg::scheduling::list_schedule(&dfg, &modules)
+                            .map_err(|e| {
+                                CliError::Usage(format!("{path}: cannot schedule: {e}"))
+                            })?;
+                        (dfg, schedule)
+                    }
+                };
+                jobs.push(lobist_engine::Job {
+                    dfg: std::sync::Arc::new(dfg),
+                    candidate: lobist_alloc::explore::Candidate {
+                        modules: modules.clone(),
+                        schedule,
+                    },
+                    flow: flow.clone(),
+                    label: path.clone(),
+                });
+            }
+            let engine = lobist_engine::Engine::new(worker_count(&o));
+            let outcomes = engine.run(jobs);
             let _ = writeln!(
                 out,
-                "{:<18} {:>7} {:>12} {:>10} {:>5}  on Pareto front",
-                "modules", "latency", "func gates", "BIST gates", "regs"
+                "{:<28} {:>7} {:>5} {:>12} {:>10} {:>8}",
+                "design", "latency", "regs", "func gates", "BIST gates", "BIST %"
             );
-            for (i, p) in result.points.iter().enumerate() {
-                let star = if result.pareto.contains(&i) { "*" } else { "" };
-                let _ = writeln!(
-                    out,
-                    "{:<18} {:>7} {:>12} {:>10} {:>5}  {star}",
-                    p.modules.to_string(),
-                    p.latency,
-                    p.functional_gates.get(),
-                    p.bist_gates.get(),
-                    p.registers
-                );
+            for outcome in &outcomes {
+                match &outcome.result {
+                    Ok(p) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<28} {:>7} {:>5} {:>12} {:>10} {:>7.2}%",
+                            outcome.label,
+                            p.latency,
+                            p.registers,
+                            p.functional_gates.get(),
+                            p.bist_gates.get(),
+                            p.bist.overhead_percent
+                        );
+                    }
+                    Err((_, e)) => {
+                        let _ = writeln!(out, "failed {}: {e}", outcome.label);
+                    }
+                }
             }
-            for (m, e) in &result.failures {
-                let _ = writeln!(out, "infeasible {m}: {e}");
+            if o.metrics {
+                let _ = writeln!(out, "{}", engine.metrics().to_json());
             }
         }
         "suite" => {
@@ -690,6 +780,86 @@ mod tests {
         assert!(out.contains("Pareto front"), "{out}");
         assert!(out.contains('*'), "{out}");
         assert!(out.contains("1+,1*"), "{out}");
+    }
+
+    #[test]
+    fn explore_output_is_identical_across_worker_counts() {
+        let path = write_temp(
+            "lobist_cli_explore_jobs.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let base = argv(&["explore", &path, "--candidates", "1+,1*;2+,1*;1+,2*"]);
+        let serial = run(&[base.clone(), argv(&["--jobs", "1"])].concat()).unwrap();
+        let parallel = run(&[base.clone(), argv(&["--jobs", "4"])].concat()).unwrap();
+        let default = run(&base).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, default);
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected_with_a_clear_error() {
+        let path = write_temp("lobist_cli_jobs0.dfg", DESIGN);
+        let err = run(&argv(&[
+            "explore",
+            &path,
+            "--candidates",
+            "1+,1*",
+            "--jobs",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("--jobs 0"), "{err}");
+        let err = run(&argv(&["explore", &path, "--candidates", "1+,1*", "--jobs", "many"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("bad job count"), "{err}");
+    }
+
+    #[test]
+    fn batch_synthesizes_multiple_designs() {
+        let scheduled = write_temp("lobist_cli_batch_a.dfg", DESIGN);
+        let unscheduled = write_temp(
+            "lobist_cli_batch_b.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&[
+            "batch",
+            &scheduled,
+            &unscheduled,
+            "--modules",
+            "1+,1*",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("design"), "{out}");
+        assert!(out.contains(&scheduled), "{out}");
+        assert!(out.contains(&unscheduled), "{out}");
+        // Both designs synthesize: two data rows with a BIST percentage.
+        assert_eq!(out.matches('%').count() - usize::from(out.contains("BIST %")), 2, "{out}");
+    }
+
+    #[test]
+    fn batch_requires_designs_and_modules() {
+        let err = run(&argv(&["batch", "--modules", "1+"])).unwrap_err();
+        assert!(err.to_string().contains("at least one design"), "{err}");
+        let path = write_temp("lobist_cli_batch_nomod.dfg", DESIGN);
+        let err = run(&argv(&["batch", &path])).unwrap_err();
+        assert!(err.to_string().contains("missing --modules"), "{err}");
+    }
+
+    #[test]
+    fn metrics_flag_appends_engine_json() {
+        let path = write_temp("lobist_cli_metrics.dfg", DESIGN);
+        let out = run(&argv(&[
+            "batch", &path, "--modules", "1+,1*", "--jobs", "2", "--metrics",
+        ]))
+        .unwrap();
+        let json = out.lines().last().expect("metrics line");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in ["\"jobs\":", "\"cache\":", "\"utilization\":", "\"stage_micros_log2_histograms\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

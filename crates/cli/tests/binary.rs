@@ -33,3 +33,53 @@ fn binary_help_exits_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn binary_runs_a_parallel_batch() {
+    let dir = std::env::temp_dir();
+    let a = dir.join("lobist_bin_batch_a.dfg");
+    let b = dir.join("lobist_bin_batch_b.dfg");
+    std::fs::write(&a, "input a b\ny = a + b @ 1\noutput y\n").expect("write");
+    std::fs::write(&b, "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n")
+        .expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .args([
+            "batch",
+            a.to_str().expect("utf8"),
+            b.to_str().expect("utf8"),
+            "--modules",
+            "1+,1*",
+            "--jobs",
+            "2",
+            "--metrics",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lobist_bin_batch_a.dfg"), "{text}");
+    assert!(text.contains("lobist_bin_batch_b.dfg"), "{text}");
+    assert!(text.contains("\"cache\":"), "{text}");
+}
+
+#[test]
+fn binary_rejects_zero_jobs() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .args(["explore", "x.dfg", "--candidates", "1+", "--jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs 0"), "{err}");
+}
+
+#[test]
+fn binary_help_documents_jobs_flag() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .arg("help")
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--jobs"), "{text}");
+    assert!(text.contains("batch"), "{text}");
+}

@@ -7,6 +7,18 @@
 //! (force-directed, over a range of latencies), synthesizes it with the
 //! BIST-aware flow, and returns the Pareto-optimal designs over
 //! `(latency, functional gates, BIST overhead gates)`.
+//!
+//! The sweep is factored into three phases so serial and parallel
+//! drivers share one code path and provably agree:
+//!
+//! 1. [`enumerate_candidates`] — cheap, order-stable expansion of the
+//!    config into `(module set, schedule)` pairs;
+//! 2. [`evaluate_candidate`] — the expensive per-candidate synthesis
+//!    (one independent job; `lobist-engine` fans these out);
+//! 3. [`assemble`] — Pareto filtering and the deterministic result
+//!    ordering, a pure function of the evaluation outcomes.
+//!
+//! [`explore`] composes the three serially.
 
 use lobist_bist::BistSolution;
 use lobist_datapath::area::GateCount;
@@ -15,7 +27,7 @@ use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::scheduling::{asap, list_schedule};
 use lobist_dfg::{Dfg, Schedule};
 
-use crate::flow::{synthesize, FlowOptions};
+use crate::flow::{synthesize_timed, FlowOptions, StageTimings};
 
 /// One explored design point.
 #[derive(Debug, Clone)]
@@ -36,18 +48,41 @@ pub struct DesignPoint {
     pub schedule: Schedule,
 }
 
+/// The objective vector a [`DesignPoint`] is judged by: latency,
+/// functional gates, BIST overhead gates — all minimized.
+pub type Objectives = (u32, GateCount, GateCount);
+
+/// `true` if `a` dominates `b`: no worse on every axis, strictly better
+/// on at least one.
+pub fn dominates(a: Objectives, b: Objectives) -> bool {
+    let le = a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2;
+    let lt = a.0 < b.0 || a.1 < b.1 || a.2 < b.2;
+    le && lt
+}
+
+/// Indices of the Pareto-optimal entries of `objectives`, sorted by the
+/// objective vector itself (latency, then functional gates, then BIST
+/// gates) with the index as final tiebreak, so the frontier's order
+/// never depends on evaluation order.
+pub fn pareto_front(objectives: &[Objectives]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..objectives.len())
+        .filter(|&i| !objectives.iter().any(|&o| dominates(o, objectives[i])))
+        .collect();
+    front.sort_by_key(|&i| (objectives[i], i));
+    front
+}
+
 impl DesignPoint {
+    /// The point's objective vector.
+    pub fn objectives(&self) -> Objectives {
+        (self.latency, self.functional_gates, self.bist_gates)
+    }
+
     /// `true` if `self` dominates `other`: no worse on latency,
     /// functional area and BIST overhead, and strictly better on at
     /// least one.
     pub fn dominates(&self, other: &DesignPoint) -> bool {
-        let le = self.latency <= other.latency
-            && self.functional_gates <= other.functional_gates
-            && self.bist_gates <= other.bist_gates;
-        let lt = self.latency < other.latency
-            || self.functional_gates < other.functional_gates
-            || self.bist_gates < other.bist_gates;
-        le && lt
+        dominates(self.objectives(), other.objectives())
     }
 }
 
@@ -75,26 +110,27 @@ impl ExploreConfig {
     }
 }
 
-/// The exploration outcome: every feasible point plus the Pareto front.
+/// One schedulable `(module set, schedule)` pair awaiting synthesis.
 #[derive(Debug, Clone)]
-pub struct ExploreResult {
-    /// All feasible points, in evaluation order.
-    pub points: Vec<DesignPoint>,
-    /// Indices into `points` of the Pareto-optimal designs, sorted by
-    /// latency.
-    pub pareto: Vec<usize>,
-    /// Candidates that failed and why (module set string, error text).
-    pub failures: Vec<(String, String)>,
+pub struct Candidate {
+    /// The module allocation.
+    pub modules: ModuleSet,
+    /// A feasible schedule under that allocation.
+    pub schedule: Schedule,
 }
 
-/// Explores the design space of `dfg` under `config`.
+/// Expands `config` into the ordered candidate list plus the module sets
+/// that could not be scheduled at all.
 ///
-/// Each candidate is scheduled with force-directed scheduling at its
-/// resource-feasible latency plus each slack, then synthesized; BIST
-/// failures (untestable structures) are recorded, not fatal.
-pub fn explore(dfg: &Dfg, config: &ExploreConfig) -> ExploreResult {
+/// The order is deterministic: candidates appear grouped by module set
+/// (in config order), the resource-constrained list schedule first, then
+/// feasible force-directed schedules by increasing latency.
+pub fn enumerate_candidates(
+    dfg: &Dfg,
+    config: &ExploreConfig,
+) -> (Vec<Candidate>, Vec<(String, String)>) {
     let critical = asap(dfg).max_step();
-    let mut points: Vec<DesignPoint> = Vec::new();
+    let mut candidates = Vec::new();
     let mut failures = Vec::new();
     for modules in &config.module_candidates {
         // The resource-constrained list schedule is always feasible for a
@@ -119,30 +155,98 @@ pub fn explore(dfg: &Dfg, config: &ExploreConfig) -> ExploreResult {
                 }
             }
         }
-        for schedule in schedules {
-            match synthesize(dfg, &schedule, modules, &config.flow) {
-                Ok(d) => points.push(DesignPoint {
-                    modules: modules.clone(),
-                    latency: schedule.max_step(),
-                    functional_gates: d.stats.functional_gates,
-                    bist_gates: d.bist.overhead,
-                    registers: d.data_path.num_registers(),
-                    bist: d.bist,
-                    schedule,
-                }),
-                Err(e) => failures.push((modules.to_string(), e.to_string())),
-            }
-        }
+        candidates.extend(schedules.into_iter().map(|schedule| Candidate {
+            modules: modules.clone(),
+            schedule,
+        }));
     }
-    let mut pareto: Vec<usize> = (0..points.len())
-        .filter(|&i| !points.iter().any(|p| p.dominates(&points[i])))
-        .collect();
-    pareto.sort_by_key(|&i| (points[i].latency, points[i].functional_gates));
+    (candidates, failures)
+}
+
+/// Synthesizes one candidate — the unit of work a parallel driver
+/// distributes. Errors are rendered to the failure text [`assemble`]
+/// records.
+pub fn evaluate_candidate(
+    dfg: &Dfg,
+    candidate: &Candidate,
+    flow: &FlowOptions,
+) -> Result<DesignPoint, (String, String)> {
+    evaluate_candidate_timed(dfg, candidate, flow).0
+}
+
+/// As [`evaluate_candidate`], also reporting per-stage wall time (zero
+/// for the stages a failing flow never reached).
+pub fn evaluate_candidate_timed(
+    dfg: &Dfg,
+    candidate: &Candidate,
+    flow: &FlowOptions,
+) -> (Result<DesignPoint, (String, String)>, StageTimings) {
+    match synthesize_timed(dfg, &candidate.schedule, &candidate.modules, flow) {
+        Ok((d, timings)) => (
+            Ok(DesignPoint {
+                modules: candidate.modules.clone(),
+                latency: candidate.schedule.max_step(),
+                functional_gates: d.stats.functional_gates,
+                bist_gates: d.bist.overhead,
+                registers: d.data_path.num_registers(),
+                bist: d.bist,
+                schedule: candidate.schedule.clone(),
+            }),
+            timings,
+        ),
+        Err(e) => (
+            Err((candidate.modules.to_string(), e.to_string())),
+            StageTimings::default(),
+        ),
+    }
+}
+
+/// The exploration outcome: every feasible point plus the Pareto front.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// All feasible points, in evaluation order.
+    pub points: Vec<DesignPoint>,
+    /// Indices into `points` of the Pareto-optimal designs, sorted by
+    /// (latency, functional gates, BIST gates).
+    pub pareto: Vec<usize>,
+    /// Candidates that failed and why (module set string, error text).
+    pub failures: Vec<(String, String)>,
+}
+
+/// Computes the Pareto front over evaluated points and packages the
+/// result. Pure: two runs that produce the same points and failures (in
+/// the same order) yield identical results, regardless of how the
+/// evaluations were scheduled.
+pub fn assemble(
+    points: Vec<DesignPoint>,
+    failures: Vec<(String, String)>,
+) -> ExploreResult {
+    let objectives: Vec<Objectives> = points.iter().map(DesignPoint::objectives).collect();
+    let pareto = pareto_front(&objectives);
     ExploreResult {
         points,
         pareto,
         failures,
     }
+}
+
+/// Explores the design space of `dfg` under `config`, serially.
+///
+/// Each candidate is scheduled with force-directed scheduling at its
+/// resource-feasible latency plus each slack, then synthesized; BIST
+/// failures (untestable structures) are recorded, not fatal. For a
+/// multi-threaded sweep over the same candidates with identical results,
+/// see `lobist_engine::explore_parallel`.
+pub fn explore(dfg: &Dfg, config: &ExploreConfig) -> ExploreResult {
+    let (candidates, mut failures) = enumerate_candidates(dfg, config);
+    let mut points = Vec::new();
+    for candidate in &candidates {
+        match evaluate_candidate(dfg, candidate, &config.flow) {
+            Ok(p) => points.push(p),
+            Err(f) => failures.push(f),
+        }
+    }
+    assemble(points, failures)
 }
 
 /// `true` if an FDS schedule at `latency` respects the per-step capacity
@@ -189,6 +293,7 @@ fn schedule_fits(dfg: &Dfg, modules: &ModuleSet, latency: u32) -> bool {
 mod tests {
     use super::*;
     use lobist_dfg::benchmarks;
+    use proptest::prelude::*;
 
     fn paulin_candidates() -> Vec<ModuleSet> {
         ["1+,1*,1-", "1+,2*,1-", "2+,2*,2-", "1+,3ALU"]
@@ -264,5 +369,80 @@ mod tests {
         assert!(result.points.is_empty());
         assert_eq!(result.failures.len(), 1);
         assert!(result.failures[0].1.contains("missing unit kind"));
+    }
+
+    #[test]
+    fn frontier_order_is_by_objectives_not_evaluation_order() {
+        let bench = benchmarks::paulin();
+        let mut config = ExploreConfig::new(paulin_candidates());
+        config.flow = config.flow.with_lifetimes(bench.lifetime_options);
+        // Reversing the candidate order must not change the *sequence* of
+        // objective vectors along the frontier.
+        let forward = explore(&bench.dfg, &config);
+        config.module_candidates.reverse();
+        let backward = explore(&bench.dfg, &config);
+        let objs = |r: &ExploreResult| -> Vec<Objectives> {
+            r.pareto.iter().map(|&i| r.points[i].objectives()).collect()
+        };
+        assert_eq!(objs(&forward), objs(&backward));
+        // And the frontier is sorted.
+        let o = objs(&forward);
+        assert!(o.windows(2).all(|w| w[0] <= w[1]), "{o:?}");
+    }
+
+    fn g(n: u64) -> GateCount {
+        GateCount(n)
+    }
+
+    #[test]
+    fn dominates_edge_cases() {
+        // Equal points never dominate each other.
+        assert!(!dominates((4, g(100), g(10)), (4, g(100), g(10))));
+        // A strict improvement on a single axis dominates.
+        assert!(dominates((3, g(100), g(10)), (4, g(100), g(10))));
+        assert!(dominates((4, g(99), g(10)), (4, g(100), g(10))));
+        assert!(dominates((4, g(100), g(9)), (4, g(100), g(10))));
+        // ... and only in that direction.
+        assert!(!dominates((4, g(100), g(10)), (3, g(100), g(10))));
+        // A trade-off (better on one axis, worse on another) is
+        // incomparable both ways.
+        assert!(!dominates((3, g(120), g(10)), (4, g(100), g(10))));
+        assert!(!dominates((4, g(100), g(10)), (3, g(120), g(10))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn frontier_members_never_dominate_each_other(
+            raw in prop::collection::vec((0u32..6, 0u64..5, 0u64..5), 1..24)
+        ) {
+            let objectives: Vec<Objectives> =
+                raw.into_iter().map(|(l, f, b)| (l, g(f), g(b))).collect();
+            let front = pareto_front(&objectives);
+            prop_assert!(!front.is_empty());
+            for &i in &front {
+                for &j in &front {
+                    prop_assert!(
+                        i == j || !dominates(objectives[i], objectives[j]),
+                        "front member {:?} dominates front member {:?}",
+                        objectives[i],
+                        objectives[j]
+                    );
+                }
+            }
+            // Completeness: everything off the front is dominated.
+            for (k, &o) in objectives.iter().enumerate() {
+                if !front.contains(&k) {
+                    prop_assert!(
+                        objectives.iter().any(|&p| dominates(p, o)),
+                        "{o:?} excluded but undominated"
+                    );
+                }
+            }
+            // Order: sorted by the objective vector.
+            let seq: Vec<Objectives> = front.iter().map(|&i| objectives[i]).collect();
+            prop_assert!(seq.windows(2).all(|w| w[0] <= w[1]), "{seq:?}");
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! BIST solution side by side for the testable and traditional flows.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use lobist_bist::{BistError, BistSolution, SolverConfig};
 use lobist_datapath::area::AreaModel;
@@ -159,6 +160,43 @@ pub struct Design {
     pub test_points: Vec<lobist_bist::TestPoint>,
 }
 
+/// Wall time spent in each flow stage, in pipeline order.
+///
+/// Collected by [`synthesize_timed`]; the engine's metrics layer folds
+/// these into per-stage histograms so a sweep's profile shows where the
+/// synthesis time actually goes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Module assignment.
+    pub module_assign: Duration,
+    /// Register allocation (testable or traditional).
+    pub register_alloc: Duration,
+    /// Interconnect assignment (including the sharing analysis).
+    pub interconnect: Duration,
+    /// Data-path netlist assembly.
+    pub data_path: Duration,
+    /// BIST solve (including repair when enabled) and final statistics.
+    pub bist: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.module_assign + self.register_alloc + self.interconnect + self.data_path + self.bist
+    }
+
+    /// The stages as `(name, duration)` pairs, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("module_assign", self.module_assign),
+            ("register_alloc", self.register_alloc),
+            ("interconnect", self.interconnect),
+            ("data_path", self.data_path),
+            ("bist", self.bist),
+        ]
+    }
+}
+
 /// Runs the complete flow on a scheduled DFG.
 ///
 /// # Errors
@@ -170,7 +208,29 @@ pub fn synthesize(
     modules: &ModuleSet,
     options: &FlowOptions,
 ) -> Result<Design, FlowError> {
+    synthesize_timed(dfg, schedule, modules, options).map(|(d, _)| d)
+}
+
+/// As [`synthesize`], also reporting how long each stage took.
+///
+/// # Errors
+///
+/// Any stage's failure is wrapped in [`FlowError`].
+pub fn synthesize_timed(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    modules: &ModuleSet,
+    options: &FlowOptions,
+) -> Result<(Design, StageTimings), FlowError> {
+    let mut timings = StageTimings::default();
+    let mut mark = Instant::now();
+    let mut lap = |slot: &mut Duration| {
+        let now = Instant::now();
+        *slot = now - mark;
+        mark = now;
+    };
     let ma = assign_modules(dfg, schedule, modules)?;
+    lap(&mut timings.module_assign);
     let (registers, trace) = match options.strategy {
         RegAllocStrategy::Testable(opts) => {
             let alloc = testable_regalloc::allocate_registers(
@@ -192,9 +252,11 @@ pub fn synthesize(
             (ra, None)
         }
     };
+    lap(&mut timings.register_alloc);
     let ctx = SharingContext::new(dfg, &ma);
     let (ic, port_partitions) =
         assign_interconnect(dfg, &ma, &registers, &ctx, options.bist_aware_interconnect);
+    lap(&mut timings.interconnect);
     let data_path = DataPath::build(
         dfg,
         schedule,
@@ -203,6 +265,7 @@ pub fn synthesize(
         registers.clone(),
         ic,
     )?;
+    lap(&mut timings.data_path);
     let (data_path, bist, test_points) = if options.repair_untestable {
         let repaired =
             lobist_bist::solve_with_repair(&data_path, &options.area, &options.solver)?;
@@ -217,16 +280,20 @@ pub fn synthesize(
         (data_path, bist, Vec::new())
     };
     let stats = DataPathStats::of(&data_path, &options.area);
-    Ok(Design {
-        module_assignment: ma,
-        register_assignment: registers,
-        data_path,
-        port_partitions,
-        stats,
-        bist,
-        trace,
-        test_points,
-    })
+    lap(&mut timings.bist);
+    Ok((
+        Design {
+            module_assignment: ma,
+            register_assignment: registers,
+            data_path,
+            port_partitions,
+            stats,
+            bist,
+            trace,
+            test_points,
+        },
+        timings,
+    ))
 }
 
 /// Convenience: run [`synthesize`] on a benchmark, using its own module

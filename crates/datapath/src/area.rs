@@ -38,7 +38,6 @@ use crate::netlist::DataPath;
 
 /// A quantity of logic gates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GateCount(pub u64);
 
 impl GateCount {
@@ -92,7 +91,6 @@ impl fmt::Display for GateCount {
 /// it can. Costs are *not* monotonic in this order alone — see
 /// [`AreaModel::style_extra`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BistStyle {
     /// An unmodified register.
     #[default]
@@ -172,7 +170,6 @@ impl fmt::Display for BistStyle {
 
 /// The parameterized gate-count model.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AreaModel {
     /// Data-path bit width.
     pub width: u32,

@@ -12,7 +12,6 @@ use crate::assignment::{InterconnectAssignment, ModuleAssignment, RegisterAssign
 
 /// Identifier of a register in a data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegisterId(pub u32);
 
 impl RegisterId {
@@ -30,7 +29,6 @@ impl fmt::Display for RegisterId {
 
 /// Identifier of an operator module in a data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModuleId(pub u32);
 
 impl ModuleId {
@@ -48,7 +46,6 @@ impl fmt::Display for ModuleId {
 
 /// The two input ports of a binary operator module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PortSide {
     /// The left input port.
     Left,
@@ -77,7 +74,6 @@ impl fmt::Display for PortSide {
 
 /// An input port of a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Port {
     /// The module owning the port.
     pub module: ModuleId,
@@ -93,7 +89,6 @@ impl fmt::Display for Port {
 
 /// A data source feeding a port or register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SourceRef {
     /// A register in the data path.
     Register(RegisterId),

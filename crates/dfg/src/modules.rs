@@ -13,7 +13,6 @@ use crate::types::OpKind;
 /// The class of a functional-unit module: a dedicated operator or a
 /// general ALU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ModuleClass {
     /// A dedicated unit performing exactly one operation kind.
     Op(OpKind),

@@ -68,7 +68,7 @@ pub fn random_scheduled_dfg(seed: u64, cfg: &RandomDfgConfig) -> (Dfg, Schedule)
         // Bias operand choice toward recent values for realistic chains.
         let pick = |rng: &mut StdRng, pool: &[VarId]| -> VarId {
             if pool.len() > 4 && rng.gen_bool(0.6) {
-                pool[pool.len() - 1 - rng.gen_range(0..4)]
+                pool[pool.len() - 1 - rng.gen_range(0..4usize)]
             } else {
                 *pool.choose(rng).expect("non-empty pool")
             }

@@ -4,7 +4,6 @@ use std::fmt;
 
 /// Identifier of a variable (an edge of the data flow graph).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarId(pub u32);
 
 impl VarId {
@@ -22,7 +21,6 @@ impl fmt::Display for VarId {
 
 /// Identifier of an operation (a vertex of the data flow graph).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpId(pub u32);
 
 impl OpId {
@@ -45,7 +43,6 @@ impl fmt::Display for OpId {
 /// port constraints during interconnect assignment, and unary operators
 /// are treated as binary with a constant second operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpKind {
     /// Addition (`+`), commutative.
     Add,
@@ -118,7 +115,6 @@ impl fmt::Display for OpKind {
 /// benchmark) are hard-wired and never occupy a register, so they are
 /// excluded from lifetime analysis and allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Operand {
     /// A variable operand.
     Var(VarId),

@@ -1,0 +1,134 @@
+//! Content-addressed result cache.
+//!
+//! Jobs are keyed by what actually determines their outcome — the DFG
+//! and schedule (via the canonical text rendering of
+//! [`lobist_dfg::parse::to_text`]), the module set, and the flow
+//! options — not by how the job was labelled or where its design file
+//! lived. Two jobs with the same content share one synthesis, whether
+//! they come from one sweep retried or two batch entries that happen to
+//! coincide.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use lobist_alloc::explore::{Candidate, DesignPoint};
+use lobist_alloc::flow::FlowOptions;
+use lobist_dfg::parse::to_text;
+use lobist_dfg::Dfg;
+
+/// What a job evaluates to: a design point, or the rendered failure
+/// `(module set, error text)` the explore report records.
+pub type JobResult = Result<DesignPoint, (String, String)>;
+
+/// 128-bit FNV-1a over a byte stream; collision-resistant enough for an
+/// in-memory cache of at most a few thousand jobs, and fully stable
+/// across runs and platforms.
+fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        // Separator so ("ab", "c") and ("a", "bc") hash differently.
+        h ^= 0x1f;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The stable content hash of one synthesis job.
+pub fn job_key(dfg: &Dfg, candidate: &Candidate, flow: &FlowOptions) -> u128 {
+    let design = to_text(dfg, &candidate.schedule);
+    let modules = candidate.modules.to_string();
+    // FlowOptions derives Debug over plain-data fields, so its Debug
+    // rendering is a faithful canonical encoding of every option.
+    let flow = format!("{flow:?}");
+    fnv1a_128(&[design.as_bytes(), modules.as_bytes(), flow.as_bytes()])
+}
+
+/// A thread-safe map from job key to completed result.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<u128, JobResult>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached result for `key`, if any.
+    pub fn get(&self, key: u128) -> Option<JobResult> {
+        self.entries.lock().expect("cache lock").get(&key).cloned()
+    }
+
+    /// Stores `result` under `key`. Last write wins; concurrent writers
+    /// for the same key hold identical results (evaluation is
+    /// deterministic), so the race is benign.
+    pub fn insert(&self, key: u128, result: JobResult) {
+        self.entries.lock().expect("cache lock").insert(key, result);
+    }
+
+    /// Number of distinct results held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_dfg::benchmarks;
+
+    fn candidate() -> (Dfg, Candidate) {
+        let bench = benchmarks::ex1();
+        (
+            bench.dfg.clone(),
+            Candidate {
+                modules: bench.module_allocation.clone(),
+                schedule: bench.schedule.clone(),
+            },
+        )
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let (dfg, cand) = candidate();
+        let flow = FlowOptions::testable();
+        assert_eq!(job_key(&dfg, &cand, &flow), job_key(&dfg, &cand, &flow));
+        // A different flow changes the key...
+        assert_ne!(
+            job_key(&dfg, &cand, &flow),
+            job_key(&dfg, &cand, &FlowOptions::traditional())
+        );
+        // ...as does a different module set.
+        let mut other = cand.clone();
+        other.modules = "2+,2*".parse().expect("valid");
+        assert_ne!(job_key(&dfg, &cand, &flow), job_key(&dfg, &other, &flow));
+    }
+
+    #[test]
+    fn separator_prevents_chunk_boundary_collisions() {
+        assert_ne!(fnv1a_128(&[b"ab", b"c"]), fnv1a_128(&[b"a", b"bc"]));
+        assert_ne!(fnv1a_128(&[b"ab"]), fnv1a_128(&[b"a", b"b"]));
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let cache = ResultCache::new();
+        assert!(cache.is_empty());
+        cache.insert(7, Err(("1+".into(), "boom".into())));
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.get(7), Some(Err((m, e))) if m == "1+" && e == "boom"));
+        assert!(cache.get(8).is_none());
+    }
+}

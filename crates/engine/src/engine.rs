@@ -1,0 +1,260 @@
+//! The engine proper: a job queue drained by a thread pool, fronted by
+//! the content-addressed cache and instrumented by the metrics layer.
+
+use std::sync::Arc;
+
+use lobist_alloc::explore::{evaluate_candidate_timed, Candidate};
+use lobist_alloc::flow::{FlowOptions, StageTimings};
+use lobist_dfg::Dfg;
+
+use crate::cache::{job_key, JobResult, ResultCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pool;
+
+/// A progress sink: called with one JSON line per event.
+pub type ProgressSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// One unit of work: synthesize `candidate` on `dfg` under `flow`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The (shared) data-flow graph.
+    pub dfg: Arc<Dfg>,
+    /// The module set and schedule to synthesize.
+    pub candidate: Candidate,
+    /// Flow options.
+    pub flow: FlowOptions,
+    /// Display label for progress lines and panic reports (by
+    /// convention the module-set string, matching the explore report's
+    /// failure entries).
+    pub label: String,
+}
+
+/// What one job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's label, echoed back.
+    pub label: String,
+    /// The design point, or the `(module set, error)` failure entry.
+    pub result: JobResult,
+    /// `true` if the result came from the cache.
+    pub cache_hit: bool,
+    /// Per-stage wall time (zero on cache hits and failures-before-BIST).
+    pub timings: StageTimings,
+}
+
+/// A parallel batch-synthesis engine.
+///
+/// One engine owns one worker budget, one result cache and one metrics
+/// ledger; batches run through [`Engine::run`] share all three, so a
+/// repeated sweep is answered from cache and a long campaign accumulates
+/// one coherent profile.
+///
+/// # Determinism
+///
+/// [`Engine::run`] returns outcomes in submission order regardless of
+/// worker count or scheduling: every job is pure (a function of its
+/// content only) and results are written into per-job slots, never
+/// appended in completion order. Batch output is therefore
+/// byte-for-byte identical between `workers = 1` and `workers = N`.
+pub struct Engine {
+    workers: usize,
+    cache: ResultCache,
+    metrics: Metrics,
+    progress: Option<ProgressSink>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("cached", &self.cache.len())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (the CLI rejects `--jobs 0` before
+    /// getting here).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "engine needs at least one worker");
+        Self {
+            workers,
+            cache: ResultCache::new(),
+            metrics: Metrics::new(),
+            progress: None,
+        }
+    }
+
+    /// Installs a progress sink receiving one JSON line per job and
+    /// batch event (builder style).
+    pub fn with_progress(mut self, sink: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(sink));
+        self
+    }
+
+    /// The worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Point-in-time metrics (accumulated over every batch so far).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn emit(&self, line: &str) {
+        if let Some(sink) = &self.progress {
+            sink(line);
+        }
+    }
+
+    /// Runs a batch, returning one outcome per job **in submission
+    /// order**. A panicking job is isolated: it becomes a failure entry
+    /// `(label, "job panicked: ...")` and the rest of the batch is
+    /// unaffected.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        let n = jobs.len();
+        self.metrics.add_submitted(n as u64);
+        self.emit(&format!(
+            "{{\"event\":\"batch\",\"jobs\":{n},\"workers\":{}}}",
+            self.workers
+        ));
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| move || self.run_one(i, job))
+            .collect();
+        let (results, stats) = pool::run_jobs(self.workers, tasks);
+        self.metrics.record_pool(&stats);
+        let outcomes: Vec<JobOutcome> = results
+            .into_iter()
+            .zip(labels)
+            .enumerate()
+            .map(|(i, (result, label))| match result {
+                Ok(outcome) => outcome,
+                Err(panic_msg) => {
+                    self.metrics.job_panicked();
+                    self.emit(&format!(
+                        "{{\"event\":\"job\",\"index\":{i},\"label\":{:?},\"panicked\":true}}",
+                        label
+                    ));
+                    JobOutcome {
+                        result: Err((label.clone(), format!("job panicked: {panic_msg}"))),
+                        label,
+                        cache_hit: false,
+                        timings: StageTimings::default(),
+                    }
+                }
+            })
+            .collect();
+        let snap = self.metrics.snapshot();
+        self.emit(&format!(
+            "{{\"event\":\"batch_done\",\"jobs\":{n},\"cache_hits\":{},\"utilization\":{:.4}}}",
+            snap.cache_hits,
+            snap.worker_utilization()
+        ));
+        outcomes
+    }
+
+    fn run_one(&self, index: usize, job: Job) -> JobOutcome {
+        let key = job_key(&job.dfg, &job.candidate, &job.flow);
+        if let Some(result) = self.cache.get(key) {
+            self.metrics.job_done(true);
+            self.emit(&format!(
+                "{{\"event\":\"job\",\"index\":{index},\"label\":{:?},\"cache_hit\":true,\"ok\":{}}}",
+                job.label,
+                result.is_ok()
+            ));
+            return JobOutcome {
+                label: job.label,
+                result,
+                cache_hit: true,
+                timings: StageTimings::default(),
+            };
+        }
+        // The expensive part runs outside any lock, so a panic here
+        // (caught at the pool's job boundary) cannot poison the cache or
+        // the metrics.
+        let (result, timings) = evaluate_candidate_timed(&job.dfg, &job.candidate, &job.flow);
+        self.cache.insert(key, result.clone());
+        self.metrics.job_done(false);
+        self.metrics.record_stages(&timings);
+        self.emit(&format!(
+            "{{\"event\":\"job\",\"index\":{index},\"label\":{:?},\"cache_hit\":false,\"ok\":{},\"micros\":{}}}",
+            job.label,
+            result.is_ok(),
+            timings.total().as_micros()
+        ));
+        JobOutcome {
+            label: job.label,
+            result,
+            cache_hit: false,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_dfg::benchmarks;
+    use std::sync::Mutex;
+
+    fn ex1_job(flow: FlowOptions) -> Job {
+        let bench = benchmarks::ex1();
+        Job {
+            dfg: Arc::new(bench.dfg.clone()),
+            candidate: Candidate {
+                modules: bench.module_allocation.clone(),
+                schedule: bench.schedule.clone(),
+            },
+            flow: flow.with_lifetimes(bench.lifetime_options),
+            label: bench.module_allocation.to_string(),
+        }
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_cache() {
+        let engine = Engine::new(2);
+        let first = engine.run(vec![ex1_job(FlowOptions::testable())]);
+        assert!(!first[0].cache_hit);
+        let point = first[0].result.as_ref().expect("synthesizes").clone();
+        let again = engine.run(vec![ex1_job(FlowOptions::testable())]);
+        assert!(again[0].cache_hit);
+        let cached = again[0].result.as_ref().expect("synthesizes");
+        assert_eq!(point.latency, cached.latency);
+        assert_eq!(point.functional_gates, cached.functional_gates);
+        assert_eq!(point.bist_gates, cached.bist_gates);
+        let snap = engine.metrics();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn different_flows_do_not_share_cache_entries() {
+        let engine = Engine::new(1);
+        engine.run(vec![ex1_job(FlowOptions::testable())]);
+        let other = engine.run(vec![ex1_job(FlowOptions::traditional())]);
+        assert!(!other[0].cache_hit);
+    }
+
+    #[test]
+    fn progress_lines_are_json_events() {
+        let lines: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&lines);
+        let engine =
+            Engine::new(2).with_progress(move |l| sink.lock().expect("lock").push(l.to_owned()));
+        engine.run(vec![ex1_job(FlowOptions::testable())]);
+        let lines = lines.lock().expect("lock");
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"batch\"")));
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"job\"")));
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"batch_done\"")));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -1,0 +1,36 @@
+//! Parallel batch synthesis engine.
+//!
+//! The synthesis flow is embarrassingly parallel across candidates —
+//! each `(DFG, module set, schedule, flow options)` job is a pure
+//! function — but naïve threading destroys the one property a design
+//! sweep must keep: the report has to come out identical no matter how
+//! many workers ran it. This crate provides:
+//!
+//! * [`pool`] — a std-only thread pool (scoped threads, a shared atomic
+//!   job index, per-job panic isolation) that returns results in
+//!   submission order;
+//! * [`cache`] — a content-addressed result cache keyed on a stable
+//!   128-bit FNV-1a hash of the job's canonical encoding;
+//! * [`metrics`] — job counters, cache hit rate, per-stage wall-time
+//!   histograms and worker utilization, renderable as one JSON object,
+//!   plus optional JSON-lines progress events;
+//! * [`Engine`] — the queue that ties the three together;
+//! * [`explore_parallel`] / [`render_report`] — the design-space sweep
+//!   of `lobist_alloc::explore`, parallelized with a guaranteed
+//!   byte-identical result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+pub mod metrics;
+pub mod pool;
+
+mod explore;
+
+pub use cache::{job_key, JobResult, ResultCache};
+pub use engine::{Engine, Job, JobOutcome, ProgressSink};
+pub use explore::{explore_parallel, render_report};
+pub use metrics::{Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
+pub use pool::{run_jobs, PoolStats};

@@ -1,0 +1,240 @@
+//! Engine instrumentation: job counters, cache hit rates, per-stage
+//! wall-time histograms and worker utilization.
+//!
+//! Counters accumulate across every batch an [`Engine`] runs, so a
+//! repeated sweep shows its cache hits in the same snapshot as the
+//! first sweep's misses. Snapshots render to a single JSON object
+//! (hand-rolled — the schema is small and the crate stays
+//! dependency-free, like the CLI's JSON output).
+//!
+//! [`Engine`]: crate::Engine
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lobist_alloc::flow::StageTimings;
+
+use crate::pool::PoolStats;
+
+/// Histogram buckets per stage: bucket `i` counts jobs whose stage took
+/// `[2^i, 2^(i+1))` microseconds; the last bucket absorbs everything
+/// slower (~8.4 s and beyond).
+pub const NUM_BUCKETS: usize = 24;
+
+/// The flow stages a histogram is kept for, in pipeline order (matching
+/// [`StageTimings::stages`]).
+pub const STAGE_NAMES: [&str; 5] = [
+    "module_assign",
+    "register_alloc",
+    "interconnect",
+    "data_path",
+    "bist",
+];
+
+fn bucket(micros: u128) -> usize {
+    let floor_log2 = (127 - micros.max(1).leading_zeros()) as usize;
+    floor_log2.min(NUM_BUCKETS - 1)
+}
+
+/// Live counters owned by an engine.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    panics: AtomicU64,
+    busy_nanos: AtomicU64,
+    // Pool capacity = wall × workers, the denominator of utilization.
+    capacity_nanos: AtomicU64,
+    histograms: Mutex<[[u64; NUM_BUCKETS]; STAGE_NAMES.len()]>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_submitted(&self, n: u64) {
+        self.jobs_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn job_done(&self, cache_hit: bool) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn job_panicked(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stages(&self, timings: &StageTimings) {
+        let mut h = self.histograms.lock().expect("histogram lock");
+        for (i, (_, d)) in timings.stages().iter().enumerate() {
+            h[i][bucket(d.as_micros())] += 1;
+        }
+    }
+
+    pub(crate) fn record_pool(&self, stats: &PoolStats) {
+        let busy: u64 = stats.busy.iter().map(|d| d.as_nanos() as u64).sum();
+        self.busy_nanos.fetch_add(busy, Ordering::Relaxed);
+        self.capacity_nanos.fetch_add(
+            stats.wall.as_nanos() as u64 * stats.workers as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            capacity: Duration::from_nanos(self.capacity_nanos.load(Ordering::Relaxed)),
+            histograms: *self.histograms.lock().expect("histogram lock"),
+        }
+    }
+}
+
+/// A point-in-time copy of an engine's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs handed to the engine so far.
+    pub jobs_submitted: u64,
+    /// Jobs finished (evaluated, served from cache, or panicked).
+    pub jobs_completed: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs that had to run the flow.
+    pub cache_misses: u64,
+    /// Jobs that panicked (isolated; reported as failures).
+    pub panics: u64,
+    /// Total time workers spent running jobs.
+    pub busy: Duration,
+    /// Total pool capacity (wall time × workers, summed over batches).
+    pub capacity: Duration,
+    /// Per-stage log2-microsecond histograms, indexed like
+    /// [`STAGE_NAMES`].
+    pub histograms: [[u64; NUM_BUCKETS]; STAGE_NAMES.len()],
+}
+
+impl MetricsSnapshot {
+    /// Cache hits as a fraction of completed non-panicking jobs
+    /// (0.0 when nothing completed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let served = self.cache_hits + self.cache_misses;
+        if served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / served as f64
+        }
+    }
+
+    /// Fraction of pool capacity spent running jobs.
+    pub fn worker_utilization(&self) -> f64 {
+        let capacity = self.capacity.as_secs_f64();
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        }
+    }
+
+    /// Renders the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut hist = String::new();
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            if i > 0 {
+                hist.push(',');
+            }
+            // Trim trailing empty buckets so the line stays readable.
+            let row = &self.histograms[i];
+            let last = row.iter().rposition(|&c| c > 0).map_or(0, |p| p + 1);
+            let cells: Vec<String> = row[..last].iter().map(u64::to_string).collect();
+            let _ = write!(hist, "\"{name}\":[{}]", cells.join(","));
+        }
+        format!(
+            concat!(
+                "{{\"jobs\":{{\"submitted\":{sub},\"completed\":{done},\"panicked\":{pan}}},",
+                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{rate:.4}}},",
+                "\"pool\":{{\"busy_micros\":{busy},\"capacity_micros\":{cap},",
+                "\"utilization\":{util:.4}}},",
+                "\"stage_micros_log2_histograms\":{{{hist}}}}}"
+            ),
+            sub = self.jobs_submitted,
+            done = self.jobs_completed,
+            pan = self.panics,
+            hits = self.cache_hits,
+            misses = self.cache_misses,
+            rate = self.cache_hit_rate(),
+            busy = self.busy.as_micros(),
+            cap = self.capacity.as_micros(),
+            util = self.worker_utilization(),
+            hist = hist,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_micros() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u128::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.add_submitted(3);
+        m.job_done(false);
+        m.job_done(true);
+        m.job_panicked();
+        m.record_stages(&StageTimings {
+            module_assign: Duration::from_micros(3),
+            register_alloc: Duration::from_micros(900),
+            ..Default::default()
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.jobs_submitted, 3);
+        assert_eq!(snap.jobs_completed, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.panics, 1);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(snap.histograms[0][1], 1); // 3 µs → bucket 1
+        assert_eq!(snap.histograms[1][9], 1); // 900 µs → bucket 9
+        let json = snap.to_json();
+        assert!(json.contains("\"submitted\":3"), "{json}");
+        assert!(json.contains("\"hit_rate\":0.5000"), "{json}");
+        assert!(json.contains("\"register_alloc\":[0,0,0,0,0,0,0,0,0,1]"), "{json}");
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let m = Metrics::new();
+        m.record_pool(&PoolStats {
+            workers: 2,
+            wall: Duration::from_millis(10),
+            busy: vec![Duration::from_millis(10), Duration::from_millis(5)],
+        });
+        let snap = m.snapshot();
+        assert!((snap.worker_utilization() - 0.75).abs() < 1e-6);
+    }
+}

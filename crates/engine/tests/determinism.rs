@@ -1,0 +1,112 @@
+//! Acceptance tests for the engine: the parallel sweep must be
+//! indistinguishable — byte for byte — from the serial one on the real
+//! design files, repeated sweeps must be served from the cache, and a
+//! panicking job must not take the batch down.
+
+use std::path::PathBuf;
+
+use lobist_alloc::explore::{explore, ExploreConfig};
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::parse::parse_unscheduled_dfg;
+use lobist_dfg::Dfg;
+use lobist_engine::{explore_parallel, render_report, run_jobs, Engine};
+
+fn load_design(name: &str) -> Dfg {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../designs")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    // `parse_unscheduled_dfg` ignores `@ step` annotations, so it loads
+    // both the unscheduled diffeq.dfg and the scheduled ex1.dfg.
+    parse_unscheduled_dfg(&text).expect("valid design file")
+}
+
+fn candidates(sets: &[&str]) -> Vec<ModuleSet> {
+    sets.iter().map(|s| s.parse().expect("valid")).collect()
+}
+
+fn sweeps() -> Vec<(&'static str, Dfg, Vec<ModuleSet>)> {
+    vec![
+        (
+            "diffeq.dfg",
+            load_design("diffeq.dfg"),
+            candidates(&["1+,1*,1-", "1+,2*,1-", "2+,2*,2-", "1+,3ALU"]),
+        ),
+        (
+            "ex1.dfg",
+            load_design("ex1.dfg"),
+            candidates(&["1+,1*", "2+,1*", "1+,2*"]),
+        ),
+    ]
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    for (name, dfg, sets) in sweeps() {
+        let config = ExploreConfig::new(sets);
+        let serial = explore(&dfg, &config);
+        assert!(
+            !serial.points.is_empty(),
+            "{name}: sweep produced no feasible points"
+        );
+        for workers in [1, 4, 7] {
+            let engine = Engine::new(workers);
+            let parallel = explore_parallel(&dfg, &config, &engine);
+            assert_eq!(
+                render_report(&serial),
+                render_report(&parallel),
+                "{name}: report differs at {workers} workers"
+            );
+            assert_eq!(
+                serial.pareto, parallel.pareto,
+                "{name}: frontier differs at {workers} workers"
+            );
+            assert_eq!(
+                serial.failures, parallel.failures,
+                "{name}: failures differ at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_sweep_hits_the_cache_with_identical_results() {
+    for (name, dfg, sets) in sweeps() {
+        let config = ExploreConfig::new(sets);
+        let engine = Engine::new(4);
+        let first = explore_parallel(&dfg, &config, &engine);
+        assert_eq!(engine.metrics().cache_hits, 0, "{name}: cold run hit the cache");
+        let second = explore_parallel(&dfg, &config, &engine);
+        let metrics = engine.metrics();
+        assert!(
+            metrics.cache_hits > 0,
+            "{name}: repeat run produced no cache hits"
+        );
+        assert_eq!(
+            metrics.cache_hits, metrics.cache_misses,
+            "{name}: repeat run should be answered entirely from cache"
+        );
+        assert_eq!(
+            render_report(&first),
+            render_report(&second),
+            "{name}: cached sweep differs from cold sweep"
+        );
+        let json = metrics.to_json();
+        assert!(json.contains("\"hit_rate\":0.5000"), "{json}");
+    }
+}
+
+#[test]
+fn a_panicking_job_does_not_poison_the_batch() {
+    let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+        Box::new(|| 10),
+        Box::new(|| panic!("synthetic failure")),
+        Box::new(|| 30),
+    ];
+    let (results, stats) = run_jobs(4, tasks);
+    assert_eq!(results[0], Ok(10));
+    assert_eq!(results[1], Err("synthetic failure".to_owned()));
+    assert_eq!(results[2], Ok(30));
+    assert_eq!(stats.workers, 3);
+}

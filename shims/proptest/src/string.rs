@@ -1,0 +1,159 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest treats a `&str` strategy as a full regex; this shim
+//! supports the subset the workspace's tests use — a sequence of atoms
+//! (`.`, a character class like `[a-z0-9_]`, or a literal character),
+//! each optionally followed by a `{m,n}` / `{n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character (a spread of ASCII, whitespace and unicode).
+    Any,
+    /// `[...]` — one of the listed characters.
+    OneOf(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        match chars.next() {
+            None => panic!("unterminated character class in string strategy"),
+            Some(']') => break,
+            Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                let lo = prev.expect("checked");
+                let hi = chars.next().expect("checked");
+                for c in lo..=hi {
+                    if c != lo {
+                        set.push(c);
+                    }
+                }
+                prev = None;
+            }
+            Some(c) => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in string strategy");
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().expect("bad repetition bound"),
+                    b.parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted repetition bounds");
+            return (lo, hi);
+        }
+        body.push(c);
+    }
+    panic!("unterminated repetition in string strategy");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => Atom::OneOf(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// The pool `.` draws from: printable ASCII plus characters that stress
+/// parsers (newlines, tabs, NUL-adjacent controls, multi-byte unicode).
+const ANY_EXTRAS: &[char] = &['\n', '\t', '\r', ' ', '@', '#', 'λ', 'é', '€', '𝕏', '\u{7f}'];
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::OneOf(set) => set[rng.below(set.len())],
+        Atom::Any => {
+            if rng.below(4) == 0 {
+                ANY_EXTRAS[rng.below(ANY_EXTRAS.len())]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                out.push(gen_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        pattern.generate(&mut TestRng::for_case("string", case))
+    }
+
+    #[test]
+    fn dot_repetition_respects_bounds() {
+        for case in 0..200 {
+            let s = gen(".{0,40}", case);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn classes_draw_from_the_class() {
+        for case in 0..200 {
+            let s = gen("[a-c]{1,4}", case);
+            assert!(!s.is_empty() && s.len() <= 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        assert_eq!(gen("ab", 0), "ab");
+        assert_eq!(gen("x{3}", 1), "xxx");
+    }
+}

@@ -83,8 +83,14 @@ fn lemma2_sound_on_random_designs() {
         max_ops_per_step: 3,
         ..RandomDfgConfig::default()
     };
+    // Scan seeds until enough designs verify: which seeds yield testable
+    // designs depends on the RNG stream, so a fixed seed range would tie
+    // the test to one generator implementation.
     let mut verified = 0;
-    for seed in 0..60u64 {
+    for seed in 0..400u64 {
+        if verified >= 35 {
+            break;
+        }
         let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
         // Generous module set so assignment always succeeds.
         let modules: lobist::dfg::modules::ModuleSet =
