@@ -1,8 +1,15 @@
 //! Criterion benchmarks: gate-level evaluation and fault simulation.
+//!
+//! `coverage_256` is the headline case for the cone-limited differential
+//! simulator (before/after numbers live in `BENCH_gatesim.json` at the
+//! repo root); `faults_dropped` shows how the cost of one batch falls as
+//! detected faults leave the undetected list; the parallel cases
+//! exercise the engine's partitioned driver.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lobist_dfg::OpKind;
+use lobist_engine::{bist_session_parallel, random_coverage_parallel, FaultSimOptions};
 use lobist_gatesim::bist_mode::run_session;
 use lobist_gatesim::coverage::{enumerate_faults, random_pattern_coverage};
 use lobist_gatesim::modules::unit_for;
@@ -10,12 +17,43 @@ use lobist_gatesim::modules::unit_for;
 fn bench_fault_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_sim");
     for kind in [OpKind::Add, OpKind::Mul] {
-        for width in [4u32, 8] {
+        for width in [4u32, 8, 16, 32] {
             let net = unit_for(kind, width);
             let id = format!("{kind}{width}");
             group.bench_with_input(BenchmarkId::new("coverage_256", &id), &id, |b, _| {
                 b.iter(|| random_pattern_coverage(&net, 256, 7))
             });
+        }
+    }
+    // Pattern-budget scaling on the hardest unit: each batch retires
+    // detected faults, so cost per extra batch shrinks as the
+    // undetected list dries up.
+    let net = unit_for(OpKind::Mul, 8);
+    for patterns in [64u64, 256, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("faults_dropped_mul8", patterns),
+            &patterns,
+            |b, &patterns| b.iter(|| random_pattern_coverage(&net, patterns, 7)),
+        );
+    }
+    // The engine's partitioned + collapsed path (byte-identical output).
+    // The pool spawns scoped threads per run, so parallelism only pays
+    // once the serial cost clears the spawn overhead — mul16 documents
+    // the break-even region, mul32 the win.
+    for width in [16u32, 32] {
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("coverage_256_parallel_mul{width}"), workers),
+                &workers,
+                |b, &workers| {
+                    let net = unit_for(OpKind::Mul, width);
+                    let opts = FaultSimOptions {
+                        workers,
+                        collapse: true,
+                    };
+                    b.iter(|| random_coverage_parallel(&net, 256, 7, opts))
+                },
+            );
         }
     }
     group.finish();
@@ -30,6 +68,14 @@ fn bench_bist_session(c: &mut Criterion) {
             b.iter(|| run_session(&net, 8, 255, (1, 2), &faults))
         });
     }
+    let net = unit_for(OpKind::Mul, 8);
+    group.bench_function("session_*8_parallel4", |b| {
+        let opts = FaultSimOptions {
+            workers: 4,
+            collapse: true,
+        };
+        b.iter(|| bist_session_parallel(&net, &[], 8, 255, (1, 2), opts))
+    });
     group.finish();
 }
 

@@ -59,7 +59,7 @@ USAGE:
   lobist synth <design.dfg> --modules <SET> [OPTIONS]
   lobist compare <design.dfg> --modules <SET> [OPTIONS]
   lobist schedule <design.dfg> --latency <N>
-  lobist faultsim <design.dfg> --modules <SET> [OPTIONS]
+  lobist faultsim <design.dfg> --modules <SET> [--jobs <N>] [--metrics] [OPTIONS]
   lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
   lobist batch <design.dfg>... --modules <SET> [--jobs <N>] [--metrics]
   lobist suite
@@ -85,9 +85,11 @@ OPTIONS:
   --repair          insert test points for otherwise-untestable modules
   --latency <N>     target latency for `schedule` (default: critical path)
   --candidates <L>  semicolon-separated module sets for `explore`
-  --jobs <N>        worker threads for `explore`/`batch` (default: all
-                    cores; must be at least 1)
-  --metrics         print engine metrics as JSON after `explore`/`batch`
+  --jobs <N>        worker threads for `explore`/`batch`/`faultsim`
+                    (default: all cores; must be at least 1)
+  --metrics         print engine metrics as JSON after `explore`/`batch`/
+                    `faultsim` (fault-sim counters: cone evaluations,
+                    events propagated, faults collapsed, wall time)
 
 DESIGN FILE FORMAT (one statement per line):
   input a b c
@@ -421,6 +423,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let d = synthesize(&dfg, &schedule, &modules, &opts).map_err(CliError::Flow)?;
             let width = o.width.clamp(2, 32);
             let patterns = lobist_gatesim::lfsr::max_useful_patterns(width);
+            // The sessions run on the engine's cone-limited differential
+            // simulator: faults are collapsed into structural
+            // equivalence classes and the classes partitioned across the
+            // worker pool; the report is byte-identical to a serial,
+            // uncollapsed run for any --jobs value.
+            let sim_opts = lobist_engine::FaultSimOptions {
+                workers: worker_count(&o),
+                collapse: true,
+            };
+            let metrics = lobist_engine::Metrics::new();
             let _ = writeln!(
                 out,
                 "{:<10} {:>7} {:>9} {:>11} {:>8}",
@@ -428,16 +440,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             );
             for m in d.data_path.module_ids() {
                 use lobist_dfg::modules::ModuleClass;
-                let report = match d.data_path.module_class(m) {
+                let seeds = (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64);
+                let (report, stats) = match d.data_path.module_class(m) {
                     ModuleClass::Op(kind) => {
                         let net = lobist_gatesim::modules::unit_for(kind, width);
-                        let faults = lobist_gatesim::coverage::enumerate_faults(&net);
-                        lobist_gatesim::bist_mode::run_session(
-                            &net,
-                            width,
-                            patterns,
-                            (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64),
-                            &faults,
+                        lobist_engine::bist_session_parallel(
+                            &net, &[], width, patterns, seeds, sim_opts,
                         )
                     }
                     ModuleClass::Alu => {
@@ -450,19 +458,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         kinds.sort();
                         kinds.dedup();
                         let net = lobist_gatesim::modules::alu(&kinds, width);
-                        let faults = lobist_gatesim::coverage::enumerate_faults(&net);
                         let mut controls = vec![false; kinds.len()];
                         controls[0] = true;
-                        lobist_gatesim::bist_mode::run_session_with_controls(
-                            &net,
-                            &controls,
-                            width,
-                            patterns,
-                            (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64),
-                            &faults,
+                        lobist_engine::bist_session_parallel(
+                            &net, &controls, width, patterns, seeds, sim_opts,
                         )
                     }
                 };
+                metrics.record_fault_sim(&stats);
                 let _ = writeln!(
                     out,
                     "{:<10} {:>7} {:>8.1}% {:>10.1}% {:>8}",
@@ -474,6 +477,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 );
             }
             let _ = writeln!(out, "({patterns} patterns per session, width {width})");
+            if o.metrics {
+                let _ = writeln!(out, "{}", metrics.snapshot().to_json());
+            }
         }
         "explore" => {
             let path = o
@@ -870,6 +876,45 @@ mod tests {
         assert!(out.contains("M1 (+)"), "{out}");
         assert!(out.contains("M2 (*)"), "{out}");
         assert!(out.contains("63 patterns per session, width 6"), "{out}");
+    }
+
+    #[test]
+    fn faultsim_output_is_identical_across_worker_counts() {
+        let path = write_temp("lobist_cli_faultsim_jobs.dfg", DESIGN);
+        let runs: Vec<String> = ["1", "2", "5"]
+            .iter()
+            .map(|jobs| {
+                run(&argv(&[
+                    "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--jobs", jobs,
+                ]))
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn faultsim_metrics_flag_appends_fault_sim_json() {
+        let path = write_temp("lobist_cli_faultsim_metrics.dfg", DESIGN);
+        let out = run(&argv(&[
+            "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--metrics",
+        ]))
+        .unwrap();
+        let json = out.lines().last().expect("metrics line");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"fault_sim\":",
+            "\"cone_evals\":",
+            "\"events_propagated\":",
+            "\"collapsed_away\":",
+            "\"wall_micros\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Both modules ran real differential work and collapsing bit.
+        assert!(!json.contains("\"cone_evals\":0,"), "{json}");
+        assert!(!json.contains("\"collapsed_away\":0,"), "{json}");
     }
 
     #[test]

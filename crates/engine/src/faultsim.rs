@@ -1,0 +1,342 @@
+//! Parallel, deterministic fault-simulation driver.
+//!
+//! Fault simulation is embarrassingly parallel across faults — every
+//! fault's detection outcome is independent of the rest of the list —
+//! so the undetected-fault list is split into strided chunks, one per
+//! pool worker, and each worker runs the cone-limited differential
+//! simulator ([`lobist_gatesim::diffsim::DiffSim`]) over its chunk with
+//! its own scratch buffers. Merging stitches per-chunk results back by
+//! original fault index and sums counters, so the result is
+//! **byte-identical** to a serial run no matter the worker count:
+//!
+//! * per-fault outcomes (`first_detection`, session detect flags) are
+//!   independent, so placing each chunk result back at its fault's
+//!   original index reproduces the serial vector exactly;
+//! * every worker regenerates the same pattern stream (a pure function
+//!   of the seed), so a fault sees identical patterns in any chunk;
+//! * `patterns_applied` under the early-stop rule is the pattern count
+//!   at which the chunk's last detectable fault fell (or the budget),
+//!   and the serial figure is exactly the maximum of that over chunks.
+//!
+//! Optionally the universe is first collapsed into structural
+//! equivalence classes ([`lobist_gatesim::collapse`]); only class
+//! representatives are simulated and the report is expanded back, which
+//! is again exact because equivalent faults have identical faulty
+//! response streams.
+
+use std::time::{Duration, Instant};
+
+use lobist_gatesim::bist_mode::{DetectFlags, SessionContext, SessionReport};
+use lobist_gatesim::collapse::collapse_faults;
+use lobist_gatesim::coverage::{
+    enumerate_faults, random_pattern_coverage_with, CoverageReport,
+};
+use lobist_gatesim::diffsim::{DiffSim, SimCounters};
+use lobist_gatesim::net::{Fault, GateNetwork};
+
+use crate::pool;
+
+/// Knobs of a parallel fault-simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSimOptions {
+    /// Worker threads (1 = serial; results are identical either way).
+    pub workers: usize,
+    /// Collapse the fault universe into structural equivalence classes
+    /// and simulate one representative per class.
+    pub collapse: bool,
+}
+
+impl Default for FaultSimOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            collapse: true,
+        }
+    }
+}
+
+/// Work accounting of one parallel fault-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSimStats {
+    /// Simulator work counters, summed over all workers.
+    pub counters: SimCounters,
+    /// Size of the full fault universe the report covers.
+    pub total_faults: usize,
+    /// Faults actually simulated (representatives when collapsing).
+    pub simulated_faults: usize,
+    /// Faults eliminated by structural collapsing.
+    pub collapsed_away: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall time of the whole run (prepare + simulate + merge).
+    pub wall: Duration,
+}
+
+/// Strided partition over *polarity pairs*: adjacent faults on the same
+/// net stay in one chunk (so each worker's coverage loop can answer
+/// both with a single paired cone walk,
+/// [`lobist_gatesim::diffsim::DiffSim::detects_both`]), and pairs are
+/// dealt round-robin. Fault lists are ordered by net depth, so
+/// contiguous chunks would give the first worker all the large input
+/// cones; striding balances depth across workers. Each chunk carries
+/// its faults' original indices; results are scattered back by those,
+/// so the outcome is independent of the partition shape.
+fn stride_partition(faults: &[Fault], workers: usize) -> Vec<(Vec<Fault>, Vec<u32>)> {
+    let w = workers.max(1).min(faults.len().max(1));
+    let mut parts = vec![(Vec::new(), Vec::new()); w];
+    let (mut group, mut i) = (0usize, 0usize);
+    while i < faults.len() {
+        let len = if i + 1 < faults.len() && faults[i + 1].net == faults[i].net {
+            2
+        } else {
+            1
+        };
+        let (chunk, indices) = &mut parts[group % w];
+        for (k, &f) in faults.iter().enumerate().take(i + len).skip(i) {
+            chunk.push(f);
+            indices.push(k as u32);
+        }
+        group += 1;
+        i += len;
+    }
+    parts
+}
+
+/// Scatters per-chunk results back to full-list order.
+fn scatter<T: Copy + Default>(parts: &[(Vec<T>, Vec<u32>)], len: usize) -> Vec<T> {
+    let mut out = vec![T::default(); len];
+    for (values, indices) in parts {
+        for (&v, &i) in values.iter().zip(indices) {
+            out[i as usize] = v;
+        }
+    }
+    out
+}
+
+/// Random-pattern coverage of the full single-stuck-at universe of
+/// `net`, measured in parallel with deterministic merge. Byte-identical
+/// to [`lobist_gatesim::coverage::random_pattern_coverage`] for every
+/// worker count and collapse setting.
+///
+/// # Panics
+///
+/// Panics if `opts.workers` is zero.
+pub fn random_coverage_parallel(
+    net: &GateNetwork,
+    patterns: u64,
+    seed: u64,
+    opts: FaultSimOptions,
+) -> (CoverageReport, FaultSimStats) {
+    assert!(opts.workers >= 1, "need at least one worker");
+    let start = Instant::now();
+    let universe = enumerate_faults(net);
+    let collapsed = opts.collapse.then(|| collapse_faults(net));
+    let sim_list: &[Fault] = collapsed
+        .as_ref()
+        .map_or(&universe, |c| c.representatives());
+
+    let chunks = stride_partition(sim_list, opts.workers);
+    let tasks: Vec<_> = chunks
+        .iter()
+        .map(|(chunk, _)| {
+            move || {
+                let mut sim = DiffSim::new(net);
+                let report = random_pattern_coverage_with(&mut sim, chunk, patterns, seed);
+                (report, sim.counters())
+            }
+        })
+        .collect();
+    let (results, _) = pool::run_jobs(opts.workers, tasks);
+
+    let mut counters = SimCounters::default();
+    let mut parts = Vec::with_capacity(chunks.len());
+    let mut applied = 0u64;
+    for (r, (_, indices)) in results.into_iter().zip(&chunks) {
+        let (report, c) = r.expect("fault-sim worker panicked");
+        counters.merge(&c);
+        applied = applied.max(report.patterns_applied);
+        parts.push((report.first_detection, indices.clone()));
+    }
+    let first_detection = scatter(&parts, sim_list.len());
+    let detected = first_detection.iter().filter(|d| d.is_some()).count();
+    let rep_report = CoverageReport {
+        total_faults: sim_list.len(),
+        detected,
+        patterns_applied: applied,
+        first_detection,
+    };
+    let report = match &collapsed {
+        Some(c) => c.expand_coverage(&rep_report),
+        None => rep_report,
+    };
+    let stats = FaultSimStats {
+        counters,
+        total_faults: universe.len(),
+        simulated_faults: sim_list.len(),
+        collapsed_away: collapsed.as_ref().map_or(0, |c| c.collapsed_away()),
+        workers: opts.workers,
+        wall: start.elapsed(),
+    };
+    (report, stats)
+}
+
+/// Emulates a full BIST session (LFSR → module → MISR) over the whole
+/// fault universe of `net`, with the faults partitioned across the
+/// pool. Byte-identical to
+/// [`lobist_gatesim::bist_mode::run_session_with_controls`] for every
+/// worker count and collapse setting.
+///
+/// # Panics
+///
+/// Panics if `opts.workers` is zero or the network's input count is not
+/// `controls.len() + 2 * width`.
+pub fn bist_session_parallel(
+    net: &GateNetwork,
+    controls: &[bool],
+    width: u32,
+    patterns: u64,
+    seeds: (u64, u64),
+    opts: FaultSimOptions,
+) -> (SessionReport, FaultSimStats) {
+    assert!(opts.workers >= 1, "need at least one worker");
+    let start = Instant::now();
+    let universe = enumerate_faults(net);
+    let collapsed = opts.collapse.then(|| collapse_faults(net));
+    let sim_list: &[Fault] = collapsed
+        .as_ref()
+        .map_or(&universe, |c| c.representatives());
+    let ctx = SessionContext::prepare(net, controls, width, patterns, seeds);
+
+    let ctx_ref = &ctx;
+    let chunks = stride_partition(sim_list, opts.workers);
+    let tasks: Vec<_> = chunks
+        .iter()
+        .map(|(chunk, _)| {
+            move || {
+                let mut sim = DiffSim::new(net);
+                let flags = ctx_ref.detect_flags(&mut sim, chunk);
+                (flags, sim.counters())
+            }
+        })
+        .collect();
+    let (results, _) = pool::run_jobs(opts.workers, tasks);
+
+    let mut counters = SimCounters::default();
+    let mut parts = Vec::with_capacity(chunks.len());
+    for (r, (_, indices)) in results.into_iter().zip(&chunks) {
+        let (f, c) = r.expect("fault-sim worker panicked");
+        counters.merge(&c);
+        parts.push((f, indices.clone()));
+    }
+    let flags: Vec<DetectFlags> = scatter(&parts, sim_list.len());
+    let flags = match &collapsed {
+        Some(c) => c.expand_detect_flags(&flags),
+        None => flags,
+    };
+    let report = ctx.report_from_flags(&flags);
+    let stats = FaultSimStats {
+        counters,
+        total_faults: universe.len(),
+        simulated_faults: sim_list.len(),
+        collapsed_away: collapsed.as_ref().map_or(0, |c| c.collapsed_away()),
+        workers: opts.workers,
+        wall: start.elapsed(),
+    };
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_gatesim::bist_mode::run_session;
+    use lobist_gatesim::coverage::random_pattern_coverage;
+    use lobist_gatesim::modules::{array_multiplier, ripple_adder};
+
+    #[test]
+    fn parallel_coverage_is_byte_identical_to_serial() {
+        let net = array_multiplier(4);
+        let serial = random_pattern_coverage(&net, 300, 0xBEEF);
+        for workers in [1, 2, 3, 7] {
+            for collapse in [false, true] {
+                let (report, stats) = random_coverage_parallel(
+                    &net,
+                    300,
+                    0xBEEF,
+                    FaultSimOptions { workers, collapse },
+                );
+                assert_eq!(report, serial, "workers={workers} collapse={collapse}");
+                assert_eq!(stats.total_faults, serial.total_faults);
+                if collapse {
+                    assert!(stats.collapsed_away > 0);
+                    assert_eq!(
+                        stats.simulated_faults + stats.collapsed_away,
+                        stats.total_faults
+                    );
+                } else {
+                    assert_eq!(stats.simulated_faults, stats.total_faults);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_session_is_byte_identical_to_serial() {
+        let net = ripple_adder(8);
+        let faults = enumerate_faults(&net);
+        let serial = run_session(&net, 8, 255, (0xACE1, 0x1BAD), &faults);
+        for workers in [1, 2, 5] {
+            for collapse in [false, true] {
+                let (report, stats) = bist_session_parallel(
+                    &net,
+                    &[],
+                    8,
+                    255,
+                    (0xACE1, 0x1BAD),
+                    FaultSimOptions { workers, collapse },
+                );
+                assert_eq!(report, serial, "workers={workers} collapse={collapse}");
+                assert!(stats.counters.faults_simulated > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_faults_is_fine() {
+        let net = ripple_adder(2);
+        let serial = random_pattern_coverage(&net, 64, 1);
+        let (report, _) = random_coverage_parallel(
+            &net,
+            64,
+            1,
+            FaultSimOptions {
+                workers: 64,
+                collapse: false,
+            },
+        );
+        assert_eq!(report, serial);
+    }
+
+    #[test]
+    fn collapsing_reduces_simulated_work() {
+        let net = array_multiplier(4);
+        let (_, full) = random_coverage_parallel(
+            &net,
+            256,
+            9,
+            FaultSimOptions {
+                workers: 1,
+                collapse: false,
+            },
+        );
+        let (_, coll) = random_coverage_parallel(
+            &net,
+            256,
+            9,
+            FaultSimOptions {
+                workers: 1,
+                collapse: true,
+            },
+        );
+        assert!(coll.counters.faults_simulated < full.counters.faults_simulated);
+    }
+}

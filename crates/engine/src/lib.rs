@@ -17,13 +17,17 @@
 //! * [`Engine`] — the queue that ties the three together;
 //! * [`explore_parallel`] / [`render_report`] — the design-space sweep
 //!   of `lobist_alloc::explore`, parallelized with a guaranteed
-//!   byte-identical result.
+//!   byte-identical result;
+//! * [`faultsim`] — the fault-coverage and BIST-session workloads of
+//!   `lobist_gatesim`, partitioned across the same pool with a
+//!   deterministic merge (and optional structural fault collapsing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 mod engine;
+pub mod faultsim;
 pub mod metrics;
 pub mod pool;
 
@@ -32,5 +36,8 @@ mod explore;
 pub use cache::{job_key, JobResult, ResultCache};
 pub use engine::{Engine, Job, JobOutcome, ProgressSink};
 pub use explore::{explore_parallel, render_report};
-pub use metrics::{Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
+pub use faultsim::{
+    bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats,
+};
+pub use metrics::{FaultSimSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
 pub use pool::{run_jobs, PoolStats};

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use lobist_alloc::flow::StageTimings;
 
+use crate::faultsim::FaultSimStats;
 use crate::pool::PoolStats;
 
 /// Histogram buckets per stage: bucket `i` counts jobs whose stage took
@@ -49,6 +50,13 @@ pub struct Metrics {
     // Pool capacity = wall × workers, the denominator of utilization.
     capacity_nanos: AtomicU64,
     histograms: Mutex<[[u64; NUM_BUCKETS]; STAGE_NAMES.len()]>,
+    // Fault-simulation work (crate::faultsim runs).
+    fs_batches_loaded: AtomicU64,
+    fs_faults_simulated: AtomicU64,
+    fs_cone_evals: AtomicU64,
+    fs_events_propagated: AtomicU64,
+    fs_collapsed_away: AtomicU64,
+    fs_wall_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -91,6 +99,23 @@ impl Metrics {
         );
     }
 
+    /// Accumulates the work accounting of one fault-simulation run
+    /// ([`crate::faultsim`]).
+    pub fn record_fault_sim(&self, stats: &FaultSimStats) {
+        self.fs_batches_loaded
+            .fetch_add(stats.counters.batches_loaded, Ordering::Relaxed);
+        self.fs_faults_simulated
+            .fetch_add(stats.counters.faults_simulated, Ordering::Relaxed);
+        self.fs_cone_evals
+            .fetch_add(stats.counters.cone_evals, Ordering::Relaxed);
+        self.fs_events_propagated
+            .fetch_add(stats.counters.events_propagated, Ordering::Relaxed);
+        self.fs_collapsed_away
+            .fetch_add(stats.collapsed_away as u64, Ordering::Relaxed);
+        self.fs_wall_nanos
+            .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -102,8 +127,34 @@ impl Metrics {
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             capacity: Duration::from_nanos(self.capacity_nanos.load(Ordering::Relaxed)),
             histograms: *self.histograms.lock().expect("histogram lock"),
+            fault_sim: FaultSimSnapshot {
+                batches_loaded: self.fs_batches_loaded.load(Ordering::Relaxed),
+                faults_simulated: self.fs_faults_simulated.load(Ordering::Relaxed),
+                cone_evals: self.fs_cone_evals.load(Ordering::Relaxed),
+                events_propagated: self.fs_events_propagated.load(Ordering::Relaxed),
+                collapsed_away: self.fs_collapsed_away.load(Ordering::Relaxed),
+                wall: Duration::from_nanos(self.fs_wall_nanos.load(Ordering::Relaxed)),
+            },
         }
     }
+}
+
+/// Accumulated fault-simulation work, as carried in a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSimSnapshot {
+    /// Golden 64-pattern batch evaluations.
+    pub batches_loaded: u64,
+    /// Faults propagated through their cones.
+    pub faults_simulated: u64,
+    /// Gate re-evaluations inside fault cones.
+    pub cone_evals: u64,
+    /// Net-change events that survived a gate.
+    pub events_propagated: u64,
+    /// Faults eliminated by structural collapsing.
+    pub collapsed_away: u64,
+    /// Wall time of all fault-simulation runs.
+    pub wall: Duration,
 }
 
 /// A point-in-time copy of an engine's metrics.
@@ -126,6 +177,8 @@ pub struct MetricsSnapshot {
     /// Per-stage log2-microsecond histograms, indexed like
     /// [`STAGE_NAMES`].
     pub histograms: [[u64; NUM_BUCKETS]; STAGE_NAMES.len()],
+    /// Accumulated fault-simulation work.
+    pub fault_sim: FaultSimSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -170,6 +223,10 @@ impl MetricsSnapshot {
                 "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{rate:.4}}},",
                 "\"pool\":{{\"busy_micros\":{busy},\"capacity_micros\":{cap},",
                 "\"utilization\":{util:.4}}},",
+                "\"fault_sim\":{{\"batches_loaded\":{fs_batches},",
+                "\"faults_simulated\":{fs_faults},\"cone_evals\":{fs_cone},",
+                "\"events_propagated\":{fs_events},\"collapsed_away\":{fs_coll},",
+                "\"wall_micros\":{fs_wall}}},",
                 "\"stage_micros_log2_histograms\":{{{hist}}}}}"
             ),
             sub = self.jobs_submitted,
@@ -181,6 +238,12 @@ impl MetricsSnapshot {
             busy = self.busy.as_micros(),
             cap = self.capacity.as_micros(),
             util = self.worker_utilization(),
+            fs_batches = self.fault_sim.batches_loaded,
+            fs_faults = self.fault_sim.faults_simulated,
+            fs_cone = self.fault_sim.cone_evals,
+            fs_events = self.fault_sim.events_propagated,
+            fs_coll = self.fault_sim.collapsed_away,
+            fs_wall = self.fault_sim.wall.as_micros(),
             hist = hist,
         )
     }
@@ -224,6 +287,32 @@ mod tests {
         assert!(json.contains("\"submitted\":3"), "{json}");
         assert!(json.contains("\"hit_rate\":0.5000"), "{json}");
         assert!(json.contains("\"register_alloc\":[0,0,0,0,0,0,0,0,0,1]"), "{json}");
+    }
+
+    #[test]
+    fn fault_sim_counters_accumulate_and_render() {
+        use lobist_gatesim::diffsim::SimCounters;
+        let m = Metrics::new();
+        m.record_fault_sim(&FaultSimStats {
+            counters: SimCounters {
+                batches_loaded: 4,
+                faults_simulated: 100,
+                cone_evals: 700,
+                events_propagated: 300,
+            },
+            total_faults: 120,
+            simulated_faults: 100,
+            collapsed_away: 20,
+            workers: 2,
+            wall: Duration::from_micros(1500),
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.fault_sim.faults_simulated, 100);
+        assert_eq!(snap.fault_sim.collapsed_away, 20);
+        let json = snap.to_json();
+        assert!(json.contains("\"fault_sim\":{\"batches_loaded\":4"), "{json}");
+        assert!(json.contains("\"cone_evals\":700"), "{json}");
+        assert!(json.contains("\"wall_micros\":1500"), "{json}");
     }
 
     #[test]

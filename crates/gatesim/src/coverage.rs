@@ -1,11 +1,18 @@
 //! Single-stuck-at fault enumeration and coverage measurement.
 //!
 //! Faults are stuck-at-0/1 on every net (inputs, internal nets and
-//! outputs). Simulation is parallel-pattern: 64 patterns per pass, one
-//! faulty re-evaluation per still-undetected fault — the textbook PPSFP
-//! arrangement, fast enough to fault-simulate an 8-bit multiplier in the
-//! unit-test budget.
+//! outputs). Simulation is parallel-pattern *differential*: 64 patterns
+//! per pass, one golden evaluation per batch, and per still-undetected
+//! fault an event-driven propagation limited to the fault's output cone
+//! ([`crate::diffsim::DiffSim`]) — orders of magnitude cheaper than the
+//! textbook full-resimulation PPSFP arrangement it replaces, with
+//! byte-identical results.
+//!
+//! Use [`crate::collapse::collapse_faults`] to simulate one
+//! representative per structural equivalence class and expand the
+//! report back to the full universe.
 
+use crate::diffsim::DiffSim;
 use crate::net::{Fault, GateNetwork, NetId};
 
 /// All single stuck-at faults of a network (two per net), excluding
@@ -20,21 +27,18 @@ pub fn enumerate_faults(net: &GateNetwork) -> Vec<Fault> {
     for o in net.outputs() {
         live[o.index()] = true;
     }
-    (0..net.num_nets() as u32)
-        .filter(|&n| live[n as usize])
-        .flat_map(|n| {
-            [
-                Fault {
+    let mut faults = Vec::with_capacity(2 * net.num_nets());
+    for n in 0..net.num_nets() as u32 {
+        if live[n as usize] {
+            for stuck_at_one in [false, true] {
+                faults.push(Fault {
                     net: NetId(n),
-                    stuck_at_one: false,
-                },
-                Fault {
-                    net: NetId(n),
-                    stuck_at_one: true,
-                },
-            ]
-        })
-        .collect()
+                    stuck_at_one,
+                });
+            }
+        }
+    }
+    faults
 }
 
 /// The outcome of a fault-coverage measurement.
@@ -44,7 +48,9 @@ pub struct CoverageReport {
     pub total_faults: usize,
     /// Faults whose effect reached an output for at least one pattern.
     pub detected: usize,
-    /// Patterns applied.
+    /// Patterns applied (never more than the requested budget: the
+    /// final 64-lane batch is clipped to the remaining budget, and
+    /// out-of-budget lanes do not count toward detection).
     pub patterns_applied: u64,
     /// Pattern count at which each fault was first detected (parallel
     /// batches give a batch-granular figure), indexed like the fault
@@ -65,11 +71,28 @@ impl CoverageReport {
 
 /// Measures coverage of `faults` under a caller-supplied pattern source.
 /// `next_batch` must fill one `u64` lane word per input (64 patterns per
-/// call); `batches` controls the total pattern budget (`64 * batches`).
+/// call); `patterns` is the total pattern budget. A final partial batch
+/// is clipped: only its first `patterns % 64` lanes are applied or
+/// counted.
 pub fn measure_coverage<F>(
     net: &GateNetwork,
     faults: &[Fault],
-    batches: u64,
+    patterns: u64,
+    next_batch: F,
+) -> CoverageReport
+where
+    F: FnMut() -> Vec<u64>,
+{
+    let mut sim = DiffSim::new(net);
+    measure_coverage_with(&mut sim, faults, patterns, next_batch)
+}
+
+/// As [`measure_coverage`], reusing a caller-owned simulator (and its
+/// scratch buffers) across calls; work counters accumulate on `sim`.
+pub fn measure_coverage_with<F>(
+    sim: &mut DiffSim<'_>,
+    faults: &[Fault],
+    patterns: u64,
     mut next_batch: F,
 ) -> CoverageReport
 where
@@ -78,24 +101,52 @@ where
     let mut undetected: Vec<usize> = (0..faults.len()).collect();
     let mut first_detection: Vec<Option<u64>> = vec![None; faults.len()];
     let mut applied = 0u64;
-    for _ in 0..batches {
+    while applied < patterns {
         if undetected.is_empty() {
             break;
         }
         let lanes = next_batch();
-        applied += 64;
-        let golden = net.eval_lanes(&lanes);
-        undetected.retain(|&fi| {
-            let faulty = net.eval_lanes_with(&lanes, Some(faults[fi]));
-            let detected = faulty
-                .iter()
-                .zip(&golden)
-                .any(|(f, g)| f != g);
-            if detected {
-                first_detection[fi] = Some(applied);
+        let in_budget = (patterns - applied).min(64);
+        applied += in_budget;
+        let mask = if in_budget == 64 {
+            u64::MAX
+        } else {
+            (1u64 << in_budget) - 1
+        };
+        sim.load_batch_masked(&lanes, mask);
+        // In-place compaction; when the two polarities of one net are
+        // adjacent in the undetected list (enumerate order, and collapse
+        // representatives are (net, stuck)-sorted), one paired cone walk
+        // answers both — byte-identical to two single queries.
+        let (mut read, mut write) = (0, 0);
+        while read < undetected.len() {
+            let fi = undetected[read];
+            let f = faults[fi];
+            let paired = undetected.get(read + 1).map(|&fj| faults[fj]);
+            let (d0, d1, consumed) = match paired {
+                Some(g) if g.net == f.net && f.stuck_at_one != g.stuck_at_one => {
+                    let both = sim.detects_both(f.net);
+                    let (di, dj) = if f.stuck_at_one {
+                        (both.1, both.0)
+                    } else {
+                        both
+                    };
+                    (di, dj, 2)
+                }
+                _ => (sim.detects(f), false, 1),
+            };
+            for (d, k) in [(d0, read), (d1, read + 1)].into_iter().take(consumed) {
+                let fk = undetected[k];
+                if d {
+                    first_detection[fk] = Some(applied);
+                } else {
+                    undetected[write] = fk;
+                    write += 1;
+                }
             }
-            !detected
-        });
+            read += consumed;
+        }
+        undetected.truncate(write);
     }
     CoverageReport {
         total_faults: faults.len(),
@@ -114,9 +165,17 @@ where
 /// utility therefore uses independent PRNG streams; for the physically
 /// faithful per-operand-word LFSR arrangement, use
 /// [`crate::bist_mode::run_session`].
+///
+/// Measures the full universe directly: [`enumerate_faults`] keeps the
+/// two polarities of each net adjacent, so the coverage loop answers
+/// both with one paired cone walk
+/// ([`crate::diffsim::DiffSim::detects_both`]) — on the paper's module
+/// library that is as fast as simulating collapsed class
+/// representatives without paying for the collapse itself. Structural
+/// collapsing ([`crate::collapse`]) still pays off when class counts or
+/// per-class reports matter, e.g. the engine's partitioned driver.
 pub fn random_pattern_coverage(net: &GateNetwork, patterns: u64, seed: u64) -> CoverageReport {
-    let faults = enumerate_faults(net);
-    random_pattern_coverage_of(net, &faults, patterns, seed)
+    random_pattern_coverage_of(net, &enumerate_faults(net), patterns, seed)
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -134,14 +193,28 @@ pub fn random_pattern_coverage_of(
     patterns: u64,
     seed: u64,
 ) -> CoverageReport {
-    let mut states: Vec<u64> = (0..net.inputs().len() as u64)
+    let mut sim = DiffSim::new(net);
+    random_pattern_coverage_with(&mut sim, faults, patterns, seed)
+}
+
+/// As [`random_pattern_coverage_of`], reusing a caller-owned simulator.
+/// The pattern stream is a pure function of `seed` and the input count,
+/// so any fault sublist simulated with the same seed sees the same
+/// patterns — the property the parallel fault partitions rely on.
+pub fn random_pattern_coverage_with(
+    sim: &mut DiffSim<'_>,
+    faults: &[Fault],
+    patterns: u64,
+    seed: u64,
+) -> CoverageReport {
+    let num_inputs = sim.network().inputs().len() as u64;
+    let mut states: Vec<u64> = (0..num_inputs)
         .map(|i| {
             let mut s = seed ^ i.wrapping_mul(0xA24BAED4963EE407);
             splitmix64(&mut s)
         })
         .collect();
-    let batches = patterns.div_ceil(64);
-    measure_coverage(net, faults, batches, || {
+    measure_coverage_with(sim, faults, patterns, || {
         states.iter_mut().map(splitmix64).collect()
     })
 }
@@ -152,18 +225,55 @@ mod tests {
     use crate::modules::{array_multiplier, logic_unit, ripple_adder, subtractor};
     use lobist_dfg::OpKind;
 
-    #[test]
-    fn exhaustive_patterns_saturate_adder_coverage() {
-        // 4-bit adder has 8 inputs → 256 patterns = exhaustive; every
-        // structurally detectable fault must be found.
-        let net = ripple_adder(4);
-        let faults = enumerate_faults(&net);
+    /// The pre-diffsim textbook path: full faulty re-evaluation per
+    /// fault per batch. Kept as the oracle for byte-identity tests.
+    fn measure_coverage_reference<F>(
+        net: &GateNetwork,
+        faults: &[Fault],
+        patterns: u64,
+        mut next_batch: F,
+    ) -> CoverageReport
+    where
+        F: FnMut() -> Vec<u64>,
+    {
+        let mut undetected: Vec<usize> = (0..faults.len()).collect();
+        let mut first_detection: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut applied = 0u64;
+        while applied < patterns {
+            if undetected.is_empty() {
+                break;
+            }
+            let lanes = next_batch();
+            let in_budget = (patterns - applied).min(64);
+            applied += in_budget;
+            let mask = if in_budget == 64 { u64::MAX } else { (1u64 << in_budget) - 1 };
+            let golden = net.eval_lanes(&lanes);
+            undetected.retain(|&fi| {
+                let faulty = net.eval_lanes_with(&lanes, Some(faults[fi]));
+                let detected = faulty
+                    .iter()
+                    .zip(&golden)
+                    .any(|(f, g)| (f ^ g) & mask != 0);
+                if detected {
+                    first_detection[fi] = Some(applied);
+                }
+                !detected
+            });
+        }
+        CoverageReport {
+            total_faults: faults.len(),
+            detected: faults.len() - undetected.len(),
+            patterns_applied: applied,
+            first_detection,
+        }
+    }
+
+    fn counter_batches(num_inputs: usize) -> impl FnMut() -> Vec<u64> {
         let mut counter = 0u64;
-        let report = measure_coverage(&net, &faults, 4, || {
-            // Pack patterns counter..counter+64 bit-sliced per input.
+        move || {
             let base = counter;
             counter += 64;
-            (0..net.inputs().len())
+            (0..num_inputs)
                 .map(|i| {
                     let mut w = 0u64;
                     for lane in 0..64u64 {
@@ -173,7 +283,16 @@ mod tests {
                     w
                 })
                 .collect()
-        });
+        }
+    }
+
+    #[test]
+    fn exhaustive_patterns_saturate_adder_coverage() {
+        // 4-bit adder has 8 inputs → 256 patterns = exhaustive; every
+        // structurally detectable fault must be found.
+        let net = ripple_adder(4);
+        let faults = enumerate_faults(&net);
+        let report = measure_coverage(&net, &faults, 256, counter_batches(net.inputs().len()));
         assert_eq!(
             report.detected, report.total_faults,
             "adder has no redundant faults: {report:?}"
@@ -221,8 +340,99 @@ mod tests {
     #[test]
     fn empty_fault_list() {
         let net = ripple_adder(2);
-        let report = measure_coverage(&net, &[], 1, || vec![0; net.inputs().len()]);
+        let report = measure_coverage(&net, &[], 64, || vec![0; net.inputs().len()]);
         assert_eq!(report.total_faults, 0);
         assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patterns_applied_respects_the_budget() {
+        // 100 patterns = one full batch + a 36-lane partial batch; the
+        // old path reported 128 applied. Budget and stamps now clip.
+        // The network carries a redundant fault (SA0 on the AND of
+        // `x | (x & y)` never changes the output), so the full budget is
+        // always consumed rather than ending early on full detection.
+        use crate::net::NetworkBuilder;
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y);
+        let o = b.or(x, a);
+        let net = b.finish(vec![o]);
+        let report = random_pattern_coverage(&net, 100, 0xACE1);
+        assert!(report.detected < report.total_faults);
+        assert_eq!(report.patterns_applied, 100);
+        for d in report.first_detection.iter().flatten() {
+            assert!(*d <= 100, "stamp {d} exceeds budget");
+        }
+        // A detection stamped past the first batch must carry the
+        // clipped figure.
+        assert!(report
+            .first_detection
+            .iter()
+            .flatten()
+            .all(|&d| d == 64 || d == 100));
+    }
+
+    #[test]
+    fn out_of_budget_lanes_do_not_detect() {
+        // With a budget of 1 pattern only lane 0 counts; the reference
+        // and the differential path must agree on that.
+        let net = ripple_adder(2);
+        let faults = enumerate_faults(&net);
+        let diff = measure_coverage(&net, &faults, 1, counter_batches(net.inputs().len()));
+        let reference =
+            measure_coverage_reference(&net, &faults, 1, counter_batches(net.inputs().len()));
+        assert_eq!(diff, reference);
+        assert_eq!(diff.patterns_applied, 1);
+        // Pattern 0 is all-zero inputs: SA1 faults on the inputs are
+        // excited, SA0 faults are not.
+        assert!(diff.detected < diff.total_faults);
+    }
+
+    #[test]
+    fn differential_path_is_byte_identical_to_reference() {
+        for (name, net) in [
+            ("adder4", ripple_adder(4)),
+            ("sub4", subtractor(4)),
+            ("xor4", logic_unit(OpKind::Xor, 4)),
+            ("mul4", array_multiplier(4)),
+        ] {
+            let faults = enumerate_faults(&net);
+            for patterns in [64u64, 100, 256] {
+                let fast =
+                    measure_coverage(&net, &faults, patterns, counter_batches(net.inputs().len()));
+                let slow = measure_coverage_reference(
+                    &net,
+                    &faults,
+                    patterns,
+                    counter_batches(net.inputs().len()),
+                );
+                assert_eq!(fast, slow, "{name} at {patterns} patterns");
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_coverage_equals_uncollapsed() {
+        use crate::collapse::collapse_faults;
+        for (name, net) in [
+            ("adder8", ripple_adder(8)),
+            ("sub8", subtractor(8)),
+            ("and8", logic_unit(OpKind::And, 8)),
+            ("mul4", array_multiplier(4)),
+        ] {
+            let collapsed = collapse_faults(&net);
+            assert!(
+                collapsed.collapsed_away() > 0,
+                "{name}: expected some structural equivalence"
+            );
+            let full = random_pattern_coverage_of(&net, &enumerate_faults(&net), 512, 0xBEEF);
+            let reps =
+                random_pattern_coverage_of(&net, collapsed.representatives(), 512, 0xBEEF);
+            let expanded = collapsed.expand_coverage(&reps);
+            assert_eq!(expanded, full, "{name}");
+            assert_eq!(random_pattern_coverage(&net, 512, 0xBEEF), full, "{name}");
+        }
     }
 }

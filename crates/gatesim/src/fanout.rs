@@ -1,0 +1,189 @@
+//! Precomputed fanout structure of a [`GateNetwork`].
+//!
+//! The differential fault simulator needs, for every net, the gates that
+//! consume it (to schedule re-evaluation when the net's value changes)
+//! and the primary-output positions it drives (to observe detection).
+//! Both are stored in compact CSR form — two `u32` arrays per relation —
+//! so a `Fanout` for an n-gate network costs O(n) memory and is built in
+//! one pass.
+//!
+//! [`Fanout::cone_gates`] materializes the *output cone* of a net (every
+//! gate transitively reachable through the fanout relation); the
+//! simulator never builds cones explicitly — it discovers exactly the
+//! active part of the cone event by event — but the query is the
+//! structural ground truth the cone-limited simulation is tested
+//! against, and its size distribution explains the speedup.
+
+use crate::net::{GateNetwork, NetId};
+
+/// CSR fanout index of a network: per-net consumer gates, per-net
+/// primary-output positions, fanout counts and output membership.
+#[derive(Debug, Clone)]
+pub struct Fanout {
+    /// CSR offsets into `consumer_gates`, one slot per net plus one.
+    consumer_offsets: Vec<u32>,
+    /// Gate indices consuming each net, grouped by net.
+    consumer_gates: Vec<u32>,
+    /// CSR offsets into `output_positions`, one slot per net plus one.
+    output_offsets: Vec<u32>,
+    /// Positions in `GateNetwork::outputs()` driven by each net.
+    output_positions: Vec<u32>,
+}
+
+impl Fanout {
+    /// Builds the fanout index of `net` in two counting passes.
+    pub fn new(net: &GateNetwork) -> Self {
+        let n = net.num_nets();
+        // Consumer CSR: a gate consumes `a`, and `b` when distinct
+        // (Not/Buf carry a duplicated operand that is one fanout branch,
+        // not two).
+        let mut consumer_offsets = vec![0u32; n + 1];
+        let operands = |g: &crate::net::Gate| {
+            let mut ops = [Some(g.a), None];
+            if g.b != g.a {
+                ops[1] = Some(g.b);
+            }
+            ops
+        };
+        for g in net.gates() {
+            for op in operands(g).into_iter().flatten() {
+                consumer_offsets[op.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            consumer_offsets[i + 1] += consumer_offsets[i];
+        }
+        let mut cursor = consumer_offsets.clone();
+        let mut consumer_gates = vec![0u32; consumer_offsets[n] as usize];
+        for (gi, g) in net.gates().iter().enumerate() {
+            for op in operands(g).into_iter().flatten() {
+                let c = &mut cursor[op.index()];
+                consumer_gates[*c as usize] = gi as u32;
+                *c += 1;
+            }
+        }
+
+        // Output-position CSR (a net may drive several output positions).
+        let mut output_offsets = vec![0u32; n + 1];
+        for o in net.outputs() {
+            output_offsets[o.index() + 1] += 1;
+        }
+        for i in 0..n {
+            output_offsets[i + 1] += output_offsets[i];
+        }
+        let mut cursor = output_offsets.clone();
+        let mut output_positions = vec![0u32; output_offsets[n] as usize];
+        for (pos, o) in net.outputs().iter().enumerate() {
+            let c = &mut cursor[o.index()];
+            output_positions[*c as usize] = pos as u32;
+            *c += 1;
+        }
+
+        Self {
+            consumer_offsets,
+            consumer_gates,
+            output_offsets,
+            output_positions,
+        }
+    }
+
+    /// The gates consuming `net`, in ascending (topological) index order.
+    pub fn consumers(&self, net: NetId) -> &[u32] {
+        let lo = self.consumer_offsets[net.index()] as usize;
+        let hi = self.consumer_offsets[net.index() + 1] as usize;
+        &self.consumer_gates[lo..hi]
+    }
+
+    /// Number of gate inputs `net` drives (duplicate Not/Buf operands
+    /// count once).
+    pub fn fanout_count(&self, net: NetId) -> usize {
+        self.consumers(net).len()
+    }
+
+    /// Positions in the primary-output list driven by `net` (usually
+    /// empty or one entry).
+    pub fn output_positions(&self, net: NetId) -> &[u32] {
+        let lo = self.output_offsets[net.index()] as usize;
+        let hi = self.output_offsets[net.index() + 1] as usize;
+        &self.output_positions[lo..hi]
+    }
+
+    /// `true` if `net` is a primary output.
+    pub fn is_output(&self, net: NetId) -> bool {
+        !self.output_positions(net).is_empty()
+    }
+
+    /// The output cone of `net`: indices of every gate transitively
+    /// consuming it, ascending. This is the worst-case work set of a
+    /// fault on `net`; the event-driven simulator visits a (often much
+    /// smaller) subset whose inputs actually change.
+    pub fn cone_gates(&self, net: &GateNetwork, site: NetId) -> Vec<u32> {
+        let mut in_cone = vec![false; net.num_gates()];
+        let mut frontier = vec![site];
+        while let Some(n) = frontier.pop() {
+            for &gi in self.consumers(n) {
+                if !in_cone[gi as usize] {
+                    in_cone[gi as usize] = true;
+                    frontier.push(net.gates()[gi as usize].out);
+                }
+            }
+        }
+        (0..net.num_gates() as u32)
+            .filter(|&gi| in_cone[gi as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkBuilder;
+
+    #[test]
+    fn consumers_and_outputs_are_indexed() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.xor(x, y); // gate 0
+        let c = b.and(x, y); // gate 1
+        let n = b.not(s); // gate 2
+        let net = b.finish(vec![s, c, n]);
+        let f = Fanout::new(&net);
+        assert_eq!(f.consumers(x), &[0, 1]);
+        assert_eq!(f.consumers(y), &[0, 1]);
+        assert_eq!(f.consumers(s), &[2]);
+        assert_eq!(f.consumers(n), &[] as &[u32]);
+        assert_eq!(f.fanout_count(x), 2);
+        assert_eq!(f.output_positions(s), &[0]);
+        assert_eq!(f.output_positions(c), &[1]);
+        assert_eq!(f.output_positions(n), &[2]);
+        assert!(!f.is_output(x));
+        assert!(f.is_output(n));
+    }
+
+    #[test]
+    fn duplicate_not_operand_counts_once() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let n = b.not(x);
+        let net = b.finish(vec![n]);
+        let f = Fanout::new(&net);
+        assert_eq!(f.fanout_count(x), 1);
+    }
+
+    #[test]
+    fn cone_is_transitive_closure() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y); // gate 0
+        let o = b.or(a, y); // gate 1
+        let q = b.xor(x, x); // gate 2: not downstream of a
+        let r = b.not(o); // gate 3
+        let net = b.finish(vec![r, q]);
+        let f = Fanout::new(&net);
+        assert_eq!(f.cone_gates(&net, a), vec![1, 3]);
+        assert_eq!(f.cone_gates(&net, x), vec![0, 1, 2, 3]);
+        assert_eq!(f.cone_gates(&net, r), Vec::<u32>::new());
+    }
+}

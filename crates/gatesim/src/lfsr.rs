@@ -164,11 +164,21 @@ impl Misr {
     ///
     /// Panics if `width` is outside `2..=32`.
     pub fn new(width: u32) -> Self {
-        Self {
-            width,
-            state: 0,
-            taps: tap_mask(width),
-        }
+        Self::with_signature(width, 0)
+    }
+
+    /// Creates a MISR resuming from a previously captured signature —
+    /// used by the session emulator to fast-forward per-fault MISR
+    /// states batch by batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=32` or `state` has bits beyond
+    /// `width`.
+    pub fn with_signature(width: u32, state: u64) -> Self {
+        let taps = tap_mask(width);
+        assert_eq!(state & !state_mask(width), 0, "state exceeds MISR width");
+        Self { width, state, taps }
     }
 
     /// Absorbs one response word.

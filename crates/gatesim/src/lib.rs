@@ -14,6 +14,12 @@
 //!   bitwise logic, comparator, multi-function ALU), each verified
 //!   against the arithmetic reference semantics.
 //! * [`lfsr`] — maximal-length LFSRs and MISRs (XAPP052 tap table).
+//! * [`fanout`] — per-net consumer/output CSR index and fault-cone
+//!   queries.
+//! * [`diffsim`] — cone-limited event-driven differential fault
+//!   simulation (the fast path behind every coverage measurement).
+//! * [`collapse`] — structural fault collapsing into equivalence
+//!   classes, with exact report expansion.
 //! * [`coverage`] — single-stuck-at fault enumeration and coverage
 //!   measurement under arbitrary or pseudo-random pattern sources.
 //! * [`bist_mode`] — full BIST-session emulation: LFSR → module → MISR,
@@ -36,7 +42,10 @@
 #![warn(missing_docs)]
 
 pub mod bist_mode;
+pub mod collapse;
 pub mod coverage;
+pub mod diffsim;
+pub mod fanout;
 pub mod lfsr;
 pub mod modules;
 pub mod net;

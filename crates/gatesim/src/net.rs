@@ -68,9 +68,35 @@ pub struct Fault {
     pub stuck_at_one: bool,
 }
 
+impl Fault {
+    /// The value the faulty net is stuck at, replicated across all 64
+    /// lanes (`u64::MAX` for SA1, `0` for SA0).
+    pub fn stuck_word(self) -> u64 {
+        if self.stuck_at_one {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+}
+
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/SA{}", self.net, u8::from(self.stuck_at_one))
+    }
+}
+
+/// Evaluates one gate function on two 64-lane operand words.
+#[inline]
+pub(crate) fn eval_gate(kind: GateKind, a: u64, b: u64) -> u64 {
+    match kind {
+        GateKind::And => a & b,
+        GateKind::Or => a | b,
+        GateKind::Xor => a ^ b,
+        GateKind::Nand => !(a & b),
+        GateKind::Nor => !(a | b),
+        GateKind::Not => !a,
+        GateKind::Buf => a,
     }
 }
 
@@ -123,6 +149,11 @@ impl GateNetwork {
     /// As [`eval_lanes`](Self::eval_lanes) but with an optional stuck-at
     /// fault injected.
     ///
+    /// This is the *reference* fault simulator: it re-evaluates the whole
+    /// network. The production path ([`crate::diffsim::DiffSim`]) only
+    /// re-evaluates gates in the fault's output cone; the test suite
+    /// asserts the two agree on every fault.
+    ///
     /// # Panics
     ///
     /// Panics if `input_lanes.len() != self.inputs().len()`.
@@ -135,13 +166,7 @@ impl GateNetwork {
         let mut value = vec![0u64; self.num_nets];
         let apply_fault = |net: NetId, v: u64| -> u64 {
             match fault {
-                Some(f) if f.net == net => {
-                    if f.stuck_at_one {
-                        u64::MAX
-                    } else {
-                        0
-                    }
-                }
+                Some(f) if f.net == net => f.stuck_word(),
                 _ => v,
             }
         };
@@ -149,20 +174,34 @@ impl GateNetwork {
             value[net.index()] = apply_fault(net, input_lanes[i]);
         }
         for g in &self.gates {
-            let a = value[g.a.index()];
-            let b = value[g.b.index()];
-            let v = match g.kind {
-                GateKind::And => a & b,
-                GateKind::Or => a | b,
-                GateKind::Xor => a ^ b,
-                GateKind::Nand => !(a & b),
-                GateKind::Nor => !(a | b),
-                GateKind::Not => !a,
-                GateKind::Buf => a,
-            };
+            let v = eval_gate(g.kind, value[g.a.index()], value[g.b.index()]);
             value[g.out.index()] = apply_fault(g.out, v);
         }
         self.outputs.iter().map(|o| value[o.index()]).collect()
+    }
+
+    /// Fault-free evaluation of **every** net into a caller-owned scratch
+    /// buffer (resized to `num_nets`), avoiding the per-call allocation
+    /// of [`eval_lanes`](Self::eval_lanes). This is the golden pass the
+    /// differential fault simulator diffs against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_lanes.len() != self.inputs().len()`.
+    pub fn eval_all_nets_into(&self, input_lanes: &[u64], values: &mut Vec<u64>) {
+        assert_eq!(
+            input_lanes.len(),
+            self.inputs.len(),
+            "wrong number of input lanes"
+        );
+        values.clear();
+        values.resize(self.num_nets, 0);
+        for (i, &net) in self.inputs.iter().enumerate() {
+            values[net.index()] = input_lanes[i];
+        }
+        for g in &self.gates {
+            values[g.out.index()] = eval_gate(g.kind, values[g.a.index()], values[g.b.index()]);
+        }
     }
 
     /// Convenience single-pattern boolean evaluation.

@@ -8,12 +8,58 @@ use proptest::prelude::*;
 
 use lobist_dfg::interp::apply;
 use lobist_dfg::OpKind;
-use lobist_gatesim::coverage::enumerate_faults;
+use lobist_gatesim::collapse::collapse_faults;
+use lobist_gatesim::coverage::{
+    enumerate_faults, random_pattern_coverage_of,
+};
+use lobist_gatesim::diffsim::DiffSim;
 use lobist_gatesim::modules::{alu, unit_for};
-use lobist_gatesim::net::Fault;
+use lobist_gatesim::net::{Fault, GateKind, GateNetwork, NetworkBuilder};
 
 fn mask(x: u64, w: u32) -> u64 {
     x & ((1u64 << w) - 1)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A random combinational network: every gate consumes earlier nets, so
+/// any topology the builder accepts can appear — including shared
+/// fanout, dead gates, inputs wired straight to outputs and duplicated
+/// output nets.
+fn random_network(seed: u64, num_inputs: usize, num_gates: usize) -> GateNetwork {
+    let mut s = seed;
+    let mut b = NetworkBuilder::new();
+    let mut nets: Vec<_> = (0..num_inputs).map(|_| b.input()).collect();
+    const KINDS: [GateKind; 7] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    for _ in 0..num_gates {
+        let kind = KINDS[(splitmix(&mut s) % KINDS.len() as u64) as usize];
+        let a = nets[(splitmix(&mut s) % nets.len() as u64) as usize];
+        let x = nets[(splitmix(&mut s) % nets.len() as u64) as usize];
+        let out = match kind {
+            GateKind::Not | GateKind::Buf => b.gate(kind, a, a),
+            _ => b.gate(kind, a, x),
+        };
+        nets.push(out);
+    }
+    let num_outputs = 1 + (splitmix(&mut s) % 4) as usize;
+    let outputs = (0..num_outputs)
+        .map(|_| nets[(splitmix(&mut s) % nets.len() as u64) as usize])
+        .collect();
+    b.finish(outputs)
 }
 
 proptest! {
@@ -114,6 +160,65 @@ proptest! {
                 }
             }
             prop_assert!(detected, "output fault {fault} undetectable at width {w}");
+        }
+    }
+
+    #[test]
+    fn diffsim_agrees_with_reference_on_random_networks(
+        seed in any::<u64>(),
+        num_inputs in 2usize..6,
+        num_gates in 1usize..48,
+        lane_seed in any::<u64>(),
+    ) {
+        // The differential cone simulator must match the full-resim
+        // reference on EVERY fault of an arbitrary network, across two
+        // consecutive batches (exercising the epoch-stamped scratch
+        // reuse), for both the early-exit detection query and the full
+        // per-output difference words.
+        let net = random_network(seed, num_inputs, num_gates);
+        let mut sim = DiffSim::new(&net);
+        let mut ls = lane_seed;
+        for _batch in 0..2 {
+            let lanes: Vec<u64> = (0..num_inputs).map(|_| splitmix(&mut ls)).collect();
+            let golden = net.eval_lanes(&lanes);
+            sim.load_batch(&lanes);
+            for n in 0..net.num_nets() as u32 {
+                let mut single = [false; 2];
+                for stuck in [false, true] {
+                    let fault = Fault { net: lobist_gatesim::net::NetId(n), stuck_at_one: stuck };
+                    let reference = net.eval_lanes_with(&lanes, Some(fault));
+                    let any = sim.fault_output_diffs(fault);
+                    for (pos, (&r, &g)) in reference.iter().zip(&golden).enumerate() {
+                        prop_assert_eq!(r ^ g, sim.out_diffs()[pos], "{} output {}", fault, pos);
+                    }
+                    prop_assert_eq!(any, reference != golden, "{}", fault);
+                    prop_assert_eq!(sim.detects(fault), reference != golden, "{}", fault);
+                    single[usize::from(stuck)] = reference != golden;
+                }
+                prop_assert_eq!(
+                    sim.detects_both(lobist_gatesim::net::NetId(n)),
+                    (single[0], single[1]),
+                    "paired walk on net {}", n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_coverage_equals_uncollapsed_on_modules(seed in any::<u64>(), w in 2u32..7) {
+        // Simulating one representative per structural equivalence class
+        // and expanding must be byte-identical to simulating the full
+        // universe, on every paper module class and any pattern seed.
+        for kind in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::And] {
+            let net = unit_for(kind, w);
+            let collapsed = collapse_faults(&net);
+            // (Tiny widths may collapse nothing — e.g. the 2-bit adder's
+            // operand nets all share fanout; expansion must still be
+            // exact. Unit tests pin down that width 8 does collapse.)
+            prop_assert!(collapsed.num_classes() <= collapsed.total_faults());
+            let full = random_pattern_coverage_of(&net, &enumerate_faults(&net), 192, seed);
+            let reps = random_pattern_coverage_of(&net, collapsed.representatives(), 192, seed);
+            prop_assert_eq!(collapsed.expand_coverage(&reps), full, "{} w{}", kind, w);
         }
     }
 
