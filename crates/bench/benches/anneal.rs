@@ -1,0 +1,195 @@
+//! Criterion benchmarks for the annealing search engine: the
+//! memoized-oracle serial chain against the from-scratch ("before")
+//! evaluation discipline, pool-backed speculative batches at 1, 2 and N
+//! workers, and the heap-based clique partitioner against its naive
+//! reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lobist_alloc::anneal::{
+    anneal_registers, anneal_registers_with, AnnealConfig, BatchEvaluator, Coloring, CostOracle,
+};
+use lobist_alloc::flow::{FlowError, FlowOptions};
+use lobist_alloc::module_assign::assign_modules;
+use lobist_datapath::ModuleAssignment;
+use lobist_dfg::benchmarks::{self, Benchmark};
+use lobist_engine::anneal_parallel;
+use lobist_graph::clique_partition::{partition_weighted, partition_weighted_naive};
+use lobist_graph::UGraph;
+
+/// The seed implementation's evaluation discipline: every move re-runs
+/// interconnect binding and the BIST solver from scratch. Kept as the
+/// "before" yardstick for the throughput numbers in BENCH_anneal.json.
+struct UncachedEvaluator;
+
+impl BatchEvaluator for UncachedEvaluator {
+    fn evaluate(&self, oracle: &CostOracle<'_>, trials: &[Coloring]) -> Vec<Result<u64, FlowError>> {
+        trials.iter().map(|t| oracle.cost_uncached(t)).collect()
+    }
+}
+
+fn setup(bench: &Benchmark) -> (FlowOptions, ModuleAssignment) {
+    let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+    let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+        .expect("module assignment");
+    (flow, ma)
+}
+
+fn config() -> AnnealConfig {
+    AnnealConfig { iterations: 400, ..Default::default() }
+}
+
+fn bench_serial_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anneal_serial");
+    for bench in [benchmarks::ex1(), benchmarks::paulin()] {
+        let (flow, ma) = setup(&bench);
+        let cfg = config();
+        group.bench_with_input(
+            BenchmarkId::new("uncached_before", &bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    anneal_registers_with(
+                        &bench.dfg,
+                        &bench.schedule,
+                        bench.lifetime_options,
+                        &ma,
+                        &flow,
+                        &cfg,
+                        &UncachedEvaluator,
+                    )
+                    .expect("anneal")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("memoized_after", &bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    anneal_registers(
+                        &bench.dfg,
+                        &bench.schedule,
+                        bench.lifetime_options,
+                        &ma,
+                        &flow,
+                        &cfg,
+                    )
+                    .expect("anneal")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_batches(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("anneal_parallel");
+    // A design big enough that one BIST solve (~170 µs) dwarfs the pool
+    // dispatch, in the cold (converged) phase of the walk, where
+    // acceptances are rare and speculative run-lengths long — the regime
+    // batched evaluation is built for. (In the hot phase nearly every
+    // move is accepted, so the batch commits one move per step and
+    // parallelism cannot help: Amdahl applies to the trajectory itself.)
+    let bench = benchmarks::fir(8);
+    let (flow, ma) = setup(&bench);
+    let cfg = AnnealConfig {
+        iterations: 120,
+        initial_temperature: 0.5,
+        batch: 16,
+        ..Default::default()
+    };
+    let mut workers = vec![1usize, 2];
+    if cores > 2 {
+        workers.push(cores);
+    }
+    for w in workers {
+        group.bench_with_input(BenchmarkId::new("workers", w), &w, |b, &w| {
+            b.iter(|| {
+                anneal_parallel(
+                    &bench.dfg,
+                    &bench.schedule,
+                    bench.lifetime_options,
+                    &ma,
+                    &flow,
+                    &cfg,
+                    w,
+                )
+                .expect("anneal")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multichain(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("anneal_multichain");
+    let bench = benchmarks::fir(8);
+    let (flow, ma) = setup(&bench);
+    let cfg = AnnealConfig { iterations: 60, ..Default::default() };
+    let chains = 4usize;
+    let mut workers = vec![1usize, 2];
+    if !workers.contains(&cores.min(chains)) {
+        workers.push(cores.min(chains));
+    }
+    for w in workers {
+        group.bench_with_input(BenchmarkId::new("chains4_workers", w), &w, |b, &w| {
+            b.iter(|| {
+                lobist_engine::anneal_multichain(
+                    &bench.dfg,
+                    &bench.schedule,
+                    bench.lifetime_options,
+                    &ma,
+                    &flow,
+                    &cfg,
+                    chains,
+                    w,
+                )
+                .expect("anneal")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn clique_graph(n: usize) -> UGraph {
+    let mut g = UGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if (u * 31 + v * 17) % 3 != 0 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn bench_clique_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_partition");
+    for n in [32usize, 96] {
+        let g = clique_graph(n);
+        let w = |u: usize, v: usize| ((u.min(v) * 13 + u.max(v) * 5) % 11) as i64 - 3;
+        group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| partition_weighted_naive(g, w))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &g, |b, g| {
+            b.iter(|| partition_weighted(g, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serial_oracle,
+    bench_parallel_batches,
+    bench_multichain,
+    bench_clique_partition
+);
+criterion_main!(benches);

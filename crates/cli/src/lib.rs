@@ -62,6 +62,8 @@ USAGE:
   lobist faultsim <design.dfg> --modules <SET> [--jobs <N>] [--metrics] [OPTIONS]
   lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
   lobist batch <design.dfg>... --modules <SET> [--jobs <N>] [--metrics]
+  lobist anneal <design.dfg> --modules <SET> [--iterations <N>] [--seed <S>]
+                [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist suite
 
 COMMANDS:
@@ -71,6 +73,8 @@ COMMANDS:
   faultsim  gate-level stuck-at fault simulation of the BIST sessions
   explore   Pareto exploration over candidate module allocations
   batch     synthesize many design files in one parallel run
+  anneal    simulated-annealing register search (yardstick for the
+            constructive heuristic); deterministic for any --jobs value
   suite     run the five paper benchmarks (Table I summary)
 
 OPTIONS:
@@ -85,11 +89,19 @@ OPTIONS:
   --repair          insert test points for otherwise-untestable modules
   --latency <N>     target latency for `schedule` (default: critical path)
   --candidates <L>  semicolon-separated module sets for `explore`
-  --jobs <N>        worker threads for `explore`/`batch`/`faultsim`
-                    (default: all cores; must be at least 1)
+  --iterations <N>  evaluated moves for `anneal` (default 400)
+  --seed <S>        RNG seed for `anneal` (decimal or 0x hex)
+  --batch <K>       candidate moves speculated per `anneal` step
+                    (default 1; a pure performance knob — the committed
+                    trajectory is identical for every K)
+  --chains <C>      independent `anneal` chains, merged best-of
+                    (default 1; chain 0 reproduces the serial run)
+  --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
+                    `anneal` (default: all cores; must be at least 1)
   --metrics         print engine metrics as JSON after `explore`/`batch`/
-                    `faultsim` (fault-sim counters: cone evaluations,
-                    events propagated, faults collapsed, wall time)
+                    `faultsim`/`anneal` (fault-sim counters: cone
+                    evaluations, events propagated, faults collapsed;
+                    anneal counters: moves, stalls, oracle hit rate)
 
 DESIGN FILE FORMAT (one statement per line):
   input a b c
@@ -112,6 +124,10 @@ struct Options {
     candidates: Option<String>,
     jobs: Option<usize>,
     metrics: bool,
+    iterations: Option<u32>,
+    seed: Option<u64>,
+    batch: Option<u32>,
+    chains: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -130,6 +146,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         candidates: None,
         jobs: None,
         metrics: false,
+        iterations: None,
+        seed: None,
+        batch: None,
+        chains: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -192,6 +212,49 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 o.jobs = Some(n);
             }
             "--metrics" => o.metrics = true,
+            "--iterations" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--iterations needs a value".into()))?;
+                o.iterations = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad iteration count `{v}`")))?,
+                );
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
+                o.seed =
+                    Some(parsed.map_err(|_| CliError::Usage(format!("bad seed `{v}`")))?);
+            }
+            "--batch" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--batch needs a value".into()))?;
+                let k: u32 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad batch size `{v}`")))?;
+                if k == 0 {
+                    return Err(CliError::Usage("--batch must be at least 1".into()));
+                }
+                o.batch = Some(k);
+            }
+            "--chains" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--chains needs a value".into()))?;
+                let c: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad chain count `{v}`")))?;
+                if c == 0 {
+                    return Err(CliError::Usage("--chains must be at least 1".into()));
+                }
+                o.chains = Some(c);
+            }
             "--latency" => {
                 let v = it
                     .next()
@@ -575,6 +638,90 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let _ = writeln!(out, "{}", engine.metrics().to_json());
             }
         }
+        "anneal" => {
+            let (dfg, schedule, modules) = load_design(&o)?;
+            let flow = flow_options(&o, false);
+            let ma = lobist_alloc::module_assign::assign_modules(&dfg, &schedule, &modules)
+                .map_err(|e| CliError::Flow(e.into()))?;
+            let config = lobist_alloc::anneal::AnnealConfig {
+                iterations: o.iterations.unwrap_or(400),
+                seed: o.seed.unwrap_or(0xA11EA1),
+                batch: o.batch.unwrap_or(16),
+                ..Default::default()
+            };
+            let workers = worker_count(&o);
+            let chains = o.chains.unwrap_or(1);
+            // One chain anneals with pool-backed speculative batches;
+            // several run serial chains across the pool with a
+            // deterministic best-of merge. Either way the report is
+            // byte-identical for any --jobs value.
+            let (result, stats) = if chains > 1 {
+                lobist_engine::anneal_multichain(
+                    &dfg,
+                    &schedule,
+                    flow.lifetime_options,
+                    &ma,
+                    &flow,
+                    &config,
+                    chains,
+                    workers,
+                )
+            } else {
+                lobist_engine::anneal_parallel(
+                    &dfg,
+                    &schedule,
+                    flow.lifetime_options,
+                    &ma,
+                    &flow,
+                    &config,
+                    workers,
+                )
+            }
+            .map_err(CliError::Flow)?;
+            let heuristic = synthesize(&dfg, &schedule, &modules, &flow)
+                .map(|d| d.bist.overhead.get())
+                .ok();
+            let _ = writeln!(
+                out,
+                "annealed search: {} iterations, seed 0x{:X}, batch {}, {} chain(s), {} worker(s)",
+                config.iterations, config.seed, config.batch, chains, workers
+            );
+            let _ = writeln!(out, "initial (left-edge) overhead: {} gates", result.initial_overhead);
+            let _ = writeln!(out, "annealed best overhead:       {} gates", result.overhead);
+            if let Some(h) = heuristic {
+                let _ = writeln!(out, "constructive heuristic:       {h} gates");
+            }
+            if chains > 1 {
+                let per: Vec<String> =
+                    stats.chain_overheads.iter().map(u64::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "chains: [{}] gates, best from chain {}",
+                    per.join(", "),
+                    stats.best_chain
+                );
+            }
+            let _ = writeln!(
+                out,
+                "moves: {} evaluated, {} accepted, {} skipped, {} stalled, {} infeasible",
+                result.evaluated, result.accepted, result.skipped, result.stalled,
+                result.infeasible
+            );
+            let _ = writeln!(
+                out,
+                "oracle: {} hits / {} misses ({:.1}% hit rate), {:.0} moves/s",
+                result.oracle_hits,
+                result.oracle_misses,
+                100.0 * result.oracle_hits as f64
+                    / (result.oracle_hits + result.oracle_misses).max(1) as f64,
+                stats.moves_per_sec(&result)
+            );
+            if o.metrics {
+                let metrics = lobist_engine::Metrics::new();
+                metrics.record_anneal(&result, &stats);
+                let _ = writeln!(out, "{}", metrics.snapshot().to_json());
+            }
+        }
         "suite" => {
             let _ = writeln!(
                 out,
@@ -715,6 +862,74 @@ mod tests {
         let err = run(&argv(&["synth", &path, "--flow", "magic", "--modules", "1+"]))
             .unwrap_err();
         assert!(err.to_string().contains("unknown flow"));
+    }
+
+    #[test]
+    fn anneal_command_reports_the_search() {
+        let path = write_temp("lobist_cli_anneal.dfg", DESIGN);
+        let out = run(&argv(&[
+            "anneal", &path, "--modules", "1+,1*", "--iterations", "40", "--seed", "0xBEEF",
+        ]))
+        .unwrap();
+        assert!(out.contains("annealed search: 40 iterations, seed 0xBEEF"), "{out}");
+        assert!(out.contains("initial (left-edge) overhead:"), "{out}");
+        assert!(out.contains("annealed best overhead:"), "{out}");
+        assert!(out.contains("constructive heuristic:"), "{out}");
+        assert!(out.contains("oracle:"), "{out}");
+    }
+
+    #[test]
+    fn anneal_report_is_identical_for_any_jobs_value() {
+        let path = write_temp("lobist_cli_anneal_jobs.dfg", DESIGN);
+        let base = argv(&["anneal", &path, "--modules", "1+,1*", "--iterations", "30"]);
+        let strip_rates = |s: String| {
+            // Drop the header (it echoes --jobs) and the oracle line:
+            // cache hit counts may differ when workers race to evaluate
+            // the same coloring. Everything else is the committed
+            // trajectory, which must not move.
+            s.lines()
+                .skip(1)
+                .filter(|l| !l.starts_with("oracle:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let mut reference: Option<String> = None;
+        for jobs in ["1", "2", "8"] {
+            let mut args = base.clone();
+            args.extend(argv(&["--jobs", jobs, "--batch", "8"]));
+            let out = strip_rates(run(&args).unwrap());
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "--jobs {jobs} changed the report"),
+            }
+        }
+    }
+
+    #[test]
+    fn anneal_multichain_runs_and_reports_chains() {
+        let path = write_temp("lobist_cli_anneal_mc.dfg", DESIGN);
+        let out = run(&argv(&[
+            "anneal", &path, "--modules", "1+,1*", "--iterations", "20", "--chains", "3",
+            "--jobs", "2", "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 chain(s)"), "{out}");
+        assert!(out.contains("best from chain"), "{out}");
+        assert!(out.contains("\"anneal\":{\"runs\":1,\"chains\":3"), "{out}");
+    }
+
+    #[test]
+    fn anneal_flag_validation() {
+        let path = write_temp("lobist_cli_anneal_bad.dfg", DESIGN);
+        for bad in [
+            vec!["anneal", &path, "--modules", "1+,1*", "--batch", "0"],
+            vec!["anneal", &path, "--modules", "1+,1*", "--chains", "0"],
+            vec!["anneal", &path, "--modules", "1+,1*", "--seed", "zzz"],
+            vec!["anneal", &path, "--modules", "1+,1*", "--iterations", "many"],
+            vec!["anneal", &path],
+        ] {
+            assert!(matches!(run(&argv(&bad)), Err(CliError::Usage(_))), "{bad:?}");
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 use lobist_bist::{BistError, BistSolution, SolverConfig};
 use lobist_datapath::area::AreaModel;
 use lobist_datapath::stats::DataPathStats;
-use lobist_datapath::{DataPath, DataPathError, ModuleAssignment, RegisterAssignment};
+use lobist_datapath::{
+    AssignmentError, DataPath, DataPathError, ModuleAssignment, RegisterAssignment,
+};
 use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::{Dfg, Schedule};
 use lobist_graph::pves::NotChordalError;
@@ -102,6 +104,8 @@ pub enum FlowError {
     DataPath(DataPathError),
     /// The BIST solver found an untestable module.
     Bist(BistError),
+    /// A register assignment (coloring) was improper or malformed.
+    Assignment(AssignmentError),
 }
 
 impl fmt::Display for FlowError {
@@ -111,6 +115,7 @@ impl fmt::Display for FlowError {
             FlowError::NotChordal(e) => write!(f, "register allocation: {e}"),
             FlowError::DataPath(e) => write!(f, "data path assembly: {e}"),
             FlowError::Bist(e) => write!(f, "BIST allocation: {e}"),
+            FlowError::Assignment(e) => write!(f, "register assignment: {e}"),
         }
     }
 }
@@ -135,6 +140,11 @@ impl From<DataPathError> for FlowError {
 impl From<BistError> for FlowError {
     fn from(e: BistError) -> Self {
         FlowError::Bist(e)
+    }
+}
+impl From<AssignmentError> for FlowError {
+    fn from(e: AssignmentError) -> Self {
+        FlowError::Assignment(e)
     }
 }
 

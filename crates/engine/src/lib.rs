@@ -20,11 +20,16 @@
 //!   byte-identical result;
 //! * [`faultsim`] — the fault-coverage and BIST-session workloads of
 //!   `lobist_gatesim`, partitioned across the same pool with a
-//!   deterministic merge (and optional structural fault collapsing).
+//!   deterministic merge (and optional structural fault collapsing);
+//! * [`anneal`] — parallel drivers for the simulated-annealing register
+//!   search of `lobist_alloc::anneal`: pool-backed speculative batch
+//!   evaluation (byte-identical to the serial chain) and a multi-chain
+//!   best-of sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anneal;
 pub mod cache;
 mod engine;
 pub mod faultsim;
@@ -33,11 +38,12 @@ pub mod pool;
 
 mod explore;
 
+pub use anneal::{anneal_multichain, anneal_parallel, AnnealStats, PoolEvaluator};
 pub use cache::{job_key, JobResult, ResultCache};
 pub use engine::{Engine, Job, JobOutcome, ProgressSink};
 pub use explore::{explore_parallel, render_report};
 pub use faultsim::{
     bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats,
 };
-pub use metrics::{FaultSimSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
+pub use metrics::{AnnealSnapshot, FaultSimSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
 pub use pool::{run_jobs, PoolStats};

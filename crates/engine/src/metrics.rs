@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use lobist_alloc::anneal::AnnealResult;
 use lobist_alloc::flow::StageTimings;
 
+use crate::anneal::AnnealStats;
 use crate::faultsim::FaultSimStats;
 use crate::pool::PoolStats;
 
@@ -57,6 +59,16 @@ pub struct Metrics {
     fs_events_propagated: AtomicU64,
     fs_collapsed_away: AtomicU64,
     fs_wall_nanos: AtomicU64,
+    // Annealing-search work (crate::anneal runs).
+    an_runs: AtomicU64,
+    an_chains: AtomicU64,
+    an_evaluated: AtomicU64,
+    an_accepted: AtomicU64,
+    an_stalled: AtomicU64,
+    an_wasted: AtomicU64,
+    an_oracle_hits: AtomicU64,
+    an_oracle_misses: AtomicU64,
+    an_wall_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -116,6 +128,27 @@ impl Metrics {
             .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Accumulates the work accounting of one annealing run
+    /// ([`crate::anneal`]).
+    pub fn record_anneal(&self, result: &AnnealResult, stats: &AnnealStats) {
+        self.an_runs.fetch_add(1, Ordering::Relaxed);
+        self.an_chains.fetch_add(stats.chains as u64, Ordering::Relaxed);
+        self.an_evaluated
+            .fetch_add(u64::from(result.evaluated), Ordering::Relaxed);
+        self.an_accepted
+            .fetch_add(u64::from(result.accepted), Ordering::Relaxed);
+        self.an_stalled
+            .fetch_add(u64::from(result.stalled), Ordering::Relaxed);
+        self.an_wasted
+            .fetch_add(u64::from(result.wasted), Ordering::Relaxed);
+        self.an_oracle_hits
+            .fetch_add(result.oracle_hits, Ordering::Relaxed);
+        self.an_oracle_misses
+            .fetch_add(result.oracle_misses, Ordering::Relaxed);
+        self.an_wall_nanos
+            .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -135,6 +168,53 @@ impl Metrics {
                 collapsed_away: self.fs_collapsed_away.load(Ordering::Relaxed),
                 wall: Duration::from_nanos(self.fs_wall_nanos.load(Ordering::Relaxed)),
             },
+            anneal: AnnealSnapshot {
+                runs: self.an_runs.load(Ordering::Relaxed),
+                chains: self.an_chains.load(Ordering::Relaxed),
+                moves_evaluated: self.an_evaluated.load(Ordering::Relaxed),
+                moves_accepted: self.an_accepted.load(Ordering::Relaxed),
+                stalls: self.an_stalled.load(Ordering::Relaxed),
+                speculative_waste: self.an_wasted.load(Ordering::Relaxed),
+                oracle_hits: self.an_oracle_hits.load(Ordering::Relaxed),
+                oracle_misses: self.an_oracle_misses.load(Ordering::Relaxed),
+                wall: Duration::from_nanos(self.an_wall_nanos.load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+/// Accumulated annealing-search work, as carried in a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnealSnapshot {
+    /// Annealing runs recorded.
+    pub runs: u64,
+    /// Chains across all runs.
+    pub chains: u64,
+    /// Committed-trajectory moves evaluated.
+    pub moves_evaluated: u64,
+    /// Moves accepted.
+    pub moves_accepted: u64,
+    /// Steps that found no feasible move within the retry budget.
+    pub stalls: u64,
+    /// Speculative evaluations discarded by an earlier acceptance.
+    pub speculative_waste: u64,
+    /// Cost-oracle cache hits.
+    pub oracle_hits: u64,
+    /// Cost-oracle cache misses (full interconnect + BIST solves).
+    pub oracle_misses: u64,
+    /// Wall time of all annealing runs.
+    pub wall: Duration,
+}
+
+impl AnnealSnapshot {
+    /// Oracle hits as a fraction of lookups (0.0 when none).
+    pub fn oracle_hit_rate(&self) -> f64 {
+        let total = self.oracle_hits + self.oracle_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.oracle_hits as f64 / total as f64
         }
     }
 }
@@ -179,6 +259,8 @@ pub struct MetricsSnapshot {
     pub histograms: [[u64; NUM_BUCKETS]; STAGE_NAMES.len()],
     /// Accumulated fault-simulation work.
     pub fault_sim: FaultSimSnapshot,
+    /// Accumulated annealing-search work.
+    pub anneal: AnnealSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -227,6 +309,11 @@ impl MetricsSnapshot {
                 "\"faults_simulated\":{fs_faults},\"cone_evals\":{fs_cone},",
                 "\"events_propagated\":{fs_events},\"collapsed_away\":{fs_coll},",
                 "\"wall_micros\":{fs_wall}}},",
+                "\"anneal\":{{\"runs\":{an_runs},\"chains\":{an_chains},",
+                "\"moves_evaluated\":{an_eval},\"moves_accepted\":{an_acc},",
+                "\"stalls\":{an_stall},\"speculative_waste\":{an_waste},",
+                "\"oracle_hits\":{an_hits},\"oracle_misses\":{an_misses},",
+                "\"oracle_hit_rate\":{an_rate:.4},\"wall_micros\":{an_wall}}},",
                 "\"stage_micros_log2_histograms\":{{{hist}}}}}"
             ),
             sub = self.jobs_submitted,
@@ -244,6 +331,16 @@ impl MetricsSnapshot {
             fs_events = self.fault_sim.events_propagated,
             fs_coll = self.fault_sim.collapsed_away,
             fs_wall = self.fault_sim.wall.as_micros(),
+            an_runs = self.anneal.runs,
+            an_chains = self.anneal.chains,
+            an_eval = self.anneal.moves_evaluated,
+            an_acc = self.anneal.moves_accepted,
+            an_stall = self.anneal.stalls,
+            an_waste = self.anneal.speculative_waste,
+            an_hits = self.anneal.oracle_hits,
+            an_misses = self.anneal.oracle_misses,
+            an_rate = self.anneal.oracle_hit_rate(),
+            an_wall = self.anneal.wall.as_micros(),
             hist = hist,
         )
     }

@@ -97,6 +97,100 @@ fn repeated_sweep_hits_the_cache_with_identical_results() {
     }
 }
 
+mod anneal_identity {
+    use lobist_alloc::anneal::{anneal_registers, AnnealConfig};
+    use lobist_alloc::flow::FlowOptions;
+    use lobist_alloc::module_assign::assign_modules;
+    use lobist_dfg::benchmarks::{self, Benchmark};
+    use lobist_engine::{anneal_multichain, anneal_parallel};
+
+    fn suite() -> Vec<Benchmark> {
+        vec![benchmarks::ex1(), benchmarks::paulin()]
+    }
+
+    #[test]
+    fn pool_backed_batches_are_byte_identical_to_serial() {
+        for bench in suite() {
+            let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+            let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+                .expect("module assignment");
+            let base = AnnealConfig { iterations: 80, ..Default::default() };
+            let serial = anneal_registers(
+                &bench.dfg,
+                &bench.schedule,
+                bench.lifetime_options,
+                &ma,
+                &flow,
+                &base,
+            )
+            .expect("serial anneal");
+            for workers in [1, 2, 8] {
+                for batch in [1, 4, 16] {
+                    let config = AnnealConfig { batch, ..base };
+                    let (parallel, _) = anneal_parallel(
+                        &bench.dfg,
+                        &bench.schedule,
+                        bench.lifetime_options,
+                        &ma,
+                        &flow,
+                        &config,
+                        workers,
+                    )
+                    .expect("parallel anneal");
+                    assert_eq!(
+                        serial.fingerprint(),
+                        parallel.fingerprint(),
+                        "{}: trajectory differs at workers={workers} batch={batch}",
+                        bench.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multichain_merge_is_identical_for_any_worker_count() {
+        for bench in suite() {
+            let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+            let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+                .expect("module assignment");
+            let config = AnnealConfig { iterations: 50, ..Default::default() };
+            let reference = anneal_multichain(
+                &bench.dfg,
+                &bench.schedule,
+                bench.lifetime_options,
+                &ma,
+                &flow,
+                &config,
+                4,
+                1,
+            )
+            .expect("multichain anneal");
+            for workers in [2, 8] {
+                let (run, stats) = anneal_multichain(
+                    &bench.dfg,
+                    &bench.schedule,
+                    bench.lifetime_options,
+                    &ma,
+                    &flow,
+                    &config,
+                    4,
+                    workers,
+                )
+                .expect("multichain anneal");
+                assert_eq!(
+                    reference.0.fingerprint(),
+                    run.fingerprint(),
+                    "{}: best-of differs at {workers} workers",
+                    bench.name
+                );
+                assert_eq!(reference.1.chain_overheads, stats.chain_overheads, "{}", bench.name);
+                assert_eq!(reference.1.best_chain, stats.best_chain, "{}", bench.name);
+            }
+        }
+    }
+}
+
 #[test]
 fn a_panicking_job_does_not_poison_the_batch() {
     let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![

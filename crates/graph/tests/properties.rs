@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use lobist_graph::chordal::{is_chordal, max_clique_size_per_vertex, maximal_cliques_chordal};
-use lobist_graph::clique_partition::partition_weighted;
+use lobist_graph::clique_partition::{partition_weighted, partition_weighted_naive};
 use lobist_graph::coloring::{greedy_in_order, left_edge, min_color_chordal, Coloring};
 use lobist_graph::count::{chromatic_number, count_partitions};
 use lobist_graph::interval::{conflict_graph, max_clique_sizes, max_overlap, Interval};
@@ -115,6 +115,18 @@ proptest! {
                 prop_assert_eq!(p.group[v], i);
             }
         }
+    }
+
+    #[test]
+    fn heap_partition_matches_naive_reference(g in graph_strategy(12), salt in any::<u64>()) {
+        // Symmetric pseudo-random weights (including negatives and ties)
+        // keyed off the pair, so the heap's lazy invalidation and the
+        // naive rescan see identical affinities.
+        let w = |u: usize, v: usize| {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            (a.wrapping_mul(salt | 1).wrapping_add(b.wrapping_mul(0x9E37)) % 13) as i64 - 6
+        };
+        prop_assert_eq!(partition_weighted(&g, w), partition_weighted_naive(&g, w));
     }
 
     #[test]

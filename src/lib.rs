@@ -120,5 +120,6 @@ pub use lobist_baselines as baselines;
 pub use lobist_bist as bist;
 pub use lobist_datapath as datapath;
 pub use lobist_dfg as dfg;
+pub use lobist_engine as engine;
 pub use lobist_gatesim as gatesim;
 pub use lobist_graph as graph;

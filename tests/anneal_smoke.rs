@@ -1,0 +1,58 @@
+//! Quick-mode smoke test for the annealing search engine: a small
+//! iteration budget on one paper benchmark, exercising the memoized
+//! oracle, the speculative batch replay and the multi-chain driver
+//! end to end. Kept fast enough for the tier-1 `cargo test -q` gate.
+
+use lobist::alloc::anneal::{anneal_registers, AnnealConfig};
+use lobist::alloc::flow::FlowOptions;
+use lobist::alloc::module_assign::assign_modules;
+use lobist::dfg::benchmarks;
+use lobist::engine::{anneal_multichain, anneal_parallel};
+
+#[test]
+fn quick_anneal_smoke() {
+    let bench = benchmarks::ex1();
+    let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+    let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
+        .expect("module assignment");
+    let config = AnnealConfig { iterations: 40, batch: 8, ..Default::default() };
+
+    let serial = anneal_registers(
+        &bench.dfg,
+        &bench.schedule,
+        bench.lifetime_options,
+        &ma,
+        &flow,
+        &config,
+    )
+    .expect("serial anneal");
+    assert!(serial.overhead <= serial.initial_overhead);
+    assert_eq!(serial.evaluated + serial.stalled, config.iterations);
+
+    let (parallel, stats) = anneal_parallel(
+        &bench.dfg,
+        &bench.schedule,
+        bench.lifetime_options,
+        &ma,
+        &flow,
+        &config,
+        2,
+    )
+    .expect("parallel anneal");
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    assert_eq!(stats.chains, 1);
+
+    let (multi, mstats) = anneal_multichain(
+        &bench.dfg,
+        &bench.schedule,
+        bench.lifetime_options,
+        &ma,
+        &flow,
+        &config,
+        2,
+        2,
+    )
+    .expect("multichain anneal");
+    assert_eq!(mstats.chain_overheads.len(), 2);
+    assert!(multi.overhead <= serial.overhead, "best-of includes the serial chain");
+}
