@@ -128,10 +128,9 @@ pub fn run(bench: &Benchmark, model: &AreaModel) -> Result<BaselineReport, Rallo
         &bench.dfg,
         &bench.schedule,
         bench.lifetime_options,
-        ma,
-        registers,
-        ic,
-    )
+        &ma,
+        &registers,
+        &ic)
     .expect("RALLOC assignment is proper by construction");
 
     // Avra's BIST mapping: every register a BILBO, self-adjacent ones

@@ -111,10 +111,9 @@ pub fn run(bench: &Benchmark, model: &AreaModel) -> Result<BaselineReport, Synte
         &bench.dfg,
         &bench.schedule,
         bench.lifetime_options,
-        ma,
-        registers,
-        ic,
-    )
+        &ma,
+        &registers,
+        &ic)
     .expect("SYNTEST assignment is proper by construction");
 
     // Role assignment: per module, its input registers become TPGs and

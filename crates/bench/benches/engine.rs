@@ -16,7 +16,7 @@ fn sweep_config() -> (lobist_dfg::Dfg, ExploreConfig) {
         .collect();
     let mut config = ExploreConfig::new(candidates);
     config.flow = config.flow.with_lifetimes(bench.lifetime_options);
-    (bench.dfg.clone(), config)
+    (bench.dfg, config)
 }
 
 fn bench_sweep_workers(c: &mut Criterion) {

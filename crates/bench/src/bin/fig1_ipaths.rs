@@ -39,10 +39,9 @@ fn main() {
         &dfg,
         &schedule,
         LifetimeOptions::registered_inputs(),
-        ma,
-        ra,
-        ic,
-    )
+        &ma,
+        &ra,
+        &ic)
     .expect("proper");
     println!("Fig. 1 — A generic configuration with simple I-paths\n");
     println!("{}", lobist_datapath::stats::describe(&dp, &dfg));

@@ -32,10 +32,9 @@ fn main() {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            ma.clone(),
-            ra,
-            ic,
-        )
+            &ma,
+            &ra,
+            &ic)
         .expect("proper");
         let ip = IPathAnalysis::of(&dp);
         let shared_heads = ip.shared_tpg_registers();

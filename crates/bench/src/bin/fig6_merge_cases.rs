@@ -38,10 +38,9 @@ fn report(case: &Case) {
             &case.dfg,
             &case.schedule,
             LifetimeOptions::registered_inputs(),
-            ma.clone(),
-            ra,
-            ic,
-        )
+            &ma,
+            &ra,
+            &ic)
         .unwrap_or_else(|e| panic!("{}/{tag}: {e}", case.label));
         let legs = dp.total_mux_legs();
         let overhead = solve(&dp, &model, &SolverConfig::default())

@@ -17,7 +17,7 @@ use std::fmt;
 
 use lobist_datapath::area::{AreaModel, BistStyle, GateCount};
 use lobist_datapath::ipath::IPathAnalysis;
-use lobist_datapath::{DataPath, ModuleId};
+use lobist_datapath::{DataPath, ModuleId, RegisterId};
 
 use crate::embedding::{enumerate, Embedding};
 use crate::report::BistSolution;
@@ -78,35 +78,80 @@ impl Default for SolverConfig {
     }
 }
 
-/// Per-register accumulated test roles for a partial embedding choice.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Roles {
+/// Reusable scratch table of per-register test styles with a running
+/// upgrade cost. Candidate ranking applies an embedding, reads the
+/// cost, and undoes it — no per-candidate clone, no O(R) cost rescan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RoleTable {
     /// Styles per register index.
     styles: Vec<BistStyle>,
+    /// Running `Σ style_extra(styles[r])` (Normal costs zero).
+    extra: u64,
 }
 
-impl Roles {
+/// The touched registers' prior styles for one applied embedding, in
+/// application order. An embedding upgrades at most three registers
+/// (left TPG, right TPG, SA — a forced CBILBO collapses two of them).
+#[derive(Debug, Clone, Copy, Default)]
+struct RoleUndo {
+    entries: [(u32, BistStyle); 4],
+    len: u8,
+}
+
+impl RoleTable {
     fn new(num_registers: usize) -> Self {
         Self {
             styles: vec![BistStyle::Normal; num_registers],
+            extra: 0,
+        }
+    }
+
+    /// Joins `style` into one register's slot, logging the change.
+    fn upgrade(&mut self, r: RegisterId, style: BistStyle, model: &AreaModel, undo: &mut RoleUndo) {
+        let slot = &mut self.styles[r.index()];
+        let joined = slot.join(style);
+        if joined != *slot {
+            undo.entries[undo.len as usize] = (r.0, *slot);
+            undo.len += 1;
+            self.extra += model.style_extra(joined).get() - model.style_extra(*slot).get();
+            *slot = joined;
         }
     }
 
     /// Applies one module's embedding, upgrading register styles.
-    fn apply(&mut self, e: &Embedding) {
+    /// Returns the undo record restoring the prior state.
+    fn apply(&mut self, e: &Embedding, model: &AreaModel) -> RoleUndo {
+        let mut undo = RoleUndo::default();
         if let Some(c) = e.cbilbo_register() {
-            self.styles[c.index()] = BistStyle::Cbilbo;
+            self.upgrade(c, BistStyle::Cbilbo, model, &mut undo);
         }
         for tpg in e.tpg_registers() {
-            let s = &mut self.styles[tpg.index()];
-            *s = s.join(BistStyle::Tpg);
+            self.upgrade(tpg, BistStyle::Tpg, model, &mut undo);
         }
-        let s = &mut self.styles[e.sa.index()];
-        *s = s.join(BistStyle::Sa);
+        self.upgrade(e.sa, BistStyle::Sa, model, &mut undo);
+        undo
     }
 
-    fn cost(&self, model: &AreaModel) -> GateCount {
-        self.styles.iter().map(|&s| model.style_extra(s)).sum()
+    /// Reverts one [`apply`](Self::apply). Undos must be popped in
+    /// reverse application order.
+    fn undo(&mut self, undo: RoleUndo, model: &AreaModel) {
+        for &(r, old) in undo.entries[..undo.len as usize].iter().rev() {
+            let slot = &mut self.styles[r as usize];
+            self.extra -= model.style_extra(*slot).get() - model.style_extra(old).get();
+            *slot = old;
+        }
+    }
+
+    /// Cost of an embedding were it applied now, without mutating.
+    fn cost_with(&mut self, e: &Embedding, model: &AreaModel) -> GateCount {
+        let undo = self.apply(e, model);
+        let c = self.cost();
+        self.undo(undo, model);
+        c
+    }
+
+    fn cost(&self) -> GateCount {
+        GateCount(self.extra)
     }
 }
 
@@ -130,11 +175,11 @@ fn finish(
     model: &AreaModel,
     choice: Vec<Embedding>,
 ) -> BistSolution {
-    let mut roles = Roles::new(dp.num_registers());
+    let mut roles = RoleTable::new(dp.num_registers());
     for e in &choice {
-        roles.apply(e);
+        roles.apply(e, model);
     }
-    let overhead = roles.cost(model);
+    let overhead = roles.cost();
     let functional = model.functional_area(dp);
     let sessions = session::schedule(dp, &choice, &roles.styles);
     BistSolution::new(
@@ -159,17 +204,61 @@ pub fn solve(
 ) -> Result<BistSolution, BistError> {
     let ipaths = IPathAnalysis::of(dp);
     let embs = embeddings_per_module(dp, &ipaths)?;
+    let choice = select_embeddings(dp.num_registers(), model, cfg, &embs, None);
+    Ok(finish(dp, model, choice))
+}
+
+/// Selects one embedding per module minimizing total register-style
+/// upgrade area, from the per-module candidate lists alone — no data
+/// path needed, which is how the incremental flow cache re-solves after
+/// a single-register move.
+///
+/// `warm_upper` optionally supplies a *known-achievable* cost (e.g. the
+/// previous move's choice re-costed against the current lists). The
+/// exact search then starts from the incumbent bound `warm_upper + 1`
+/// instead of infinity, pruning most of the tree on near-identical
+/// inputs while provably returning the identical choice: the first
+/// minimum-cost leaf in depth-first order is never pruned (every prefix
+/// of it costs at most the minimum, which is strictly below the bound),
+/// and no other leaf can replace it under strict-improvement updates.
+///
+/// # Panics
+///
+/// Panics if some module's list is empty, or if `warm_upper` is below
+/// the true minimum (it must come from a feasible choice).
+pub fn select_embeddings(
+    num_registers: usize,
+    model: &AreaModel,
+    cfg: &SolverConfig,
+    embs: &[Vec<Embedding>],
+    warm_upper: Option<GateCount>,
+) -> Vec<Embedding> {
     let exact = match cfg.mode {
         SolverMode::Exact => true,
         SolverMode::Greedy => false,
-        SolverMode::Auto => dp.num_modules() <= cfg.exact_module_limit,
+        SolverMode::Auto => embs.len() <= cfg.exact_module_limit,
     };
-    let choice = if exact {
-        branch_and_bound(dp, model, &embs)
+    if exact {
+        branch_and_bound(num_registers, model, embs, warm_upper)
     } else {
-        greedy(dp, model, &embs)
-    };
-    Ok(finish(dp, model, choice))
+        // Greedy is deterministic in the lists alone; a warm bound
+        // cannot change (or speed up) its outcome.
+        greedy(num_registers, model, embs)
+    }
+}
+
+/// Total register-style upgrade area of a complete embedding choice —
+/// the BIST overhead the paper minimizes, computed without a data path.
+pub fn choice_cost(
+    num_registers: usize,
+    model: &AreaModel,
+    choice: &[Embedding],
+) -> GateCount {
+    let mut roles = RoleTable::new(num_registers);
+    for e in choice {
+        roles.apply(e, model);
+    }
+    roles.cost()
 }
 
 /// Brute-force reference solver: full cross-product enumeration, no
@@ -192,11 +281,7 @@ pub fn solve_exhaustive(dp: &DataPath, model: &AreaModel) -> Result<BistSolution
     let mut idx = vec![0usize; embs.len()];
     loop {
         let choice: Vec<Embedding> = idx.iter().zip(&embs).map(|(&i, e)| e[i]).collect();
-        let mut roles = Roles::new(dp.num_registers());
-        for e in &choice {
-            roles.apply(e);
-        }
-        let cost = roles.cost(model);
+        let cost = choice_cost(dp.num_registers(), model, &choice);
         if best.as_ref().is_none_or(|(b, _)| cost < *b) {
             best = Some((cost, choice));
         }
@@ -217,12 +302,21 @@ pub fn solve_exhaustive(dp: &DataPath, model: &AreaModel) -> Result<BistSolution
     }
 }
 
-fn branch_and_bound(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embedding> {
+fn branch_and_bound(
+    num_registers: usize,
+    model: &AreaModel,
+    embs: &[Vec<Embedding>],
+    warm_upper: Option<GateCount>,
+) -> Vec<Embedding> {
     // Order modules by ascending embedding count: tight choices first.
     let mut order: Vec<usize> = (0..embs.len()).collect();
     order.sort_by_key(|&m| embs[m].len());
 
-    let mut best_cost = GateCount(u64::MAX);
+    // Warm start: `U + 1` admits exactly the leaves costing at most the
+    // known-achievable `U`, so the search still lands on the same first
+    // minimum-cost leaf a cold run finds, just with far fewer expansions.
+    let mut best_cost = warm_upper
+        .map_or(GateCount(u64::MAX), |u| GateCount(u.get().saturating_add(1)));
     let mut best: Option<Vec<Embedding>> = None;
     let mut current: Vec<Option<Embedding>> = vec![None; embs.len()];
 
@@ -232,16 +326,16 @@ fn branch_and_bound(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -
         order: &[usize],
         embs: &[Vec<Embedding>],
         model: &AreaModel,
-        roles: &Roles,
+        roles: &mut RoleTable,
         current: &mut Vec<Option<Embedding>>,
         best_cost: &mut GateCount,
         best: &mut Option<Vec<Embedding>>,
     ) {
-        if roles.cost(model) >= *best_cost {
+        if roles.cost() >= *best_cost {
             return; // roles only upgrade; cost can only grow
         }
         if depth == order.len() {
-            let cost = roles.cost(model);
+            let cost = roles.cost();
             if cost < *best_cost {
                 *best_cost = cost;
                 *best = Some(current.iter().map(|e| e.expect("complete choice")).collect());
@@ -251,52 +345,44 @@ fn branch_and_bound(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -
         let m = order[depth];
         // Explore embeddings cheapest-first for faster convergence.
         let mut ranked: Vec<&Embedding> = embs[m].iter().collect();
-        ranked.sort_by_key(|e| {
-            let mut r = roles.clone();
-            r.apply(e);
-            r.cost(model)
-        });
+        ranked.sort_by_key(|e| roles.cost_with(e, model));
         for e in ranked {
-            let mut r = roles.clone();
-            r.apply(e);
+            let undo = roles.apply(e, model);
             current[m] = Some(*e);
-            rec(depth + 1, order, embs, model, &r, current, best_cost, best);
+            rec(depth + 1, order, embs, model, roles, current, best_cost, best);
             current[m] = None;
+            roles.undo(undo, model);
         }
     }
 
-    let roles = Roles::new(dp.num_registers());
+    let mut roles = RoleTable::new(num_registers);
     rec(
         0,
         &order,
         embs,
         model,
-        &roles,
+        &mut roles,
         &mut current,
         &mut best_cost,
         &mut best,
     );
-    best.expect("every module has at least one embedding")
+    best.expect("every module has at least one embedding and the warm bound is achievable")
 }
 
-fn greedy(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embedding> {
+fn greedy(num_registers: usize, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embedding> {
     // Seed: process modules tightest-first, picking the embedding with the
     // smallest incremental cost.
     let mut order: Vec<usize> = (0..embs.len()).collect();
     order.sort_by_key(|&m| embs[m].len());
-    let mut roles = Roles::new(dp.num_registers());
+    let mut roles = RoleTable::new(num_registers);
     let mut choice: Vec<Option<Embedding>> = vec![None; embs.len()];
     for &m in &order {
-        let pick = embs[m]
+        let pick = *embs[m]
             .iter()
-            .min_by_key(|e| {
-                let mut r = roles.clone();
-                r.apply(e);
-                r.cost(model)
-            })
+            .min_by_key(|e| roles.cost_with(e, model))
             .expect("non-empty embedding list");
-        roles.apply(pick);
-        choice[m] = Some(*pick);
+        roles.apply(&pick, model);
+        choice[m] = Some(pick);
     }
     // Local improvement: re-pick each module's embedding with the others
     // fixed until no change lowers the cost.
@@ -304,24 +390,15 @@ fn greedy(dp: &DataPath, model: &AreaModel, embs: &[Vec<Embedding>]) -> Vec<Embe
     while improved {
         improved = false;
         for m in 0..embs.len() {
-            let base_cost = {
-                let mut r = Roles::new(dp.num_registers());
-                for (i, e) in choice.iter().enumerate() {
-                    if i != m {
-                        r.apply(&e.expect("seeded"));
-                    }
+            let mut base = RoleTable::new(num_registers);
+            for (i, e) in choice.iter().enumerate() {
+                if i != m {
+                    base.apply(&e.expect("seeded"), model);
                 }
-                r
-            };
-            let current_cost = {
-                let mut r = base_cost.clone();
-                r.apply(&choice[m].expect("seeded"));
-                r.cost(model)
-            };
+            }
+            let current_cost = base.cost_with(&choice[m].expect("seeded"), model);
             for e in &embs[m] {
-                let mut r = base_cost.clone();
-                r.apply(e);
-                if r.cost(model) < current_cost {
+                if base.cost_with(e, model) < current_cost {
                     choice[m] = Some(*e);
                     improved = true;
                     break;
@@ -351,7 +428,7 @@ mod tests {
         for s in swaps {
             ic.swap(bench.dfg.op_by_name(s).unwrap());
         }
-        DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options, modules, regs, ic)
+        DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options, &modules, &regs, &ic)
             .unwrap()
     }
 
@@ -418,10 +495,9 @@ mod tests {
             &dfg,
             &schedule,
             lobist_dfg::lifetime::LifetimeOptions::registered_inputs(),
-            ma,
-            ra,
-            ic,
-        )
+            &ma,
+            &ra,
+            &ic)
         .unwrap();
         let err = solve(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap_err();
         assert!(matches!(err, BistError::NoEmbedding { .. }));
@@ -444,6 +520,37 @@ mod tests {
             let brute = solve_exhaustive(&dp, &model).unwrap();
             assert_eq!(sol.overhead, brute.overhead, "groups {groups:?}");
         }
+    }
+
+    #[test]
+    fn warm_start_returns_the_identical_choice() {
+        let dp = testable();
+        let model = AreaModel::default();
+        let ipaths = IPathAnalysis::of(&dp);
+        let embs = embeddings_per_module(&dp, &ipaths).unwrap();
+        let cfg = SolverConfig { mode: SolverMode::Exact, ..Default::default() };
+        let cold = select_embeddings(dp.num_registers(), &model, &cfg, &embs, None);
+        let u = choice_cost(dp.num_registers(), &model, &cold);
+        let warm = select_embeddings(dp.num_registers(), &model, &cfg, &embs, Some(u));
+        assert_eq!(cold, warm, "tight warm bound must not change the choice");
+        let loose = GateCount(u.get() + 100);
+        let warm2 = select_embeddings(dp.num_registers(), &model, &cfg, &embs, Some(loose));
+        assert_eq!(cold, warm2, "loose warm bound must not change the choice");
+    }
+
+    #[test]
+    fn role_table_undo_restores_state_and_cost() {
+        let model = AreaModel::default();
+        let mut t = RoleTable::new(3);
+        let before = t.clone();
+        // An embedding whose SA doubles as a TPG (forces a CBILBO) plus a
+        // separate TPG exercises every upgrade path.
+        let e = Embedding::with_registers(RegisterId(0), RegisterId(1), RegisterId(0));
+        let undo = t.apply(&e, &model);
+        assert!(t.cost() > before.cost());
+        assert_eq!(t.styles[0], BistStyle::Cbilbo);
+        t.undo(undo, &model);
+        assert_eq!(t, before);
     }
 
     #[test]

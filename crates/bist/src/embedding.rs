@@ -1,9 +1,10 @@
 //! BIST embeddings of operator modules.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use lobist_datapath::ipath::IPathAnalysis;
-use lobist_datapath::{ModuleId, PortSide, RegisterId};
+use lobist_datapath::{ModuleId, PortSide, RegisterId, SourceRef};
 use lobist_dfg::VarId;
 
 /// A source of pseudo-random patterns for a module input port.
@@ -121,12 +122,45 @@ pub fn enumerate(ipaths: &IPathAnalysis, m: ModuleId) -> Vec<Embedding> {
         );
         v
     };
-    let left = sources(PortSide::Left);
-    let right = sources(PortSide::Right);
-    let sas = ipaths.sa_candidates(m);
+    cross_product(
+        &sources(PortSide::Left),
+        &sources(PortSide::Right),
+        ipaths.sa_candidates(m),
+    )
+}
+
+/// Enumerates one module's embeddings directly from its port source
+/// sets and output-destination registers, bypassing the whole-data-path
+/// [`IPathAnalysis`]. Produces the exact sequence [`enumerate`] would:
+/// a sorted `SourceRef` set lists registers before external inputs,
+/// each in id order, matching the candidate-set iteration there.
+/// This is the incremental flow cache's per-module enumeration — only
+/// the connectivity of the one module whose sources changed is needed.
+pub fn enumerate_from_connectivity(
+    left: &BTreeSet<SourceRef>,
+    right: &BTreeSet<SourceRef>,
+    dests: &BTreeSet<RegisterId>,
+) -> Vec<Embedding> {
+    let sources = |set: &BTreeSet<SourceRef>| -> Vec<PatternSource> {
+        set.iter()
+            .filter_map(|s| match s {
+                SourceRef::Register(r) => Some(PatternSource::Register(*r)),
+                SourceRef::ExternalInput(v) => Some(PatternSource::Input(*v)),
+                SourceRef::Constant(_) => None,
+            })
+            .collect()
+    };
+    cross_product(&sources(left), &sources(right), dests)
+}
+
+fn cross_product(
+    left: &[PatternSource],
+    right: &[PatternSource],
+    sas: &BTreeSet<RegisterId>,
+) -> Vec<Embedding> {
     let mut out = Vec::new();
-    for &l in &left {
-        for &r in &right {
+    for &l in left {
+        for &r in right {
             if l == r {
                 continue;
             }
@@ -167,10 +201,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap();
         IPathAnalysis::of(&dp)
     }
@@ -232,11 +265,45 @@ mod tests {
         let ma = ModuleAssignment::from_op_names(&dfg, &modules, &[("t_op", 0)]).unwrap();
         let ra = RegisterAssignment::from_names(&dfg, &[vec!["t"]]).unwrap();
         let ic = InterconnectAssignment::straight(&dfg);
-        let dp = DataPath::build(&dfg, &schedule, LifetimeOptions::port_inputs(), ma, ra, ic)
+        let dp = DataPath::build(&dfg, &schedule, LifetimeOptions::port_inputs(), &ma, &ra, &ic)
             .unwrap();
         let ip = IPathAnalysis::of(&dp);
         assert!(enumerate(&ip, ModuleId(0)).is_empty());
         assert!(!ip.has_embedding(ModuleId(0)));
+    }
+
+    #[test]
+    fn connectivity_enumeration_matches_ipath_enumeration() {
+        let bench = benchmarks::ex1();
+        let regs = RegisterAssignment::from_names(
+            &bench.dfg,
+            &[vec!["c", "f", "a"], vec!["d", "g", "b", "h"], vec!["e"]],
+        )
+        .unwrap();
+        let modules = ModuleAssignment::from_op_names(
+            &bench.dfg,
+            &bench.module_allocation,
+            &[("add1", 0), ("add2", 0), ("mul1", 1), ("mul2", 1)],
+        )
+        .unwrap();
+        let ic = InterconnectAssignment::straight(&bench.dfg);
+        let dp = DataPath::build(
+            &bench.dfg,
+            &bench.schedule,
+            bench.lifetime_options,
+            &modules,
+            &regs,
+            &ic,
+        )
+        .unwrap();
+        let ip = IPathAnalysis::of(&dp);
+        for m in dp.module_ids() {
+            let left = dp.port_sources(lobist_datapath::Port { module: m, side: PortSide::Left });
+            let right =
+                dp.port_sources(lobist_datapath::Port { module: m, side: PortSide::Right });
+            let direct = enumerate_from_connectivity(left, right, dp.output_destinations(m));
+            assert_eq!(direct, enumerate(&ip, m), "{m}");
+        }
     }
 
     #[test]

@@ -86,10 +86,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap();
         // One shared session vs two sequential ones.
         let together = test_cycles(&dp, &[0, 0], 8);

@@ -41,7 +41,7 @@
 //! let mut ic = InterconnectAssignment::straight(&bench.dfg);
 //! ic.swap(bench.dfg.op_by_name("mul2").expect("op exists"));
 //! let dp = DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options,
-//!                          modules, regs, ic)?;
+//!                          &modules, &regs, &ic)?;
 //! let solution = solve(&dp, &AreaModel::default(), &SolverConfig::default())?;
 //! println!("{solution}");
 //! assert!(solution.overhead_percent < 25.0);
@@ -60,8 +60,10 @@ pub mod report;
 pub mod session;
 pub mod verify;
 
-pub use allocate::{solve, solve_exhaustive, BistError, SolverConfig, SolverMode};
-pub use embedding::Embedding;
+pub use allocate::{
+    choice_cost, select_embeddings, solve, solve_exhaustive, BistError, SolverConfig, SolverMode,
+};
+pub use embedding::{enumerate_from_connectivity, Embedding};
 pub use plan::TestPlan;
 pub use repair::{solve_with_repair, RepairedSolution, TestPoint};
 pub use report::BistSolution;

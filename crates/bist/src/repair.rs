@@ -149,7 +149,7 @@ mod tests {
         let ma = ModuleAssignment::from_op_names(&dfg, &modules, &[("t_op", 0)]).unwrap();
         let ra = RegisterAssignment::from_names(&dfg, &[vec!["x"], vec!["t"]]).unwrap();
         let ic = InterconnectAssignment::straight(&dfg);
-        DataPath::build(&dfg, &schedule, LifetimeOptions::registered_inputs(), ma, ra, ic)
+        DataPath::build(&dfg, &schedule, LifetimeOptions::registered_inputs(), &ma, &ra, &ic)
             .unwrap()
     }
 
@@ -194,10 +194,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            ma,
-            regs,
-            ic,
-        )
+            &ma,
+            &regs,
+            &ic)
         .unwrap();
         let repaired =
             solve_with_repair(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap();
@@ -220,7 +219,7 @@ mod tests {
         // x port-resident; only t registered → single register.
         let ra = RegisterAssignment::from_names(&dfg, &[vec!["t"]]).unwrap();
         let ic = InterconnectAssignment::straight(&dfg);
-        let dp = DataPath::build(&dfg, &schedule, LifetimeOptions::port_inputs(), ma, ra, ic)
+        let dp = DataPath::build(&dfg, &schedule, LifetimeOptions::port_inputs(), &ma, &ra, &ic)
             .unwrap();
         // x*x from one input pin: both ports see the same single input →
         // untestable, and the only register is the SA itself... a test

@@ -209,10 +209,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap();
         let sol = solve(&dp, &AreaModel::default(), &SolverConfig::default()).unwrap();
         (dp, sol)

@@ -919,6 +919,42 @@ mod tests {
     }
 
     #[test]
+    fn anneal_metrics_report_flow_cache_hits() {
+        // The differential-equation benchmark the paper anneals (Paulin),
+        // as parser text; 200 moves is plenty for the incremental layer's
+        // stage caches to see repeated shapes.
+        let paulin = "input x u dx y\n\
+                      t1 = 3 * x @ 1\n\
+                      t2 = u * dx @ 1\n\
+                      xl = x + dx @ 1\n\
+                      t3 = t1 * t2 @ 2\n\
+                      t4 = 3 * y @ 2\n\
+                      yl = y + t2 @ 2\n\
+                      t5 = t4 * dx @ 3\n\
+                      t6 = u - t3 @ 3\n\
+                      ul = t6 - t5 @ 4\n\
+                      output xl yl ul\n";
+        let path = write_temp("lobist_cli_anneal_fc.dfg", paulin);
+        let out = run(&argv(&[
+            "anneal", &path, "--modules", "1+,2*,1-", "--iterations", "200", "--metrics",
+        ]))
+        .unwrap();
+        let json = out.lines().last().expect("metrics line");
+        let fc = json
+            .split("\"flow_cache\":")
+            .nth(1)
+            .expect("flow_cache section in metrics JSON");
+        // First stage counter in the section is the interconnect cache's.
+        let hits: u64 = fc
+            .split("\"hits\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .expect("interconnect hits counter");
+        assert!(hits > 0, "flow-cache hit rate must be nonzero: {json}");
+    }
+
+    #[test]
     fn anneal_flag_validation() {
         let path = write_temp("lobist_cli_anneal_bad.dfg", DESIGN);
         for bad in [

@@ -39,6 +39,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::baseline_regalloc::{self, BaselineAlgorithm};
 use crate::flow::{FlowError, FlowOptions};
+use crate::flowcache::{fnv_sep, fnv_word, FlowCache, FlowCacheConfig, FlowCacheStats, FNV_OFFSET};
 use crate::interconnect::assign_interconnect;
 use crate::variable_sets::SharingContext;
 
@@ -65,6 +66,10 @@ pub struct AnnealConfig {
     /// stall (self-moves, conflicts and register-emptying picks retry
     /// instead of wasting the iteration).
     pub max_retries: u32,
+    /// Stage-cache capacities for the oracle's incremental evaluation
+    /// layer. Purely a performance knob: the committed trajectory is
+    /// identical for every value.
+    pub flow_cache: FlowCacheConfig,
 }
 
 impl Default for AnnealConfig {
@@ -76,6 +81,7 @@ impl Default for AnnealConfig {
             seed: 0xA11EA1,
             batch: 1,
             max_retries: 64,
+            flow_cache: FlowCacheConfig::default(),
         }
     }
 }
@@ -107,15 +113,20 @@ pub struct AnnealResult {
     pub wasted: u32,
     /// Cost-oracle cache hits (includes speculative evaluations).
     pub oracle_hits: u64,
-    /// Cost-oracle cache misses (full interconnect + BIST solves).
+    /// Cost-oracle cache misses (incremental flow evaluations).
     pub oracle_misses: u64,
+    /// Stage-level counters of the oracle's incremental evaluation
+    /// layer. Depends on cache capacities and worker interleaving; not
+    /// part of the trajectory.
+    pub flow_cache: FlowCacheStats,
 }
 
 impl AnnealResult {
     /// The committed-trajectory fingerprint: everything the serial /
-    /// batched / parallel identity contract covers. `wasted` and the
-    /// oracle counters are excluded — they legitimately vary with batch
-    /// size and worker count.
+    /// batched / parallel identity contract covers. `wasted`, the
+    /// oracle counters and the flow-cache stats are excluded — they
+    /// legitimately vary with batch size, worker count and cache
+    /// capacities.
     pub fn fingerprint(&self) -> (Vec<Vec<VarId>>, u64, u64, u32, u32, u32, u32, u32) {
         (
             self.registers.classes().to_vec(),
@@ -128,19 +139,6 @@ impl AnnealResult {
             self.infeasible,
         )
     }
-}
-
-const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-/// Separator between hashed chunks, so adjacent classes don't collide.
-const SEP: u8 = 0x1f;
-
-fn fnv_word(mut h: u128, word: u64) -> u128 {
-    for b in word.to_le_bytes() {
-        h ^= u128::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
 }
 
 /// Content address of a coloring, invariant under class reordering and
@@ -164,8 +162,7 @@ fn canonical_key(classes: &[Vec<VarId>]) -> u128 {
         for &v in class {
             h = fnv_word(h, u64::from(v));
         }
-        h ^= u128::from(SEP);
-        h = h.wrapping_mul(FNV_PRIME);
+        h = fnv_sep(h);
     }
     h
 }
@@ -175,6 +172,11 @@ fn canonical_key(classes: &[Vec<VarId>]) -> u128 {
 /// Shareable across threads (`&CostOracle` is `Send + Sync`), so a batch
 /// evaluator can fan speculative evaluations out over a pool while all
 /// workers feed one cache.
+///
+/// Misses don't re-run the full pipeline: they go through an L2, the
+/// incremental [`FlowCache`], which memoizes the pipeline *stages*
+/// (interconnect shapes, per-module embeddings, warm-started selection)
+/// so a one-variable move only recomputes what it touched.
 pub struct CostOracle<'a> {
     dfg: &'a Dfg,
     schedule: &'a Schedule,
@@ -182,6 +184,7 @@ pub struct CostOracle<'a> {
     ma: &'a ModuleAssignment,
     ctx: SharingContext,
     flow: &'a FlowOptions,
+    flow_cache: FlowCache<'a>,
     cache: Mutex<HashMap<u128, Result<u64, FlowError>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -196,6 +199,19 @@ impl<'a> CostOracle<'a> {
         ma: &'a ModuleAssignment,
         flow: &'a FlowOptions,
     ) -> Self {
+        Self::with_flow_cache_config(dfg, schedule, lt_opts, ma, flow, FlowCacheConfig::default())
+    }
+
+    /// Builds an oracle with explicit stage-cache capacities for the
+    /// incremental layer.
+    pub fn with_flow_cache_config(
+        dfg: &'a Dfg,
+        schedule: &'a Schedule,
+        lt_opts: LifetimeOptions,
+        ma: &'a ModuleAssignment,
+        flow: &'a FlowOptions,
+        cache_config: FlowCacheConfig,
+    ) -> Self {
         Self {
             dfg,
             schedule,
@@ -203,6 +219,7 @@ impl<'a> CostOracle<'a> {
             ma,
             ctx: SharingContext::new(dfg, ma),
             flow,
+            flow_cache: FlowCache::with_config(dfg, schedule, lt_opts, ma, flow, cache_config),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -221,7 +238,7 @@ impl<'a> CostOracle<'a> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return r.clone();
         }
-        let r = self.cost_uncached(classes);
+        let r = self.flow_cache.evaluate(classes).map(|eval| eval.overhead);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().unwrap().insert(key, r.clone());
         r
@@ -243,14 +260,7 @@ impl<'a> CostOracle<'a> {
             &self.ctx,
             self.flow.bist_aware_interconnect,
         );
-        let dp = DataPath::build(
-            self.dfg,
-            self.schedule,
-            self.lt_opts,
-            self.ma.clone(),
-            ra,
-            ic,
-        )?;
+        let dp = DataPath::build(self.dfg, self.schedule, self.lt_opts, self.ma, &ra, &ic)?;
         let sol = lobist_bist::solve(&dp, &self.flow.area, &self.flow.solver)?;
         Ok(sol.overhead.get())
     }
@@ -273,6 +283,11 @@ impl<'a> CostOracle<'a> {
     /// `true` if nothing has been evaluated yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The incremental evaluation layer behind cache misses.
+    pub fn flow_cache(&self) -> &FlowCache<'a> {
+        &self.flow_cache
     }
 }
 
@@ -365,7 +380,8 @@ pub fn anneal_registers_with<E: BatchEvaluator>(
         BaselineAlgorithm::LeftEdge,
     )?;
     let mut classes: Coloring = initial.classes().to_vec();
-    let oracle = CostOracle::new(dfg, schedule, lt_opts, ma, flow);
+    let oracle =
+        CostOracle::with_flow_cache_config(dfg, schedule, lt_opts, ma, flow, config.flow_cache);
     let mut cost = oracle.cost(&classes)?;
     let initial_overhead = cost;
     let mut best = (classes.clone(), cost);
@@ -480,6 +496,7 @@ pub fn anneal_registers_with<E: BatchEvaluator>(
         wasted,
         oracle_hits: oracle.hits(),
         oracle_misses: oracle.misses(),
+        flow_cache: oracle.flow_cache().stats(),
     })
 }
 
@@ -632,6 +649,51 @@ mod tests {
         let serial = run(1);
         for batch in [2, 4, 16, 64] {
             assert_eq!(serial.fingerprint(), run(batch).fingerprint(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn flow_cache_capacity_does_not_change_the_trajectory() {
+        // The acceptance contract: byte-identical annealing trajectories
+        // for any stage-cache capacity (crossed with batch size; worker
+        // count is covered by the engine's pool tests).
+        let bench = benchmarks::paulin();
+        let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+        let ma =
+            assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
+        let run = |flow_cache: FlowCacheConfig, batch: u32| {
+            anneal_registers(
+                &bench.dfg,
+                &bench.schedule,
+                bench.lifetime_options,
+                &ma,
+                &flow,
+                &AnnealConfig { iterations: 120, batch, flow_cache, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let reference = run(FlowCacheConfig::default(), 1);
+        let configs = [
+            FlowCacheConfig {
+                interconnect_capacity: 1,
+                embedding_capacity: 1,
+                selection_capacity: 1,
+            },
+            FlowCacheConfig {
+                interconnect_capacity: 2,
+                embedding_capacity: 7,
+                selection_capacity: 3,
+            },
+            FlowCacheConfig::default(),
+        ];
+        for config in configs {
+            for batch in [1, 16] {
+                assert_eq!(
+                    reference.fingerprint(),
+                    run(config, batch).fingerprint(),
+                    "{config:?} batch {batch}"
+                );
+            }
         }
     }
 

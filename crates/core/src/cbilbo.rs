@@ -18,10 +18,10 @@
 //! every merge; the test suite validates the lemma against brute-force
 //! embedding enumeration.
 
-use std::collections::BTreeSet;
-
 use lobist_datapath::{ModuleAssignment, ModuleId};
 use lobist_dfg::{Dfg, VarId};
+
+use crate::variable_sets::SharingContext;
 
 /// A register (by index into the class list) forced to be a CBILBO for a
 /// module, per Lemma 2.
@@ -45,11 +45,107 @@ pub enum Lemma2Case {
     SplitOutputs,
 }
 
-fn meets_every_instance(dfg: &Dfg, ma: &ModuleAssignment, m: ModuleId, class: &[VarId]) -> bool {
-    let set: BTreeSet<VarId> = class.iter().copied().collect();
-    ma.ops_of(m).iter().all(|&op| {
-        dfg.op(op).input_vars().any(|v| set.contains(&v))
-    })
+/// Per-variable class index for a (disjoint) partial assignment.
+///
+/// Register classes partition variables, so each variable belongs to at
+/// most one class; the map turns every set-membership test below into an
+/// array lookup.
+fn class_index_map(dfg: &Dfg, classes: &[Vec<VarId>]) -> Vec<Option<u32>> {
+    let mut class_of = vec![None; dfg.num_vars()];
+    for (c, class) in classes.iter().enumerate() {
+        for &v in class {
+            class_of[v.index()] = Some(c as u32);
+        }
+    }
+    class_of
+}
+
+/// Lemma 2 for one module using counts instead of set algebra.
+///
+/// Because the classes are disjoint, the set comparisons of the naive
+/// definition collapse to cardinality checks on the intersections
+/// `i_x = R_x ∩ O_M`:
+///
+/// * case (i) `i_x == O_M` ⇔ `|i_x| == |O_M|`, and
+/// * case (ii) `i_x ∪ i_y == O_M` ⇔ `|i_x| + |i_y| == |O_M|`,
+///
+/// while "meets every instance" becomes one counting sweep over the
+/// module's operand lists. The `#[cfg(test)]` `naive` module keeps the
+/// original `BTreeSet` formulation and the test suite asserts the two
+/// agree verdict-for-verdict.
+fn forced_for_module(
+    dfg: &Dfg,
+    ma: &ModuleAssignment,
+    num_classes: usize,
+    class_of: &[Option<u32>],
+    m: ModuleId,
+) -> Vec<ForcedCbilbo> {
+    let ops = ma.ops_of(m);
+    let mut out = Vec::new();
+    if ops.is_empty() || num_classes == 0 {
+        return out;
+    }
+    // |R_x ∩ O_M| per class and |O_M|, deduplicating output variables
+    // (the ops of a well-formed DFG write distinct variables, but the
+    // set semantics we replicate deduplicate regardless).
+    let mut inter = vec![0usize; num_classes];
+    let mut out_total = 0usize;
+    let mut seen_out = vec![false; dfg.num_vars()];
+    for &op in ops {
+        let v = dfg.op(op).out;
+        if seen_out[v.index()] {
+            continue;
+        }
+        seen_out[v.index()] = true;
+        out_total += 1;
+        if let Some(c) = class_of[v.index()] {
+            inter[c as usize] += 1;
+        }
+    }
+    // "Meets every instance": count, per class, the instances with at
+    // least one operand in the class; a stamp deduplicates within one
+    // instance's operand list.
+    let mut met = vec![0usize; num_classes];
+    let mut stamp = vec![u32::MAX; num_classes];
+    for (i, &op) in ops.iter().enumerate() {
+        for v in dfg.op(op).input_vars() {
+            if let Some(c) = class_of[v.index()] {
+                let c = c as usize;
+                if stamp[c] != i as u32 {
+                    stamp[c] = i as u32;
+                    met[c] += 1;
+                }
+            }
+        }
+    }
+    for x in 0..num_classes {
+        if inter[x] == 0 || met[x] != ops.len() {
+            continue;
+        }
+        if inter[x] == out_total {
+            out.push(ForcedCbilbo {
+                register: x,
+                module: m,
+                case: Lemma2Case::AllOutputs,
+            });
+            continue;
+        }
+        // Case (ii): find a partner register covering the rest.
+        for y in 0..num_classes {
+            if y == x || inter[y] == 0 {
+                continue;
+            }
+            if inter[x] + inter[y] == out_total && met[y] == ops.len() {
+                out.push(ForcedCbilbo {
+                    register: x,
+                    module: m,
+                    case: Lemma2Case::SplitOutputs,
+                });
+                break;
+            }
+        }
+    }
+    out
 }
 
 /// Evaluates Lemma 2 on a (possibly partial) register assignment given as
@@ -63,9 +159,10 @@ pub fn forced_cbilbos(
     ma: &ModuleAssignment,
     classes: &[Vec<VarId>],
 ) -> Vec<ForcedCbilbo> {
+    let class_of = class_index_map(dfg, classes);
     let mut out = Vec::new();
     for m in ma.module_ids() {
-        out.extend(forced_cbilbos_for_module(dfg, ma, classes, m));
+        out.extend(forced_for_module(dfg, ma, classes.len(), &class_of, m));
     }
     out
 }
@@ -77,47 +174,8 @@ pub fn forced_cbilbos_for_module(
     classes: &[Vec<VarId>],
     m: ModuleId,
 ) -> Vec<ForcedCbilbo> {
-    let mut out = Vec::new();
-    {
-        let outputs = ma.output_variable_set(dfg, m);
-        if outputs.is_empty() {
-            return out;
-        }
-        // Intersections of each register with O_Mk.
-        let inter: Vec<BTreeSet<VarId>> = classes
-            .iter()
-            .map(|c| c.iter().copied().filter(|v| outputs.contains(v)).collect())
-            .collect();
-        for (x, ix) in inter.iter().enumerate() {
-            if ix.is_empty() || !meets_every_instance(dfg, ma, m, &classes[x]) {
-                continue;
-            }
-            if *ix == outputs {
-                out.push(ForcedCbilbo {
-                    register: x,
-                    module: m,
-                    case: Lemma2Case::AllOutputs,
-                });
-                continue;
-            }
-            // Case (ii): find a partner register covering the rest.
-            for (y, iy) in inter.iter().enumerate() {
-                if y == x || iy.is_empty() {
-                    continue;
-                }
-                let union: BTreeSet<VarId> = ix.union(iy).copied().collect();
-                if union == outputs && meets_every_instance(dfg, ma, m, &classes[y]) {
-                    out.push(ForcedCbilbo {
-                        register: x,
-                        module: m,
-                        case: Lemma2Case::SplitOutputs,
-                    });
-                    break;
-                }
-            }
-        }
-    }
-    out
+    let class_of = class_index_map(dfg, classes);
+    forced_for_module(dfg, ma, classes.len(), &class_of, m)
 }
 
 /// Lemma 1 as a checkable predicate: if `forced_cbilbos` reports module
@@ -151,22 +209,21 @@ pub fn creates_new_forced_cbilbo(
 ) -> bool {
     // Only the updated register's intersections change, so new forced
     // pairs can only appear for modules whose variable sets the updated
-    // register (including `v`) touches.
+    // register (including `v`) touches — one membership-mask union over
+    // the class answers that for all modules at once.
     let mut trial: Vec<Vec<VarId>> = classes.to_vec();
     trial[register].push(v);
+    let ctx = SharingContext::new(dfg, ma);
+    let mask = ctx.register_mask(trial[register].iter().copied());
+    let class_of = class_index_map(dfg, classes);
+    let mut trial_class_of = class_of.clone();
+    trial_class_of[v.index()] = Some(register as u32);
     for m in ma.module_ids() {
-        let touches = {
-            let inputs = ma.input_variable_set(dfg, m);
-            let outputs = ma.output_variable_set(dfg, m);
-            trial[register]
-                .iter()
-                .any(|u| inputs.contains(u) || outputs.contains(u))
-        };
-        if !touches {
+        if !mask.touches(m.index()) {
             continue;
         }
-        let before = forced_cbilbos_for_module(dfg, ma, classes, m).len();
-        let after = forced_cbilbos_for_module(dfg, ma, &trial, m).len();
+        let before = forced_for_module(dfg, ma, classes.len(), &class_of, m).len();
+        let after = forced_for_module(dfg, ma, trial.len(), &trial_class_of, m).len();
         if after > before {
             return true;
         }
@@ -174,10 +231,101 @@ pub fn creates_new_forced_cbilbo(
     false
 }
 
+/// The original set-algebra formulation of Lemma 2, kept as an
+/// executable reference: the count-based implementation above must
+/// agree with it verdict-for-verdict on disjoint classes.
+#[cfg(test)]
+pub(crate) mod naive {
+    use std::collections::BTreeSet;
+
+    use super::*;
+
+    fn meets_every_instance(
+        dfg: &Dfg,
+        ma: &ModuleAssignment,
+        m: ModuleId,
+        class: &[VarId],
+    ) -> bool {
+        let set: BTreeSet<VarId> = class.iter().copied().collect();
+        ma.ops_of(m)
+            .iter()
+            .all(|&op| dfg.op(op).input_vars().any(|v| set.contains(&v)))
+    }
+
+    pub fn forced_cbilbos(
+        dfg: &Dfg,
+        ma: &ModuleAssignment,
+        classes: &[Vec<VarId>],
+    ) -> Vec<ForcedCbilbo> {
+        let mut out = Vec::new();
+        for m in ma.module_ids() {
+            out.extend(forced_cbilbos_for_module(dfg, ma, classes, m));
+        }
+        out
+    }
+
+    pub fn forced_cbilbos_for_module(
+        dfg: &Dfg,
+        ma: &ModuleAssignment,
+        classes: &[Vec<VarId>],
+        m: ModuleId,
+    ) -> Vec<ForcedCbilbo> {
+        let mut out = Vec::new();
+        let outputs = ma.output_variable_set(dfg, m);
+        if outputs.is_empty() {
+            return out;
+        }
+        let inter: Vec<BTreeSet<VarId>> = classes
+            .iter()
+            .map(|c| c.iter().copied().filter(|v| outputs.contains(v)).collect())
+            .collect();
+        for (x, ix) in inter.iter().enumerate() {
+            if ix.is_empty() || !meets_every_instance(dfg, ma, m, &classes[x]) {
+                continue;
+            }
+            if *ix == outputs {
+                out.push(ForcedCbilbo {
+                    register: x,
+                    module: m,
+                    case: Lemma2Case::AllOutputs,
+                });
+                continue;
+            }
+            for (y, iy) in inter.iter().enumerate() {
+                if y == x || iy.is_empty() {
+                    continue;
+                }
+                let union: BTreeSet<VarId> = ix.union(iy).copied().collect();
+                if union == outputs && meets_every_instance(dfg, ma, m, &classes[y]) {
+                    out.push(ForcedCbilbo {
+                        register: x,
+                        module: m,
+                        case: Lemma2Case::SplitOutputs,
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lobist_dfg::benchmarks;
+
+    /// Runs both the count-based and the set-based formulations and
+    /// asserts they agree before returning the verdicts.
+    fn forced_checked(
+        dfg: &lobist_dfg::Dfg,
+        ma: &ModuleAssignment,
+        classes: &[Vec<VarId>],
+    ) -> Vec<ForcedCbilbo> {
+        let fast = forced_cbilbos(dfg, ma, classes);
+        assert_eq!(fast, naive::forced_cbilbos(dfg, ma, classes));
+        fast
+    }
 
     fn ex1_setup() -> (lobist_dfg::Dfg, ModuleAssignment) {
         let bench = benchmarks::ex1();
@@ -204,7 +352,7 @@ mod tests {
         // instances; R2 holds b, d ∈ I of both instances → case (ii).
         let (dfg, ma) = ex1_setup();
         let cl = classes(&dfg, &[&["c", "f", "a"], &["d", "g", "b", "h"], &["e"]]);
-        let forced = forced_cbilbos(&dfg, &ma, &cl);
+        let forced = forced_checked(&dfg, &ma, &cl);
         let adder: Vec<&ForcedCbilbo> =
             forced.iter().filter(|f| f.module == ModuleId(0)).collect();
         assert_eq!(adder.len(), 2, "both split registers are reported");
@@ -219,7 +367,7 @@ mod tests {
         // every adder instance: {e,f} holds no adder operand at all.
         let (dfg, ma) = ex1_setup();
         let cl = classes(&dfg, &[&["e", "f"], &["g", "a", "c", "h"], &["b", "d"]]);
-        let forced = forced_cbilbos(&dfg, &ma, &cl);
+        let forced = forced_checked(&dfg, &ma, &cl);
         // R1 = {e,f} does not meet adder instances (e, f ∉ I_M1) → no
         // case for R1; R3 = {b,d} meets both instances and holds output d,
         // but its partner R1 (holding f) fails the instance condition →
@@ -238,7 +386,7 @@ mod tests {
         let (dfg, ma) = ex1_setup();
         // Hypothetical (not lifetime-proper, fine for the predicate):
         let cl = classes(&dfg, &[&["b", "h", "g", "c"], &["a", "d", "f"], &["e"]]);
-        let forced = forced_cbilbos(&dfg, &ma, &cl);
+        let forced = forced_checked(&dfg, &ma, &cl);
         let mult: Vec<&ForcedCbilbo> =
             forced.iter().filter(|f| f.module == ModuleId(1)).collect();
         assert_eq!(mult.len(), 1);
@@ -254,7 +402,7 @@ mod tests {
             classes(&dfg, &[&["e", "f"], &["g", "a", "c", "h"], &["b", "d"]]),
             classes(&dfg, &[&["b", "h", "g", "c"], &["a", "d", "f"], &["e"]]),
         ] {
-            for f in forced_cbilbos(&dfg, &ma, &cl) {
+            for f in forced_checked(&dfg, &ma, &cl) {
                 assert!(lemma1_output_register_bound(&dfg, &ma, &cl, f.module));
             }
         }
@@ -276,8 +424,8 @@ mod tests {
     #[test]
     fn empty_assignment_forces_nothing() {
         let (dfg, ma) = ex1_setup();
-        assert!(forced_cbilbos(&dfg, &ma, &[]).is_empty());
-        assert!(forced_cbilbos(&dfg, &ma, &[vec![], vec![]]).is_empty());
+        assert!(forced_checked(&dfg, &ma, &[]).is_empty());
+        assert!(forced_checked(&dfg, &ma, &[vec![], vec![]]).is_empty());
     }
 }
 
@@ -298,10 +446,13 @@ mod incremental_equivalence {
             ..RandomDfgConfig::default()
         };
         let naive = |dfg: &Dfg, ma: &ModuleAssignment, classes: &[Vec<VarId>], r: usize, v: VarId| {
-            let before = forced_cbilbos(dfg, ma, classes).len();
+            let before = naive::forced_cbilbos(dfg, ma, classes);
+            assert_eq!(forced_cbilbos(dfg, ma, classes), before);
             let mut trial = classes.to_vec();
             trial[r].push(v);
-            forced_cbilbos(dfg, ma, &trial).len() > before
+            let after = naive::forced_cbilbos(dfg, ma, &trial);
+            assert_eq!(forced_cbilbos(dfg, ma, &trial), after);
+            after.len() > before.len()
         };
         let mut compared = 0usize;
         for seed in 0..20u64 {

@@ -271,10 +271,9 @@ pub fn synthesize_timed(
         dfg,
         schedule,
         options.lifetime_options,
-        ma.clone(),
-        registers.clone(),
-        ic,
-    )?;
+        &ma,
+        &registers,
+        &ic)?;
     lap(&mut timings.data_path);
     let (data_path, bist, test_points) = if options.repair_untestable {
         let repaired =

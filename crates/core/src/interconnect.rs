@@ -75,6 +75,158 @@ struct InstanceConstraint {
     fixed: bool,
 }
 
+/// One module's port-partition problem with its sources interned in
+/// first-use (op) order: the per-instance constraints and sharing
+/// degrees reference sources by index only, so two modules whose
+/// operand structure and SD profile coincide — even under different
+/// register numberings — pose the *same* problem. The flow cache keys
+/// its per-module label memo on exactly this shape.
+pub struct ModuleProblem {
+    /// Distinct sources in first-use order.
+    sources: Vec<SourceRef>,
+    /// Operand-pair constraints, one per instance in op order.
+    constraints: Vec<InstanceConstraint>,
+    /// Sharing degree per interned source (0 for non-registers).
+    sd: Vec<usize>,
+}
+
+impl ModuleProblem {
+    /// Collects module `m`'s sources, instance constraints and sharing
+    /// degrees from the current register assignment.
+    pub fn collect(
+        dfg: &Dfg,
+        ma: &ModuleAssignment,
+        ra: &RegisterAssignment,
+        ctx: &SharingContext,
+        m: ModuleId,
+    ) -> ModuleProblem {
+        let mut sources: Vec<SourceRef> = Vec::new();
+        let mut index: BTreeMap<SourceRef, usize> = BTreeMap::new();
+        let mut intern = |s: SourceRef, sources: &mut Vec<SourceRef>| -> usize {
+            *index.entry(s).or_insert_with(|| {
+                sources.push(s);
+                sources.len() - 1
+            })
+        };
+        let mut constraints: Vec<InstanceConstraint> = Vec::new();
+        for &op in ma.ops_of(m) {
+            let info = dfg.op(op);
+            let l = intern(source_of(ra, info.lhs), &mut sources);
+            let r = intern(source_of(ra, info.rhs), &mut sources);
+            constraints.push(InstanceConstraint {
+                op,
+                lhs: l,
+                rhs: r,
+                fixed: !info.kind.is_commutative(),
+            });
+        }
+        let sd: Vec<usize> = sources
+            .iter()
+            .map(|s| match s {
+                SourceRef::Register(r) => {
+                    let mask = ctx.register_mask(ra.classes()[r.index()].iter().copied());
+                    ctx.sd_register(mask)
+                }
+                _ => 0,
+            })
+            .collect();
+        ModuleProblem { sources, constraints, sd }
+    }
+
+    /// Number of distinct sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The interned sources in first-use order.
+    pub fn sources(&self) -> &[SourceRef] {
+        &self.sources
+    }
+
+    /// Per-source sharing degrees, parallel to [`sources`](Self::sources).
+    pub fn sharing_degrees(&self) -> &[usize] {
+        &self.sd
+    }
+
+    /// The register-id-free constraint rows `(lhs index, rhs index,
+    /// fixed)`, one per instance in op order. Together with the SD
+    /// vector this is the whole solve input — the flow cache hashes it
+    /// as the stage key.
+    pub fn constraint_rows(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        self.constraints.iter().map(|c| (c.lhs, c.rhs, c.fixed))
+    }
+
+    /// Solves the port partition for this module: exhaustive for small
+    /// source counts, double clique partitioning beyond. Pure in the
+    /// problem shape — no register identities are consulted — so the
+    /// result may be memoized by shape.
+    pub fn solve_labels(&self, bist_aware: bool) -> Vec<PortLabel> {
+        let n = self.sources.len();
+        let feasible = |labels: &[PortLabel]| -> bool {
+            self.constraints.iter().all(|c| {
+                if c.lhs == c.rhs {
+                    return labels[c.lhs] == PortLabel::Both;
+                }
+                let (a, b) = (labels[c.lhs], labels[c.rhs]);
+                if c.fixed {
+                    a != PortLabel::Right && b != PortLabel::Left
+                } else {
+                    // Some orientation must put them on opposite ports.
+                    !(a == b && a != PortLabel::Both)
+                        || matches!((a, b), (PortLabel::Both, _) | (_, PortLabel::Both))
+                }
+            })
+        };
+
+        // Score: fewer LR sources first; then (BIST-aware) more SD in LR.
+        let score = |labels: &[PortLabel]| -> (usize, i64) {
+            let lr = labels.iter().filter(|&&l| l == PortLabel::Both).count();
+            let sd_in_lr: i64 = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == PortLabel::Both)
+                .map(|(i, _)| self.sd[i] as i64)
+                .sum();
+            (lr, if bist_aware { -sd_in_lr } else { 0 })
+        };
+
+        if n <= 10 {
+            exhaustive_labels(n, &feasible, &score)
+        } else {
+            // The paper's formulation for bigger instances: double clique
+            // partitioning of the source compatibility graph.
+            double_clique_labels(n, &self.constraints, &self.sd, bist_aware)
+        }
+    }
+
+    /// Orients every instance of the module from a solved labeling,
+    /// writing the per-op lhs side.
+    pub fn orient(&self, labels: &[PortLabel], lhs_side: &mut [PortSide]) {
+        for c in &self.constraints {
+            let side = if c.fixed {
+                PortSide::Left
+            } else {
+                match (labels[c.lhs], labels[c.rhs]) {
+                    (PortLabel::Left, _) => PortSide::Left,
+                    (PortLabel::Right, _) => PortSide::Right,
+                    (PortLabel::Both, PortLabel::Left) => PortSide::Right,
+                    (PortLabel::Both, PortLabel::Right) => PortSide::Left,
+                    (PortLabel::Both, PortLabel::Both) => PortSide::Left,
+                }
+            };
+            lhs_side[c.op.index()] = side;
+        }
+    }
+
+    /// The solved partition paired with its sources, for reporting.
+    pub fn into_partition(self, m: ModuleId, labels: Vec<PortLabel>) -> PortPartition {
+        PortPartition {
+            module: m,
+            labels: self.sources.into_iter().zip(labels).collect(),
+        }
+    }
+}
+
 /// Computes the full interconnect assignment for a data path.
 ///
 /// `bist_aware` enables the paper's weighting (high-SD registers into
@@ -130,97 +282,10 @@ fn solve_module(
     bist_aware: bool,
     lhs_side: &mut [PortSide],
 ) -> PortPartition {
-    // Collect distinct sources and per-op constraints.
-    let mut sources: Vec<SourceRef> = Vec::new();
-    let mut index: BTreeMap<SourceRef, usize> = BTreeMap::new();
-    let mut intern = |s: SourceRef, sources: &mut Vec<SourceRef>| -> usize {
-        *index.entry(s).or_insert_with(|| {
-            sources.push(s);
-            sources.len() - 1
-        })
-    };
-    let mut constraints: Vec<InstanceConstraint> = Vec::new();
-    for &op in ma.ops_of(m) {
-        let info = dfg.op(op);
-        let l = intern(source_of(ra, info.lhs), &mut sources);
-        let r = intern(source_of(ra, info.rhs), &mut sources);
-        constraints.push(InstanceConstraint {
-            op,
-            lhs: l,
-            rhs: r,
-            fixed: !info.kind.is_commutative(),
-        });
-    }
-    let n = sources.len();
-
-    // Sharing degree per source: only registers can be test resources.
-    let sd: Vec<usize> = sources
-        .iter()
-        .map(|s| match s {
-            SourceRef::Register(r) => {
-                let mask = ctx.register_mask(ra.classes()[r.index()].iter().copied());
-                ctx.sd_register(mask)
-            }
-            _ => 0,
-        })
-        .collect();
-
-    let feasible = |labels: &[PortLabel]| -> bool {
-        constraints.iter().all(|c| {
-            if c.lhs == c.rhs {
-                return labels[c.lhs] == PortLabel::Both;
-            }
-            let (a, b) = (labels[c.lhs], labels[c.rhs]);
-            if c.fixed {
-                a != PortLabel::Right && b != PortLabel::Left
-            } else {
-                // Some orientation must put them on opposite ports.
-                !(a == b && a != PortLabel::Both)
-                    || matches!((a, b), (PortLabel::Both, _) | (_, PortLabel::Both))
-            }
-        })
-    };
-
-    // Score: fewer LR sources first; then (BIST-aware) more SD in LR.
-    let score = |labels: &[PortLabel]| -> (usize, i64) {
-        let lr = labels.iter().filter(|&&l| l == PortLabel::Both).count();
-        let sd_in_lr: i64 = labels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l == PortLabel::Both)
-            .map(|(i, _)| sd[i] as i64)
-            .sum();
-        (lr, if bist_aware { -sd_in_lr } else { 0 })
-    };
-
-    let labels = if n <= 10 {
-        exhaustive_labels(n, &feasible, &score)
-    } else {
-        // The paper's formulation for bigger instances: double clique
-        // partitioning of the source compatibility graph.
-        double_clique_labels(n, &constraints, &sd, bist_aware)
-    };
-
-    // Orient each instance.
-    for c in &constraints {
-        let side = if c.fixed {
-            PortSide::Left
-        } else {
-            match (labels[c.lhs], labels[c.rhs]) {
-                (PortLabel::Left, _) => PortSide::Left,
-                (PortLabel::Right, _) => PortSide::Right,
-                (PortLabel::Both, PortLabel::Left) => PortSide::Right,
-                (PortLabel::Both, PortLabel::Right) => PortSide::Left,
-                (PortLabel::Both, PortLabel::Both) => PortSide::Left,
-            }
-        };
-        lhs_side[c.op.index()] = side;
-    }
-
-    PortPartition {
-        module: m,
-        labels: sources.into_iter().zip(labels).collect(),
-    }
+    let problem = ModuleProblem::collect(dfg, ma, ra, ctx, m);
+    let labels = problem.solve_labels(bist_aware);
+    problem.orient(&labels, lhs_side);
+    problem.into_partition(m, labels)
 }
 
 fn exhaustive_labels(
@@ -385,10 +450,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            ma,
-            alloc.registers,
-            ic,
-        )
+            &ma,
+            &alloc.registers,
+            &ic)
         .unwrap()
     }
 
@@ -445,19 +509,17 @@ mod tests {
                 &bench.dfg,
                 &bench.schedule,
                 bench.lifetime_options,
-                ma.clone(),
-                alloc.registers.clone(),
-                ic,
-            )
+                &ma,
+                &alloc.registers,
+                &ic)
             .unwrap();
             let dp_straight = DataPath::build(
                 &bench.dfg,
                 &bench.schedule,
                 bench.lifetime_options,
-                ma,
-                alloc.registers,
-                InterconnectAssignment::straight(&bench.dfg),
-            )
+                &ma,
+                &alloc.registers,
+                &InterconnectAssignment::straight(&bench.dfg))
             .unwrap();
             assert!(
                 dp_opt.total_mux_legs() <= dp_straight.total_mux_legs(),
@@ -553,41 +615,12 @@ mod double_clique_tests {
             // path by calling it directly.
             for part in &parts {
                 let m = part.module;
-                let mut sources: Vec<SourceRef> = Vec::new();
-                let mut index = std::collections::BTreeMap::new();
-                let mut constraints = Vec::new();
-                for &op in ma.ops_of(m) {
-                    let info = dfg.op(op);
-                    let mut intern = |s: SourceRef| -> usize {
-                        *index.entry(s).or_insert_with(|| {
-                            sources.push(s);
-                            sources.len() - 1
-                        })
-                    };
-                    let l = intern(source_of(&ra, info.lhs));
-                    let r = intern(source_of(&ra, info.rhs));
-                    constraints.push(InstanceConstraint {
-                        op,
-                        lhs: l,
-                        rhs: r,
-                        fixed: !info.kind.is_commutative(),
-                    });
-                }
-                let n = sources.len();
-                let sd: Vec<usize> = sources
-                    .iter()
-                    .map(|s| match s {
-                        SourceRef::Register(r) => {
-                            let mask =
-                                ctx.register_mask(ra.classes()[r.index()].iter().copied());
-                            ctx.sd_register(mask)
-                        }
-                        _ => 0,
-                    })
-                    .collect();
-                let dc = double_clique_labels(n, &constraints, &sd, true);
+                let problem = ModuleProblem::collect(&dfg, &ma, &ra, &ctx, m);
+                let constraints = &problem.constraints;
+                let dc =
+                    double_clique_labels(problem.num_sources(), constraints, &problem.sd, true);
                 // Feasibility: every constraint satisfiable.
-                for c in &constraints {
+                for c in constraints {
                     if c.lhs == c.rhs {
                         assert_eq!(dc[c.lhs], PortLabel::Both, "seed {seed} {m}");
                         continue;

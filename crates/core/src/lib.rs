@@ -20,6 +20,10 @@
 //!   ports (Section IV).
 //! * [`flow`] — the end-to-end synthesis flow producing a
 //!   [`flow::Design`] with its data path and minimal-area BIST solution.
+//! * [`flowcache`] — the incremental evaluation layer used by the
+//!   annealer: per-stage memoization (interconnect shapes, module
+//!   embeddings, warm-started selection) beneath the coloring-level
+//!   cost cache.
 //! * [`trace`] — step-by-step decision traces (regenerates the paper's
 //!   Fig. 4 worked example).
 //!
@@ -46,6 +50,7 @@ pub mod baseline_regalloc;
 pub mod cbilbo;
 pub mod explore;
 pub mod flow;
+pub mod flowcache;
 pub mod interconnect;
 pub mod metrics;
 pub mod module_assign;

@@ -39,6 +39,15 @@ pub struct RegisterMask {
     y: u64,
 }
 
+impl RegisterMask {
+    /// `true` if any variable of the register belongs to module `j`'s
+    /// input or output variable set — i.e. the register's intersections
+    /// with `I_{Mj}` / `O_{Mj}` are non-empty.
+    pub fn touches(&self, j: usize) -> bool {
+        (self.x | self.y) >> j & 1 == 1
+    }
+}
+
 impl SharingContext {
     /// Builds the context for `dfg` under `assignment`.
     ///

@@ -175,7 +175,7 @@ mod tests {
         for name in swaps {
             ic.swap(bench.dfg.op_by_name(name).unwrap());
         }
-        DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options, modules, regs, ic)
+        DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options, &modules, &regs, &ic)
             .unwrap()
     }
 
@@ -224,10 +224,9 @@ mod tests {
             &dfg,
             &schedule,
             lobist_dfg::lifetime::LifetimeOptions::registered_inputs(),
-            ma,
-            ra,
-            ic,
-        )
+            &ma,
+            &ra,
+            &ic)
         .unwrap();
         let ip = IPathAnalysis::of(&dp);
         // Both ports fed only by R1 ({x}); no distinct TPG pair exists.
@@ -283,10 +282,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap();
         let ip = IPathAnalysis::of(&dp);
         // The adder's left port is fed by x and y (port inputs) only →

@@ -32,7 +32,7 @@
 //! )?;
 //! let ic = InterconnectAssignment::straight(&bench.dfg);
 //! let dp = DataPath::build(&bench.dfg, &bench.schedule, bench.lifetime_options,
-//!                          modules, regs, ic)?;
+//!                          &modules, &regs, &ic)?;
 //! assert_eq!(dp.num_registers(), 3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

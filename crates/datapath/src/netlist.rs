@@ -210,7 +210,10 @@ fn side_index(side: PortSide) -> usize {
 
 impl DataPath {
     /// Assembles and validates a data path from the scheduled DFG and the
-    /// three assignments.
+    /// three assignments. The assignments are borrowed: per-move
+    /// re-synthesis in the annealer evaluates thousands of candidate
+    /// colorings against one fixed module assignment, and cloning it per
+    /// call dominated the build cost.
     ///
     /// # Errors
     ///
@@ -221,9 +224,9 @@ impl DataPath {
         dfg: &Dfg,
         schedule: &Schedule,
         lifetime_options: LifetimeOptions,
-        modules: ModuleAssignment,
-        registers: RegisterAssignment,
-        interconnect: InterconnectAssignment,
+        modules: &ModuleAssignment,
+        registers: &RegisterAssignment,
+        interconnect: &InterconnectAssignment,
     ) -> Result<DataPath, DataPathError> {
         let lifetimes = Lifetimes::compute(dfg, schedule, lifetime_options);
 
@@ -330,7 +333,7 @@ impl DataPath {
         Ok(DataPath {
             num_registers: nr,
             module_classes: modules.classes_vec(),
-            register_vars: registers.into_classes(),
+            register_vars: registers.classes().to_vec(),
             module_ops: (0..nm).map(|m| modules.ops_of(ModuleId(m as u32)).to_vec()).collect(),
             port_sources,
             output_dests,
@@ -502,10 +505,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap()
     }
 
@@ -553,10 +555,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap_err();
         assert!(matches!(err, DataPathError::RegisterConflict { .. }));
     }
@@ -580,10 +581,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap_err();
         assert!(matches!(err, DataPathError::UnassignedVariable(_)));
     }
@@ -611,10 +611,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap_err();
         assert!(matches!(err, DataPathError::ModuleOverlap { step: 3, .. }));
     }

@@ -84,7 +84,7 @@ pub struct SimTrace {
 /// )?;
 /// let dp = DataPath::build(
 ///     &bench.dfg, &bench.schedule, bench.lifetime_options,
-///     modules, regs, InterconnectAssignment::straight(&bench.dfg),
+///     &modules, &regs, &InterconnectAssignment::straight(&bench.dfg),
 /// )?;
 /// let v = |n: &str| bench.dfg.var_by_name(n).expect("exists");
 /// let inputs: HashMap<_, _> =
@@ -257,10 +257,9 @@ mod tests {
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
-            modules,
-            regs,
-            ic,
-        )
+            &modules,
+            &regs,
+            &ic)
         .unwrap();
         (dp, bench)
     }

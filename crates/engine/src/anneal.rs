@@ -218,6 +218,16 @@ mod tests {
         assert_eq!(snap.anneal.moves_evaluated, u64::from(result.evaluated));
         let json = snap.to_json();
         assert!(json.contains("\"anneal\":{\"runs\":1,\"chains\":3"), "{json}");
+
+        // The incremental layer's stage counters ride along: the winning
+        // chain evaluated moves, so each stage saw lookups, and repeated
+        // problem shapes / module connectivities must have hit.
+        let fc = &snap.flow_cache;
+        assert!(fc.interconnect.misses > 0, "{json}");
+        assert!(fc.interconnect.hits > 0, "{json}");
+        assert!(fc.embeddings.hits > 0, "{json}");
+        assert!(json.contains("\"flow_cache\":{\"interconnect\":{\"hits\":"), "{json}");
+        assert!(json.contains("\"delta_micros_log2\":["), "{json}");
     }
 
     #[test]

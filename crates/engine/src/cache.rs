@@ -95,7 +95,7 @@ mod tests {
             bench.dfg.clone(),
             Candidate {
                 modules: bench.module_allocation.clone(),
-                schedule: bench.schedule.clone(),
+                schedule: bench.schedule,
             },
         )
     }

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use lobist_alloc::anneal::AnnealResult;
 use lobist_alloc::flow::StageTimings;
+use lobist_alloc::flowcache::{FlowCacheStats, StageStats};
 
 use crate::anneal::AnnealStats;
 use crate::faultsim::FaultSimStats;
@@ -69,6 +70,8 @@ pub struct Metrics {
     an_oracle_hits: AtomicU64,
     an_oracle_misses: AtomicU64,
     an_wall_nanos: AtomicU64,
+    // Incremental flow-cache work beneath the oracle (lobist_alloc::flowcache).
+    fc: Mutex<FlowCacheStats>,
 }
 
 impl Metrics {
@@ -147,6 +150,17 @@ impl Metrics {
             .fetch_add(result.oracle_misses, Ordering::Relaxed);
         self.an_wall_nanos
             .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+        let mut fc = self.fc.lock().expect("flow-cache lock");
+        accumulate_stage(&mut fc.interconnect, &result.flow_cache.interconnect);
+        accumulate_stage(&mut fc.embeddings, &result.flow_cache.embeddings);
+        accumulate_stage(&mut fc.selection, &result.flow_cache.selection);
+        fc.warm_starts += result.flow_cache.warm_starts;
+        for (acc, &n) in fc.delta_micros.iter_mut().zip(&result.flow_cache.delta_micros) {
+            *acc += n;
+        }
+        for (acc, &n) in fc.full_micros.iter_mut().zip(&result.flow_cache.full_micros) {
+            *acc += n;
+        }
     }
 
     /// A consistent-enough point-in-time copy of every counter.
@@ -179,8 +193,15 @@ impl Metrics {
                 oracle_misses: self.an_oracle_misses.load(Ordering::Relaxed),
                 wall: Duration::from_nanos(self.an_wall_nanos.load(Ordering::Relaxed)),
             },
+            flow_cache: self.fc.lock().expect("flow-cache lock").clone(),
         }
     }
+}
+
+fn accumulate_stage(acc: &mut StageStats, s: &StageStats) {
+    acc.hits += s.hits;
+    acc.misses += s.misses;
+    acc.evictions += s.evictions;
 }
 
 /// Accumulated annealing-search work, as carried in a
@@ -261,6 +282,10 @@ pub struct MetricsSnapshot {
     pub fault_sim: FaultSimSnapshot,
     /// Accumulated annealing-search work.
     pub anneal: AnnealSnapshot,
+    /// Accumulated incremental flow-cache work (stage-level hits /
+    /// misses / evictions plus delta-vs-full evaluation timing
+    /// histograms), summed over every recorded annealing run.
+    pub flow_cache: FlowCacheStats,
 }
 
 impl MetricsSnapshot {
@@ -288,16 +313,27 @@ impl MetricsSnapshot {
     /// Renders the snapshot as one JSON object.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
+        // Trim trailing empty buckets so the lines stay readable.
+        fn trim_row(row: &[u64]) -> String {
+            let last = row.iter().rposition(|&c| c > 0).map_or(0, |p| p + 1);
+            let cells: Vec<String> = row[..last].iter().map(u64::to_string).collect();
+            cells.join(",")
+        }
+        fn stage_json(s: &StageStats) -> String {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.hit_rate()
+            )
+        }
         let mut hist = String::new();
         for (i, name) in STAGE_NAMES.iter().enumerate() {
             if i > 0 {
                 hist.push(',');
             }
-            // Trim trailing empty buckets so the line stays readable.
-            let row = &self.histograms[i];
-            let last = row.iter().rposition(|&c| c > 0).map_or(0, |p| p + 1);
-            let cells: Vec<String> = row[..last].iter().map(u64::to_string).collect();
-            let _ = write!(hist, "\"{name}\":[{}]", cells.join(","));
+            let _ = write!(hist, "\"{name}\":[{}]", trim_row(&self.histograms[i]));
         }
         format!(
             concat!(
@@ -314,6 +350,9 @@ impl MetricsSnapshot {
                 "\"stalls\":{an_stall},\"speculative_waste\":{an_waste},",
                 "\"oracle_hits\":{an_hits},\"oracle_misses\":{an_misses},",
                 "\"oracle_hit_rate\":{an_rate:.4},\"wall_micros\":{an_wall}}},",
+                "\"flow_cache\":{{\"interconnect\":{fc_ic},\"embeddings\":{fc_emb},",
+                "\"selection\":{fc_sel},\"warm_starts\":{fc_warm},",
+                "\"delta_micros_log2\":[{fc_delta}],\"full_micros_log2\":[{fc_full}]}},",
                 "\"stage_micros_log2_histograms\":{{{hist}}}}}"
             ),
             sub = self.jobs_submitted,
@@ -341,6 +380,12 @@ impl MetricsSnapshot {
             an_misses = self.anneal.oracle_misses,
             an_rate = self.anneal.oracle_hit_rate(),
             an_wall = self.anneal.wall.as_micros(),
+            fc_ic = stage_json(&self.flow_cache.interconnect),
+            fc_emb = stage_json(&self.flow_cache.embeddings),
+            fc_sel = stage_json(&self.flow_cache.selection),
+            fc_warm = self.flow_cache.warm_starts,
+            fc_delta = trim_row(&self.flow_cache.delta_micros),
+            fc_full = trim_row(&self.flow_cache.full_micros),
             hist = hist,
         )
     }
