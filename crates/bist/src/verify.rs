@@ -93,9 +93,12 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Checks every invariant of `solution` against `dp`; returns all
-/// violations found (empty = valid).
-pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<Violation> {
+/// Checks that the solution's vectors match the data path's shape: one
+/// style per register, one embedding and one session per module.
+///
+/// Every other check indexes those vectors by register/module id, so run
+/// this first and stop if it reports anything.
+pub fn check_shape(dp: &DataPath, solution: &BistSolution) -> Vec<Violation> {
     let mut out = Vec::new();
     if solution.styles.len() != dp.num_registers() {
         out.push(Violation::ShapeMismatch { what: "styles length" });
@@ -105,9 +108,21 @@ pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<
         || solution.sessions.len() != dp.num_modules()
     {
         out.push(Violation::ShapeMismatch { what: "embeddings/sessions length" });
-        return out;
     }
-    let ipaths = IPathAnalysis::of(dp);
+    out
+}
+
+/// Checks that every embedding is drawn from real I-paths: each pattern
+/// source reaches its port, the two sources differ, and the SA register
+/// actually receives the module's output.
+///
+/// Assumes [`check_shape`] passed.
+pub fn check_embedding_paths(
+    dp: &DataPath,
+    ipaths: &IPathAnalysis,
+    solution: &BistSolution,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
     for m in dp.module_ids() {
         let e = &solution.embeddings[m.index()];
         for (src, side) in [(e.left, PortSide::Left), (e.right, PortSide::Right)] {
@@ -125,7 +140,22 @@ pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<
         if !ipaths.sa_candidates(m).contains(&e.sa) {
             out.push(Violation::NoSuchSaPath { module: m });
         }
-        // Styles vs roles.
+    }
+    out
+}
+
+/// Checks that each register's style provides the *separate* capabilities
+/// its test roles demand: TPGs generate, SAs compact.
+///
+/// The stricter requirement on a register serving as TPG **and** SA in
+/// one embedding is [`check_concurrent_roles`]; the lint layer reports
+/// the two under different diagnostic codes.
+///
+/// Assumes [`check_shape`] passed.
+pub fn check_role_styles(dp: &DataPath, solution: &BistSolution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in dp.module_ids() {
+        let e = &solution.embeddings[m.index()];
         for t in e.tpg_registers() {
             if !solution.style(t).can_generate() {
                 out.push(Violation::InsufficientStyle {
@@ -140,6 +170,19 @@ pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<
                 needs: "compact responses",
             });
         }
+    }
+    out
+}
+
+/// Checks that every register serving as both TPG and SA of one embedding
+/// — the Lemma-2 "forced CBILBO" situation — is styled to generate and
+/// compact concurrently.
+///
+/// Assumes [`check_shape`] passed.
+pub fn check_concurrent_roles(dp: &DataPath, solution: &BistSolution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in dp.module_ids() {
+        let e = &solution.embeddings[m.index()];
         if let Some(c) = e.cbilbo_register() {
             if !solution.style(c).can_do_both_concurrently() {
                 out.push(Violation::InsufficientStyle {
@@ -149,7 +192,16 @@ pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<
             }
         }
     }
-    // Session rules.
+    out
+}
+
+/// Checks the session rules: two modules tested in the same session must
+/// not share a signature register, and one module's TPG may serve as the
+/// other's SA only if styled to do both concurrently.
+///
+/// Assumes [`check_shape`] passed.
+pub fn check_sessions(dp: &DataPath, solution: &BistSolution) -> Vec<Violation> {
+    let mut out = Vec::new();
     for a in dp.module_ids() {
         for b in dp.module_ids().filter(|b| b.index() > a.index()) {
             if solution.sessions[a.index()] != solution.sessions[b.index()] {
@@ -168,18 +220,43 @@ pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<
             }
         }
     }
-    // Overhead accounting.
+    out
+}
+
+/// Checks that the recorded overhead equals the sum of per-style extras
+/// under `model`.
+pub fn check_overhead(solution: &BistSolution, model: &AreaModel) -> Vec<Violation> {
     let recomputed: u64 = solution
         .styles
         .iter()
         .map(|&s| model.style_extra(s).get())
         .sum();
     if recomputed != solution.overhead.get() {
-        out.push(Violation::OverheadMismatch {
+        return vec![Violation::OverheadMismatch {
             recorded: solution.overhead.get(),
             recomputed,
-        });
+        }];
     }
+    Vec::new()
+}
+
+/// Checks every invariant of `solution` against `dp`; returns all
+/// violations found (empty = valid).
+///
+/// This is the composition of the granular checks above — the same
+/// functions the `lobist-lint` BIST passes run, so the linter and this
+/// verifier cannot drift apart.
+pub fn verify(dp: &DataPath, solution: &BistSolution, model: &AreaModel) -> Vec<Violation> {
+    let mut out = check_shape(dp, solution);
+    if !out.is_empty() {
+        return out;
+    }
+    let ipaths = IPathAnalysis::of(dp);
+    out.extend(check_embedding_paths(dp, &ipaths, solution));
+    out.extend(check_role_styles(dp, solution));
+    out.extend(check_concurrent_roles(dp, solution));
+    out.extend(check_sessions(dp, solution));
+    out.extend(check_overhead(solution, model));
     out
 }
 

@@ -16,11 +16,12 @@
 
 use std::fmt;
 
-use lobist_alloc::flow::{synthesize, FlowError, FlowOptions};
+use lobist_alloc::flow::{synthesize, Design, FlowError, FlowOptions};
 use lobist_datapath::area::AreaModel;
 use lobist_dfg::lifetime::LifetimeOptions;
 use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::parse::parse_dfg;
+use lobist_lint::{Code, LintPolicy, LintUnit, PassRegistry, Report};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -35,6 +36,16 @@ pub enum CliError {
     Modules(lobist_dfg::modules::ParseModuleSetError),
     /// Synthesis failed.
     Flow(FlowError),
+    /// Lint findings were denied by the active policy. Carries the full
+    /// report text so the binary can still print it before exiting
+    /// nonzero.
+    Lint {
+        /// Everything the command produced up to and including the
+        /// report (belongs on stdout).
+        output: String,
+        /// How many findings the policy denied.
+        denied: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -45,6 +56,9 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "design file: {e}"),
             CliError::Modules(e) => write!(f, "--modules: {e}"),
             CliError::Flow(e) => write!(f, "synthesis failed: {e}"),
+            CliError::Lint { denied, .. } => {
+                write!(f, "lint: {denied} finding(s) denied by policy")
+            }
         }
     }
 }
@@ -64,6 +78,8 @@ USAGE:
   lobist batch <design.dfg>... --modules <SET> [--jobs <N>] [--metrics]
   lobist anneal <design.dfg> --modules <SET> [--iterations <N>] [--seed <S>]
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
+  lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
+              [--json] [--jobs <N>] [--metrics] [OPTIONS]
   lobist suite
 
 COMMANDS:
@@ -75,6 +91,9 @@ COMMANDS:
   batch     synthesize many design files in one parallel run
   anneal    simulated-annealing register search (yardstick for the
             constructive heuristic); deterministic for any --jobs value
+  lint      synthesize, then run the static verifier passes (netlist
+            structure L0xx, allocation invariants A1xx, BIST legality
+            B2xx); exits nonzero if the policy denies any finding
   suite     run the five paper benchmarks (Table I summary)
 
 OPTIONS:
@@ -96,12 +115,20 @@ OPTIONS:
                     trajectory is identical for every K)
   --chains <C>      independent `anneal` chains, merged best-of
                     (default 1; chain 0 reproduces the serial run)
+  --deny <C|all>    deny a lint code (repeatable) on top of the default
+                    policy (errors denied, warnings allowed); `all`
+                    denies every finding including warnings
+  --allow <CODE>    never deny a lint code (repeatable; overrides any
+                    deny rule)
+  --lint            after `explore`/`batch`, lint every synthesized
+                    design and fail if the policy denies a finding
   --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
-                    `anneal` (default: all cores; must be at least 1)
+                    `anneal`/`lint` (default: all cores; at least 1)
   --metrics         print engine metrics as JSON after `explore`/`batch`/
-                    `faultsim`/`anneal` (fault-sim counters: cone
+                    `faultsim`/`anneal`/`lint` (fault-sim counters: cone
                     evaluations, events propagated, faults collapsed;
-                    anneal counters: moves, stalls, oracle hit rate)
+                    anneal counters: moves, stalls, oracle hit rate;
+                    lint counters: runs, findings, per-pass timings)
 
 DESIGN FILE FORMAT (one statement per line):
   input a b c
@@ -128,6 +155,9 @@ struct Options {
     seed: Option<u64>,
     batch: Option<u32>,
     chains: Option<usize>,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    lint: bool,
     positional: Vec<String>,
 }
 
@@ -150,6 +180,9 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         seed: None,
         batch: None,
         chains: None,
+        deny: Vec::new(),
+        allow: Vec::new(),
+        lint: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -255,6 +288,19 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 }
                 o.chains = Some(c);
             }
+            "--deny" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--deny needs a value".into()))?;
+                o.deny.push(v.clone());
+            }
+            "--allow" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--allow needs a value".into()))?;
+                o.allow.push(v.clone());
+            }
+            "--lint" => o.lint = true,
             "--latency" => {
                 let v = it
                     .next()
@@ -344,6 +390,58 @@ fn design_json(flow: &str, d: &lobist_alloc::flow::Design) -> String {
         styles = styles.join(","),
         sessions = sessions.join(","),
     )
+}
+
+/// Builds the lint policy from the repeatable `--deny`/`--allow` flags.
+/// The baseline (no flags) denies errors and allows warnings.
+fn lint_policy(o: &Options) -> Result<LintPolicy, CliError> {
+    let mut policy = LintPolicy::new();
+    for name in &o.deny {
+        if name == "all" {
+            policy.deny_all = true;
+        } else {
+            let code = Code::parse(name)
+                .ok_or_else(|| CliError::Usage(format!("--deny: unknown lint code `{name}`")))?;
+            policy.deny.insert(code);
+        }
+    }
+    for name in &o.allow {
+        let code = Code::parse(name)
+            .ok_or_else(|| CliError::Usage(format!("--allow: unknown lint code `{name}`")))?;
+        policy.allow.insert(code);
+    }
+    Ok(policy)
+}
+
+/// Lints one synthesized design on the worker pool.
+fn lint_design(
+    dfg: &lobist_dfg::Dfg,
+    schedule: &lobist_dfg::Schedule,
+    design: &Design,
+    flow: &FlowOptions,
+    workers: usize,
+    metrics: Option<&lobist_engine::Metrics>,
+) -> Report {
+    let unit = LintUnit::of_design(dfg, schedule, design, flow.lifetime_options, &flow.area);
+    let registry = PassRegistry::default_registry();
+    let (report, _) = lobist_engine::lint_parallel(&unit, &registry, workers, metrics);
+    report
+}
+
+/// Appends one design's lint verdict to `out` (the `--lint` gate format).
+fn append_lint_verdict(out: &mut String, label: &str, report: &Report) {
+    use std::fmt::Write as _;
+    if report.is_clean() {
+        let _ = writeln!(out, "lint {label}: clean");
+    } else {
+        let _ = writeln!(
+            out,
+            "lint {label}: {} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        );
+        out.push_str(&report.render_text());
+    }
 }
 
 /// Executes a CLI invocation, returning the text to print.
@@ -564,6 +662,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let engine = lobist_engine::Engine::new(worker_count(&o));
             let result = lobist_engine::explore_parallel(&dfg, &config, &engine);
             out.push_str(&lobist_engine::render_report(&result));
+            if o.lint {
+                let policy = lint_policy(&o)?;
+                let mut denied = 0;
+                for p in &result.points {
+                    let d = synthesize(&dfg, &p.schedule, &p.modules, &config.flow)
+                        .map_err(CliError::Flow)?;
+                    let report = lint_design(
+                        &dfg,
+                        &p.schedule,
+                        &d,
+                        &config.flow,
+                        worker_count(&o),
+                        None,
+                    );
+                    append_lint_verdict(
+                        &mut out,
+                        &format!("{} latency {}", p.modules, p.latency),
+                        &report,
+                    );
+                    denied += policy.denied_count(&report);
+                }
+                if denied > 0 {
+                    return Err(CliError::Lint { output: out, denied });
+                }
+            }
             if o.metrics {
                 let _ = writeln!(out, "{}", engine.metrics().to_json());
             }
@@ -580,6 +703,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(CliError::Modules)?;
             let flow = flow_options(&o, o.flow == "traditional");
             let mut jobs = Vec::new();
+            let mut parsed = Vec::new();
             for path in &o.positional[1..] {
                 let text =
                     std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
@@ -598,15 +722,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         (dfg, schedule)
                     }
                 };
+                let dfg = std::sync::Arc::new(dfg);
                 jobs.push(lobist_engine::Job {
-                    dfg: std::sync::Arc::new(dfg),
+                    dfg: dfg.clone(),
                     candidate: lobist_alloc::explore::Candidate {
                         modules: modules.clone(),
-                        schedule,
+                        schedule: schedule.clone(),
                     },
                     flow: flow.clone(),
                     label: path.clone(),
                 });
+                parsed.push((dfg, schedule));
             }
             let engine = lobist_engine::Engine::new(worker_count(&o));
             let outcomes = engine.run(jobs);
@@ -632,6 +758,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     Err((_, e)) => {
                         let _ = writeln!(out, "failed {}: {e}", outcome.label);
                     }
+                }
+            }
+            if o.lint {
+                let policy = lint_policy(&o)?;
+                let workers = worker_count(&o);
+                let mut denied = 0;
+                for (outcome, (dfg, schedule)) in outcomes.iter().zip(&parsed) {
+                    if outcome.result.is_err() {
+                        continue;
+                    }
+                    let d = synthesize(dfg, schedule, &modules, &flow)
+                        .map_err(CliError::Flow)?;
+                    let report = lint_design(dfg, schedule, &d, &flow, workers, None);
+                    append_lint_verdict(&mut out, &outcome.label, &report);
+                    denied += policy.denied_count(&report);
+                }
+                if denied > 0 {
+                    return Err(CliError::Lint { output: out, denied });
                 }
             }
             if o.metrics {
@@ -720,6 +864,65 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let metrics = lobist_engine::Metrics::new();
                 metrics.record_anneal(&result, &stats);
                 let _ = writeln!(out, "{}", metrics.snapshot().to_json());
+            }
+        }
+        "lint" => {
+            let policy = lint_policy(&o)?;
+            let path = o
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("missing design file".into()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let modules: ModuleSet = o
+                .modules
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("missing --modules".into()))?
+                .parse()
+                .map_err(CliError::Modules)?;
+            // Same fallback as `batch`: unscheduled files get a
+            // resource-constrained list schedule under the module set.
+            let (dfg, schedule) = match parse_dfg(&text) {
+                Ok(parsed) => parsed,
+                Err(_) => {
+                    let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text)
+                        .map_err(CliError::Parse)?;
+                    let schedule = lobist_dfg::scheduling::list_schedule(&dfg, &modules)
+                        .map_err(|e| {
+                            CliError::Usage(format!("{path}: cannot schedule: {e}"))
+                        })?;
+                    (dfg, schedule)
+                }
+            };
+            let flow = flow_options(&o, o.flow == "traditional");
+            let d = synthesize(&dfg, &schedule, &modules, &flow).map_err(CliError::Flow)?;
+            let metrics = o.metrics.then(lobist_engine::Metrics::new);
+            let report =
+                lint_design(&dfg, &schedule, &d, &flow, worker_count(&o), metrics.as_ref());
+            if o.json {
+                let _ = writeln!(out, "{}", report.to_json());
+            } else if report.is_clean() {
+                let _ = writeln!(
+                    out,
+                    "lint: clean ({} registers, {} modules audited)",
+                    d.data_path.num_registers(),
+                    d.data_path.num_modules()
+                );
+            } else {
+                out.push_str(&report.render_text());
+                let _ = writeln!(
+                    out,
+                    "lint: {} error(s), {} warning(s)",
+                    report.error_count(),
+                    report.warning_count()
+                );
+            }
+            if let Some(m) = &metrics {
+                let _ = writeln!(out, "{}", m.snapshot().to_json());
+            }
+            let denied = policy.denied_count(&report);
+            if denied > 0 {
+                return Err(CliError::Lint { output: out, denied });
             }
         }
         "suite" => {
@@ -1181,6 +1384,110 @@ mod tests {
         let path = write_temp("lobist_cli_bad.dfg", "input a\nthis is wrong\n");
         let err = run(&argv(&["synth", &path, "--modules", "1+"])).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lint_reports_clean_on_a_shipped_design() {
+        let path = write_temp("lobist_cli_lint.dfg", DESIGN);
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*"])).unwrap();
+        assert!(out.contains("lint: clean (3 registers, 2 modules audited)"), "{out}");
+        // `--deny all` also passes: the design really has no findings.
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--deny", "all"])).unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_accepts_unscheduled_designs() {
+        let path = write_temp(
+            "lobist_cli_lint_unsched.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*"])).unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_lists_the_diagnostics_array() {
+        let path = write_temp("lobist_cli_lint_json.dfg", DESIGN);
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--json"])).unwrap();
+        assert!(out.contains("\"diagnostics\": []"), "{out}");
+    }
+
+    #[test]
+    fn lint_output_is_identical_across_worker_counts() {
+        let path = write_temp("lobist_cli_lint_jobs.dfg", DESIGN);
+        let base = argv(&["lint", &path, "--modules", "1+,1*", "--json"]);
+        let serial = run(&[base.clone(), argv(&["--jobs", "1"])].concat()).unwrap();
+        let parallel = run(&[base, argv(&["--jobs", "4"])].concat()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn lint_rejects_unknown_codes() {
+        let path = write_temp("lobist_cli_lint_bad.dfg", DESIGN);
+        let err = run(&argv(&["lint", &path, "--modules", "1+,1*", "--deny", "Z999"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown lint code `Z999`"), "{err}");
+        let err = run(&argv(&["lint", &path, "--modules", "1+,1*", "--allow", "nope"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown lint code `nope`"), "{err}");
+        // Real codes parse, case-insensitively.
+        let out = run(&argv(&[
+            "lint", &path, "--modules", "1+,1*", "--deny", "b208", "--allow", "L007",
+        ]))
+        .unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_metrics_flag_appends_lint_json() {
+        let path = write_temp("lobist_cli_lint_metrics.dfg", DESIGN);
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--metrics"])).unwrap();
+        let json = out.lines().last().expect("metrics line");
+        assert!(json.contains("\"lint\":{\"runs\":1,\"errors\":0,\"warnings\":0"), "{json}");
+        assert!(json.contains("\"pass_micros_log2_histograms\":"), "{json}");
+        for pass in ["structure", "gates", "coloring", "binding", "bist-legality", "lemma2-audit"]
+        {
+            assert!(json.contains(&format!("\"{pass}\":[")), "missing {pass} in {json}");
+        }
+    }
+
+    #[test]
+    fn batch_lint_gate_audits_every_design() {
+        let scheduled = write_temp("lobist_cli_batch_lint_a.dfg", DESIGN);
+        let unscheduled = write_temp(
+            "lobist_cli_batch_lint_b.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&[
+            "batch", &scheduled, &unscheduled, "--modules", "1+,1*", "--lint", "--deny", "all",
+        ]))
+        .unwrap();
+        assert!(out.contains(&format!("lint {scheduled}: clean")), "{out}");
+        assert!(out.contains(&format!("lint {unscheduled}: clean")), "{out}");
+    }
+
+    #[test]
+    fn explore_lint_gate_audits_every_point() {
+        let path = write_temp(
+            "lobist_cli_explore_lint.dfg",
+            "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
+        );
+        let out = run(&argv(&[
+            "explore", &path, "--candidates", "1+,1*;2+,1*", "--lint",
+        ]))
+        .unwrap();
+        assert!(out.contains("lint 1+,1* latency"), "{out}");
+        assert!(out.contains(": clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_error_carries_the_report_for_stdout() {
+        let err = CliError::Lint {
+            output: "the report\n".into(),
+            denied: 3,
+        };
+        assert_eq!(err.to_string(), "lint: 3 finding(s) denied by policy");
     }
 
     #[test]

@@ -4,6 +4,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match lobist_cli::run(&args) {
         Ok(output) => print!("{output}"),
+        // A denied lint finding still prints the full report on stdout
+        // (tooling parses it); only the verdict goes to stderr.
+        Err(lobist_cli::CliError::Lint { output, denied }) => {
+            print!("{output}");
+            eprintln!("error: lint: {denied} finding(s) denied by policy");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

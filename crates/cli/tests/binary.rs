@@ -74,6 +74,41 @@ fn binary_rejects_zero_jobs() {
 }
 
 #[test]
+fn binary_lints_a_clean_design_and_exits_zero() {
+    let path = std::env::temp_dir().join("lobist_bin_lint.dfg");
+    std::fs::write(
+        &path,
+        "input a b c d\ns1 = a + b @ 1\ns2 = c + d @ 2\ny = s1 * s2 @ 3\noutput y\n",
+    )
+    .expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .args([
+            "lint",
+            path.to_str().expect("utf8"),
+            "--modules",
+            "1+,1*",
+            "--deny",
+            "all",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lint: clean"), "{text}");
+}
+
+#[test]
+fn binary_lint_rejects_unknown_codes_with_nonzero_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
+        .args(["lint", "x.dfg", "--modules", "1+", "--deny", "Q123"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown lint code"), "{err}");
+}
+
+#[test]
 fn binary_help_documents_jobs_flag() {
     let out = Command::new(env!("CARGO_BIN_EXE_lobist"))
         .arg("help")

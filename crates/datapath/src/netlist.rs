@@ -373,6 +373,67 @@ impl DataPath {
         dp
     }
 
+    /// Every module port with register `r` among its sources — the
+    /// register's fan-out into the interconnect, in `(module, side)`
+    /// order.
+    pub fn ports_fed_by(&self, r: RegisterId) -> Vec<Port> {
+        let needle = SourceRef::Register(r);
+        let mut ports = Vec::new();
+        for m in self.module_ids() {
+            for side in [PortSide::Left, PortSide::Right] {
+                if self.port_sources[m.index()][side_index(side)].contains(&needle) {
+                    ports.push(Port { module: m, side });
+                }
+            }
+        }
+        ports
+    }
+
+    // ------------------------------------------------------------------
+    // Defect injection. [`DataPath::build`] only produces structurally
+    // sound netlists, so the lint mutation suite needs hooks that break
+    // one in controlled ways. These deliberately bypass every invariant;
+    // a mutated data path is only fit for feeding the linter.
+    // ------------------------------------------------------------------
+
+    /// Removes `source` from a port's source set, leaving the port
+    /// undriven if it was the only one. Returns `true` if it was present.
+    pub fn cut_port_source(&mut self, port: Port, source: SourceRef) -> bool {
+        self.port_sources[port.module.index()][side_index(port.side)].remove(&source)
+    }
+
+    /// Inserts an arbitrary (even out-of-range) source on a port.
+    pub fn add_port_source(&mut self, port: Port, source: SourceRef) {
+        self.port_sources[port.module.index()][side_index(port.side)].insert(source);
+    }
+
+    /// Severs the drive from module `m` into register `r` (both the
+    /// register's source set and the module's destination set). Returns
+    /// `true` if the connection existed.
+    pub fn cut_register_driver(&mut self, r: RegisterId, m: ModuleId) -> bool {
+        let had = self.register_sources[r.index()].remove(&m);
+        self.output_dests[m.index()].remove(&r);
+        had
+    }
+
+    /// Drops the external (primary-input) load path into register `r`.
+    /// Returns `true` if the register had one.
+    pub fn clear_external_load(&mut self, r: RegisterId) -> bool {
+        std::mem::replace(&mut self.external_loads[r.index()], false)
+    }
+
+    /// Appends a register that feeds no port and is driven by no module —
+    /// the "allocated but never wired" defect. `external_load` gives it a
+    /// primary-input load path.
+    pub fn add_isolated_register(&mut self, vars: Vec<VarId>, external_load: bool) -> RegisterId {
+        let r = RegisterId(self.num_registers as u32);
+        self.num_registers += 1;
+        self.register_vars.push(vars);
+        self.register_sources.push(BTreeSet::new());
+        self.external_loads.push(external_load);
+        r
+    }
+
     /// Number of registers.
     pub fn num_registers(&self) -> usize {
         self.num_registers

@@ -24,7 +24,10 @@
 //! * [`anneal`] — parallel drivers for the simulated-annealing register
 //!   search of `lobist_alloc::anneal`: pool-backed speculative batch
 //!   evaluation (byte-identical to the serial chain) and a multi-chain
-//!   best-of sweep.
+//!   best-of sweep;
+//! * [`lint`] — the static-verifier passes of `lobist_lint`, one pool
+//!   task per pass, merged into a report that is byte-identical for any
+//!   worker count, with per-pass timing histograms in the metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod anneal;
 pub mod cache;
 mod engine;
 pub mod faultsim;
+pub mod lint;
 pub mod metrics;
 pub mod pool;
 
@@ -45,5 +49,9 @@ pub use explore::{explore_parallel, render_report};
 pub use faultsim::{
     bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats,
 };
-pub use metrics::{AnnealSnapshot, FaultSimSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS, STAGE_NAMES};
+pub use lint::{lint_parallel, LintRunStats};
+pub use metrics::{
+    AnnealSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS,
+    STAGE_NAMES,
+};
 pub use pool::{run_jobs, PoolStats};

@@ -1,0 +1,133 @@
+//! Parallel lint driver: one pool task per registry pass.
+//!
+//! Passes are independent read-only analyses over one [`LintUnit`], so
+//! they parallelize trivially — but the report must not depend on the
+//! worker count. [`run_jobs`] returns per-pass results in submission
+//! order, the driver concatenates them in registry order, and
+//! [`Report::new`] sorts into the canonical (code, span) order; the
+//! rendered text and JSON are therefore byte-identical for any `workers`.
+
+use std::time::{Duration, Instant};
+
+use lobist_lint::{LintUnit, PassRegistry, Report};
+
+use crate::metrics::Metrics;
+use crate::pool::run_jobs;
+
+/// What one parallel lint run observed.
+#[derive(Debug, Clone)]
+pub struct LintRunStats {
+    /// Wall time of each pass, in registry order.
+    pub passes: Vec<(&'static str, Duration)>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Runs every pass of `registry` over `unit` on `workers` threads and
+/// merges the findings into one canonical [`Report`].
+///
+/// When `metrics` is given, the run is recorded into its `"lint"`
+/// section (run counter, finding counters, per-pass timing histograms).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or if a lint pass itself panics (a pass
+/// is a pure function of the unit; a panic is a bug, not a finding).
+pub fn lint_parallel(
+    unit: &LintUnit<'_>,
+    registry: &PassRegistry,
+    workers: usize,
+    metrics: Option<&Metrics>,
+) -> (Report, LintRunStats) {
+    let start = Instant::now();
+    let tasks: Vec<_> = registry
+        .passes()
+        .iter()
+        .map(|pass| {
+            let unit = *unit;
+            move || {
+                let t0 = Instant::now();
+                let diags = pass.run(&unit);
+                (pass.name(), diags, t0.elapsed())
+            }
+        })
+        .collect();
+    let (results, pool) = run_jobs(workers, tasks);
+
+    let mut diagnostics = Vec::new();
+    let mut passes = Vec::with_capacity(results.len());
+    for result in results {
+        let (name, diags, took) = result.expect("lint pass panicked");
+        diagnostics.extend(diags);
+        passes.push((name, took));
+    }
+    let report = Report::new(diagnostics);
+    let stats = LintRunStats {
+        passes,
+        wall: start.elapsed(),
+        workers: pool.workers,
+    };
+    if let Some(m) = metrics {
+        m.record_lint(&report, &stats);
+        m.record_pool(&pool);
+    }
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_alloc::flow::{synthesize_benchmark, FlowOptions};
+    use lobist_dfg::benchmarks;
+
+    #[test]
+    fn report_is_byte_stable_across_worker_counts() {
+        let bench = benchmarks::ex1();
+        let opts = FlowOptions::testable();
+        let design = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+        let unit = LintUnit::of_design(
+            &bench.dfg,
+            &bench.schedule,
+            &design,
+            bench.lifetime_options,
+            &opts.area,
+        );
+        let registry = PassRegistry::default_registry();
+        let (serial, _) = lint_parallel(&unit, &registry, 1, None);
+        for workers in [2, 4, 7] {
+            let (parallel, stats) = lint_parallel(&unit, &registry, workers, None);
+            assert_eq!(serial.to_json(), parallel.to_json(), "workers={workers}");
+            assert_eq!(serial.render_text(), parallel.render_text());
+            assert_eq!(stats.passes.len(), registry.passes().len());
+        }
+        // And identical to the serial registry entry point.
+        assert_eq!(serial.to_json(), registry.lint(&unit).to_json());
+    }
+
+    #[test]
+    fn run_is_recorded_into_metrics() {
+        let bench = benchmarks::ex1();
+        let opts = FlowOptions::testable();
+        let design = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+        let unit = LintUnit::of_design(
+            &bench.dfg,
+            &bench.schedule,
+            &design,
+            bench.lifetime_options,
+            &opts.area,
+        );
+        let metrics = Metrics::new();
+        let registry = PassRegistry::default_registry();
+        let (report, _) = lint_parallel(&unit, &registry, 2, Some(&metrics));
+        assert!(report.is_clean(), "{}", report.render_text());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.lint.runs, 1);
+        assert_eq!(snap.lint.errors, 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"lint\":{\"runs\":1"), "{json}");
+        assert!(json.contains("\"structure\":["), "{json}");
+        assert!(json.contains("\"lemma2-audit\":["), "{json}");
+    }
+}

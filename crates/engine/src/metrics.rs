@@ -9,6 +9,7 @@
 //!
 //! [`Engine`]: crate::Engine
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -19,6 +20,7 @@ use lobist_alloc::flowcache::{FlowCacheStats, StageStats};
 
 use crate::anneal::AnnealStats;
 use crate::faultsim::FaultSimStats;
+use crate::lint::LintRunStats;
 use crate::pool::PoolStats;
 
 /// Histogram buckets per stage: bucket `i` counts jobs whose stage took
@@ -72,6 +74,14 @@ pub struct Metrics {
     an_wall_nanos: AtomicU64,
     // Incremental flow-cache work beneath the oracle (lobist_alloc::flowcache).
     fc: Mutex<FlowCacheStats>,
+    // Lint runs (crate::lint drives).
+    lint_runs: AtomicU64,
+    lint_errors: AtomicU64,
+    lint_warnings: AtomicU64,
+    lint_wall_nanos: AtomicU64,
+    // Per-pass log2-µs histograms, keyed by pass name (BTreeMap so the
+    // JSON section is deterministically ordered).
+    lint_hist: Mutex<BTreeMap<&'static str, [u64; NUM_BUCKETS]>>,
 }
 
 impl Metrics {
@@ -163,6 +173,22 @@ impl Metrics {
         }
     }
 
+    /// Accumulates the outcome and per-pass timings of one lint run
+    /// ([`crate::lint::lint_parallel`]).
+    pub fn record_lint(&self, report: &lobist_lint::Report, stats: &LintRunStats) {
+        self.lint_runs.fetch_add(1, Ordering::Relaxed);
+        self.lint_errors
+            .fetch_add(report.error_count() as u64, Ordering::Relaxed);
+        self.lint_warnings
+            .fetch_add(report.warning_count() as u64, Ordering::Relaxed);
+        self.lint_wall_nanos
+            .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+        let mut hist = self.lint_hist.lock().expect("lint histogram lock");
+        for &(name, took) in &stats.passes {
+            hist.entry(name).or_insert([0; NUM_BUCKETS])[bucket(took.as_micros())] += 1;
+        }
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -194,6 +220,13 @@ impl Metrics {
                 wall: Duration::from_nanos(self.an_wall_nanos.load(Ordering::Relaxed)),
             },
             flow_cache: self.fc.lock().expect("flow-cache lock").clone(),
+            lint: LintSnapshot {
+                runs: self.lint_runs.load(Ordering::Relaxed),
+                errors: self.lint_errors.load(Ordering::Relaxed),
+                warnings: self.lint_warnings.load(Ordering::Relaxed),
+                wall: Duration::from_nanos(self.lint_wall_nanos.load(Ordering::Relaxed)),
+                pass_histograms: self.lint_hist.lock().expect("lint histogram lock").clone(),
+            },
         }
     }
 }
@@ -258,6 +291,22 @@ pub struct FaultSimSnapshot {
     pub wall: Duration,
 }
 
+/// Accumulated lint work, as carried in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintSnapshot {
+    /// Lint runs recorded.
+    pub runs: u64,
+    /// Error-severity findings across all runs.
+    pub errors: u64,
+    /// Warning-severity findings across all runs.
+    pub warnings: u64,
+    /// Wall time of all lint runs.
+    pub wall: Duration,
+    /// Per-pass log2-microsecond histograms (same bucketing as the
+    /// flow-stage histograms), keyed by pass name.
+    pub pass_histograms: BTreeMap<&'static str, [u64; NUM_BUCKETS]>,
+}
+
 /// A point-in-time copy of an engine's metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -286,6 +335,8 @@ pub struct MetricsSnapshot {
     /// misses / evictions plus delta-vs-full evaluation timing
     /// histograms), summed over every recorded annealing run.
     pub flow_cache: FlowCacheStats,
+    /// Accumulated lint work.
+    pub lint: LintSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -335,6 +386,13 @@ impl MetricsSnapshot {
             }
             let _ = write!(hist, "\"{name}\":[{}]", trim_row(&self.histograms[i]));
         }
+        let mut lint_hist = String::new();
+        for (i, (name, row)) in self.lint.pass_histograms.iter().enumerate() {
+            if i > 0 {
+                lint_hist.push(',');
+            }
+            let _ = write!(lint_hist, "\"{name}\":[{}]", trim_row(row));
+        }
         format!(
             concat!(
                 "{{\"jobs\":{{\"submitted\":{sub},\"completed\":{done},\"panicked\":{pan}}},",
@@ -353,6 +411,9 @@ impl MetricsSnapshot {
                 "\"flow_cache\":{{\"interconnect\":{fc_ic},\"embeddings\":{fc_emb},",
                 "\"selection\":{fc_sel},\"warm_starts\":{fc_warm},",
                 "\"delta_micros_log2\":[{fc_delta}],\"full_micros_log2\":[{fc_full}]}},",
+                "\"lint\":{{\"runs\":{li_runs},\"errors\":{li_err},",
+                "\"warnings\":{li_warn},\"wall_micros\":{li_wall},",
+                "\"pass_micros_log2_histograms\":{{{li_hist}}}}},",
                 "\"stage_micros_log2_histograms\":{{{hist}}}}}"
             ),
             sub = self.jobs_submitted,
@@ -386,6 +447,11 @@ impl MetricsSnapshot {
             fc_warm = self.flow_cache.warm_starts,
             fc_delta = trim_row(&self.flow_cache.delta_micros),
             fc_full = trim_row(&self.flow_cache.full_micros),
+            li_runs = self.lint.runs,
+            li_err = self.lint.errors,
+            li_warn = self.lint.warnings,
+            li_wall = self.lint.wall.as_micros(),
+            li_hist = lint_hist,
             hist = hist,
         )
     }

@@ -110,6 +110,50 @@ pub struct GateNetwork {
 }
 
 impl GateNetwork {
+    /// Assembles a network directly from its parts, **without** the
+    /// topological-order and single-driver guarantees [`NetworkBuilder`]
+    /// enforces. Net ids must still be in range (`< num_nets`); everything
+    /// else — undriven nets, multiply-driven nets, combinational loops,
+    /// dangling outputs — is accepted as-is.
+    ///
+    /// This exists for the structural linter and its mutation tests, which
+    /// need to represent *broken* netlists that the builder cannot create.
+    /// Evaluating a network with violated invariants gives meaningless
+    /// values (a forward reference reads a not-yet-computed net), so run
+    /// the linter before simulating anything built this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input, output, or gate operand/output net id is
+    /// `>= num_nets`.
+    pub fn from_parts(
+        num_nets: usize,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        gates: Vec<Gate>,
+    ) -> Self {
+        let check = |net: NetId, what: &str| {
+            assert!(net.index() < num_nets, "{what} net {net} out of range");
+        };
+        for &n in &inputs {
+            check(n, "input");
+        }
+        for &n in &outputs {
+            check(n, "output");
+        }
+        for g in &gates {
+            check(g.a, "gate operand");
+            check(g.b, "gate operand");
+            check(g.out, "gate output");
+        }
+        Self {
+            num_nets,
+            inputs,
+            outputs,
+            gates,
+        }
+    }
+
     /// Number of nets.
     pub fn num_nets(&self) -> usize {
         self.num_nets
@@ -506,6 +550,28 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let x = b.input();
         b.gate(GateKind::And, x, NetId(99));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_built_network() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let and = b.and(x, y);
+        let net = b.finish(vec![and]);
+        let rebuilt = GateNetwork::from_parts(
+            net.num_nets(),
+            net.inputs().to_vec(),
+            net.outputs().to_vec(),
+            net.gates().to_vec(),
+        );
+        assert_eq!(rebuilt, net);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_out_of_range_nets() {
+        GateNetwork::from_parts(1, vec![NetId(0)], vec![NetId(5)], vec![]);
     }
 
     #[test]

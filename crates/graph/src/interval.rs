@@ -163,6 +163,43 @@ pub fn max_clique_sizes(intervals: &[Interval]) -> Vec<usize> {
     mcs
 }
 
+/// All pairs of overlapping intervals, as `(i, j)` index pairs with
+/// `i < j`, sorted lexicographically.
+///
+/// This is the edge list of [`conflict_graph`] computed by a sweep over
+/// interval endpoints instead of the quadratic all-pairs scan, so callers
+/// that only need the conflicting pairs (e.g. a lint pass auditing a
+/// register assignment) avoid materialising the dense graph.
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::interval::{overlapping_pairs, Interval};
+///
+/// let spans = [Interval::new(0, 3), Interval::new(2, 4), Interval::new(3, 5)];
+/// assert_eq!(overlapping_pairs(&spans), vec![(0, 1), (1, 2)]);
+/// ```
+pub fn overlapping_pairs(intervals: &[Interval]) -> Vec<(usize, usize)> {
+    // Sweep arrivals in start order; an arriving interval overlaps exactly
+    // the active intervals whose end is past its start (half-open).
+    let mut order: Vec<usize> = (0..intervals.len())
+        .filter(|&i| !intervals[i].is_empty())
+        .collect();
+    order.sort_unstable_by_key(|&i| (intervals[i].start, intervals[i].end, i));
+    let mut active: Vec<usize> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for &i in &order {
+        let iv = &intervals[i];
+        active.retain(|&j| intervals[j].end > iv.start);
+        for &j in &active {
+            pairs.push((i.min(j), i.max(j)));
+        }
+        active.push(i);
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
 /// The distinct maximal cliques of an interval conflict graph, each as a
 /// sorted vertex list. Returned in increasing order of the time point that
 /// witnesses them.
@@ -285,6 +322,35 @@ mod tests {
         let spans = [Interval::new(0, 2), Interval::new(1, 3), Interval::new(1, 2)];
         let cliques = maximal_cliques(&spans);
         assert_eq!(cliques, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn overlapping_pairs_matches_conflict_graph() {
+        let spans = [
+            Interval::new(0, 4),
+            Interval::new(1, 3),
+            Interval::new(2, 6),
+            Interval::new(5, 8),
+            Interval::new(7, 9),
+            Interval::new(3, 3), // empty: conflicts with nothing
+        ];
+        let g = conflict_graph(&spans);
+        let mut expected = Vec::new();
+        for i in 0..spans.len() {
+            for j in i + 1..spans.len() {
+                if g.has_edge(i, j) {
+                    expected.push((i, j));
+                }
+            }
+        }
+        assert_eq!(overlapping_pairs(&spans), expected);
+    }
+
+    #[test]
+    fn overlapping_pairs_empty_and_disjoint() {
+        assert_eq!(overlapping_pairs(&[]), Vec::new());
+        let spans = [Interval::new(0, 2), Interval::new(2, 4)];
+        assert_eq!(overlapping_pairs(&spans), Vec::new());
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`count`] — exact proper-coloring counts for small graphs (used to
 //!   validate benchmark reconstructions, e.g. the paper's "108 distinct
 //!   assignments" remark).
+//! * [`scc`] — strongly connected components of directed graphs
+//!   (combinational-loop detection in gate netlists).
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@ pub mod coloring;
 pub mod count;
 pub mod interval;
 pub mod pves;
+pub mod scc;
 mod ugraph;
 
 pub use coloring::{Coloring, ColoringError};

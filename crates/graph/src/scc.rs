@@ -1,0 +1,212 @@
+//! Strongly connected components of a directed graph (iterative Tarjan).
+//!
+//! Combinational-loop detection in a gate netlist reduces to finding a
+//! strongly connected component with more than one vertex — or a vertex
+//! with a self-edge — in the signal dependence graph. Tarjan's algorithm
+//! gives all components in one linear pass; the implementation here is
+//! fully iterative so deep chains of gates cannot overflow the stack.
+
+/// A small dense directed graph over vertices `0..n`.
+///
+/// Parallel edges are permitted and harmless; self-edges are recorded and
+/// reported as single-vertex cycles by [`DiGraph::cyclic_sccs`].
+///
+/// # Examples
+///
+/// ```
+/// use lobist_graph::scc::DiGraph;
+///
+/// let mut g = DiGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 0);
+/// g.add_edge(2, 3);
+/// let comps = g.cyclic_sccs();
+/// assert_eq!(comps, vec![vec![0, 1, 2]]); // 3 is acyclic
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    succ: Vec<Vec<usize>>,
+    self_loops: Vec<bool>,
+}
+
+impl DiGraph {
+    /// An edgeless directed graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            succ: vec![Vec::new(); n],
+            self_loops: vec![false; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds the directed edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.len() && to < self.len(), "edge out of range");
+        if from == to {
+            self.self_loops[from] = true;
+        }
+        self.succ[from].push(to);
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.succ[v]
+    }
+
+    /// All strongly connected components, each as a sorted vertex list,
+    /// ordered by smallest member. Every vertex appears in exactly one
+    /// component (singletons included).
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        const UNSEEN: usize = usize::MAX;
+        let mut index = vec![UNSEEN; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (vertex, next successor position to visit).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNSEEN {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos < self.succ[v].len() {
+                    let w = self.succ[v][*pos];
+                    *pos += 1;
+                    if index[w] == UNSEEN {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        comps.sort_unstable_by_key(|c| c[0]);
+        comps
+    }
+
+    /// The components that contain a cycle: multi-vertex SCCs plus any
+    /// single vertex with a self-edge. Each component is sorted; the list
+    /// is ordered by smallest member.
+    pub fn cyclic_sccs(&self) -> Vec<Vec<usize>> {
+        self.sccs()
+            .into_iter()
+            .filter(|c| c.len() > 1 || self.self_loops[c[0]])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_cyclic_components() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        assert!(g.cyclic_sccs().is_empty());
+        assert_eq!(g.sccs().len(), 5);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        assert_eq!(g.cyclic_sccs(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let mut g = DiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3); // feeds the second cycle but is not in it
+        let comps = g.cyclic_sccs();
+        assert_eq!(comps, vec![vec![0, 1], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn nested_cycle_collapses_to_one_component() {
+        // 0 -> 1 -> 2 -> 0 with chord 1 -> 0.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(1, 0);
+        assert_eq!(g.cyclic_sccs(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex path: recursion here would blow the stack.
+        let n = 100_000;
+        let mut g = DiGraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1);
+        }
+        assert!(g.cyclic_sccs().is_empty());
+        g.add_edge(n - 1, 0);
+        assert_eq!(g.cyclic_sccs().len(), 1);
+        assert_eq!(g.cyclic_sccs()[0].len(), n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(g.is_empty());
+        assert!(g.sccs().is_empty());
+    }
+}

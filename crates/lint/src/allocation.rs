@@ -1,0 +1,180 @@
+//! Allocation-invariant passes: register coloring (`coloring`) and
+//! module/interconnect binding (`binding`).
+//!
+//! These audit the assignments themselves, not the assembled netlist, so
+//! they run even when the defect prevents [`lobist_datapath::DataPath`]
+//! assembly — that is precisely when a static explanation beats a build
+//! error. Cascade suppression keeps reports focused: an operation whose
+//! port orientation is already invalid (`A104`) is not re-reported as a
+//! binding mismatch (`A105`), and a port with no sources at all is
+//! `L005`'s finding, not one `A105` per operation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lobist_datapath::{Port, PortSide, SourceRef};
+use lobist_dfg::lifetime::Lifetimes;
+use lobist_dfg::{OpId, Operand, VarId};
+use lobist_graph::interval::{overlapping_pairs, Interval};
+
+use crate::context::LintUnit;
+use crate::diag::{Code, Diagnostic, Span};
+use crate::registry::Pass;
+
+/// Register-coloring checks (`A101`, `A102`).
+pub struct ColoringPass;
+
+impl Pass for ColoringPass {
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::A101RegisterConflict, Code::A102UnassignedVariable]
+    }
+
+    fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic> {
+        let lifetimes = Lifetimes::compute(unit.dfg, unit.schedule, unit.lifetime_options);
+        let mut out = Vec::new();
+
+        // A102: every register-resident variable needs a register.
+        for &v in lifetimes.reg_vars() {
+            if unit.registers.register_of(v).is_none() {
+                out.push(Diagnostic::new(
+                    Code::A102UnassignedVariable,
+                    Span::Var(v),
+                    format!("variable {} has no register", unit.dfg.var(v).name),
+                ));
+            }
+        }
+
+        // A101: within each register class, no two lifetimes may overlap.
+        // `overlapping_pairs` sweeps the class's intervals instead of
+        // scanning all pairs.
+        for (ri, class) in unit.registers.classes().iter().enumerate() {
+            let spans: Vec<(VarId, Interval)> = class
+                .iter()
+                .filter_map(|&v| lifetimes.interval(v).map(|iv| (v, iv)))
+                .collect();
+            let intervals: Vec<Interval> = spans.iter().map(|&(_, iv)| iv).collect();
+            for (i, j) in overlapping_pairs(&intervals) {
+                let (u, v) = (spans[i].0, spans[j].0);
+                out.push(Diagnostic::new(
+                    Code::A101RegisterConflict,
+                    Span::Register(lobist_datapath::RegisterId(ri as u32)),
+                    format!(
+                        "variables {} and {} are live simultaneously but share the register",
+                        unit.dfg.var(u).name,
+                        unit.dfg.var(v).name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Module-schedule and interconnect-binding checks (`A103`–`A105`).
+pub struct BindingPass;
+
+impl Pass for BindingPass {
+    fn name(&self) -> &'static str {
+        "binding"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            Code::A103ModuleOverlap,
+            Code::A104NonCommutativeSwap,
+            Code::A105PortBindingMismatch,
+        ]
+    }
+
+    fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // A103: a module may execute at most one operation per step.
+        for m in unit.modules.module_ids() {
+            let mut by_step: BTreeMap<u32, Vec<OpId>> = BTreeMap::new();
+            for &op in unit.modules.ops_of(m) {
+                by_step.entry(unit.schedule.step(op)).or_default().push(op);
+            }
+            for (step, ops) in by_step {
+                if ops.len() > 1 {
+                    let names: Vec<&str> =
+                        ops.iter().map(|&op| unit.dfg.op(op).name.as_str()).collect();
+                    out.push(Diagnostic::new(
+                        Code::A103ModuleOverlap,
+                        Span::Module(m),
+                        format!(
+                            "operations {} are all scheduled in step {step}",
+                            names.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // A104: non-commutative operands must keep their orientation.
+        let mut swapped: BTreeSet<OpId> = BTreeSet::new();
+        for op in unit.dfg.op_ids() {
+            let info = unit.dfg.op(op);
+            if let Some(side) = unit.lhs_side(op) {
+                if !info.kind.is_commutative() && side != PortSide::Left {
+                    swapped.insert(op);
+                    out.push(Diagnostic::new(
+                        Code::A104NonCommutativeSwap,
+                        Span::Op(op),
+                        format!(
+                            "non-commutative operation {} has its left operand on the right port",
+                            info.name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // A105: the netlist must realise every operand binding — each
+        // operation's operand source appears in the mux of the port the
+        // interconnect assignment routes it to. Extra port sources are
+        // fine (test points add legs deliberately); missing ones are not.
+        let Some(dp) = unit.data_path else {
+            return out;
+        };
+        let source_of = |operand: Operand| -> SourceRef {
+            match operand {
+                Operand::Const(c) => SourceRef::Constant(c),
+                Operand::Var(v) => match unit.registers.register_of(v) {
+                    Some(r) => SourceRef::Register(r),
+                    None => SourceRef::ExternalInput(v),
+                },
+            }
+        };
+        for op in unit.dfg.op_ids() {
+            if swapped.contains(&op) {
+                continue; // orientation already reported by A104
+            }
+            let info = unit.dfg.op(op);
+            let m = unit.modules.module_of(op);
+            let lhs_side = dp.lhs_side(op);
+            for (operand, side) in [(info.lhs, lhs_side), (info.rhs, lhs_side.other())] {
+                let port = Port { module: m, side };
+                let sources = dp.port_sources(port);
+                if sources.is_empty() {
+                    continue; // L005's finding
+                }
+                let want = source_of(operand);
+                if !sources.contains(&want) {
+                    out.push(Diagnostic::new(
+                        Code::A105PortBindingMismatch,
+                        Span::Port(port),
+                        format!(
+                            "operation {} expects source {want} on {port} but the mux lacks it",
+                            info.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,179 @@
+//! BIST-legality passes.
+//!
+//! The `bist-legality` pass re-runs the granular checks of
+//! [`lobist_bist::verify`] — the *same functions* `verify()` composes, so
+//! there is exactly one implementation of each legality rule — and maps
+//! each violation to a stable code. The `lemma2-audit` pass goes beyond
+//! point legality: it cross-checks the emitted CBILBO styles against the
+//! Lemma-2 forcing analysis in [`lobist_alloc::cbilbo`] — every register
+//! an embedding uses as concurrent TPG+SA must be a CBILBO (`B208`), and
+//! every emitted CBILBO must be earned, i.e. demanded by an embedding or
+//! forced by Lemma 2 (`B209`).
+
+use std::collections::BTreeSet;
+
+use lobist_alloc::cbilbo::forced_cbilbos;
+use lobist_bist::verify::{
+    check_concurrent_roles, check_embedding_paths, check_overhead, check_role_styles,
+    check_sessions, check_shape, Violation,
+};
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_datapath::{Port, RegisterId};
+
+use crate::context::LintUnit;
+use crate::diag::{Code, Diagnostic, Span};
+use crate::registry::Pass;
+
+fn violation_to_diag(v: Violation) -> Diagnostic {
+    match v {
+        Violation::ShapeMismatch { what } => Diagnostic::new(
+            Code::B207ShapeMismatch,
+            Span::Design,
+            format!("shape mismatch: {what}"),
+        ),
+        Violation::NoSuchIPath { module, side } => Diagnostic::new(
+            Code::B201NoSuchIPath,
+            Span::Port(Port { module, side }),
+            "pattern source has no I-path to this port".to_string(),
+        ),
+        Violation::NoSuchSaPath { module } => Diagnostic::new(
+            Code::B202NoSuchSaPath,
+            Span::Module(module),
+            "SA register receives no output I-path".to_string(),
+        ),
+        Violation::DuplicateTpg { module } => Diagnostic::new(
+            Code::B203DuplicateTpg,
+            Span::Module(module),
+            "both ports fed by the same pattern source".to_string(),
+        ),
+        Violation::InsufficientStyle { register, needs } => Diagnostic::new(
+            Code::B204InsufficientStyle,
+            Span::Register(register),
+            format!("style cannot {needs}"),
+        ),
+        Violation::SessionConflict { a, b } => Diagnostic::new(
+            Code::B205SessionConflict,
+            Span::Module(a),
+            format!("conflicts with {b} within one test session"),
+        ),
+        Violation::OverheadMismatch {
+            recorded,
+            recomputed,
+        } => Diagnostic::new(
+            Code::B206OverheadMismatch,
+            Span::Design,
+            format!("recorded overhead {recorded} != recomputed {recomputed}"),
+        ),
+    }
+}
+
+/// Point-legality checks of the BIST solution (`B201`–`B207`), shared
+/// with [`lobist_bist::verify::verify`].
+pub struct BistLegalityPass;
+
+impl Pass for BistLegalityPass {
+    fn name(&self) -> &'static str {
+        "bist-legality"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            Code::B201NoSuchIPath,
+            Code::B202NoSuchSaPath,
+            Code::B203DuplicateTpg,
+            Code::B204InsufficientStyle,
+            Code::B205SessionConflict,
+            Code::B206OverheadMismatch,
+            Code::B207ShapeMismatch,
+        ]
+    }
+
+    fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic> {
+        let (Some(dp), Some(sol)) = (unit.data_path, unit.bist) else {
+            return Vec::new();
+        };
+        let shape = check_shape(dp, sol);
+        if !shape.is_empty() {
+            // Every other check indexes the solution's vectors by id;
+            // with the shape off, those reports would be noise.
+            return shape.into_iter().map(violation_to_diag).collect();
+        }
+        let ipaths = IPathAnalysis::of(dp);
+        let mut violations = check_embedding_paths(dp, &ipaths, sol);
+        violations.extend(check_role_styles(dp, sol));
+        violations.extend(check_sessions(dp, sol));
+        violations.extend(check_overhead(sol, unit.area));
+        violations.into_iter().map(violation_to_diag).collect()
+    }
+}
+
+/// The Lemma-2 audit (`B208`, `B209`).
+pub struct Lemma2AuditPass;
+
+impl Pass for Lemma2AuditPass {
+    fn name(&self) -> &'static str {
+        "lemma2-audit"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::B208MissingForcedCbilbo, Code::B209UnforcedCbilbo]
+    }
+
+    fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic> {
+        let (Some(dp), Some(sol)) = (unit.data_path, unit.bist) else {
+            return Vec::new();
+        };
+        if !check_shape(dp, sol).is_empty() {
+            return Vec::new(); // B207 already reported by bist-legality
+        }
+        let predicted = forced_cbilbos(unit.dfg, unit.modules, unit.registers.classes());
+        let mut out = Vec::new();
+
+        // B208: an embedding that reuses its SA as a TPG needs a CBILBO
+        // there — reported through the shared check so this pass and
+        // `verify()` agree on what "concurrent roles" means.
+        for v in check_concurrent_roles(dp, sol) {
+            let Violation::InsufficientStyle { register, .. } = v else {
+                continue;
+            };
+            let lemma = if predicted.iter().any(|f| f.register == register.index()) {
+                " (Lemma 2 forces a CBILBO here)"
+            } else {
+                ""
+            };
+            out.push(Diagnostic::new(
+                Code::B208MissingForcedCbilbo,
+                Span::Register(register),
+                format!(
+                    "register serves as TPG and SA of one embedding but its style is {}{lemma}",
+                    sol.style(register)
+                ),
+            ));
+        }
+
+        // B209: a CBILBO nobody asked for.
+        let demanded: BTreeSet<RegisterId> = sol
+            .embeddings
+            .iter()
+            .filter_map(|e| e.cbilbo_register())
+            .collect();
+        let lemma_forced: BTreeSet<RegisterId> = predicted
+            .iter()
+            .map(|f| RegisterId(f.register as u32))
+            .collect();
+        for r in dp.register_ids() {
+            if sol.style(r).can_do_both_concurrently()
+                && !demanded.contains(&r)
+                && !lemma_forced.contains(&r)
+            {
+                out.push(Diagnostic::new(
+                    Code::B209UnforcedCbilbo,
+                    Span::Register(r),
+                    "CBILBO style is neither demanded by any embedding nor forced by Lemma 2"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,74 @@
+//! The unit of work a lint run operates on.
+//!
+//! A [`LintUnit`] borrows whatever artifacts exist for a design. Only the
+//! DFG, schedule and the two core assignments are mandatory; the data
+//! path and BIST solution are optional so that allocation-layer passes
+//! can audit assignments that are too broken to assemble into a netlist
+//! (exactly the situation the mutation suite constructs), and so that a
+//! traditional, BIST-free flow result can still be structurally linted.
+//! Passes that need an absent artifact simply report nothing.
+
+use lobist_alloc::flow::Design;
+use lobist_bist::BistSolution;
+use lobist_datapath::area::AreaModel;
+use lobist_datapath::{
+    DataPath, InterconnectAssignment, ModuleAssignment, PortSide, RegisterAssignment,
+};
+use lobist_dfg::lifetime::LifetimeOptions;
+use lobist_dfg::{Dfg, OpId, Schedule};
+
+/// Everything a lint pass may look at.
+#[derive(Clone, Copy)]
+pub struct LintUnit<'a> {
+    /// The behavioural description.
+    pub dfg: &'a Dfg,
+    /// Its control-step schedule.
+    pub schedule: &'a Schedule,
+    /// Lifetime conventions the allocation was made under.
+    pub lifetime_options: LifetimeOptions,
+    /// Operations → modules.
+    pub modules: &'a ModuleAssignment,
+    /// Variables → registers.
+    pub registers: &'a RegisterAssignment,
+    /// Operand → port orientation, when available separately from the
+    /// data path (the assembled netlist already bakes it in).
+    pub interconnect: Option<&'a InterconnectAssignment>,
+    /// The assembled netlist, if assembly succeeded.
+    pub data_path: Option<&'a DataPath>,
+    /// The BIST solution, if one was produced.
+    pub bist: Option<&'a BistSolution>,
+    /// The gate-count model (supplies the design bit width).
+    pub area: &'a AreaModel,
+}
+
+impl<'a> LintUnit<'a> {
+    /// A unit covering a complete flow result.
+    pub fn of_design(
+        dfg: &'a Dfg,
+        schedule: &'a Schedule,
+        design: &'a Design,
+        lifetime_options: LifetimeOptions,
+        area: &'a AreaModel,
+    ) -> Self {
+        Self {
+            dfg,
+            schedule,
+            lifetime_options,
+            modules: &design.module_assignment,
+            registers: &design.register_assignment,
+            interconnect: None,
+            data_path: Some(&design.data_path),
+            bist: Some(&design.bist),
+            area,
+        }
+    }
+
+    /// The port the operation's left operand drives, from the data path
+    /// when present (authoritative) or the standalone interconnect
+    /// assignment otherwise.
+    pub fn lhs_side(&self, op: OpId) -> Option<PortSide> {
+        self.data_path
+            .map(|dp| dp.lhs_side(op))
+            .or_else(|| self.interconnect.map(|ic| ic.lhs_side(op)))
+    }
+}

@@ -1,0 +1,101 @@
+//! The pass trait and registry.
+//!
+//! A pass is a pure function from a [`LintUnit`] to diagnostics; the
+//! registry owns the default pass set and runs it. Passes are
+//! independent by contract — no pass reads another's output — so a
+//! driver may run them in any order or in parallel and the sorted
+//! [`Report`] comes out identical (the engine's parallel driver relies
+//! on this).
+
+use crate::context::LintUnit;
+use crate::diag::{Code, Diagnostic, Report};
+
+/// One static-analysis pass.
+pub trait Pass: Send + Sync {
+    /// Stable pass name (used in metrics and `--metrics` output).
+    fn name(&self) -> &'static str;
+
+    /// The codes this pass can emit.
+    fn codes(&self) -> &'static [Code];
+
+    /// Runs the pass. Must be deterministic and must not depend on other
+    /// passes having run.
+    fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic>;
+}
+
+/// An ordered collection of passes.
+pub struct PassRegistry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { passes: Vec::new() }
+    }
+
+    /// The default registry: every shipped pass, in layer order.
+    pub fn default_registry() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(crate::structural::StructurePass));
+        r.register(Box::new(crate::structural::GatesPass));
+        r.register(Box::new(crate::allocation::ColoringPass));
+        r.register(Box::new(crate::allocation::BindingPass));
+        r.register(Box::new(crate::bist::BistLegalityPass));
+        r.register(Box::new(crate::bist::Lemma2AuditPass));
+        r
+    }
+
+    /// Appends a pass.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// The registered passes.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Runs every pass serially and collects the sorted report.
+    pub fn lint(&self, unit: &LintUnit<'_>) -> Report {
+        let mut diags = Vec::new();
+        for p in &self.passes {
+            diags.extend(p.run(unit));
+        }
+        Report::new(diags)
+    }
+}
+
+impl Default for PassRegistry {
+    fn default() -> Self {
+        Self::default_registry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_all_layers() {
+        let r = PassRegistry::default_registry();
+        let names: Vec<&str> = r.passes().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "structure",
+                "gates",
+                "coloring",
+                "binding",
+                "bist-legality",
+                "lemma2-audit"
+            ]
+        );
+        // Every code is owned by exactly one pass.
+        let mut owned: Vec<Code> = r.passes().iter().flat_map(|p| p.codes()).copied().collect();
+        owned.sort();
+        let mut all = crate::diag::ALL_CODES.to_vec();
+        all.sort();
+        assert_eq!(owned, all);
+    }
+}

@@ -1,0 +1,636 @@
+//! Mutation testing of the linter itself.
+//!
+//! Each test takes a known-clean synthesized design, injects exactly one
+//! defect through the surgical hooks on [`DataPath`] / [`BistSolution`] /
+//! the assignments, and asserts the report contains **exactly** the
+//! expected diagnostic code — no misses and no collateral noise. Together
+//! with the gate-network tests in `structural.rs` (L001–L004), every code
+//! in the registry has a fixture that fires it and nothing else.
+
+use std::collections::BTreeSet;
+
+use lobist_alloc::cbilbo::forced_cbilbos;
+use lobist_alloc::flow::{synthesize_benchmark, Design, FlowOptions};
+use lobist_bist::embedding::PatternSource;
+use lobist_bist::BistSolution;
+use lobist_datapath::area::{AreaModel, BistStyle, GateCount};
+use lobist_datapath::ipath::IPathAnalysis;
+use lobist_datapath::{
+    DataPath, InterconnectAssignment, ModuleAssignment, ModuleId, Port, PortSide,
+    RegisterAssignment, RegisterId, SourceRef,
+};
+use lobist_dfg::benchmarks::{self, Benchmark};
+use lobist_dfg::lifetime::{LifetimeOptions, Lifetimes};
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::parse::parse_dfg;
+use lobist_dfg::{OpKind, Operand, VarId};
+use lobist_lint::{lint, Code, LintUnit, Report, Severity};
+
+struct Fixture {
+    bench: Benchmark,
+    opts: FlowOptions,
+    design: Design,
+}
+
+impl Fixture {
+    fn ex1(opts: FlowOptions) -> Fixture {
+        let bench = benchmarks::ex1();
+        let design = synthesize_benchmark(&bench, &opts).expect("ex1 synthesizes");
+        Fixture {
+            bench,
+            opts,
+            design,
+        }
+    }
+
+    /// The unit for the unmutated design.
+    fn unit(&self) -> LintUnit<'_> {
+        LintUnit::of_design(
+            &self.bench.dfg,
+            &self.bench.schedule,
+            &self.design,
+            self.bench.lifetime_options,
+            &self.opts.area,
+        )
+    }
+
+    /// A unit over a mutated data path. The BIST solution is withheld:
+    /// structural surgery perturbs the I-path analysis, and the point of
+    /// these tests is that exactly one layer reports.
+    fn unit_dp<'a>(&'a self, dp: &'a DataPath) -> LintUnit<'a> {
+        LintUnit {
+            data_path: Some(dp),
+            bist: None,
+            ..self.unit()
+        }
+    }
+
+    /// A unit over a mutated register assignment, before netlist assembly.
+    fn unit_regs<'a>(&'a self, regs: &'a RegisterAssignment) -> LintUnit<'a> {
+        LintUnit {
+            registers: regs,
+            data_path: None,
+            bist: None,
+            ..self.unit()
+        }
+    }
+
+    /// A unit over a mutated BIST solution.
+    fn unit_bist<'a>(&'a self, sol: &'a BistSolution) -> LintUnit<'a> {
+        LintUnit {
+            bist: Some(sol),
+            ..self.unit()
+        }
+    }
+
+    /// A unit where both the data path and the solution are replaced.
+    fn unit_dp_bist<'a>(&'a self, dp: &'a DataPath, sol: &'a BistSolution) -> LintUnit<'a> {
+        LintUnit {
+            data_path: Some(dp),
+            bist: Some(sol),
+            ..self.unit()
+        }
+    }
+}
+
+/// Fixtures rich enough for the BIST mutations: both flows over the
+/// paper's example and the Paulin benchmark.
+fn bist_fixtures() -> Vec<Fixture> {
+    let mut out = Vec::new();
+    for make in [benchmarks::ex1 as fn() -> Benchmark, benchmarks::paulin] {
+        for opts in [FlowOptions::testable(), FlowOptions::traditional()] {
+            let bench = make();
+            if let Ok(design) = synthesize_benchmark(&bench, &opts) {
+                out.push(Fixture {
+                    bench,
+                    opts,
+                    design,
+                });
+            }
+        }
+    }
+    assert!(!out.is_empty());
+    out
+}
+
+fn expect_exactly(report: &Report, code: Code) {
+    assert_eq!(
+        report.codes(),
+        [code],
+        "expected only {code:?}:\n{}",
+        report.render_text()
+    );
+}
+
+/// Resets the recorded overhead to match the (mutated) styles, so style
+/// surgery tests the style check and not the bookkeeping.
+fn fix_overhead(sol: &mut BistSolution, model: &AreaModel) {
+    sol.overhead = GateCount(
+        sol.styles
+            .iter()
+            .map(|&s| model.style_extra(s).get())
+            .sum(),
+    );
+}
+
+/// `r` may serve as a TPG of module `m` without a session conflict.
+fn session_safe_as_tpg(sol: &BistSolution, m: ModuleId, r: RegisterId) -> bool {
+    sol.style(r).can_do_both_concurrently()
+        || sol.embeddings.iter().enumerate().all(|(b, eb)| {
+            b == m.index() || sol.sessions[b] != sol.sessions[m.index()] || eb.sa != r
+        })
+}
+
+/// `r` may serve as the SA of module `m` without a session conflict.
+fn session_safe_as_sa(sol: &BistSolution, m: ModuleId, r: RegisterId) -> bool {
+    sol.embeddings.iter().enumerate().all(|(b, eb)| {
+        b == m.index()
+            || sol.sessions[b] != sol.sessions[m.index()]
+            || (eb.sa != r
+                && (sol.style(r).can_do_both_concurrently()
+                    || !eb.tpg_registers().any(|t| t == r)))
+    })
+}
+
+/// The mux source an operation's operand binds to, mirroring the binding
+/// rule the linter checks.
+fn source_of(f: &Fixture, operand: Operand) -> SourceRef {
+    match operand {
+        Operand::Const(c) => SourceRef::Constant(c),
+        Operand::Var(v) => match f.design.register_assignment.register_of(v) {
+            Some(r) => SourceRef::Register(r),
+            None => SourceRef::ExternalInput(v),
+        },
+    }
+}
+
+// ---------------------------------------------------------------- baseline
+
+#[test]
+fn synthesized_designs_lint_clean() {
+    for f in bist_fixtures() {
+        let report = lint(&f.unit());
+        assert!(
+            report.is_clean(),
+            "{} should be clean:\n{}",
+            f.bench.name,
+            report.render_text()
+        );
+    }
+}
+
+// ------------------------------------------------------- structure layer
+
+#[test]
+fn cutting_every_source_of_a_port_is_l005() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let dp0 = &f.design.data_path;
+    // A port whose removal leaves every feeding register with other work,
+    // so only the dangling port itself is reportable.
+    let port = dp0
+        .module_ids()
+        .filter(|&m| !dp0.module_ops(m).is_empty())
+        .flat_map(|m| {
+            [PortSide::Left, PortSide::Right].map(|side| Port { module: m, side })
+        })
+        .find(|&port| {
+            dp0.port_sources(port).iter().all(|&s| match s {
+                SourceRef::Register(r) => dp0.ports_fed_by(r).len() >= 2,
+                _ => true,
+            })
+        })
+        .expect("some port only taps shared registers");
+    let mut dp = dp0.clone();
+    for s in dp0.port_sources(port).iter().copied().collect::<Vec<_>>() {
+        assert!(dp.cut_port_source(port, s));
+    }
+    expect_exactly(&lint(&f.unit_dp(&dp)), Code::L005DanglingPort);
+}
+
+#[test]
+fn cutting_a_register_driver_is_l006() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let dp0 = &f.design.data_path;
+    let r = dp0
+        .register_ids()
+        .find(|&r| !dp0.register_sources(r).is_empty())
+        .expect("some register is module-driven");
+    let mut dp = dp0.clone();
+    for m in dp0.register_sources(r).iter().copied().collect::<Vec<_>>() {
+        assert!(dp.cut_register_driver(r, m));
+    }
+    expect_exactly(&lint(&f.unit_dp(&dp)), Code::L006UnreachableRegister);
+}
+
+#[test]
+fn isolated_register_is_l007() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let input = f
+        .bench
+        .dfg
+        .var_ids()
+        .find(|&v| f.bench.dfg.var(v).producer.is_none() && !f.bench.dfg.var(v).is_output)
+        .expect("ex1 has inputs");
+    let mut dp = f.design.data_path.clone();
+    dp.add_isolated_register(vec![input], true);
+    let report = lint(&f.unit_dp(&dp));
+    expect_exactly(&report, Code::L007DeadRegister);
+    assert_eq!(report.error_count(), 0, "L007 is a warning");
+}
+
+#[test]
+fn out_of_range_source_is_l008() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let mut dp = f.design.data_path.clone();
+    let port = Port {
+        module: dp.module_ids().next().unwrap(),
+        side: PortSide::Left,
+    };
+    dp.add_port_source(port, SourceRef::Register(RegisterId(99)));
+    expect_exactly(&lint(&f.unit_dp(&dp)), Code::L008SourceOutOfRange);
+}
+
+// ------------------------------------------------------ allocation layer
+
+#[test]
+fn overlapping_lifetimes_are_a101() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let lifetimes = Lifetimes::compute(
+        &f.bench.dfg,
+        &f.bench.schedule,
+        f.bench.lifetime_options,
+    );
+    let classes = f.design.register_assignment.classes();
+    // Move one variable into a class holding a simultaneously-live one.
+    let (v, from, to) = classes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, class)| class.iter().map(move |&v| (v, i)))
+        .find_map(|(v, i)| {
+            (0..classes.len())
+                .find(|&j| j != i && classes[j].iter().any(|&u| lifetimes.conflicts(v, u)))
+                .map(|j| (v, i, j))
+        })
+        .expect("ex1 has a cross-class lifetime conflict");
+    let mut broken = classes.to_vec();
+    broken[from].retain(|&u| u != v);
+    broken[to].push(v);
+    let regs = RegisterAssignment::new(&f.bench.dfg, broken).unwrap();
+    expect_exactly(&lint(&f.unit_regs(&regs)), Code::A101RegisterConflict);
+}
+
+#[test]
+fn dropping_a_variable_is_a102() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let mut classes = f.design.register_assignment.classes().to_vec();
+    let victim = classes.iter().find(|c| !c.is_empty()).unwrap()[0];
+    for class in &mut classes {
+        class.retain(|&v| v != victim);
+    }
+    let regs = RegisterAssignment::new(&f.bench.dfg, classes).unwrap();
+    expect_exactly(&lint(&f.unit_regs(&regs)), Code::A102UnassignedVariable);
+}
+
+/// A two-adds-in-one-step DFG where the broken module assignment is built
+/// directly — the defect exists before any netlist could.
+#[test]
+fn double_booked_module_is_a103() {
+    let (dfg, schedule) = parse_dfg(
+        "input a b c d\n\
+         s1 = a + b @ 1\n\
+         s2 = c + d @ 1\n\
+         y  = s1 * s2 @ 2\n\
+         output y\n",
+    )
+    .unwrap();
+    let ms: ModuleSet = "1+,1*".parse().unwrap();
+    let modules = ModuleAssignment::new(&dfg, &ms, vec![0, 0, 1]).unwrap();
+    let lifetimes = Lifetimes::compute(&dfg, &schedule, LifetimeOptions::registered_inputs());
+    let classes: Vec<Vec<VarId>> = lifetimes.reg_vars().iter().map(|&v| vec![v]).collect();
+    let regs = RegisterAssignment::new(&dfg, classes).unwrap();
+    let area = AreaModel::default();
+    let unit = LintUnit {
+        dfg: &dfg,
+        schedule: &schedule,
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        modules: &modules,
+        registers: &regs,
+        interconnect: None,
+        data_path: None,
+        bist: None,
+        area: &area,
+    };
+    expect_exactly(&lint(&unit), Code::A103ModuleOverlap);
+}
+
+#[test]
+fn swapped_noncommutative_operands_are_a104() {
+    let (dfg, schedule) = parse_dfg(
+        "input a b c d\n\
+         s1 = a + b @ 1\n\
+         s2 = c + d @ 2\n\
+         y  = s1 - s2 @ 3\n\
+         output y\n",
+    )
+    .unwrap();
+    let ms: ModuleSet = "1+,1-".parse().unwrap();
+    let modules = ModuleAssignment::new(&dfg, &ms, vec![0, 0, 1]).unwrap();
+    let lifetimes = Lifetimes::compute(&dfg, &schedule, LifetimeOptions::registered_inputs());
+    let classes: Vec<Vec<VarId>> = lifetimes.reg_vars().iter().map(|&v| vec![v]).collect();
+    let regs = RegisterAssignment::new(&dfg, classes).unwrap();
+    let y = dfg
+        .op_ids()
+        .find(|&op| dfg.op(op).kind == OpKind::Sub)
+        .unwrap();
+    let mut ic = InterconnectAssignment::straight(&dfg);
+    ic.swap(y);
+    let area = AreaModel::default();
+    let unit = LintUnit {
+        dfg: &dfg,
+        schedule: &schedule,
+        lifetime_options: LifetimeOptions::registered_inputs(),
+        modules: &modules,
+        registers: &regs,
+        interconnect: Some(&ic),
+        data_path: None,
+        bist: None,
+        area: &area,
+    };
+    expect_exactly(&lint(&unit), Code::A104NonCommutativeSwap);
+}
+
+#[test]
+fn cutting_a_bound_mux_leg_is_a105() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let dp0 = &f.design.data_path;
+    // An operand whose register leg also feeds other ports, on a port
+    // with other legs left over — cutting it breaks exactly one binding.
+    let (port, want) = f
+        .bench
+        .dfg
+        .op_ids()
+        .find_map(|op| {
+            let info = f.bench.dfg.op(op);
+            let m = f.design.module_assignment.module_of(op);
+            let lhs = dp0.lhs_side(op);
+            [(info.lhs, lhs), (info.rhs, lhs.other())]
+                .into_iter()
+                .find_map(|(operand, side)| {
+                    let port = Port { module: m, side };
+                    let want = source_of(&f, operand);
+                    let SourceRef::Register(r) = want else {
+                        return None;
+                    };
+                    (dp0.port_sources(port).len() >= 2 && dp0.ports_fed_by(r).len() >= 2)
+                        .then_some((port, want))
+                })
+        })
+        .expect("some binding is surgically cuttable");
+    let mut dp = dp0.clone();
+    assert!(dp.cut_port_source(port, want));
+    expect_exactly(&lint(&f.unit_dp(&dp)), Code::A105PortBindingMismatch);
+}
+
+// ------------------------------------------------------------ BIST layer
+
+#[test]
+fn retargeted_tpg_without_ipath_is_b201() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let dp = &f.design.data_path;
+        let sol0 = &f.design.bist;
+        let ipaths = IPathAnalysis::of(dp);
+        'modules: for m in dp.module_ids() {
+            let e = sol0.embeddings[m.index()];
+            for side in [PortSide::Left, PortSide::Right] {
+                let other = match side {
+                    PortSide::Left => e.right,
+                    PortSide::Right => e.left,
+                };
+                for r in dp.register_ids() {
+                    if ipaths.tpg_candidates(m, side).contains(&r)
+                        || !sol0.style(r).can_generate()
+                        || PatternSource::Register(r) == other
+                        || r == e.sa
+                        || !session_safe_as_tpg(sol0, m, r)
+                    {
+                        continue;
+                    }
+                    let mut sol = sol0.clone();
+                    match side {
+                        PortSide::Left => sol.embeddings[m.index()].left = PatternSource::Register(r),
+                        PortSide::Right => {
+                            sol.embeddings[m.index()].right = PatternSource::Register(r)
+                        }
+                    }
+                    expect_exactly(&lint(&f.unit_bist(&sol)), Code::B201NoSuchIPath);
+                    found = true;
+                    break 'modules;
+                }
+            }
+        }
+    }
+    assert!(found, "no fixture admitted a B201 injection");
+}
+
+#[test]
+fn retargeted_sa_without_opath_is_b202() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let dp = &f.design.data_path;
+        let sol0 = &f.design.bist;
+        let ipaths = IPathAnalysis::of(dp);
+        'modules: for m in dp.module_ids() {
+            let e = sol0.embeddings[m.index()];
+            for r in dp.register_ids() {
+                if ipaths.sa_candidates(m).contains(&r)
+                    || !sol0.style(r).can_analyze()
+                    || e.tpg_registers().any(|t| t == r)
+                    || !session_safe_as_sa(sol0, m, r)
+                {
+                    continue;
+                }
+                let mut sol = sol0.clone();
+                sol.embeddings[m.index()].sa = r;
+                expect_exactly(&lint(&f.unit_bist(&sol)), Code::B202NoSuchSaPath);
+                found = true;
+                break 'modules;
+            }
+        }
+    }
+    assert!(found, "no fixture admitted a B202 injection");
+}
+
+#[test]
+fn duplicated_pattern_source_is_b203() {
+    // In every shipped design no register reaches both ports of one
+    // module, so the duplicate defect is manufactured the way the repair
+    // flow would: a test connection gives an existing TPG an I-path to
+    // the second port, then both ports are bound to it.
+    let mut found = false;
+    for f in bist_fixtures() {
+        let dp0 = &f.design.data_path;
+        let sol0 = &f.design.bist;
+        let ipaths = IPathAnalysis::of(dp0);
+        'modules: for m in dp0.module_ids() {
+            let e = sol0.embeddings[m.index()];
+            for side in [PortSide::Left, PortSide::Right] {
+                for &r in ipaths.tpg_candidates(m, side.other()) {
+                    if !sol0.style(r).can_generate()
+                        || r == e.sa
+                        || !session_safe_as_tpg(sol0, m, r)
+                    {
+                        continue;
+                    }
+                    let dp = dp0.with_test_connection(Port { module: m, side }, r);
+                    if !IPathAnalysis::of(&dp).tpg_candidates(m, side).contains(&r) {
+                        continue;
+                    }
+                    let mut sol = sol0.clone();
+                    sol.embeddings[m.index()].left = PatternSource::Register(r);
+                    sol.embeddings[m.index()].right = PatternSource::Register(r);
+                    expect_exactly(&lint(&f.unit_dp_bist(&dp, &sol)), Code::B203DuplicateTpg);
+                    found = true;
+                    break 'modules;
+                }
+            }
+        }
+    }
+    assert!(found, "no fixture admitted a B203 injection");
+}
+
+#[test]
+fn downgraded_pure_tpg_is_b204() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let sol0 = &f.design.bist;
+        let tpgs: BTreeSet<RegisterId> =
+            sol0.embeddings.iter().flat_map(|e| e.tpg_registers()).collect();
+        let sas: BTreeSet<RegisterId> = sol0.embeddings.iter().map(|e| e.sa).collect();
+        if let Some(&t) = tpgs.difference(&sas).next() {
+            let mut sol = sol0.clone();
+            sol.styles[t.index()] = BistStyle::Normal;
+            fix_overhead(&mut sol, &f.opts.area);
+            expect_exactly(&lint(&f.unit_bist(&sol)), Code::B204InsufficientStyle);
+            found = true;
+        }
+    }
+    assert!(found, "no fixture has a pure-TPG register");
+}
+
+#[test]
+fn merged_sessions_with_shared_sa_are_b205() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let sol0 = &f.design.bist;
+        let n = sol0.embeddings.len();
+        'pairs: for a in 0..n {
+            for b in a + 1..n {
+                if sol0.embeddings[a].sa == sol0.embeddings[b].sa
+                    && sol0.sessions[a] != sol0.sessions[b]
+                {
+                    let mut sol = sol0.clone();
+                    sol.sessions[b] = sol.sessions[a];
+                    expect_exactly(&lint(&f.unit_bist(&sol)), Code::B205SessionConflict);
+                    found = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    assert!(found, "no fixture has two modules sharing an SA across sessions");
+}
+
+#[test]
+fn fudged_overhead_is_b206() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let mut sol = f.design.bist.clone();
+    sol.overhead = GateCount(sol.overhead.get() + 1);
+    expect_exactly(&lint(&f.unit_bist(&sol)), Code::B206OverheadMismatch);
+}
+
+#[test]
+fn truncated_styles_are_b207_only() {
+    let f = Fixture::ex1(FlowOptions::testable());
+    let mut sol = f.design.bist.clone();
+    sol.styles.pop();
+    // The shape check short-circuits both BIST passes: nothing else may
+    // index the malformed vectors.
+    expect_exactly(&lint(&f.unit_bist(&sol)), Code::B207ShapeMismatch);
+}
+
+#[test]
+fn downgraded_cbilbo_is_b208() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let dp = &f.design.data_path;
+        let sol0 = &f.design.bist;
+        for m in dp.module_ids() {
+            let e = sol0.embeddings[m.index()];
+            let Some(c) = e.cbilbo_register() else {
+                continue;
+            };
+            // The downgraded register must not serve a *different*
+            // same-session module as its TPG, or B205 would also fire.
+            let safe = sol0.embeddings.iter().enumerate().all(|(b, eb)| {
+                b == m.index()
+                    || sol0.sessions[b] != sol0.sessions[m.index()]
+                    || !eb.tpg_registers().any(|t| t == c)
+            });
+            if !safe || !sol0.style(c).can_do_both_concurrently() {
+                continue;
+            }
+            let mut sol = sol0.clone();
+            sol.styles[c.index()] = BistStyle::Bilbo;
+            fix_overhead(&mut sol, &f.opts.area);
+            let report = lint(&f.unit_bist(&sol));
+            // A BILBO still generates and analyzes separately, so the
+            // role check (B204) stays silent; only the Lemma-2 audit's
+            // concurrency requirement fires.
+            expect_exactly(&report, Code::B208MissingForcedCbilbo);
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "no fixture demands a CBILBO (traditional ex1 should)");
+}
+
+#[test]
+fn gratuitous_cbilbo_is_b209() {
+    let mut found = false;
+    for f in bist_fixtures() {
+        let dp = &f.design.data_path;
+        let sol0 = &f.design.bist;
+        let predicted = forced_cbilbos(
+            &f.bench.dfg,
+            &f.design.module_assignment,
+            f.design.register_assignment.classes(),
+        );
+        let demanded: BTreeSet<RegisterId> = sol0
+            .embeddings
+            .iter()
+            .filter_map(|e| e.cbilbo_register())
+            .collect();
+        for r in dp.register_ids() {
+            if demanded.contains(&r)
+                || predicted.iter().any(|p| p.register == r.index())
+                || sol0.style(r).can_do_both_concurrently()
+            {
+                continue;
+            }
+            let mut sol = sol0.clone();
+            sol.styles[r.index()] = BistStyle::Cbilbo;
+            fix_overhead(&mut sol, &f.opts.area);
+            let report = lint(&f.unit_bist(&sol));
+            expect_exactly(&report, Code::B209UnforcedCbilbo);
+            assert_eq!(report.error_count(), 0, "B209 is a warning");
+            assert_eq!(
+                report.diagnostics()[0].severity,
+                Severity::Warning
+            );
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "no fixture admitted a B209 injection");
+}

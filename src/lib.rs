@@ -123,3 +123,4 @@ pub use lobist_dfg as dfg;
 pub use lobist_engine as engine;
 pub use lobist_gatesim as gatesim;
 pub use lobist_graph as graph;
+pub use lobist_lint as lint;

@@ -1,0 +1,107 @@
+//! Golden-snapshot lint reports for every shipped design under
+//! `designs/`.
+//!
+//! Each design is synthesized with the same recipe the tutorial quotes
+//! (see `sample_designs.rs`), linted with the default pass registry, and
+//! the JSON report compared byte-for-byte against
+//! `tests/goldens/lint/<name>.json`. All shipped designs must lint clean
+//! — an unclean report is a regression in the flow, a wrong golden, or a
+//! new pass that the designs now trip; either way the diff shows exactly
+//! which code fired where.
+//!
+//! To regenerate after an intentional report-format change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test lint_designs
+//! ```
+
+use lobist::alloc::flow::{synthesize, Design, FlowOptions};
+use lobist::dfg::lifetime::LifetimeOptions;
+use lobist::dfg::parse::{parse_dfg, parse_unscheduled_dfg};
+use lobist::dfg::{Dfg, Schedule};
+use lobist::lint::{lint, LintUnit};
+
+fn read_design(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/designs/");
+    std::fs::read_to_string(format!("{path}{name}")).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn check_golden(name: &str, dfg: &Dfg, schedule: &Schedule, design: &Design, opts: &FlowOptions) {
+    let unit = LintUnit::of_design(dfg, schedule, design, opts.lifetime_options, &opts.area);
+    let report = lint(&unit);
+    assert!(
+        report.is_clean(),
+        "{name}: shipped design must lint clean:\n{}",
+        report.render_text()
+    );
+    let rendered = format!("{}\n", report.to_json());
+    let path = format!(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/lint/{}.json"),
+        name
+    );
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("{path}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{path}: {e} (run with UPDATE_GOLDENS=1 to create it)")
+    });
+    assert_eq!(
+        rendered, golden,
+        "{name}: lint report diverged from its golden snapshot"
+    );
+}
+
+#[test]
+fn ex1_lint_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("ex1.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("ex1", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn quickstart_lint_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("quickstart.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("quickstart", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn polynomial_lint_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("polynomial.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("polynomial", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn diffeq_lint_report_matches_golden() {
+    let dfg = parse_unscheduled_dfg(&read_design("diffeq.dfg")).expect("parses");
+    let schedule = lobist::dfg::fds::force_directed_schedule(&dfg, 4).expect("schedules");
+    let opts = FlowOptions::testable().with_lifetimes(LifetimeOptions::port_inputs());
+    let d = synthesize(&dfg, &schedule, &"1+,2*,1-".parse().unwrap(), &opts)
+        .expect("synthesizes");
+    check_golden("diffeq", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn traditional_flow_designs_also_lint_clean() {
+    // The traditional flow produces the denser BIST mixes (including
+    // forced CBILBOs); its results must satisfy the same audit.
+    for name in ["ex1.dfg", "quickstart.dfg", "polynomial.dfg"] {
+        let (dfg, schedule) = parse_dfg(&read_design(name)).expect("parses");
+        let opts = FlowOptions::traditional();
+        let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts)
+            .expect("synthesizes");
+        let unit =
+            LintUnit::of_design(&dfg, &schedule, &d, opts.lifetime_options, &opts.area);
+        let report = lint(&unit);
+        assert!(
+            report.is_clean(),
+            "{name} (traditional): must lint clean:\n{}",
+            report.render_text()
+        );
+    }
+}
