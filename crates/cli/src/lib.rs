@@ -80,6 +80,10 @@ USAGE:
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
               [--json] [--jobs <N>] [--metrics] [OPTIONS]
+  lobist serve [--tcp <ADDR>] [--unix <PATH>] [--store <FILE>] [--jobs <N>]
+               [--max-request-jobs <N>] [--max-active <N>] [--metrics]
+  lobist submit [<design.dfg>] [--cmd <C>] [--tcp <ADDR> | --unix <PATH>]
+                [--modules <SET>] [OPTIONS]
   lobist suite
 
 COMMANDS:
@@ -94,6 +98,11 @@ COMMANDS:
   lint      synthesize, then run the static verifier passes (netlist
             structure L0xx, allocation invariants A1xx, BIST legality
             B2xx); exits nonzero if the policy denies any finding
+  serve     run the persistent synthesis daemon: line-delimited JSON
+            over TCP and/or a Unix socket, request queue onto the shared
+            engine, optional on-disk content-addressed result store
+  submit    send one request to a running daemon and print its streamed
+            JSONL response
   suite     run the five paper benchmarks (Table I summary)
 
 OPTIONS:
@@ -124,6 +133,22 @@ OPTIONS:
                     design and fail if the policy denies a finding
   --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
                     `anneal`/`lint` (default: all cores; at least 1)
+  --tcp <ADDR>      daemon TCP address: listen address for `serve`
+                    (default 127.0.0.1:7420 unless --unix is given),
+                    connect address for `submit`
+  --unix <PATH>     daemon Unix socket path (listen for `serve`,
+                    connect for `submit`)
+  --store <FILE>    `serve`: durable content-addressed result store
+                    (append-only log; repeated jobs are answered from
+                    disk across restarts, byte-identically)
+  --store-max-bytes <N>  `serve`: store size budget before compaction
+  --max-request-jobs <N> `serve`: ceiling on any request's `jobs` field
+  --max-active <N>  `serve`: requests allowed to execute concurrently
+  --cmd <C>         `submit` command: synth | explore | anneal |
+                    faultsim | lint | ping | metrics | shutdown
+                    (default synth)
+  --progress        `batch`: stream engine progress as JSONL (flushed
+                    per event) and append a terminal done record
   --metrics         print engine metrics as JSON after `explore`/`batch`/
                     `faultsim`/`anneal`/`lint` (fault-sim counters: cone
                     evaluations, events propagated, faults collapsed;
@@ -158,6 +183,14 @@ struct Options {
     deny: Vec<String>,
     allow: Vec<String>,
     lint: bool,
+    tcp: Option<String>,
+    unix_sock: Option<String>,
+    store: Option<String>,
+    store_max_bytes: Option<u64>,
+    max_request_jobs: Option<usize>,
+    max_active: Option<usize>,
+    cmd: Option<String>,
+    progress: bool,
     positional: Vec<String>,
 }
 
@@ -183,6 +216,14 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         deny: Vec::new(),
         allow: Vec::new(),
         lint: false,
+        tcp: None,
+        unix_sock: None,
+        store: None,
+        store_max_bytes: None,
+        max_request_jobs: None,
+        max_active: None,
+        cmd: None,
+        progress: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -301,6 +342,68 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 o.allow.push(v.clone());
             }
             "--lint" => o.lint = true,
+            "--progress" => o.progress = true,
+            "--tcp" => {
+                o.tcp = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--tcp needs an address".into()))?
+                        .clone(),
+                )
+            }
+            "--unix" => {
+                o.unix_sock = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--unix needs a path".into()))?
+                        .clone(),
+                )
+            }
+            "--store" => {
+                o.store = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--store needs a path".into()))?
+                        .clone(),
+                )
+            }
+            "--store-max-bytes" => {
+                let v = it.next().ok_or_else(|| {
+                    CliError::Usage("--store-max-bytes needs a value".into())
+                })?;
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad store budget `{v}`")))?;
+                o.store_max_bytes = Some(n);
+            }
+            "--max-request-jobs" => {
+                let v = it.next().ok_or_else(|| {
+                    CliError::Usage("--max-request-jobs needs a value".into())
+                })?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad request-job ceiling `{v}`")))?;
+                o.max_request_jobs = Some(n);
+            }
+            "--max-active" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-active needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::Usage(format!("bad active-request count `{v}`")))?;
+                o.max_active = Some(n);
+            }
+            "--cmd" => {
+                o.cmd = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--cmd needs a value".into()))?
+                        .clone(),
+                )
+            }
             "--latency" => {
                 let v = it
                     .next()
@@ -734,7 +837,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 });
                 parsed.push((dfg, schedule));
             }
-            let engine = lobist_engine::Engine::new(worker_count(&o));
+            let mut engine = lobist_engine::Engine::new(worker_count(&o));
+            if o.progress {
+                // Stream each engine event as its own flushed JSONL
+                // line so a pipe consumer sees progress live, not at
+                // exit.
+                engine = engine.with_progress(|line| {
+                    use std::io::Write as _;
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = writeln!(stdout, "{line}");
+                    let _ = stdout.flush();
+                });
+            }
             let outcomes = engine.run(jobs);
             let _ = writeln!(
                 out,
@@ -759,6 +873,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         let _ = writeln!(out, "failed {}: {e}", outcome.label);
                     }
                 }
+            }
+            if o.progress {
+                let failed = outcomes.iter().filter(|x| x.result.is_err()).count();
+                let _ = writeln!(
+                    out,
+                    "{{\"event\":\"done\",\"designs\":{},\"ok\":{},\"failed\":{}}}",
+                    outcomes.len(),
+                    outcomes.len() - failed,
+                    failed
+                );
             }
             if o.lint {
                 let policy = lint_policy(&o)?;
@@ -923,6 +1047,112 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let denied = policy.denied_count(&report);
             if denied > 0 {
                 return Err(CliError::Lint { output: out, denied });
+            }
+        }
+        "serve" => {
+            use std::path::PathBuf;
+            let workers = worker_count(&o);
+            let unix = o.unix_sock.as_ref().map(PathBuf::from);
+            // Default to loopback TCP unless the user asked for
+            // Unix-only; both listeners run when both flags are given.
+            let tcp = match (&o.tcp, &unix) {
+                (Some(addr), _) => Some(addr.clone()),
+                (None, Some(_)) => None,
+                (None, None) => Some("127.0.0.1:7420".to_owned()),
+            };
+            let defaults = lobist_server::ServerConfig::default();
+            let config = lobist_server::ServerConfig {
+                tcp,
+                unix,
+                workers,
+                max_request_jobs: o.max_request_jobs.unwrap_or(workers.max(1)),
+                max_active: o.max_active.unwrap_or(defaults.max_active),
+                store: o.store.as_ref().map(PathBuf::from),
+                store_max_bytes: o.store_max_bytes.unwrap_or(defaults.store_max_bytes),
+                ..defaults
+            };
+            let server = lobist_server::Server::bind(config)
+                .map_err(|e| CliError::Io("serve".into(), e))?;
+            // Announce the endpoints on stdout immediately (before the
+            // blocking run), so scripts binding an ephemeral `:0` port
+            // can discover it and connect.
+            {
+                use std::io::Write as _;
+                let tcp = server
+                    .tcp_addr()
+                    .map_or_else(|| "null".to_owned(), |a| format!("\"{a}\""));
+                let unix = server
+                    .unix_path()
+                    .map_or_else(|| "null".to_owned(), |p| format!("\"{}\"", p.display()));
+                let mut stdout = std::io::stdout().lock();
+                let _ = writeln!(
+                    stdout,
+                    "{{\"event\":\"listening\",\"tcp\":{tcp},\"unix\":{unix}}}"
+                );
+                let _ = stdout.flush();
+            }
+            let handle = server.handle();
+            server.run().map_err(|e| CliError::Io("serve".into(), e))?;
+            let _ = writeln!(out, "{{\"event\":\"stopped\"}}");
+            if o.metrics {
+                let _ = writeln!(out, "{}", handle.metrics_json());
+            }
+        }
+        "submit" => {
+            let endpoint = if let Some(path) = &o.unix_sock {
+                lobist_server::Endpoint::Unix(path.into())
+            } else {
+                lobist_server::Endpoint::Tcp(
+                    o.tcp.clone().unwrap_or_else(|| "127.0.0.1:7420".to_owned()),
+                )
+            };
+            let cmd = o.cmd.as_deref().unwrap_or("synth");
+            let mut fields = vec![format!("\"cmd\":\"{cmd}\"")];
+            if let Some(path) = o.positional.get(1) {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+                fields.push(format!(
+                    "\"design\":\"{}\"",
+                    lobist_server::json::escape(&text)
+                ));
+            }
+            if let Some(m) = &o.modules {
+                fields.push(format!("\"modules\":\"{}\"", lobist_server::json::escape(m)));
+            }
+            if let Some(c) = &o.candidates {
+                fields.push(format!(
+                    "\"candidates\":\"{}\"",
+                    lobist_server::json::escape(c)
+                ));
+            }
+            fields.push(format!("\"flow\":\"{}\"", o.flow));
+            fields.push(format!("\"width\":{}", o.width));
+            if o.repair {
+                fields.push("\"repair\":true".to_owned());
+            }
+            if o.port_inputs {
+                fields.push("\"port_inputs\":true".to_owned());
+            }
+            if let Some(j) = o.jobs {
+                fields.push(format!("\"jobs\":{j}"));
+            }
+            if let Some(n) = o.iterations {
+                fields.push(format!("\"iterations\":{n}"));
+            }
+            if let Some(seed) = o.seed {
+                fields.push(format!("\"seed\":{seed}"));
+            }
+            if let Some(k) = o.batch {
+                fields.push(format!("\"batch\":{k}"));
+            }
+            if let Some(c) = o.chains {
+                fields.push(format!("\"chains\":{c}"));
+            }
+            let request = format!("{{{}}}", fields.join(","));
+            let events = lobist_server::submit(&endpoint, &request)
+                .map_err(|e| CliError::Io(endpoint.to_string(), e))?;
+            for line in events {
+                let _ = writeln!(out, "{line}");
             }
         }
         "suite" => {
@@ -1499,5 +1729,82 @@ mod tests {
         let err = run(&argv(&["synth", &path, "--modules", "1+,1*"])).unwrap_err();
         assert!(matches!(err, CliError::Flow(_)));
         assert!(err.to_string().contains("synthesis failed"));
+    }
+    #[test]
+    fn batch_progress_streams_and_ends_with_a_done_record() {
+        let a = write_temp("lobist_cli_prog_a.dfg", DESIGN);
+        let b = write_temp(
+            "lobist_cli_prog_b.dfg",
+            "input a b\ny = a + b @ 1\noutput y\n",
+        );
+        let out = run(&argv(&["batch", &a, &b, "--modules", "1+,1*", "--progress"])).unwrap();
+        assert!(
+            out.contains("{\"event\":\"done\",\"designs\":2,\"ok\":2,\"failed\":0}"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_and_submit_round_trip_over_a_unix_socket() {
+        let sock = std::env::temp_dir().join("lobist_cli_serve.sock");
+        let store = std::env::temp_dir().join("lobist_cli_serve.store");
+        let _ = std::fs::remove_file(&sock);
+        let _ = std::fs::remove_file(&store);
+        let sock_arg = sock.to_string_lossy().into_owned();
+        let store_arg = store.to_string_lossy().into_owned();
+        let serve_args = argv(&[
+            "serve",
+            "--unix",
+            &sock_arg,
+            "--store",
+            &store_arg,
+            "--jobs",
+            "2",
+            "--metrics",
+        ]);
+        let daemon = std::thread::spawn(move || run(&serve_args));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() {
+            assert!(std::time::Instant::now() < deadline, "daemon never listened");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let design = write_temp("lobist_cli_submit.dfg", DESIGN);
+        let first = run(&argv(&[
+            "submit", &design, "--unix", &sock_arg, "--modules", "1+,1*",
+        ]))
+        .unwrap();
+        assert!(first.contains("\"event\":\"result\""), "{first}");
+        assert!(first.contains("\"cache\":\"fresh\""), "{first}");
+        let second = run(&argv(&[
+            "submit", &design, "--unix", &sock_arg, "--modules", "1+,1*",
+        ]))
+        .unwrap();
+        assert!(second.contains("\"cache\":\"memory\""), "{second}");
+
+        let pong = run(&argv(&["submit", "--unix", &sock_arg, "--cmd", "ping"])).unwrap();
+        assert!(pong.contains("\"event\":\"pong\""), "{pong}");
+
+        let bye = run(&argv(&["submit", "--unix", &sock_arg, "--cmd", "shutdown"])).unwrap();
+        assert!(bye.contains("\"event\":\"shutdown\""), "{bye}");
+        let summary = daemon.join().expect("serve thread").unwrap();
+        assert!(summary.contains("{\"event\":\"stopped\"}"), "{summary}");
+        assert!(summary.contains("\"store\":{"), "{summary}");
+        assert!(store.exists(), "store file persists after shutdown");
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn submit_reports_an_unreachable_daemon() {
+        let err = run(&argv(&[
+            "submit",
+            "--unix",
+            "/nonexistent/lobist-nowhere.sock",
+            "--cmd",
+            "ping",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_, _)));
+        assert!(err.to_string().contains("lobist-nowhere"), "{err}");
     }
 }

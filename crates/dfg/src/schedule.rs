@@ -122,6 +122,17 @@ impl Schedule {
     pub fn as_slice(&self) -> &[u32] {
         &self.steps
     }
+
+    /// Rebuilds a schedule from a step vector previously obtained via
+    /// [`Schedule::as_slice`], skipping validation.
+    ///
+    /// Intended for trusted round-trips — deserializing a schedule that
+    /// was serialized from a validated one (the persistent result store
+    /// does this). Feeding it a vector that never passed
+    /// [`Schedule::new`] silently breaks the schedule invariants.
+    pub fn from_trusted_steps(steps: Vec<u32>) -> Self {
+        Self { steps }
+    }
 }
 
 #[cfg(test)]

@@ -7,18 +7,29 @@
 //! lived. Two jobs with the same content share one synthesis, whether
 //! they come from one sweep retried or two batch entries that happen to
 //! coincide.
+//!
+//! [`ResultCache`] is the in-memory tier: a bounded FIFO map with
+//! hit/miss/eviction accounting, the same pattern as
+//! `lobist_alloc::flowcache`'s stage caches. It implements
+//! [`lobist_store::ResultStore`], the interface it shares with the
+//! durable on-disk [`lobist_store::DiskStore`], so the engine can stack
+//! the two as L1/L2.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
-use lobist_alloc::explore::{Candidate, DesignPoint};
+use lobist_alloc::explore::Candidate;
 use lobist_alloc::flow::FlowOptions;
 use lobist_dfg::parse::to_text;
 use lobist_dfg::Dfg;
+use lobist_store::{ResultStore, StoreStats};
 
-/// What a job evaluates to: a design point, or the rendered failure
-/// `(module set, error text)` the explore report records.
-pub type JobResult = Result<DesignPoint, (String, String)>;
+pub use lobist_store::JobResult;
+
+/// Default bound on the in-memory cache: plenty for any one campaign,
+/// small enough that a long-lived daemon cannot grow without limit
+/// (the durable tier keeps the history).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// 128-bit FNV-1a over a byte stream; collision-resistant enough for an
 /// in-memory cache of at most a few thousand jobs, and fully stable
@@ -49,38 +60,113 @@ pub fn job_key(dfg: &Dfg, candidate: &Candidate, flow: &FlowOptions) -> u128 {
     fnv1a_128(&[design.as_bytes(), modules.as_bytes(), flow.as_bytes()])
 }
 
-/// A thread-safe map from job key to completed result.
 #[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u128, JobResult>,
+    /// Insertion order for FIFO eviction (never reordered on hits,
+    /// matching the flowcache stage caches).
+    order: VecDeque<u128>,
+    stats: StoreStats,
+}
+
+/// A thread-safe, bounded map from job key to completed result.
+#[derive(Debug)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<u128, JobResult>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the cached result for `key`, if any.
-    pub fn get(&self, key: u128) -> Option<JobResult> {
-        self.entries.lock().expect("cache lock").get(&key).cloned()
+    /// An empty cache bounded to `capacity` entries (at least 1). When
+    /// full, the oldest-inserted entry is evicted first.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::default(),
+            capacity: capacity.max(1),
+        }
     }
 
-    /// Stores `result` under `key`. Last write wins; concurrent writers
-    /// for the same key hold identical results (evaluation is
-    /// deterministic), so the race is benign.
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the cached result for `key`, if any.
+    pub fn get(&self, key: u128) -> Option<JobResult> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let result = inner.map.get(&key).cloned();
+        if result.is_some() {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+        result
+    }
+
+    /// Stores `result` under `key`, evicting the oldest entry if the
+    /// cache is full. Last write wins; concurrent writers for the same
+    /// key hold identical results (evaluation is deterministic), so the
+    /// race is benign.
     pub fn insert(&self, key: u128, result: JobResult) {
-        self.entries.lock().expect("cache lock").insert(key, result);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stats.insertions += 1;
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+            inner.order.push_back(key);
+        }
+        inner.map.insert(key, result);
+        inner.stats.entries = inner.map.len() as u64;
     }
 
     /// Number of distinct results held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.inner.lock().expect("cache lock").map.len()
     }
 
     /// `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Point-in-time hit/miss/eviction counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+}
+
+impl ResultStore for ResultCache {
+    fn get(&self, key: u128) -> Option<JobResult> {
+        ResultCache::get(self, key)
+    }
+
+    fn put(&self, key: u128, result: &JobResult) {
+        ResultCache::insert(self, key, result.clone());
+    }
+
+    fn len(&self) -> usize {
+        ResultCache::len(self)
+    }
+
+    fn stats(&self) -> StoreStats {
+        ResultCache::stats(self)
     }
 }
 
@@ -126,9 +212,55 @@ mod tests {
     fn cache_round_trips() {
         let cache = ResultCache::new();
         assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY);
         cache.insert(7, Err(("1+".into(), "boom".into())));
         assert_eq!(cache.len(), 1);
         assert!(matches!(cache.get(7), Some(Err((m, e))) if m == "1+" && e == "boom"));
         assert!(cache.get(8).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let cache = ResultCache::with_capacity(3);
+        for i in 0..5u128 {
+            cache.insert(i, Err(("m".into(), format!("entry {i}"))));
+        }
+        assert_eq!(cache.len(), 3);
+        // 0 and 1 were inserted first, so they were evicted first.
+        assert!(cache.get(0).is_none());
+        assert!(cache.get(1).is_none());
+        for i in 2..5u128 {
+            assert!(cache.get(i).is_some(), "entry {i} must survive");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn overwriting_a_key_does_not_evict() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert(1, Err(("m".into(), "a".into())));
+        cache.insert(2, Err(("m".into(), "b".into())));
+        cache.insert(1, Err(("m".into(), "updated".into())));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(matches!(cache.get(1), Some(Err((_, e))) if e == "updated"));
+        assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn trait_object_view_matches_inherent_api() {
+        let cache = ResultCache::with_capacity(4);
+        let store: &dyn ResultStore = &cache;
+        store.put(9, &Err(("1+".into(), "via trait".into())));
+        assert_eq!(store.len(), 1);
+        assert!(matches!(store.get(9), Some(Err((_, e))) if e == "via trait"));
+        assert!(store.flush().is_ok());
     }
 }

@@ -7,6 +7,8 @@ use lobist_alloc::explore::{evaluate_candidate_timed, Candidate};
 use lobist_alloc::flow::{FlowOptions, StageTimings};
 use lobist_dfg::Dfg;
 
+use lobist_store::ResultStore;
+
 use crate::cache::{job_key, JobResult, ResultCache};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool;
@@ -36,8 +38,11 @@ pub struct JobOutcome {
     pub label: String,
     /// The design point, or the `(module set, error)` failure entry.
     pub result: JobResult,
-    /// `true` if the result came from the cache.
+    /// `true` if the result came from the in-memory cache.
     pub cache_hit: bool,
+    /// `true` if the result came from the durable store (and was
+    /// promoted into the in-memory cache on the way out).
+    pub store_hit: bool,
     /// Per-stage wall time (zero on cache hits and failures-before-BIST).
     pub timings: StageTimings,
 }
@@ -59,6 +64,7 @@ pub struct JobOutcome {
 pub struct Engine {
     workers: usize,
     cache: ResultCache,
+    store: Option<Arc<dyn ResultStore>>,
     metrics: Metrics,
     progress: Option<ProgressSink>,
 }
@@ -68,6 +74,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("workers", &self.workers)
             .field("cached", &self.cache.len())
+            .field("store", &self.store.as_ref().map(|s| s.len()))
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -85,9 +92,33 @@ impl Engine {
         Self {
             workers,
             cache: ResultCache::new(),
+            store: None,
             metrics: Metrics::new(),
             progress: None,
         }
+    }
+
+    /// Attaches a durable second-tier result store (builder style).
+    ///
+    /// Lookups check the in-memory cache first, then the store; a store
+    /// hit is promoted into the cache, and every fresh evaluation is
+    /// written through to both. The store outlives the engine, so a
+    /// restarted daemon answers repeated jobs from disk.
+    pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Bounds the in-memory result cache to `capacity` entries
+    /// (builder style). Only meaningful before the first batch runs.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ResultCache::with_capacity(capacity);
+        self
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<dyn ResultStore>> {
+        self.store.as_ref()
     }
 
     /// Installs a progress sink receiving one JSON line per job and
@@ -102,9 +133,33 @@ impl Engine {
         self.workers
     }
 
-    /// Point-in-time metrics (accumulated over every batch so far).
+    /// The live metrics recorder, for callers that drive work outside
+    /// [`Engine::run`] (fault simulation, annealing, lint) but want it
+    /// accounted in this engine's snapshot — the daemon does this.
+    pub fn metrics_handle(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Point-in-time metrics (accumulated over every batch so far),
+    /// with the live cache and store gauges attached.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.result_cache = Some(self.cache.stats());
+        snap.cache_capacity = self.cache.capacity() as u64;
+        snap.store = self.store.as_ref().map(|s| s.stats());
+        snap
+    }
+
+    /// Flushes the durable store, if one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error.
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        match &self.store {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
     }
 
     fn emit(&self, line: &str) {
@@ -118,11 +173,19 @@ impl Engine {
     /// `(label, "job panicked: ...")` and the rest of the batch is
     /// unaffected.
     pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        self.run_with_workers(jobs, self.workers)
+    }
+
+    /// [`Engine::run`] with an explicit worker budget for this batch
+    /// (clamped to at least 1). The daemon uses this to honor a
+    /// per-request `jobs` limit while sharing one engine, cache and
+    /// store across every client.
+    pub fn run_with_workers(&self, jobs: Vec<Job>, workers: usize) -> Vec<JobOutcome> {
+        let workers = workers.max(1);
         let n = jobs.len();
         self.metrics.add_submitted(n as u64);
         self.emit(&format!(
-            "{{\"event\":\"batch\",\"jobs\":{n},\"workers\":{}}}",
-            self.workers
+            "{{\"event\":\"batch\",\"jobs\":{n},\"workers\":{workers}}}"
         ));
         let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
         let tasks: Vec<_> = jobs
@@ -130,7 +193,7 @@ impl Engine {
             .enumerate()
             .map(|(i, job)| move || self.run_one(i, job))
             .collect();
-        let (results, stats) = pool::run_jobs(self.workers, tasks);
+        let (results, stats) = pool::run_jobs(workers, tasks);
         self.metrics.record_pool(&stats);
         let outcomes: Vec<JobOutcome> = results
             .into_iter()
@@ -148,6 +211,7 @@ impl Engine {
                         result: Err((label.clone(), format!("job panicked: {panic_msg}"))),
                         label,
                         cache_hit: false,
+                        store_hit: false,
                         timings: StageTimings::default(),
                     }
                 }
@@ -175,14 +239,42 @@ impl Engine {
                 label: job.label,
                 result,
                 cache_hit: true,
+                store_hit: false,
                 timings: StageTimings::default(),
             };
+        }
+        if let Some(store) = &self.store {
+            if let Some(result) = store.get(key) {
+                // Promote the durable hit into the in-memory tier so a
+                // rerun within this process skips the disk read.
+                self.cache.insert(key, result.clone());
+                self.metrics.job_done_from_store();
+                self.emit(&format!(
+                    concat!(
+                        "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
+                        "\"cache_hit\":false,\"store_hit\":true,\"ok\":{ok}}}"
+                    ),
+                    index = index,
+                    label = job.label,
+                    ok = result.is_ok()
+                ));
+                return JobOutcome {
+                    label: job.label,
+                    result,
+                    cache_hit: false,
+                    store_hit: true,
+                    timings: StageTimings::default(),
+                };
+            }
         }
         // The expensive part runs outside any lock, so a panic here
         // (caught at the pool's job boundary) cannot poison the cache or
         // the metrics.
         let (result, timings) = evaluate_candidate_timed(&job.dfg, &job.candidate, &job.flow);
         self.cache.insert(key, result.clone());
+        if let Some(store) = &self.store {
+            store.put(key, &result);
+        }
         self.metrics.job_done(false);
         self.metrics.record_stages(&timings);
         self.emit(&format!(
@@ -195,6 +287,7 @@ impl Engine {
             label: job.label,
             result,
             cache_hit: false,
+            store_hit: false,
             timings,
         }
     }
@@ -242,6 +335,43 @@ mod tests {
         engine.run(vec![ex1_job(FlowOptions::testable())]);
         let other = engine.run(vec![ex1_job(FlowOptions::traditional())]);
         assert!(!other[0].cache_hit);
+    }
+
+    #[test]
+    fn store_tier_answers_a_fresh_engine() {
+        let dir = std::env::temp_dir().join("lobist-engine-store-tier");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tier.log");
+        let _ = std::fs::remove_file(&path);
+        let store: Arc<dyn ResultStore> = Arc::new(
+            lobist_store::DiskStore::open(&path, lobist_store::DiskStoreConfig::default())
+                .expect("open store"),
+        );
+        // First engine evaluates and writes through to the store.
+        let first = Engine::new(1).with_store(Arc::clone(&store));
+        let warm = first.run(vec![ex1_job(FlowOptions::testable())]);
+        assert!(!warm[0].cache_hit && !warm[0].store_hit);
+        let point = warm[0].result.as_ref().expect("synthesizes").clone();
+        // A fresh engine (empty in-memory cache) sharing the store is
+        // answered from disk — the restarted-daemon case.
+        let second = Engine::new(1).with_store(Arc::clone(&store));
+        let served = second.run(vec![ex1_job(FlowOptions::testable())]);
+        assert!(!served[0].cache_hit, "memory tier was empty");
+        assert!(served[0].store_hit, "disk tier must answer");
+        let from_disk = served[0].result.as_ref().expect("synthesizes");
+        assert_eq!(point.latency, from_disk.latency);
+        assert_eq!(point.functional_gates, from_disk.functional_gates);
+        assert_eq!(point.bist_gates, from_disk.bist_gates);
+        let snap = second.metrics();
+        assert_eq!(snap.store_hits, 1);
+        assert!(snap.store.is_some(), "metrics carry the store section");
+        // The hit was promoted: a rerun on the same engine is a memory
+        // hit, not another disk read.
+        let third = second.run(vec![ex1_job(FlowOptions::testable())]);
+        assert!(third[0].cache_hit && !third[0].store_hit);
+        let json = second.metrics().to_json();
+        assert!(json.contains("\"store\":{"), "{json}");
+        assert!(json.contains("\"store_hits\":1"), "{json}");
     }
 
     #[test]

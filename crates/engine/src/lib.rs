@@ -43,15 +43,16 @@ pub mod pool;
 mod explore;
 
 pub use anneal::{anneal_multichain, anneal_parallel, AnnealStats, PoolEvaluator};
-pub use cache::{job_key, JobResult, ResultCache};
+pub use cache::{job_key, JobResult, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, Job, JobOutcome, ProgressSink};
 pub use explore::{explore_parallel, render_report};
 pub use faultsim::{
     bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats,
 };
 pub use lint::{lint_parallel, LintRunStats};
+pub use lobist_store::{ResultStore, StoreStats};
 pub use metrics::{
-    AnnealSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot, NUM_BUCKETS,
-    STAGE_NAMES,
+    AnnealSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot, ServerSnapshot,
+    NUM_BUCKETS, STAGE_NAMES,
 };
 pub use pool::{run_jobs, PoolStats};

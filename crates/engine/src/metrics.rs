@@ -17,6 +17,7 @@ use std::time::Duration;
 use lobist_alloc::anneal::AnnealResult;
 use lobist_alloc::flow::StageTimings;
 use lobist_alloc::flowcache::{FlowCacheStats, StageStats};
+use lobist_store::StoreStats;
 
 use crate::anneal::AnnealStats;
 use crate::faultsim::FaultSimStats;
@@ -38,9 +39,16 @@ pub const STAGE_NAMES: [&str; 5] = [
     "bist",
 ];
 
-fn bucket(micros: u128) -> usize {
+/// The histogram bucket for a duration of `micros` microseconds
+/// (log2 bucketing, saturating at [`NUM_BUCKETS`]` - 1`). Public so the
+/// server can bucket request wall times into the same shape.
+pub fn bucket_micros(micros: u128) -> usize {
     let floor_log2 = (127 - micros.max(1).leading_zeros()) as usize;
     floor_log2.min(NUM_BUCKETS - 1)
+}
+
+fn bucket(micros: u128) -> usize {
+    bucket_micros(micros)
 }
 
 /// Live counters owned by an engine.
@@ -50,6 +58,7 @@ pub struct Metrics {
     jobs_completed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    store_hits: AtomicU64,
     panics: AtomicU64,
     busy_nanos: AtomicU64,
     // Pool capacity = wall × workers, the denominator of utilization.
@@ -101,6 +110,15 @@ impl Metrics {
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// A job answered by the durable store tier (missed the in-memory
+    /// cache, found on disk, promoted).
+    pub(crate) fn job_done_from_store(&self) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        // A store hit is still a miss for the in-memory tier.
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn job_panicked(&self) {
@@ -196,6 +214,7 @@ impl Metrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             capacity: Duration::from_nanos(self.capacity_nanos.load(Ordering::Relaxed)),
@@ -227,6 +246,10 @@ impl Metrics {
                 wall: Duration::from_nanos(self.lint_wall_nanos.load(Ordering::Relaxed)),
                 pass_histograms: self.lint_hist.lock().expect("lint histogram lock").clone(),
             },
+            result_cache: None,
+            cache_capacity: 0,
+            store: None,
+            server: None,
         }
     }
 }
@@ -307,6 +330,49 @@ pub struct LintSnapshot {
     pub pass_histograms: BTreeMap<&'static str, [u64; NUM_BUCKETS]>,
 }
 
+/// Accumulated daemon-side request accounting, as carried in a
+/// [`MetricsSnapshot`]. The server fills this in before rendering; a
+/// plain engine leaves it `None` and the JSON omits the section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// Requests accepted onto the queue.
+    pub requests: u64,
+    /// Requests that ran to completion (even if the job itself failed
+    /// to synthesize — that is still a well-formed response).
+    pub completed: u64,
+    /// Requests that died with a protocol or I/O error.
+    pub failed: u64,
+    /// Requests refused by policy (malformed, over limits, shutdown).
+    pub rejected: u64,
+    /// Requests currently running.
+    pub active: u64,
+    /// Requests currently waiting for an admission slot.
+    pub queue_depth: u64,
+    /// High-water mark of the wait queue.
+    pub peak_queue_depth: u64,
+    /// Wall time spent inside request handling, summed.
+    pub wall: Duration,
+    /// Log2-microsecond histogram of per-request wall time (same
+    /// bucketing as the flow-stage histograms).
+    pub request_micros_log2: [u64; NUM_BUCKETS],
+}
+
+impl Default for ServerSnapshot {
+    fn default() -> Self {
+        Self {
+            requests: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            active: 0,
+            queue_depth: 0,
+            peak_queue_depth: 0,
+            wall: Duration::ZERO,
+            request_micros_log2: [0; NUM_BUCKETS],
+        }
+    }
+}
+
 /// A point-in-time copy of an engine's metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -316,8 +382,11 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// Jobs answered from the result cache.
     pub cache_hits: u64,
-    /// Jobs that had to run the flow.
+    /// Jobs that had to run the flow (or were served by the durable
+    /// store after missing the in-memory cache).
     pub cache_misses: u64,
+    /// Jobs answered from the durable store tier.
+    pub store_hits: u64,
     /// Jobs that panicked (isolated; reported as failures).
     pub panics: u64,
     /// Total time workers spent running jobs.
@@ -337,6 +406,18 @@ pub struct MetricsSnapshot {
     pub flow_cache: FlowCacheStats,
     /// Accumulated lint work.
     pub lint: LintSnapshot,
+    /// Live counters of the in-memory result cache (its own
+    /// hit/miss/eviction view; attached by [`Engine::metrics`]).
+    ///
+    /// [`Engine::metrics`]: crate::Engine::metrics
+    pub result_cache: Option<StoreStats>,
+    /// Configured bound of the in-memory result cache (0 when not
+    /// attached).
+    pub cache_capacity: u64,
+    /// Live counters of the durable store, when one is attached.
+    pub store: Option<StoreStats>,
+    /// Daemon request accounting, when rendered by `lobist serve`.
+    pub server: Option<ServerSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -393,10 +474,69 @@ impl MetricsSnapshot {
             }
             let _ = write!(lint_hist, "\"{name}\":[{}]", trim_row(row));
         }
+        fn store_json(s: &StoreStats) -> String {
+            format!(
+                concat!(
+                    "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
+                    "\"insertions\":{},\"evictions\":{},\"entries\":{},",
+                    "\"payload_bytes\":{},\"bytes_read\":{},\"bytes_written\":{},",
+                    "\"compactions\":{},\"recovered_drops\":{},\"write_errors\":{}}}"
+                ),
+                s.hits,
+                s.misses,
+                s.hit_rate(),
+                s.insertions,
+                s.evictions,
+                s.entries,
+                s.payload_bytes,
+                s.bytes_read,
+                s.bytes_written,
+                s.compactions,
+                s.recovered_drops,
+                s.write_errors,
+            )
+        }
+        // Optional gauges inside the "cache" section: present once the
+        // engine attaches the live cache view.
+        let mut cache_extra = format!(",\"store_hits\":{}", self.store_hits);
+        if let Some(rc) = &self.result_cache {
+            let _ = write!(
+                cache_extra,
+                ",\"evictions\":{},\"entries\":{},\"capacity\":{}",
+                rc.evictions, rc.entries, self.cache_capacity
+            );
+        }
+        // Optional trailing sections for the durable store and the
+        // daemon.
+        let mut tail = String::new();
+        if let Some(store) = &self.store {
+            let _ = write!(tail, ",\"store\":{}", store_json(store));
+        }
+        if let Some(sv) = &self.server {
+            let _ = write!(
+                tail,
+                concat!(
+                    ",\"server\":{{\"requests\":{},\"completed\":{},",
+                    "\"failed\":{},\"rejected\":{},\"active\":{},",
+                    "\"queue_depth\":{},\"peak_queue_depth\":{},",
+                    "\"wall_micros\":{},\"request_micros_log2\":[{}]}}"
+                ),
+                sv.requests,
+                sv.completed,
+                sv.failed,
+                sv.rejected,
+                sv.active,
+                sv.queue_depth,
+                sv.peak_queue_depth,
+                sv.wall.as_micros(),
+                trim_row(&sv.request_micros_log2),
+            );
+        }
         format!(
             concat!(
                 "{{\"jobs\":{{\"submitted\":{sub},\"completed\":{done},\"panicked\":{pan}}},",
-                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{rate:.4}}},",
+                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{rate:.4}",
+                "{cache_extra}}},",
                 "\"pool\":{{\"busy_micros\":{busy},\"capacity_micros\":{cap},",
                 "\"utilization\":{util:.4}}},",
                 "\"fault_sim\":{{\"batches_loaded\":{fs_batches},",
@@ -414,7 +554,7 @@ impl MetricsSnapshot {
                 "\"lint\":{{\"runs\":{li_runs},\"errors\":{li_err},",
                 "\"warnings\":{li_warn},\"wall_micros\":{li_wall},",
                 "\"pass_micros_log2_histograms\":{{{li_hist}}}}},",
-                "\"stage_micros_log2_histograms\":{{{hist}}}}}"
+                "\"stage_micros_log2_histograms\":{{{hist}}}{tail}}}"
             ),
             sub = self.jobs_submitted,
             done = self.jobs_completed,
@@ -453,6 +593,8 @@ impl MetricsSnapshot {
             li_wall = self.lint.wall.as_micros(),
             li_hist = lint_hist,
             hist = hist,
+            cache_extra = cache_extra,
+            tail = tail,
         )
     }
 }

@@ -1,0 +1,243 @@
+//! End-to-end daemon tests over real sockets: sequential clients share
+//! the cache and store (byte-identical `result` events), concurrent
+//! clients see deterministic results, both transports round-trip, and
+//! a restart answers from the durable store.
+
+use std::path::PathBuf;
+
+use lobist_server::{client, Endpoint, Server, ServerConfig};
+
+const DESIGN: &str = "input a b c d\n\
+                      s1 = a + b @ 1\n\
+                      s2 = c + d @ 2\n\
+                      y = s1 * s2 @ 3\n\
+                      output y\n";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lobist-server-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Binds a server, runs it on a background thread, returns the TCP
+/// endpoint and the run-thread handle.
+fn start(config: ServerConfig) -> (Endpoint, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.tcp_addr().expect("tcp enabled").to_string();
+    let thread = std::thread::spawn(move || server.run());
+    (Endpoint::Tcp(addr), thread)
+}
+
+fn synth_request() -> String {
+    format!(
+        r#"{{"cmd":"synth","design":"{}","modules":"1+,1*"}}"#,
+        lobist_server::json::escape(DESIGN)
+    )
+}
+
+fn event<'a>(events: &'a [String], name: &str) -> &'a String {
+    let needle = format!("\"event\":\"{name}\"");
+    events
+        .iter()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("no {name} event in {events:?}"))
+}
+
+fn shutdown(endpoint: &Endpoint) {
+    let events = client::submit(endpoint, r#"{"cmd":"shutdown"}"#).expect("shutdown");
+    assert!(event(&events, "shutdown").contains("\"event\":\"shutdown\""));
+}
+
+#[test]
+fn sequential_clients_share_cache_and_restart_hits_the_store() {
+    let dir = temp_dir("restart");
+    let store = dir.join("results.log");
+    let config = ServerConfig {
+        store: Some(store.clone()),
+        ..ServerConfig::default()
+    };
+    let (endpoint, thread) = start(config.clone());
+
+    // First client: fresh evaluation, written through to the store.
+    let first = client::submit(&endpoint, &synth_request()).expect("first submit");
+    let first_result = event(&first, "result").clone();
+    assert!(event(&first, "done").contains("\"cache\":\"fresh\""), "{first:?}");
+    assert!(first_result.contains("\"point\":{"), "{first_result}");
+
+    // Second client, same daemon: answered from memory, byte-identical
+    // result event (ids differ; the payload must not).
+    let second = client::submit(&endpoint, &synth_request()).expect("second submit");
+    assert!(event(&second, "done").contains("\"cache\":\"memory\""), "{second:?}");
+    assert_eq!(
+        payload_of(&first_result),
+        payload_of(event(&second, "result")),
+        "repeated request must render the identical result payload"
+    );
+
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+    assert!(store.exists(), "store survives shutdown");
+
+    // Restarted daemon, cold in-memory cache: the store answers, and
+    // the payload is still byte-identical.
+    let (endpoint, thread) = start(config);
+    let third = client::submit(&endpoint, &synth_request()).expect("post-restart submit");
+    assert!(event(&third, "done").contains("\"cache\":\"store\""), "{third:?}");
+    assert_eq!(payload_of(&first_result), payload_of(event(&third, "result")));
+
+    // The metrics JSON reports the store section with the hit.
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    let line = event(&metrics, "metrics");
+    assert!(line.contains("\"store\":{"), "{line}");
+    assert!(line.contains("\"store_hits\":1"), "{line}");
+    assert!(line.contains("\"server\":{"), "{line}");
+    assert!(line.contains("\"completed\":"), "{line}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
+/// Strips the varying `"id":N` field, keeping everything else byte-for-
+/// byte (the payload follows the id).
+fn payload_of(result_line: &str) -> String {
+    let rest = result_line
+        .split_once(",\"point\":")
+        .or_else(|| result_line.split_once(",\"failure\":"))
+        .map(|(_, payload)| payload)
+        .unwrap_or_else(|| panic!("no payload in {result_line}"));
+    rest.to_owned()
+}
+
+#[test]
+fn concurrent_clients_get_identical_results() {
+    let (endpoint, thread) = start(ServerConfig::default());
+    let mut workers = Vec::new();
+    for _ in 0..4 {
+        let endpoint = endpoint.clone();
+        workers.push(std::thread::spawn(move || {
+            client::submit(&endpoint, &synth_request()).expect("submit")
+        }));
+    }
+    let runs: Vec<Vec<String>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let reference = payload_of(event(&runs[0], "result"));
+    for run in &runs[1..] {
+        assert_eq!(reference, payload_of(event(run, "result")));
+        assert!(event(run, "done").contains("\"ok\":true"));
+    }
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
+#[test]
+fn unix_socket_round_trips_every_command_kind() {
+    let dir = temp_dir("unix");
+    let sock = dir.join("lobist.sock");
+    let config = ServerConfig {
+        tcp: None,
+        unix: Some(sock.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind");
+    assert!(server.tcp_addr().is_none());
+    let thread = std::thread::spawn(move || server.run());
+    let endpoint = Endpoint::Unix(sock.clone());
+
+    let pong = client::submit(&endpoint, r#"{"cmd":"ping"}"#).expect("ping");
+    assert!(event(&pong, "pong").contains("\"event\":\"pong\""));
+
+    let synth = client::submit(&endpoint, &synth_request()).expect("synth");
+    assert!(event(&synth, "result").contains("\"point\":{"));
+    assert!(event(&synth, "accepted").contains("\"queue_depth\":"));
+
+    let explore = client::submit(
+        &endpoint,
+        &format!(
+            r#"{{"cmd":"explore","design":"{}","candidates":"1+,1*;2+,1*"}}"#,
+            lobist_server::json::escape(
+                "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n"
+            )
+        ),
+    )
+    .expect("explore");
+    assert!(event(&explore, "result").contains("\"pareto\":["), "{explore:?}");
+
+    let lint = client::submit(
+        &endpoint,
+        &format!(
+            r#"{{"cmd":"lint","design":"{}","modules":"1+,1*"}}"#,
+            lobist_server::json::escape(DESIGN)
+        ),
+    )
+    .expect("lint");
+    assert!(event(&lint, "result").contains("\"clean\":true"), "{lint:?}");
+
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn malformed_and_oversized_requests_are_rejected() {
+    let config = ServerConfig {
+        max_design_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let (endpoint, thread) = start(config);
+
+    let bad = client::submit(&endpoint, "this is not json").expect("submit");
+    assert!(event(&bad, "error").contains("invalid JSON"), "{bad:?}");
+
+    let unknown = client::submit(&endpoint, r#"{"cmd":"levitate"}"#).expect("submit");
+    assert!(event(&unknown, "error").contains("unknown command"), "{unknown:?}");
+
+    let oversized = client::submit(&endpoint, &synth_request()).expect("submit");
+    assert!(event(&oversized, "error").contains("design too large"), "{oversized:?}");
+
+    let missing = client::submit(&endpoint, r#"{"cmd":"synth","modules":"1+"}"#).expect("submit");
+    assert!(event(&missing, "error").contains("missing field `design`"), "{missing:?}");
+
+    // Rejections are counted, and the daemon still works afterwards.
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    assert!(event(&metrics, "metrics").contains("\"rejected\":"), "{metrics:?}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
+#[test]
+fn anneal_and_faultsim_run_on_the_daemon() {
+    let (endpoint, thread) = start(ServerConfig::default());
+    let anneal = client::submit(
+        &endpoint,
+        &format!(
+            r#"{{"cmd":"anneal","design":"{}","modules":"1+,1*","iterations":30,"seed":48879}}"#,
+            lobist_server::json::escape(DESIGN)
+        ),
+    )
+    .expect("anneal");
+    let line = event(&anneal, "result");
+    assert!(line.contains("\"anneal\":{\"iterations\":30,\"seed\":48879"), "{line}");
+    assert!(line.contains("\"overhead\":"), "{line}");
+
+    let fs = client::submit(
+        &endpoint,
+        &format!(
+            r#"{{"cmd":"faultsim","design":"{}","modules":"1+,1*","width":5}}"#,
+            lobist_server::json::escape(DESIGN)
+        ),
+    )
+    .expect("faultsim");
+    let line = event(&fs, "result");
+    assert!(line.contains("\"faultsim\":{\"width\":5"), "{line}");
+    assert!(line.contains("\"coverage\":"), "{line}");
+
+    // Both recorded work into the shared engine metrics.
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    let line = event(&metrics, "metrics");
+    assert!(line.contains("\"anneal\":{\"runs\":1"), "{line}");
+    assert!(!line.contains("\"faults_simulated\":0,"), "{line}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}

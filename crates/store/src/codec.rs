@@ -1,0 +1,370 @@
+//! A versioned, byte-stable binary encoding of [`JobResult`].
+//!
+//! The encoding is hand-rolled (the workspace is dependency-free) and
+//! deliberately boring: little-endian fixed-width integers, `u32`
+//! length-prefixed byte strings, one tag byte per enum. Floats are
+//! stored as their IEEE-754 bit pattern, so a decode → re-encode round
+//! trip is byte-identical — the property the store's durability tests
+//! and the daemon's repeated-request guarantee both rest on.
+//!
+//! Every payload starts with a one-byte format version; decoding an
+//! unknown version fails cleanly instead of misreading the bytes, so a
+//! future format change invalidates old records rather than corrupting
+//! them.
+
+use std::fmt;
+
+use lobist_alloc::explore::DesignPoint;
+use lobist_bist::embedding::PatternSource;
+use lobist_bist::{BistSolution, Embedding};
+use lobist_datapath::area::{BistStyle, GateCount};
+use lobist_datapath::RegisterId;
+use lobist_dfg::{Schedule, VarId};
+
+use crate::JobResult;
+
+/// Codec format version (the first payload byte).
+pub const FORMAT_VERSION: u8 = 1;
+
+const TAG_OK: u8 = 0;
+const TAG_ERR: u8 = 1;
+
+const SOURCE_REGISTER: u8 = 0;
+const SOURCE_INPUT: u8 = 1;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload's version byte is not [`FORMAT_VERSION`].
+    UnknownVersion(u8),
+    /// The payload ended before the structure did.
+    Truncated,
+    /// The payload decoded fully but left trailing bytes.
+    TrailingBytes(usize),
+    /// A tag byte had no defined meaning.
+    BadTag(&'static str, u8),
+    /// A stored string was not valid UTF-8.
+    BadUtf8,
+    /// The stored module-set string no longer parses.
+    BadModuleSet(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnknownVersion(v) => write!(f, "unknown codec version {v}"),
+            CodecError::Truncated => write!(f, "payload truncated"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
+            CodecError::BadTag(what, t) => write!(f, "bad {what} tag {t}"),
+            CodecError::BadUtf8 => write!(f, "string is not UTF-8"),
+            CodecError::BadModuleSet(s) => write!(f, "stored module set `{s}` does not parse"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn style_to_u8(s: BistStyle) -> u8 {
+    match s {
+        BistStyle::Normal => 0,
+        BistStyle::Tpg => 1,
+        BistStyle::Sa => 2,
+        BistStyle::Bilbo => 3,
+        BistStyle::Cbilbo => 4,
+    }
+}
+
+fn style_from_u8(b: u8) -> Result<BistStyle, CodecError> {
+    Ok(match b {
+        0 => BistStyle::Normal,
+        1 => BistStyle::Tpg,
+        2 => BistStyle::Sa,
+        3 => BistStyle::Bilbo,
+        4 => BistStyle::Cbilbo,
+        other => return Err(CodecError::BadTag("bist style", other)),
+    })
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+    fn source(&mut self, s: PatternSource) {
+        match s {
+            PatternSource::Register(r) => {
+                self.u8(SOURCE_REGISTER);
+                self.u32(r.0);
+            }
+            PatternSource::Input(v) => {
+                self.u8(SOURCE_INPUT);
+                self.u32(v.0);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+    fn string(&mut self) -> Result<String, CodecError> {
+        std::str::from_utf8(self.bytes()?)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
+    }
+    fn source(&mut self) -> Result<PatternSource, CodecError> {
+        match self.u8()? {
+            SOURCE_REGISTER => Ok(PatternSource::Register(RegisterId(self.u32()?))),
+            SOURCE_INPUT => Ok(PatternSource::Input(VarId(self.u32()?))),
+            other => Err(CodecError::BadTag("pattern source", other)),
+        }
+    }
+}
+
+/// Serializes one job result as a self-describing byte payload.
+pub fn encode(result: &JobResult) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(128));
+    w.u8(FORMAT_VERSION);
+    match result {
+        Ok(p) => {
+            w.u8(TAG_OK);
+            w.bytes(p.modules.to_string().as_bytes());
+            w.u32(p.latency);
+            w.u64(p.functional_gates.get());
+            w.u64(p.bist_gates.get());
+            w.u64(p.registers as u64);
+            w.u32(p.bist.styles.len() as u32);
+            for &s in &p.bist.styles {
+                w.u8(style_to_u8(s));
+            }
+            w.u32(p.bist.embeddings.len() as u32);
+            for e in &p.bist.embeddings {
+                w.source(e.left);
+                w.source(e.right);
+                w.u32(e.sa.0);
+            }
+            w.u32(p.bist.sessions.len() as u32);
+            for &s in &p.bist.sessions {
+                w.u32(s);
+            }
+            w.u64(p.bist.overhead.get());
+            w.u64(p.bist.overhead_percent.to_bits());
+            w.u32(p.schedule.len() as u32);
+            for &s in p.schedule.as_slice() {
+                w.u32(s);
+            }
+        }
+        Err((modules, error)) => {
+            w.u8(TAG_ERR);
+            w.bytes(modules.as_bytes());
+            w.bytes(error.as_bytes());
+        }
+    }
+    w.0
+}
+
+/// Reconstructs a job result from a payload produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the payload is from an unknown format
+/// version, truncated, carries trailing bytes, or contains a value no
+/// current type maps to.
+pub fn decode(payload: &[u8]) -> Result<JobResult, CodecError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnknownVersion(version));
+    }
+    let result = match r.u8()? {
+        TAG_OK => {
+            let modules_text = r.string()?;
+            let modules = modules_text
+                .parse()
+                .map_err(|_| CodecError::BadModuleSet(modules_text))?;
+            let latency = r.u32()?;
+            let functional_gates = GateCount(r.u64()?);
+            let bist_gates = GateCount(r.u64()?);
+            let registers = r.u64()? as usize;
+            let n = r.u32()? as usize;
+            let mut styles = Vec::with_capacity(n);
+            for _ in 0..n {
+                styles.push(style_from_u8(r.u8()?)?);
+            }
+            let n = r.u32()? as usize;
+            let mut embeddings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let left = r.source()?;
+                let right = r.source()?;
+                let sa = RegisterId(r.u32()?);
+                embeddings.push(Embedding { left, right, sa });
+            }
+            let n = r.u32()? as usize;
+            let mut sessions = Vec::with_capacity(n);
+            for _ in 0..n {
+                sessions.push(r.u32()?);
+            }
+            let overhead = GateCount(r.u64()?);
+            let overhead_percent = f64::from_bits(r.u64()?);
+            let n = r.u32()? as usize;
+            let mut steps = Vec::with_capacity(n);
+            for _ in 0..n {
+                steps.push(r.u32()?);
+            }
+            Ok(DesignPoint {
+                modules,
+                latency,
+                functional_gates,
+                bist_gates,
+                registers,
+                bist: BistSolution {
+                    styles,
+                    embeddings,
+                    sessions,
+                    overhead,
+                    overhead_percent,
+                },
+                schedule: Schedule::from_trusted_steps(steps),
+            })
+        }
+        TAG_ERR => Err((r.string()?, r.string()?)),
+        other => return Err(CodecError::BadTag("result", other)),
+    };
+    if r.pos != payload.len() {
+        return Err(CodecError::TrailingBytes(payload.len() - r.pos));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point() -> DesignPoint {
+        DesignPoint {
+            modules: "1+,2*".parse().expect("valid"),
+            latency: 4,
+            functional_gates: GateCount(1234),
+            bist_gates: GateCount(56),
+            registers: 5,
+            bist: BistSolution {
+                styles: vec![
+                    BistStyle::Tpg,
+                    BistStyle::Normal,
+                    BistStyle::Sa,
+                    BistStyle::Bilbo,
+                    BistStyle::Cbilbo,
+                ],
+                embeddings: vec![
+                    Embedding::with_registers(RegisterId(0), RegisterId(1), RegisterId(2)),
+                    Embedding {
+                        left: PatternSource::Input(VarId(3)),
+                        right: PatternSource::Register(RegisterId(4)),
+                        sa: RegisterId(0),
+                    },
+                ],
+                sessions: vec![0, 1],
+                overhead: GateCount(78),
+                overhead_percent: 6.3125,
+            },
+            schedule: Schedule::from_trusted_steps(vec![1, 1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn ok_round_trip_is_byte_identical() {
+        let original: JobResult = Ok(sample_point());
+        let bytes = encode(&original);
+        let decoded = decode(&bytes).expect("decodes");
+        assert_eq!(encode(&decoded), bytes);
+        let p = decoded.expect("ok");
+        assert_eq!(p.modules.to_string(), "1+,2*");
+        assert_eq!(p.latency, 4);
+        assert_eq!(p.registers, 5);
+        assert_eq!(p.bist.styles.len(), 5);
+        assert_eq!(p.bist.overhead_percent, 6.3125);
+        assert_eq!(p.schedule.as_slice(), &[1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn err_round_trip_is_byte_identical() {
+        let original: JobResult = Err(("1+,1*".into(), "no BIST embedding for M2".into()));
+        let bytes = encode(&original);
+        let decoded = decode(&bytes).expect("decodes");
+        assert_eq!(encode(&decoded), bytes);
+        assert!(matches!(decoded, Err((m, e))
+            if m == "1+,1*" && e == "no BIST embedding for M2"));
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        let bytes = encode(&Ok(sample_point()));
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).expect_err("truncated payload must not decode");
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::UnknownVersion(_)),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&Ok(sample_point()));
+        bytes.push(0);
+        let err = decode(&bytes).expect_err("trailing bytes must fail");
+        assert_eq!(err, CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = encode(&Err(("m".into(), "e".into())));
+        bytes[0] = 99;
+        let err = decode(&bytes).expect_err("unknown version must fail");
+        assert_eq!(err, CodecError::UnknownVersion(99));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut bytes = encode(&Err(("m".into(), "e".into())));
+        bytes[1] = 7;
+        let err = decode(&bytes).expect_err("bad tag must fail");
+        assert_eq!(err, CodecError::BadTag("result", 7));
+    }
+}

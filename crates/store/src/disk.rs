@@ -1,0 +1,476 @@
+//! The on-disk content-addressed store: an append-only record log.
+//!
+//! # Format
+//!
+//! ```text
+//! file   := header record*
+//! header := magic (8 bytes, b"LOBST001" — name + format version)
+//! record := key (u128 LE) len (u32 LE) crc (u32 LE) payload (len bytes)
+//! ```
+//!
+//! `payload` is the [`codec`](crate::codec) encoding of one
+//! [`JobResult`]; `crc` is CRC-32 (IEEE) over `key ‖ len ‖ payload`.
+//! The log is replayed at open to rebuild the in-memory index
+//! (key → offset); a later record for the same key shadows an earlier
+//! one, so overwrites are appends. Replay order doubles as recency
+//! order, which survives restarts because compaction rewrites records
+//! least-recently-used first.
+//!
+//! # Crash safety
+//!
+//! Appends are flushed per record but a crash can still leave a
+//! partial record at the tail. Replay stops at the first record that
+//! is truncated or fails its CRC and truncates the file back to the
+//! last good byte — everything before it is intact by construction.
+//! Compaction writes the survivor records to a sibling temp file and
+//! atomically renames it over the log, so a crash mid-compaction
+//! leaves either the old complete log or the new complete log.
+//!
+//! # Bounds
+//!
+//! The log is bounded by [`DiskStoreConfig::max_bytes`]. When an
+//! append pushes the file past the budget, the store compacts: live
+//! records are kept most-recently-used first until three quarters of
+//! the budget is filled, and the rest are evicted (counted in
+//! [`StoreStats::evictions`]).
+//!
+//! One store must be owned by one process at a time; the daemon is the
+//! single writer. Concurrent threads within the process are fine — the
+//! store is a `Mutex` around the file and index.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::codec;
+use crate::{JobResult, ResultStore, StoreStats};
+
+/// File magic: store name plus format version. Bump the trailing
+/// digits on any incompatible layout change.
+pub const MAGIC: [u8; 8] = *b"LOBST001";
+
+const RECORD_HEADER_LEN: u64 = 16 + 4 + 4;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), bitwise — records are
+/// small enough that a table buys nothing measurable.
+fn crc32(chunks: &[&[u8]]) -> u32 {
+    let mut crc = !0u32;
+    for chunk in chunks {
+        for &b in *chunk {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            }
+        }
+    }
+    !crc
+}
+
+/// Tuning knobs of a [`DiskStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskStoreConfig {
+    /// Log size budget in bytes. An append that pushes the file past
+    /// this triggers a compaction down to ~3/4 of the budget. The
+    /// newest record is always kept, so a single oversized result
+    /// never wedges the store.
+    pub max_bytes: u64,
+}
+
+impl Default for DiskStoreConfig {
+    fn default() -> Self {
+        // Generous for result records (a few hundred bytes each) while
+        // still bounded: ~64 MiB holds on the order of 10^5 results.
+        Self { max_bytes: 64 << 20 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Offset of the record header (not the payload).
+    offset: u64,
+    payload_len: u32,
+    /// Monotonic recency stamp; larger = used more recently.
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    path: PathBuf,
+    file: File,
+    index: HashMap<u128, Entry>,
+    end: u64,
+    tick: u64,
+    max_bytes: u64,
+    stats: StoreStats,
+}
+
+/// The durable content-addressed result store. See the module docs for
+/// the format and guarantees.
+#[derive(Debug)]
+pub struct DiskStore {
+    inner: Mutex<Inner>,
+}
+
+impl DiskStore {
+    /// Opens (or creates) the store at `path`, replaying the log to
+    /// rebuild the index. A truncated or corrupted tail is cut off and
+    /// counted in [`StoreStats::recovered_drops`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened or created, or if
+    /// it exists but does not start with this store's magic (it is some
+    /// other file — refusing beats silently clobbering it).
+    pub fn open(path: impl AsRef<Path>, config: DiskStoreConfig) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut stats = StoreStats::default();
+        let len = file.metadata()?.len();
+        let mut index = HashMap::new();
+        let mut tick = 0u64;
+        let end = if len == 0 {
+            file.write_all(&MAGIC)?;
+            file.sync_all()?;
+            MAGIC.len() as u64
+        } else {
+            let mut contents = Vec::with_capacity(len as usize);
+            file.seek(SeekFrom::Start(0))?;
+            file.read_to_end(&mut contents)?;
+            if contents.len() < MAGIC.len() || contents[..MAGIC.len()] != MAGIC {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not a lobist store (bad magic)", path.display()),
+                ));
+            }
+            let mut pos = MAGIC.len() as u64;
+            loop {
+                match parse_record(&contents, pos) {
+                    Some((key, payload_len)) => {
+                        tick += 1;
+                        index.insert(
+                            key,
+                            Entry {
+                                offset: pos,
+                                payload_len,
+                                tick,
+                            },
+                        );
+                        pos += RECORD_HEADER_LEN + payload_len as u64;
+                    }
+                    None => {
+                        if pos < contents.len() as u64 {
+                            // Partial or corrupt tail: cut it off.
+                            file.set_len(pos)?;
+                            file.sync_all()?;
+                            stats.recovered_drops += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+            pos
+        };
+        stats.entries = index.len() as u64;
+        stats.payload_bytes = index.values().map(|e| e.payload_len as u64).sum();
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                path,
+                file,
+                index,
+                end,
+                tick,
+                max_bytes: config.max_bytes.max(1),
+                stats,
+            }),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> PathBuf {
+        self.inner.lock().expect("store lock").path.clone()
+    }
+}
+
+/// Validates the record starting at `pos`, returning its key and
+/// payload length, or `None` if the bytes there do not form a complete,
+/// CRC-clean record.
+fn parse_record(contents: &[u8], pos: u64) -> Option<(u128, u32)> {
+    let pos = pos as usize;
+    if contents.len() == pos {
+        return None; // clean end of log
+    }
+    let header = contents.get(pos..pos + RECORD_HEADER_LEN as usize)?;
+    let key = u128::from_le_bytes(header[..16].try_into().expect("16 bytes"));
+    let payload_len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+    let start = pos + RECORD_HEADER_LEN as usize;
+    let payload = contents.get(start..start + payload_len as usize)?;
+    if crc32(&[&header[..20], payload]) != crc {
+        return None;
+    }
+    Some((key, payload_len))
+}
+
+impl Inner {
+    fn read_payload(&mut self, entry: Entry) -> std::io::Result<Vec<u8>> {
+        let mut payload = vec![0u8; entry.payload_len as usize];
+        self.file
+            .seek(SeekFrom::Start(entry.offset + RECORD_HEADER_LEN))?;
+        self.file.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+
+    fn append(&mut self, key: u128, payload: &[u8]) -> std::io::Result<()> {
+        let mut header = [0u8; RECORD_HEADER_LEN as usize];
+        header[..16].copy_from_slice(&key.to_le_bytes());
+        header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&header[..20], payload]);
+        header[20..24].copy_from_slice(&crc.to_le_bytes());
+        let offset = self.end;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&header)?;
+        self.file.write_all(payload)?;
+        self.file.flush()?;
+        self.end = offset + RECORD_HEADER_LEN + payload.len() as u64;
+        self.tick += 1;
+        let previous = self.index.insert(
+            key,
+            Entry {
+                offset,
+                payload_len: payload.len() as u32,
+                tick: self.tick,
+            },
+        );
+        if let Some(prev) = previous {
+            self.stats.payload_bytes -= prev.payload_len as u64;
+        }
+        self.stats.payload_bytes += payload.len() as u64;
+        self.stats.entries = self.index.len() as u64;
+        self.stats.bytes_written += payload.len() as u64;
+        if self.end > self.max_bytes {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log with only the records that fit the budget,
+    /// most-recently-used entries surviving first.
+    fn compact(&mut self) -> std::io::Result<()> {
+        let budget = (self.max_bytes / 4 * 3).max(1);
+        let mut live: Vec<(u128, Entry)> =
+            self.index.iter().map(|(&k, &e)| (k, e)).collect();
+        // Most recent first for the keep decision...
+        live.sort_by_key(|(_, e)| std::cmp::Reverse(e.tick));
+        let mut kept_bytes = 0u64;
+        let mut keep: Vec<(u128, Entry)> = Vec::with_capacity(live.len());
+        for (key, entry) in live {
+            let record_len = RECORD_HEADER_LEN + entry.payload_len as u64;
+            if keep.is_empty() || kept_bytes + record_len <= budget {
+                kept_bytes += record_len;
+                keep.push((key, entry));
+            } else {
+                self.stats.evictions += 1;
+            }
+        }
+        // ...but written oldest-first so replay reproduces the recency
+        // order.
+        keep.sort_by_key(|(_, e)| e.tick);
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&MAGIC)?;
+        let mut new_index = HashMap::with_capacity(keep.len());
+        let mut pos = MAGIC.len() as u64;
+        for (i, (key, entry)) in keep.iter().enumerate() {
+            let payload = self.read_payload(*entry)?;
+            let mut header = [0u8; RECORD_HEADER_LEN as usize];
+            header[..16].copy_from_slice(&key.to_le_bytes());
+            header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+            let crc = crc32(&[&header[..20], &payload]);
+            header[20..24].copy_from_slice(&crc.to_le_bytes());
+            tmp.write_all(&header)?;
+            tmp.write_all(&payload)?;
+            new_index.insert(
+                *key,
+                Entry {
+                    offset: pos,
+                    payload_len: entry.payload_len,
+                    tick: (i + 1) as u64,
+                },
+            );
+            pos += RECORD_HEADER_LEN + payload.len() as u64;
+        }
+        tmp.sync_all()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = tmp;
+        self.end = pos;
+        self.tick = new_index.len() as u64;
+        self.index = new_index;
+        self.stats.entries = self.index.len() as u64;
+        self.stats.payload_bytes =
+            self.index.values().map(|e| e.payload_len as u64).sum();
+        self.stats.compactions += 1;
+        Ok(())
+    }
+}
+
+impl ResultStore for DiskStore {
+    fn get(&self, key: u128) -> Option<JobResult> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let Some(entry) = inner.index.get(&key).copied() else {
+            inner.stats.misses += 1;
+            return None;
+        };
+        let payload = match inner.read_payload(entry) {
+            Ok(p) => p,
+            Err(_) => {
+                // Unreadable record: forget it rather than erroring every
+                // future lookup.
+                inner.index.remove(&key);
+                inner.stats.entries = inner.index.len() as u64;
+                inner.stats.recovered_drops += 1;
+                inner.stats.misses += 1;
+                return None;
+            }
+        };
+        match codec::decode(&payload) {
+            Ok(result) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(e) = inner.index.get_mut(&key) {
+                    e.tick = tick;
+                }
+                inner.stats.hits += 1;
+                inner.stats.bytes_read += payload.len() as u64;
+                Some(result)
+            }
+            Err(_) => {
+                inner.index.remove(&key);
+                inner.stats.entries = inner.index.len() as u64;
+                inner.stats.recovered_drops += 1;
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: u128, result: &JobResult) {
+        let payload = codec::encode(result);
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.insertions += 1;
+        if inner.append(key, &payload).is_err() {
+            inner.stats.write_errors += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").index.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("store lock").stats
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().expect("store lock").file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lobist-store-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn err_result(m: &str, e: &str) -> JobResult {
+        Err((m.to_owned(), e.to_owned()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b""]), 0);
+    }
+
+    #[test]
+    fn reopen_preserves_entries() {
+        let path = temp_path("reopen.log");
+        {
+            let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("open");
+            store.put(1, &err_result("1+", "first"));
+            store.put(2, &err_result("2*", "second"));
+            store.put(1, &err_result("1+", "updated"));
+            store.flush().expect("flush");
+        }
+        let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert!(matches!(store.get(1), Some(Err((_, e))) if e == "updated"));
+        assert!(matches!(store.get(2), Some(Err((_, e))) if e == "second"));
+        assert!(store.get(3).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.recovered_drops, 0);
+    }
+
+    #[test]
+    fn compaction_keeps_recent_entries_and_bounds_the_file() {
+        let path = temp_path("compact.log");
+        let store = DiskStore::open(&path, DiskStoreConfig { max_bytes: 2048 }).expect("open");
+        for i in 0..200u128 {
+            store.put(i, &err_result("1+", &format!("entry number {i}")));
+        }
+        let stats = store.stats();
+        assert!(stats.compactions > 0, "{stats:?}");
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(store.len() < 200);
+        assert!(std::fs::metadata(&path).expect("meta").len() <= 2048);
+        // The newest entry always survives.
+        assert!(store.get(199).is_some());
+    }
+
+    #[test]
+    fn recently_read_entries_survive_compaction_over_stale_ones() {
+        let path = temp_path("lru.log");
+        let store = DiskStore::open(&path, DiskStoreConfig { max_bytes: 4096 }).expect("open");
+        store.put(7, &err_result("1+", "keep me"));
+        let mut i = 100u128;
+        // Fill until the first compaction, touching key 7 between writes
+        // so it stays the most recently used entry.
+        while store.stats().compactions == 0 {
+            assert!(store.get(7).is_some(), "key 7 evicted before compaction");
+            store.put(i, &err_result("1+", &format!("filler {i}")));
+            i += 1;
+        }
+        assert!(matches!(store.get(7), Some(Err((_, e))) if e == "keep me"));
+    }
+
+    #[test]
+    fn non_store_files_are_refused() {
+        let path = temp_path("not-a-store.log");
+        std::fs::write(&path, b"#!/bin/sh\necho hello\n").expect("write");
+        let err = DiskStore::open(&path, DiskStoreConfig::default()).expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // And the file is untouched.
+        assert!(std::fs::read(&path).expect("read").starts_with(b"#!/bin/sh"));
+    }
+}
