@@ -9,10 +9,22 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use lobist_dfg::OpKind;
-use lobist_engine::{bist_session_parallel, random_coverage_parallel, FaultSimOptions};
-use lobist_gatesim::bist_mode::run_session;
-use lobist_gatesim::coverage::{enumerate_faults, random_pattern_coverage};
+use lobist_engine::{bist_session_parallel, random_coverage_parallel, FaultSimOptions, LaneSelect};
+use lobist_gatesim::bist_mode::{run_session, SessionContext};
+use lobist_gatesim::coverage::{
+    enumerate_faults, random_pattern_coverage, random_pattern_coverage_with,
+};
+use lobist_gatesim::diffsim::DiffSim;
+use lobist_gatesim::lanes::{LaneWord, W256, W512};
 use lobist_gatesim::modules::unit_for;
+use lobist_gatesim::net::{Fault, GateNetwork};
+
+/// One serial coverage run pinned to lane width `W` (the public entry
+/// points auto-select; benchmarking the knob needs it explicit).
+fn coverage_at<W: LaneWord>(net: &GateNetwork, faults: &[Fault], patterns: u64) -> u64 {
+    let mut sim = DiffSim::<W>::new(net);
+    random_pattern_coverage_with(&mut sim, faults, patterns, 7).patterns_applied
+}
 
 fn bench_fault_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_sim");
@@ -24,6 +36,31 @@ fn bench_fault_sim(c: &mut Criterion) {
                 b.iter(|| random_pattern_coverage(&net, 256, 7))
             });
         }
+    }
+    // The same 256-pattern budget pinned to each lane width. On this
+    // early-exit loop the cone visits are width-invariant (detected
+    // faults drop out after block 0), so wide lanes pay for bytes they
+    // never use and `l64` wins — these cases document that measurement
+    // and guard it; the wide win lives in the full-walk session cases
+    // (`bist_session/session_lanes_*`). `auto` resolves to 64 here.
+    for width in [16u32, 32] {
+        let net = unit_for(OpKind::Mul, width);
+        let faults = enumerate_faults(&net);
+        let id = |lanes: u32| format!("*{width}_l{lanes}");
+        group.bench_function(BenchmarkId::new("coverage_256_lanes", id(64)), |b| {
+            b.iter(|| coverage_at::<u64>(&net, &faults, 256))
+        });
+        group.bench_function(BenchmarkId::new("coverage_256_lanes", id(256)), |b| {
+            b.iter(|| coverage_at::<W256>(&net, &faults, 256))
+        });
+        // A 512-pattern budget for the widest lane, with its own
+        // 64-lane reference so the comparison holds the budget fixed.
+        group.bench_function(BenchmarkId::new("coverage_512_lanes", id(64)), |b| {
+            b.iter(|| coverage_at::<u64>(&net, &faults, 512))
+        });
+        group.bench_function(BenchmarkId::new("coverage_512_lanes", id(512)), |b| {
+            b.iter(|| coverage_at::<W512>(&net, &faults, 512))
+        });
     }
     // Pattern-budget scaling on the hardest unit: each batch retires
     // detected faults, so cost per extra batch shrinks as the
@@ -50,6 +87,7 @@ fn bench_fault_sim(c: &mut Criterion) {
                     let opts = FaultSimOptions {
                         workers,
                         collapse: true,
+                        lanes: LaneSelect::Auto,
                     };
                     b.iter(|| random_coverage_parallel(&net, 256, 7, opts))
                 },
@@ -68,11 +106,35 @@ fn bench_bist_session(c: &mut Criterion) {
             b.iter(|| run_session(&net, 8, 255, (1, 2), &faults))
         });
     }
+    // Session emulation pinned to each lane width: every fault walks
+    // its whole cone every batch (the MISR signature needs every
+    // pattern, so there is no early exit), which makes batch count the
+    // cost driver — the workload where wide lanes genuinely win
+    // (~1.3×, bounded by the scalar MISR absorption after the walks).
     let net = unit_for(OpKind::Mul, 8);
+    let faults = enumerate_faults(&net);
+    fn session_at<W: LaneWord>(net: &GateNetwork, faults: &[Fault], patterns: u64) -> usize {
+        let ctx = SessionContext::<W>::prepare(net, &[], 8, patterns, (1, 2));
+        let mut sim = DiffSim::<W>::new(net);
+        ctx.detect_flags(&mut sim, faults)
+            .iter()
+            .filter(|f| f.1)
+            .count()
+    }
+    group.bench_function("session_lanes_*8_l64", |b| {
+        b.iter(|| session_at::<u64>(&net, &faults, 255))
+    });
+    group.bench_function("session_lanes_*8_l256", |b| {
+        b.iter(|| session_at::<W256>(&net, &faults, 255))
+    });
+    group.bench_function("session_lanes_*8_l512", |b| {
+        b.iter(|| session_at::<W512>(&net, &faults, 255))
+    });
     group.bench_function("session_*8_parallel4", |b| {
         let opts = FaultSimOptions {
             workers: 4,
             collapse: true,
+            lanes: LaneSelect::Auto,
         };
         b.iter(|| bist_session_parallel(&net, &[], 8, 255, (1, 2), opts))
     });

@@ -123,7 +123,7 @@ fn main() {
         let net = unit_for(kind, WIDTH);
         let report = random_pattern_coverage(&net, 8192, 0x5EED);
         // Patterns at which 95% of the total fault population was first
-        // detected (batch-granular).
+        // detected (64-pattern-block granular).
         let mut firsts: Vec<u64> = report.first_detection.iter().flatten().copied().collect();
         firsts.sort_unstable();
         let needed = if report.detected * 100 >= report.total_faults * 95 {

@@ -73,9 +73,12 @@ USAGE:
   lobist synth <design.dfg> --modules <SET> [OPTIONS]
   lobist compare <design.dfg> --modules <SET> [OPTIONS]
   lobist schedule <design.dfg> --latency <N>
-  lobist faultsim <design.dfg> --modules <SET> [--jobs <N>] [--metrics] [OPTIONS]
+  lobist faultsim <design.dfg> --modules <SET> [--jobs <N>] [--lanes <W>]
+                  [--metrics] [OPTIONS]
   lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
-  lobist batch <design.dfg>... --modules <SET> [--jobs <N>] [--metrics]
+  lobist batch [<design.dfg>... | -] --modules <SET> [--faultsim] [--jobs <N>]
+               [--lanes <W>] [--metrics]
+  lobist corpus [--sizes <N,N,...>] [--seed <S>] [--out <DIR>]
   lobist anneal <design.dfg> --modules <SET> [--iterations <N>] [--seed <S>]
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
@@ -92,7 +95,12 @@ COMMANDS:
   schedule  force-directed-schedule an unscheduled design (steps optional)
   faultsim  gate-level stuck-at fault simulation of the BIST sessions
   explore   Pareto exploration over candidate module allocations
-  batch     synthesize many design files in one parallel run
+  batch     synthesize many design files in one parallel run; reads a
+            path list from stdin when no files are given (or with `-`),
+            so `lobist corpus ... | lobist batch ...` composes
+  corpus    emit the parametric scaling corpus (seeded, size-swept
+            fir/iir/matmul/diffeq instances) and print one design path
+            per line
   anneal    simulated-annealing register search (yardstick for the
             constructive heuristic); deterministic for any --jobs value
   lint      synthesize, then run the static verifier passes (netlist
@@ -131,6 +139,15 @@ OPTIONS:
                     deny rule)
   --lint            after `explore`/`batch`, lint every synthesized
                     design and fail if the policy denies a finding
+  --faultsim        after `batch`, fault-simulate the BIST sessions of
+                    every synthesized design and append coverage lines
+  --lanes <W>       fault-simulation lane width: 64 | 256 | 512 | auto
+                    (default auto — 256 for sessions of ≥192 patterns,
+                    64 for coverage; byte-identical at every width)
+  --sizes <L>       comma-separated size sweep for `corpus`
+                    (default 8,16)
+  --out <DIR>       output directory for `corpus` (default
+                    lobist-corpus)
   --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
                     `anneal`/`lint` (default: all cores; at least 1)
   --tcp <ADDR>      daemon TCP address: listen address for `serve`
@@ -191,6 +208,10 @@ struct Options {
     max_active: Option<usize>,
     cmd: Option<String>,
     progress: bool,
+    faultsim: bool,
+    lanes: lobist_engine::LaneSelect,
+    sizes: Option<String>,
+    out_dir: Option<String>,
     positional: Vec<String>,
 }
 
@@ -224,6 +245,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         max_active: None,
         cmd: None,
         progress: false,
+        faultsim: false,
+        lanes: lobist_engine::LaneSelect::Auto,
+        sizes: None,
+        out_dir: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -343,6 +368,31 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--lint" => o.lint = true,
             "--progress" => o.progress = true,
+            "--faultsim" => o.faultsim = true,
+            "--lanes" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--lanes needs a value".into()))?;
+                o.lanes = lobist_engine::LaneSelect::parse(v).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "bad lane width `{v}` (expected 64, 256, 512 or auto)"
+                    ))
+                })?;
+            }
+            "--sizes" => {
+                o.sizes = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--sizes needs a value".into()))?
+                        .clone(),
+                )
+            }
+            "--out" => {
+                o.out_dir = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a directory".into()))?
+                        .clone(),
+                )
+            }
             "--tcp" => {
                 o.tcp = Some(
                     it.next()
@@ -531,6 +581,50 @@ fn lint_design(
     report
 }
 
+/// Runs the BIST sessions of every module of a synthesized design on
+/// the parallel fault simulator, recording each run into `metrics`.
+/// Returns `(module label, session report)` rows in module order.
+fn fault_sim_design(
+    dfg: &lobist_dfg::Dfg,
+    d: &Design,
+    width: u32,
+    sim_opts: lobist_engine::FaultSimOptions,
+    metrics: &lobist_engine::Metrics,
+) -> Vec<(String, lobist_gatesim::bist_mode::SessionReport)> {
+    use lobist_dfg::modules::ModuleClass;
+    let patterns = lobist_gatesim::lfsr::max_useful_patterns(width);
+    let mut rows = Vec::new();
+    for m in d.data_path.module_ids() {
+        let seeds = (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64);
+        let (report, stats) = match d.data_path.module_class(m) {
+            ModuleClass::Op(kind) => {
+                let net = lobist_gatesim::modules::unit_for(kind, width);
+                lobist_engine::bist_session_parallel(&net, &[], width, patterns, seeds, sim_opts)
+            }
+            ModuleClass::Alu => {
+                let mut kinds: Vec<lobist_dfg::OpKind> = d
+                    .data_path
+                    .module_ops(m)
+                    .iter()
+                    .map(|&op| dfg.op(op).kind)
+                    .collect();
+                kinds.sort();
+                kinds.dedup();
+                let net = lobist_gatesim::modules::alu(&kinds, width);
+                let mut controls = vec![false; kinds.len()];
+                controls[0] = true;
+                lobist_engine::bist_session_parallel(&net, &controls, width, patterns, seeds, sim_opts)
+            }
+        };
+        metrics.record_fault_sim(&stats);
+        rows.push((
+            format!("M{} ({})", m.index() + 1, d.data_path.module_class(m)),
+            report,
+        ));
+    }
+    rows
+}
+
 /// Appends one design's lint verdict to `out` (the `--lint` gate format).
 fn append_lint_verdict(out: &mut String, label: &str, report: &Report) {
     use std::fmt::Write as _;
@@ -691,10 +785,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             // simulator: faults are collapsed into structural
             // equivalence classes and the classes partitioned across the
             // worker pool; the report is byte-identical to a serial,
-            // uncollapsed run for any --jobs value.
+            // uncollapsed, 64-lane run for any --jobs or --lanes value.
             let sim_opts = lobist_engine::FaultSimOptions {
                 workers: worker_count(&o),
                 collapse: true,
+                lanes: o.lanes,
             };
             let metrics = lobist_engine::Metrics::new();
             let _ = writeln!(
@@ -702,38 +797,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 "{:<10} {:>7} {:>9} {:>11} {:>8}",
                 "module", "faults", "ideal", "signature", "aliased"
             );
-            for m in d.data_path.module_ids() {
-                use lobist_dfg::modules::ModuleClass;
-                let seeds = (0xACE1 + m.index() as u64, 0x1BAD + m.index() as u64);
-                let (report, stats) = match d.data_path.module_class(m) {
-                    ModuleClass::Op(kind) => {
-                        let net = lobist_gatesim::modules::unit_for(kind, width);
-                        lobist_engine::bist_session_parallel(
-                            &net, &[], width, patterns, seeds, sim_opts,
-                        )
-                    }
-                    ModuleClass::Alu => {
-                        let mut kinds: Vec<lobist_dfg::OpKind> = d
-                            .data_path
-                            .module_ops(m)
-                            .iter()
-                            .map(|&op| dfg.op(op).kind)
-                            .collect();
-                        kinds.sort();
-                        kinds.dedup();
-                        let net = lobist_gatesim::modules::alu(&kinds, width);
-                        let mut controls = vec![false; kinds.len()];
-                        controls[0] = true;
-                        lobist_engine::bist_session_parallel(
-                            &net, &controls, width, patterns, seeds, sim_opts,
-                        )
-                    }
-                };
-                metrics.record_fault_sim(&stats);
+            for (label, report) in fault_sim_design(&dfg, &d, width, sim_opts, &metrics) {
                 let _ = writeln!(
                     out,
                     "{:<10} {:>7} {:>8.1}% {:>10.1}% {:>8}",
-                    format!("M{} ({})", m.index() + 1, d.data_path.module_class(m)),
+                    label,
                     report.total_faults,
                     report.detected_ideal as f64 * 100.0 / report.total_faults.max(1) as f64,
                     report.coverage() * 100.0,
@@ -795,8 +863,35 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "batch" => {
-            if o.positional.len() < 2 {
-                return Err(CliError::Usage("batch needs at least one design file".into()));
+            // Design list: positional paths, or — with `-` or an empty
+            // list on a pipe — one path per stdin line, so
+            // `lobist corpus ... | lobist batch ...` composes.
+            let mut design_paths: Vec<String> = o.positional[1..].to_vec();
+            let dash = design_paths == ["-"];
+            if dash || design_paths.is_empty() {
+                use std::io::{IsTerminal as _, Read as _};
+                let mut stdin = std::io::stdin();
+                if !dash && stdin.is_terminal() {
+                    return Err(CliError::Usage(
+                        "batch needs at least one design file (or a path list on stdin)"
+                            .into(),
+                    ));
+                }
+                let mut buf = String::new();
+                stdin
+                    .read_to_string(&mut buf)
+                    .map_err(|e| CliError::Io("stdin".into(), e))?;
+                design_paths = buf
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if design_paths.is_empty() {
+                    return Err(CliError::Usage(
+                        "batch needs at least one design file (stdin listed none)".into(),
+                    ));
+                }
             }
             let modules: ModuleSet = o
                 .modules
@@ -807,7 +902,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let flow = flow_options(&o, o.flow == "traditional");
             let mut jobs = Vec::new();
             let mut parsed = Vec::new();
-            for path in &o.positional[1..] {
+            for path in &design_paths {
                 let text =
                     std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
                 // Scheduled files keep their `@ step` annotations;
@@ -884,6 +979,36 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     failed
                 );
             }
+            if o.faultsim {
+                // Fault-simulate each synthesized design's BIST
+                // sessions, recording the counters on the engine's
+                // metrics so `--metrics` reports them.
+                let width = o.width.clamp(2, 32);
+                let sim_opts = lobist_engine::FaultSimOptions {
+                    workers: worker_count(&o),
+                    collapse: true,
+                    lanes: o.lanes,
+                };
+                for (outcome, (dfg, schedule)) in outcomes.iter().zip(&parsed) {
+                    if outcome.result.is_err() {
+                        continue;
+                    }
+                    let d = synthesize(dfg, schedule, &modules, &flow)
+                        .map_err(CliError::Flow)?;
+                    for (label, report) in
+                        fault_sim_design(dfg, &d, width, sim_opts, engine.metrics_handle())
+                    {
+                        let _ = writeln!(
+                            out,
+                            "faultsim {}: {label} {} faults, {:.1}% coverage, {} aliased",
+                            outcome.label,
+                            report.total_faults,
+                            report.coverage() * 100.0,
+                            report.aliased()
+                        );
+                    }
+                }
+            }
             if o.lint {
                 let policy = lint_policy(&o)?;
                 let workers = worker_count(&o);
@@ -904,6 +1029,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             if o.metrics {
                 let _ = writeln!(out, "{}", engine.metrics().to_json());
+            }
+        }
+        "corpus" => {
+            let sizes: Vec<u32> = o
+                .sizes
+                .as_deref()
+                .unwrap_or("8,16")
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!("bad corpus size `{}`", s.trim()))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let seed = o.seed.unwrap_or(1);
+            let dir = std::path::PathBuf::from(o.out_dir.as_deref().unwrap_or("lobist-corpus"));
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CliError::Io(dir.display().to_string(), e))?;
+            // One path per line and nothing else, so the output pipes
+            // straight into `lobist batch -`.
+            for &size in &sizes {
+                for kind in lobist_dfg::corpus::KINDS {
+                    let dfg = lobist_dfg::corpus::generate(kind, size, seed);
+                    let text = lobist_dfg::parse::to_text_unscheduled(&dfg);
+                    let path = dir.join(format!("{}_n{size}_s{seed}.dfg", kind.name()));
+                    std::fs::write(&path, text)
+                        .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+                    let _ = writeln!(out, "{}", path.display());
+                }
             }
         }
         "anneal" => {
@@ -1147,6 +1305,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             if let Some(c) = o.chains {
                 fields.push(format!("\"chains\":{c}"));
+            }
+            if let Some(w) = o.lanes.fixed() {
+                fields.push(format!("\"lanes\":{w}"));
             }
             let request = format!("{{{}}}", fields.join(","));
             let events = lobist_server::submit(&endpoint, &request)
@@ -1792,6 +1953,99 @@ mod tests {
         assert!(summary.contains("\"store\":{"), "{summary}");
         assert!(store.exists(), "store file persists after shutdown");
         let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn faultsim_output_is_identical_across_lane_widths() {
+        let path = write_temp("lobist_cli_faultsim_lanes.dfg", DESIGN);
+        let base = argv(&["faultsim", &path, "--modules", "1+,1*", "--width", "5"]);
+        let runs: Vec<String> = ["64", "256", "512", "auto"]
+            .iter()
+            .map(|lanes| {
+                run(&[base.clone(), argv(&["--lanes", lanes])].concat()).unwrap()
+            })
+            .collect();
+        for wider in &runs[1..] {
+            assert_eq!(&runs[0], wider, "lane width changed the report");
+        }
+        assert_eq!(runs[0], run(&base).unwrap(), "default is --lanes auto");
+    }
+
+    #[test]
+    fn lanes_flag_is_validated() {
+        let path = write_temp("lobist_cli_lanes_bad.dfg", DESIGN);
+        for bad in ["128", "0", "wide", "1024"] {
+            let err = run(&argv(&[
+                "faultsim", &path, "--modules", "1+,1*", "--lanes", bad,
+            ]))
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}");
+            assert!(err.to_string().contains("bad lane width"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn faultsim_metrics_tally_runs_under_the_resolved_width() {
+        let path = write_temp("lobist_cli_faultsim_lanes_m.dfg", DESIGN);
+        let out = run(&argv(&[
+            "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--lanes", "512",
+            "--metrics",
+        ]))
+        .unwrap();
+        let json = out.lines().last().expect("metrics line");
+        assert!(json.contains("\"lanes\":{\"64\":{\"runs\":0,"), "{json}");
+        // Both modules ran at the requested 512-lane width.
+        assert!(json.contains("\"512\":{\"runs\":2,"), "{json}");
+    }
+
+    #[test]
+    fn corpus_emits_seeded_instances_that_batch_fault_simulates() {
+        let dir = std::env::temp_dir().join("lobist_cli_corpus");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+        let out = run(&argv(&["corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg]))
+            .unwrap();
+        // One path per line and nothing else, so the output pipes
+        // straight into `lobist batch -`.
+        let paths: Vec<&str> = out.lines().collect();
+        assert_eq!(paths.len(), 8, "{out}");
+        for (kind, path) in ["fir", "iir", "matmul", "diffeq"].iter().zip(&paths) {
+            assert!(path.ends_with(&format!("{kind}_n8_s1.dfg")), "{path}");
+            assert!(std::path::Path::new(path).exists(), "{path}");
+        }
+        // Regenerating with the same seed is byte-identical; a new seed
+        // moves the coefficients.
+        let text = std::fs::read_to_string(paths[0]).unwrap();
+        run(&argv(&["corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg])).unwrap();
+        assert_eq!(text, std::fs::read_to_string(paths[0]).unwrap());
+
+        // The whole corpus drives through batch with in-loop fault
+        // simulation; diffeq needs the `-` module. Every instance must
+        // synthesize: short-lived operands can starve a module of
+        // distinct I-path registers (the original fir generator failed
+        // exactly this way at 16 taps), so the sweep covers two sizes.
+        let mut args = argv(&["batch"]);
+        args.extend(paths.iter().map(|p| p.to_string()));
+        args.extend(argv(&[
+            "--modules", "1+,1*,1-", "--faultsim", "--lanes", "256", "--progress",
+        ]));
+        let out = run(&args).unwrap();
+        assert!(
+            out.contains("\"event\":\"done\",\"designs\":8,\"ok\":8,\"failed\":0"),
+            "{out}"
+        );
+        assert!(out.contains("faultsim"), "{out}");
+        assert!(out.contains("% coverage"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_rejects_bad_sizes() {
+        for bad in ["0", "8,x", ""] {
+            let err = run(&argv(&["corpus", "--sizes", bad])).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}");
+            assert!(err.to_string().contains("bad corpus size"), "{bad}: {err}");
+        }
     }
 
     #[test]

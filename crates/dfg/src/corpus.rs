@@ -1,0 +1,283 @@
+//! Parametric scaling corpus: seeded generator families for benchmark
+//! sweeps.
+//!
+//! Each family produces a well-formed, acyclic, *unscheduled* DFG whose
+//! size is swept by a single parameter, so the CLI's `corpus` command
+//! can emit size-graded instances (`lobist corpus --sizes 8,16,32`) and
+//! drive them through `batch`. The generators are pure functions of
+//! `(kind, size, seed)` — the seed only varies the inline coefficient
+//! constants, never the graph shape — so a corpus is reproducible
+//! byte-for-byte across machines.
+//!
+//! The four families stress different allocator shapes:
+//!
+//! * [`CorpusKind::Fir`] — a wide multiply–accumulate reduction (one
+//!   long add chain over independent taps);
+//! * [`CorpusKind::Iir`] — a serial feedback chain unrolled in time
+//!   (critical path equals size; almost no step parallelism);
+//! * [`CorpusKind::Matmul`] — dense square matrix product (maximum step
+//!   parallelism, heavy operand reuse across dot products);
+//! * [`CorpusKind::Diffeq`] — the Paulin differential-equation step
+//!   unrolled over Euler iterations (the paper's mixed-kind workload,
+//!   with subtractions).
+
+use crate::dfg::{Dfg, DfgBuilder};
+use crate::types::{OpKind, Operand, VarId};
+
+/// One generator family of the scaling corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// `size`-tap finite-impulse-response filter: `y = Σ cᵢ·xᵢ` (even
+    /// taps use a shared gain input for `cᵢ`).
+    Fir,
+    /// Order-`max(2, size)` unrolled infinite-impulse-response chain:
+    /// `yₖ = cₖ·yₖ₋₁ + xₖ` (odd taps use a shared gain input for `cₖ`).
+    Iir,
+    /// Square matrix product with dimension `max(2, ⌊√size⌋)`.
+    Matmul,
+    /// `max(1, size/4)` unrolled Euler steps of the Paulin
+    /// differential-equation body.
+    Diffeq,
+}
+
+/// Every family, in the order `corpus` emits them.
+pub const KINDS: [CorpusKind; 4] = [
+    CorpusKind::Fir,
+    CorpusKind::Iir,
+    CorpusKind::Matmul,
+    CorpusKind::Diffeq,
+];
+
+impl CorpusKind {
+    /// The family's file-name stem (`fir`, `iir`, `matmul`, `diffeq`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Fir => "fir",
+            CorpusKind::Iir => "iir",
+            CorpusKind::Matmul => "matmul",
+            CorpusKind::Diffeq => "diffeq",
+        }
+    }
+
+    /// The operation kinds instances of this family use — the module
+    /// set driving a generated design must cover them.
+    pub fn op_kinds(self) -> &'static [OpKind] {
+        match self {
+            CorpusKind::Diffeq => &[OpKind::Add, OpKind::Sub, OpKind::Mul],
+            _ => &[OpKind::Add, OpKind::Mul],
+        }
+    }
+}
+
+/// The same splitmix64 step the simulator's pattern streams use.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A small nonzero coefficient (2..=9): large enough to matter in the
+/// interpreter, small enough to keep the text format tidy.
+fn coeff(rng: &mut u64) -> Operand {
+    Operand::Const(2 + (splitmix64(rng) % 8) as i64)
+}
+
+/// Generates one corpus instance. The graph shape is a pure function of
+/// `(kind, size)`; `seed` selects the coefficient constants.
+pub fn generate(kind: CorpusKind, size: u32, seed: u64) -> Dfg {
+    let mut rng = seed ^ (kind.name().len() as u64) << 32 ^ u64::from(size);
+    let mut b = DfgBuilder::new();
+    match kind {
+        CorpusKind::Fir => fir(&mut b, size.max(2), &mut rng),
+        CorpusKind::Iir => iir(&mut b, size.max(2), &mut rng),
+        CorpusKind::Matmul => {
+            let mut dim = 2;
+            while (dim + 1) * (dim + 1) <= size {
+                dim += 1;
+            }
+            matmul(&mut b, dim as usize);
+        }
+        CorpusKind::Diffeq => diffeq(&mut b, (size / 4).max(1), &mut rng),
+    }
+    b.build().expect("corpus generators emit well-formed graphs")
+}
+
+fn fir(b: &mut DfgBuilder, taps: u32, rng: &mut u64) {
+    // Every tap is consumed once and dies immediately, so the register
+    // allocator is free to pack all of them into a single register —
+    // which would feed both multiplier ports from that one register
+    // (or a constant): no pair of distinct I-paths, hence untestable.
+    // As in `iir`, even taps multiply by a shared gain *input* that
+    // stays live across the whole schedule and therefore holds a
+    // register of its own.
+    let gain = b.input("g");
+    let mut acc: Option<VarId> = None;
+    for i in 0..taps {
+        let x = b.input(&format!("x{i}"));
+        let (l, r) = if i % 2 == 0 {
+            (gain.into(), x.into())
+        } else {
+            (x.into(), coeff(rng))
+        };
+        let m = b.op(OpKind::Mul, &format!("m{i}"), l, r);
+        acc = Some(match acc {
+            None => m,
+            Some(a) => b.op(OpKind::Add, &format!("s{i}"), a.into(), m.into()),
+        });
+    }
+    b.mark_output(acc.expect("at least one tap"));
+}
+
+fn iir(b: &mut DfgBuilder, order: u32, rng: &mut u64) {
+    // The serial chain packs every `y_k` into one register, so a chain
+    // multiplying state only by constants would feed both multiplier
+    // ports from that single register (or a constant) — no pair of
+    // distinct I-paths, hence untestable. Alternating taps multiply by
+    // a shared gain *input* instead, which stays live across the whole
+    // chain and therefore holds a register of its own.
+    let gain = b.input("g");
+    let mut state = b.input("x0");
+    for k in 1..=order {
+        let x = b.input(&format!("x{k}"));
+        let (l, r) = if k % 2 == 0 {
+            (gain.into(), state.into())
+        } else {
+            (state.into(), coeff(rng))
+        };
+        let t = b.op(OpKind::Mul, &format!("t{k}"), l, r);
+        state = b.op(OpKind::Add, &format!("y{k}"), t.into(), x.into());
+    }
+    b.mark_output(state);
+}
+
+#[allow(clippy::needless_range_loop)] // i/j/k indexing is the clearest matrix-product form
+fn matmul(b: &mut DfgBuilder, dim: usize) {
+    let a: Vec<Vec<_>> = (0..dim)
+        .map(|i| (0..dim).map(|j| b.input(&format!("a{i}_{j}"))).collect())
+        .collect();
+    let bb: Vec<Vec<_>> = (0..dim)
+        .map(|i| (0..dim).map(|j| b.input(&format!("b{i}_{j}"))).collect())
+        .collect();
+    for i in 0..dim {
+        for j in 0..dim {
+            let mut acc: Option<VarId> = None;
+            for k in 0..dim {
+                let m = b.op(
+                    OpKind::Mul,
+                    &format!("p{i}_{j}_{k}"),
+                    a[i][k].into(),
+                    bb[k][j].into(),
+                );
+                acc = Some(match acc {
+                    None => m,
+                    Some(s) => {
+                        b.op(OpKind::Add, &format!("c{i}_{j}_{k}"), s.into(), m.into())
+                    }
+                });
+            }
+            b.mark_output(acc.expect("dim >= 2"));
+        }
+    }
+}
+
+fn diffeq(b: &mut DfgBuilder, steps: u32, rng: &mut u64) {
+    let dx = b.input("dx");
+    let mut x = b.input("x0");
+    let mut y = b.input("y0");
+    let mut u = b.input("u0");
+    for k in 1..=steps {
+        let c = coeff(rng);
+        let t1 = b.op(OpKind::Mul, &format!("t1_{k}"), c, x.into());
+        let t2 = b.op(OpKind::Mul, &format!("t2_{k}"), u.into(), dx.into());
+        let xl = b.op(OpKind::Add, &format!("x{k}"), x.into(), dx.into());
+        let t3 = b.op(OpKind::Mul, &format!("t3_{k}"), t1.into(), t2.into());
+        let t4 = b.op(OpKind::Mul, &format!("t4_{k}"), c, y.into());
+        let yl = b.op(OpKind::Add, &format!("y{k}"), y.into(), t2.into());
+        let t5 = b.op(OpKind::Mul, &format!("t5_{k}"), t4.into(), dx.into());
+        let t6 = b.op(OpKind::Sub, &format!("t6_{k}"), u.into(), t3.into());
+        let ul = b.op(OpKind::Sub, &format!("u{k}"), t6.into(), t5.into());
+        x = xl;
+        y = yl;
+        u = ul;
+    }
+    b.mark_output(x);
+    b.mark_output(y);
+    b.mark_output(u);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_unscheduled_dfg, to_text_unscheduled};
+
+    #[test]
+    fn every_family_round_trips_through_the_text_format() {
+        for kind in KINDS {
+            for size in [8, 16, 33] {
+                let dfg = generate(kind, size, 1);
+                assert!(dfg.num_ops() > 0, "{kind:?} n{size}");
+                let text = to_text_unscheduled(&dfg);
+                assert!(!text.contains('@'), "unscheduled text: {text}");
+                let back = parse_unscheduled_dfg(&text)
+                    .unwrap_or_else(|e| panic!("{kind:?} n{size}: {e}"));
+                assert_eq!(back.num_ops(), dfg.num_ops());
+                assert_eq!(to_text_unscheduled(&back), text, "{kind:?} n{size}");
+            }
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_size_graded() {
+        for kind in KINDS {
+            let a = to_text_unscheduled(&generate(kind, 16, 7));
+            let b = to_text_unscheduled(&generate(kind, 16, 7));
+            assert_eq!(a, b, "{kind:?} must be reproducible");
+            let small = generate(kind, 8, 7).num_ops();
+            let large = generate(kind, 32, 7).num_ops();
+            assert!(large > small, "{kind:?}: {large} vs {small}");
+        }
+    }
+
+    #[test]
+    fn seeds_vary_coefficients_but_not_shape() {
+        let a = generate(CorpusKind::Fir, 8, 1);
+        let b = generate(CorpusKind::Fir, 8, 2);
+        assert_eq!(a.num_ops(), b.num_ops());
+        assert_ne!(
+            to_text_unscheduled(&a),
+            to_text_unscheduled(&b),
+            "different seeds pick different coefficients"
+        );
+    }
+
+    #[test]
+    fn no_op_multiplies_a_variable_by_itself() {
+        // `v * v` modules are untestable without repair; the corpus must
+        // synthesize under the plain testable flow.
+        for kind in KINDS {
+            let dfg = generate(kind, 16, 3);
+            for op in dfg.op_ids() {
+                let info = dfg.op(op);
+                if let (Some(l), Some(r)) = (info.lhs.var(), info.rhs.var()) {
+                    assert_ne!(l, r, "{kind:?}: {}", dfg.var(info.out).name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_kinds_cover_every_instance() {
+        for kind in KINDS {
+            let dfg = generate(kind, 16, 3);
+            for op in dfg.op_ids() {
+                assert!(
+                    kind.op_kinds().contains(&dfg.op(op).kind),
+                    "{kind:?} uses undeclared {}",
+                    dfg.op(op).kind
+                );
+            }
+        }
+    }
+}

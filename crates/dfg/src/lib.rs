@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod corpus;
 mod dfg;
 pub mod dot;
 pub mod fds;

@@ -239,6 +239,47 @@ fn parse_dfg_graph_only(text: &str) -> Result<Dfg, ParseDfgError> {
     parse_dfg(&rebuilt).map(|(dfg, _)| dfg)
 }
 
+/// Renders a DFG into the text format *without* `@ step` annotations
+/// (round-trips with [`parse_unscheduled_dfg`]). Builder-ordered
+/// programs define every operand before use, which is all the
+/// unscheduled parser requires.
+pub fn to_text_unscheduled(dfg: &Dfg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let inputs: Vec<&str> = dfg
+        .primary_inputs()
+        .map(|v| dfg.var(v).name.as_str())
+        .collect();
+    if !inputs.is_empty() {
+        let _ = writeln!(out, "input {}", inputs.join(" "));
+    }
+    for op in dfg.op_ids() {
+        let info = dfg.op(op);
+        let fmt_operand = |o: Operand| -> String {
+            match o {
+                Operand::Var(v) => dfg.var(v).name.clone(),
+                Operand::Const(c) => c.to_string(),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{} = {} {} {}",
+            dfg.var(info.out).name,
+            fmt_operand(info.lhs),
+            info.kind,
+            fmt_operand(info.rhs),
+        );
+    }
+    let outputs: Vec<&str> = dfg
+        .primary_outputs()
+        .map(|v| dfg.var(v).name.as_str())
+        .collect();
+    if !outputs.is_empty() {
+        let _ = writeln!(out, "output {}", outputs.join(" "));
+    }
+    out
+}
+
 /// Renders a scheduled DFG back into the text format (round-trips with
 /// [`parse_dfg`] up to whitespace).
 pub fn to_text(dfg: &Dfg, schedule: &Schedule) -> String {

@@ -14,9 +14,14 @@
 //!   original index reproduces the serial vector exactly;
 //! * every worker regenerates the same pattern stream (a pure function
 //!   of the seed), so a fault sees identical patterns in any chunk;
-//! * `patterns_applied` under the early-stop rule is the pattern count
-//!   at which the chunk's last detectable fault fell (or the budget),
-//!   and the serial figure is exactly the maximum of that over chunks.
+//! * `patterns_applied` is the largest first-detection stamp when a
+//!   chunk detects everything (or the budget otherwise), and the serial
+//!   figure is exactly the maximum of that over chunks.
+//!
+//! The driver is also generic over the simulation lane width
+//! ([`LaneSelect`]): the same pair-preserving partition is used at
+//! every width and the per-fault results are width-invariant, so
+//! reports are byte-identical across lanes × workers (test-asserted).
 //!
 //! Optionally the universe is first collapsed into structural
 //! equivalence classes ([`lobist_gatesim::collapse`]); only class
@@ -32,9 +37,71 @@ use lobist_gatesim::coverage::{
     enumerate_faults, random_pattern_coverage_with, CoverageReport,
 };
 use lobist_gatesim::diffsim::{DiffSim, SimCounters};
+use lobist_gatesim::lanes::{auto_width, LaneWord, W256, W512};
 use lobist_gatesim::net::{Fault, GateNetwork};
 
 use crate::pool;
+
+/// Simulation lane width: how many patterns one simulator word packs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LaneSelect {
+    /// The widest *profitable* width for the workload: 256 lanes for
+    /// session runs of ≥192 patterns
+    /// ([`lobist_gatesim::lanes::auto_width`]), 64 lanes for coverage
+    /// runs (their early-exit walks visit the same cones at every
+    /// width, so narrow is never beaten there).
+    #[default]
+    Auto,
+    /// 64 lanes per `u64` word — the executable reference path.
+    W64,
+    /// 256 lanes per `[u64; 4]` word.
+    W256,
+    /// 512 lanes per `[u64; 8]` word.
+    W512,
+}
+
+impl LaneSelect {
+    /// Parses a `--lanes` value: `64`, `256`, `512` or `auto`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(Self::Auto),
+            "64" => Some(Self::W64),
+            "256" => Some(Self::W256),
+            "512" => Some(Self::W512),
+            _ => None,
+        }
+    }
+
+    /// The fixed lane count, or `None` for `Auto`.
+    pub fn fixed(self) -> Option<u32> {
+        match self {
+            Self::Auto => None,
+            Self::W64 => Some(64),
+            Self::W256 => Some(256),
+            Self::W512 => Some(512),
+        }
+    }
+
+    /// The concrete lane count for a *session* pattern budget
+    /// (resolves `Auto` via [`lobist_gatesim::lanes::auto_width`]).
+    pub fn width(self, patterns: u64) -> u32 {
+        match self {
+            Self::Auto => auto_width(patterns),
+            Self::W64 => 64,
+            Self::W256 => 256,
+            Self::W512 => 512,
+        }
+    }
+
+    /// The concrete lane count for a random-coverage run. `Auto`
+    /// resolves to 64: the coverage walk early-exits and drops detected
+    /// faults, so its cone visits are width-invariant and a wider word
+    /// strictly adds bytes per visit — wider widths are explicit knobs
+    /// here, profitable only in full-walk session mode.
+    pub fn coverage_width(self) -> u32 {
+        self.fixed().unwrap_or(64)
+    }
+}
 
 /// Knobs of a parallel fault-simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +111,8 @@ pub struct FaultSimOptions {
     /// Collapse the fault universe into structural equivalence classes
     /// and simulate one representative per class.
     pub collapse: bool,
+    /// Lane width (results are identical at every width).
+    pub lanes: LaneSelect,
 }
 
 impl Default for FaultSimOptions {
@@ -51,6 +120,7 @@ impl Default for FaultSimOptions {
         Self {
             workers: 1,
             collapse: true,
+            lanes: LaneSelect::Auto,
         }
     }
 }
@@ -59,6 +129,8 @@ impl Default for FaultSimOptions {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSimStats {
     /// Simulator work counters, summed over all workers.
+    /// `batches_loaded` shrinks as `lanes` grows; detection results do
+    /// not change.
     pub counters: SimCounters,
     /// Size of the full fault universe the report covers.
     pub total_faults: usize,
@@ -68,6 +140,8 @@ pub struct FaultSimStats {
     pub collapsed_away: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Concrete lane width the run simulated at (64, 256 or 512).
+    pub lanes: u32,
     /// Wall time of the whole run (prepare + simulate + merge).
     pub wall: Duration,
 }
@@ -80,7 +154,9 @@ pub struct FaultSimStats {
 /// contiguous chunks would give the first worker all the large input
 /// cones; striding balances depth across workers. Each chunk carries
 /// its faults' original indices; results are scattered back by those,
-/// so the outcome is independent of the partition shape.
+/// so the outcome is independent of the partition shape — and the
+/// partition itself is a pure function of the fault list, identical at
+/// every lane width.
 fn stride_partition(faults: &[Fault], workers: usize) -> Vec<(Vec<Fault>, Vec<u32>)> {
     let w = workers.max(1).min(faults.len().max(1));
     let mut parts = vec![(Vec::new(), Vec::new()); w];
@@ -116,12 +192,25 @@ fn scatter<T: Copy + Default>(parts: &[(Vec<T>, Vec<u32>)], len: usize) -> Vec<T
 /// Random-pattern coverage of the full single-stuck-at universe of
 /// `net`, measured in parallel with deterministic merge. Byte-identical
 /// to [`lobist_gatesim::coverage::random_pattern_coverage`] for every
-/// worker count and collapse setting.
+/// worker count, collapse setting and lane width.
 ///
 /// # Panics
 ///
 /// Panics if `opts.workers` is zero.
 pub fn random_coverage_parallel(
+    net: &GateNetwork,
+    patterns: u64,
+    seed: u64,
+    opts: FaultSimOptions,
+) -> (CoverageReport, FaultSimStats) {
+    match opts.lanes.coverage_width() {
+        512 => coverage_parallel_at::<W512>(net, patterns, seed, opts),
+        256 => coverage_parallel_at::<W256>(net, patterns, seed, opts),
+        _ => coverage_parallel_at::<u64>(net, patterns, seed, opts),
+    }
+}
+
+fn coverage_parallel_at<W: LaneWord>(
     net: &GateNetwork,
     patterns: u64,
     seed: u64,
@@ -140,7 +229,7 @@ pub fn random_coverage_parallel(
         .iter()
         .map(|(chunk, _)| {
             move || {
-                let mut sim = DiffSim::new(net);
+                let mut sim = DiffSim::<W>::new(net);
                 let report = random_pattern_coverage_with(&mut sim, chunk, patterns, seed);
                 (report, sim.counters())
             }
@@ -175,6 +264,7 @@ pub fn random_coverage_parallel(
         simulated_faults: sim_list.len(),
         collapsed_away: collapsed.as_ref().map_or(0, |c| c.collapsed_away()),
         workers: opts.workers,
+        lanes: W::LANES as u32,
         wall: start.elapsed(),
     };
     (report, stats)
@@ -184,13 +274,28 @@ pub fn random_coverage_parallel(
 /// fault universe of `net`, with the faults partitioned across the
 /// pool. Byte-identical to
 /// [`lobist_gatesim::bist_mode::run_session_with_controls`] for every
-/// worker count and collapse setting.
+/// worker count, collapse setting and lane width.
 ///
 /// # Panics
 ///
 /// Panics if `opts.workers` is zero or the network's input count is not
 /// `controls.len() + 2 * width`.
 pub fn bist_session_parallel(
+    net: &GateNetwork,
+    controls: &[bool],
+    width: u32,
+    patterns: u64,
+    seeds: (u64, u64),
+    opts: FaultSimOptions,
+) -> (SessionReport, FaultSimStats) {
+    match opts.lanes.width(patterns) {
+        512 => session_parallel_at::<W512>(net, controls, width, patterns, seeds, opts),
+        256 => session_parallel_at::<W256>(net, controls, width, patterns, seeds, opts),
+        _ => session_parallel_at::<u64>(net, controls, width, patterns, seeds, opts),
+    }
+}
+
+fn session_parallel_at<W: LaneWord>(
     net: &GateNetwork,
     controls: &[bool],
     width: u32,
@@ -205,7 +310,7 @@ pub fn bist_session_parallel(
     let sim_list: &[Fault] = collapsed
         .as_ref()
         .map_or(&universe, |c| c.representatives());
-    let ctx = SessionContext::prepare(net, controls, width, patterns, seeds);
+    let ctx = SessionContext::<W>::prepare(net, controls, width, patterns, seeds);
 
     let ctx_ref = &ctx;
     let chunks = stride_partition(sim_list, opts.workers);
@@ -213,7 +318,7 @@ pub fn bist_session_parallel(
         .iter()
         .map(|(chunk, _)| {
             move || {
-                let mut sim = DiffSim::new(net);
+                let mut sim = DiffSim::<W>::new(net);
                 let flags = ctx_ref.detect_flags(&mut sim, chunk);
                 (flags, sim.counters())
             }
@@ -240,6 +345,7 @@ pub fn bist_session_parallel(
         simulated_faults: sim_list.len(),
         collapsed_away: collapsed.as_ref().map_or(0, |c| c.collapsed_away()),
         workers: opts.workers,
+        lanes: W::LANES as u32,
         wall: start.elapsed(),
     };
     (report, stats)
@@ -262,10 +368,15 @@ mod tests {
                     &net,
                     300,
                     0xBEEF,
-                    FaultSimOptions { workers, collapse },
+                    FaultSimOptions {
+                        workers,
+                        collapse,
+                        lanes: LaneSelect::Auto,
+                    },
                 );
                 assert_eq!(report, serial, "workers={workers} collapse={collapse}");
                 assert_eq!(stats.total_faults, serial.total_faults);
+                assert_eq!(stats.lanes, 64, "auto stays narrow for coverage runs");
                 if collapse {
                     assert!(stats.collapsed_away > 0);
                     assert_eq!(
@@ -280,24 +391,109 @@ mod tests {
     }
 
     #[test]
+    fn coverage_is_byte_identical_across_lanes_and_workers() {
+        // The acceptance matrix: every lane width × several worker
+        // counts produces the exact serial u64 report, for a budget
+        // that leaves a partial batch at every width.
+        let net = array_multiplier(4);
+        let serial = random_pattern_coverage(&net, 300, 0xBEEF);
+        for lanes in [
+            LaneSelect::W64,
+            LaneSelect::W256,
+            LaneSelect::W512,
+            LaneSelect::Auto,
+        ] {
+            for workers in [1, 3] {
+                let (report, stats) = random_coverage_parallel(
+                    &net,
+                    300,
+                    0xBEEF,
+                    FaultSimOptions {
+                        workers,
+                        collapse: true,
+                        lanes,
+                    },
+                );
+                assert_eq!(report, serial, "lanes={lanes:?} workers={workers}");
+                assert_eq!(stats.lanes, lanes.coverage_width());
+            }
+        }
+    }
+
+    #[test]
     fn parallel_session_is_byte_identical_to_serial() {
         let net = ripple_adder(8);
         let faults = enumerate_faults(&net);
         let serial = run_session(&net, 8, 255, (0xACE1, 0x1BAD), &faults);
         for workers in [1, 2, 5] {
             for collapse in [false, true] {
-                let (report, stats) = bist_session_parallel(
-                    &net,
-                    &[],
-                    8,
-                    255,
-                    (0xACE1, 0x1BAD),
-                    FaultSimOptions { workers, collapse },
-                );
-                assert_eq!(report, serial, "workers={workers} collapse={collapse}");
-                assert!(stats.counters.faults_simulated > 0);
+                for lanes in [LaneSelect::W64, LaneSelect::W512] {
+                    let (report, stats) = bist_session_parallel(
+                        &net,
+                        &[],
+                        8,
+                        255,
+                        (0xACE1, 0x1BAD),
+                        FaultSimOptions {
+                            workers,
+                            collapse,
+                            lanes,
+                        },
+                    );
+                    assert_eq!(
+                        report, serial,
+                        "workers={workers} collapse={collapse} lanes={lanes:?}"
+                    );
+                    assert!(stats.counters.faults_simulated > 0);
+                }
             }
         }
+    }
+
+    #[test]
+    fn wider_lanes_load_fewer_batches() {
+        // `o = x | (x & y)` has an undetectable fault (the AND output
+        // stuck at 0 is masked by the OR), so the coverage loop runs
+        // the full 512-pattern budget: 8 batches at 64 lanes, 1 at 512.
+        let mut b = lobist_gatesim::net::NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let t = b.and(x, y);
+        let o = b.or(x, t);
+        let net = b.finish(vec![o]);
+        let run = |lanes| {
+            random_coverage_parallel(
+                &net,
+                512,
+                7,
+                FaultSimOptions {
+                    workers: 1,
+                    collapse: false,
+                    lanes,
+                },
+            )
+            .1
+        };
+        let narrow = run(LaneSelect::W64);
+        let wide = run(LaneSelect::W512);
+        assert!(wide.counters.batches_loaded < narrow.counters.batches_loaded);
+        assert!(narrow.counters.faults_simulated > 0);
+    }
+
+    #[test]
+    fn lane_select_parses_and_resolves() {
+        assert_eq!(LaneSelect::parse("auto"), Some(LaneSelect::Auto));
+        assert_eq!(LaneSelect::parse("64"), Some(LaneSelect::W64));
+        assert_eq!(LaneSelect::parse("256"), Some(LaneSelect::W256));
+        assert_eq!(LaneSelect::parse("512"), Some(LaneSelect::W512));
+        assert_eq!(LaneSelect::parse("128"), None);
+        assert_eq!(LaneSelect::parse(""), None);
+        assert_eq!(LaneSelect::Auto.width(100), 64);
+        assert_eq!(LaneSelect::Auto.width(256), 256);
+        assert_eq!(LaneSelect::Auto.width(4096), 256, "512 is explicit-only");
+        assert_eq!(LaneSelect::W64.width(4096), 64);
+        assert_eq!(LaneSelect::Auto.coverage_width(), 64);
+        assert_eq!(LaneSelect::W512.coverage_width(), 512);
     }
 
     #[test]
@@ -311,6 +507,7 @@ mod tests {
             FaultSimOptions {
                 workers: 64,
                 collapse: false,
+                lanes: LaneSelect::Auto,
             },
         );
         assert_eq!(report, serial);
@@ -326,6 +523,7 @@ mod tests {
             FaultSimOptions {
                 workers: 1,
                 collapse: false,
+                lanes: LaneSelect::Auto,
             },
         );
         let (_, coll) = random_coverage_parallel(
@@ -335,6 +533,7 @@ mod tests {
             FaultSimOptions {
                 workers: 1,
                 collapse: true,
+                lanes: LaneSelect::Auto,
             },
         );
         assert!(coll.counters.faults_simulated < full.counters.faults_simulated);

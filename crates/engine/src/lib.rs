@@ -47,7 +47,7 @@ pub use cache::{job_key, JobResult, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, Job, JobOutcome, ProgressSink};
 pub use explore::{explore_parallel, render_report};
 pub use faultsim::{
-    bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats,
+    bist_session_parallel, random_coverage_parallel, FaultSimOptions, FaultSimStats, LaneSelect,
 };
 pub use lint::{lint_parallel, LintRunStats};
 pub use lobist_store::{ResultStore, StoreStats};

@@ -71,6 +71,9 @@ pub struct Metrics {
     fs_events_propagated: AtomicU64,
     fs_collapsed_away: AtomicU64,
     fs_wall_nanos: AtomicU64,
+    // Per-lane-width fault-sim tallies; index 0/1/2 ↔ 64/256/512 lanes.
+    fs_runs_by_lanes: [AtomicU64; 3],
+    fs_batches_by_lanes: [AtomicU64; 3],
     // Annealing-search work (crate::anneal runs).
     an_runs: AtomicU64,
     an_chains: AtomicU64,
@@ -157,6 +160,10 @@ impl Metrics {
             .fetch_add(stats.collapsed_away as u64, Ordering::Relaxed);
         self.fs_wall_nanos
             .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+        let idx = lane_index(stats.lanes);
+        self.fs_runs_by_lanes[idx].fetch_add(1, Ordering::Relaxed);
+        self.fs_batches_by_lanes[idx]
+            .fetch_add(stats.counters.batches_loaded, Ordering::Relaxed);
     }
 
     /// Accumulates the work accounting of one annealing run
@@ -226,6 +233,14 @@ impl Metrics {
                 events_propagated: self.fs_events_propagated.load(Ordering::Relaxed),
                 collapsed_away: self.fs_collapsed_away.load(Ordering::Relaxed),
                 wall: Duration::from_nanos(self.fs_wall_nanos.load(Ordering::Relaxed)),
+                runs_by_lanes: self
+                    .fs_runs_by_lanes
+                    .each_ref()
+                    .map(|c| c.load(Ordering::Relaxed)),
+                batches_by_lanes: self
+                    .fs_batches_by_lanes
+                    .each_ref()
+                    .map(|c| c.load(Ordering::Relaxed)),
             },
             anneal: AnnealSnapshot {
                 runs: self.an_runs.load(Ordering::Relaxed),
@@ -251,6 +266,18 @@ impl Metrics {
             store: None,
             server: None,
         }
+    }
+}
+
+/// The lane widths the per-width fault-sim tallies distinguish,
+/// indexing [`FaultSimSnapshot::runs_by_lanes`].
+pub const LANE_WIDTHS: [u32; 3] = [64, 256, 512];
+
+fn lane_index(lanes: u32) -> usize {
+    match lanes {
+        512 => 2,
+        256 => 1,
+        _ => 0,
     }
 }
 
@@ -312,6 +339,10 @@ pub struct FaultSimSnapshot {
     pub collapsed_away: u64,
     /// Wall time of all fault-simulation runs.
     pub wall: Duration,
+    /// Runs per lane width, indexed by [`LANE_WIDTHS`].
+    pub runs_by_lanes: [u64; 3],
+    /// Batches loaded per lane width, indexed by [`LANE_WIDTHS`].
+    pub batches_by_lanes: [u64; 3],
 }
 
 /// Accumulated lint work, as carried in a [`MetricsSnapshot`].
@@ -542,7 +573,7 @@ impl MetricsSnapshot {
                 "\"fault_sim\":{{\"batches_loaded\":{fs_batches},",
                 "\"faults_simulated\":{fs_faults},\"cone_evals\":{fs_cone},",
                 "\"events_propagated\":{fs_events},\"collapsed_away\":{fs_coll},",
-                "\"wall_micros\":{fs_wall}}},",
+                "\"lanes\":{{{fs_lanes}}},\"wall_micros\":{fs_wall}}},",
                 "\"anneal\":{{\"runs\":{an_runs},\"chains\":{an_chains},",
                 "\"moves_evaluated\":{an_eval},\"moves_accepted\":{an_acc},",
                 "\"stalls\":{an_stall},\"speculative_waste\":{an_waste},",
@@ -570,6 +601,15 @@ impl MetricsSnapshot {
             fs_cone = self.fault_sim.cone_evals,
             fs_events = self.fault_sim.events_propagated,
             fs_coll = self.fault_sim.collapsed_away,
+            fs_lanes = LANE_WIDTHS
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!(
+                    "\"{w}\":{{\"runs\":{},\"batches_loaded\":{}}}",
+                    self.fault_sim.runs_by_lanes[i], self.fault_sim.batches_by_lanes[i]
+                ))
+                .collect::<Vec<_>>()
+                .join(","),
             fs_wall = self.fault_sim.wall.as_micros(),
             an_runs = self.anneal.runs,
             an_chains = self.anneal.chains,
@@ -654,15 +694,26 @@ mod tests {
             simulated_faults: 100,
             collapsed_away: 20,
             workers: 2,
+            lanes: 256,
             wall: Duration::from_micros(1500),
         });
         let snap = m.snapshot();
         assert_eq!(snap.fault_sim.faults_simulated, 100);
         assert_eq!(snap.fault_sim.collapsed_away, 20);
+        assert_eq!(snap.fault_sim.runs_by_lanes, [0, 1, 0]);
+        assert_eq!(snap.fault_sim.batches_by_lanes, [0, 4, 0]);
         let json = snap.to_json();
         assert!(json.contains("\"fault_sim\":{\"batches_loaded\":4"), "{json}");
         assert!(json.contains("\"cone_evals\":700"), "{json}");
         assert!(json.contains("\"wall_micros\":1500"), "{json}");
+        assert!(
+            json.contains(concat!(
+                "\"lanes\":{\"64\":{\"runs\":0,\"batches_loaded\":0},",
+                "\"256\":{\"runs\":1,\"batches_loaded\":4},",
+                "\"512\":{\"runs\":0,\"batches_loaded\":0}}"
+            )),
+            "{json}"
+        );
     }
 
     #[test]

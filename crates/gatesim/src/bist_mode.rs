@@ -18,6 +18,7 @@
 
 use crate::collapse::CollapsedFaults;
 use crate::diffsim::DiffSim;
+use crate::lanes::LaneWord;
 use crate::lfsr::{Lfsr, Misr};
 use crate::net::{Fault, GateNetwork};
 
@@ -56,22 +57,29 @@ impl SessionReport {
 /// Per-fault session outcome: `(ideal, signature)` detection flags.
 pub type DetectFlags = (bool, bool);
 
-fn pack_outputs(lanes: &[u64], lane: u32) -> u64 {
-    lanes
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &w)| acc | (((w >> lane) & 1) << i))
+fn pack_outputs<W: LaneWord>(lanes: &[W], lane: u32) -> u64 {
+    lanes.iter().enumerate().fold(0u64, |acc, (i, &w)| {
+        acc | (((w.word(lane as usize / 64) >> (lane % 64)) & 1) << i)
+    })
 }
 
 /// The fault-independent part of a BIST session: the packed pattern
 /// batches, the golden response stream and signature, and the per-batch
 /// MISR fast-forward tables. Prepared once per module and shared
 /// (read-only) by every fault partition of a parallel run.
+///
+/// Generic over the lane width `W` (default `u64`): wide words pack
+/// 256/512 patterns per batch, so the per-fault session loop runs 4–8×
+/// fewer cone walks. The pattern sequence, golden words, signature and
+/// fast-forward tables are identical at every width; wider batches are
+/// merely less often "clean" (the fast-forward shortcut applies only
+/// when *all* of a batch's lanes are undisturbed), so the flags stay
+/// byte-identical while the work shifts between the two arms.
 #[derive(Debug, Clone)]
-pub struct SessionContext<'n> {
+pub struct SessionContext<'n, W: LaneWord = u64> {
     net: &'n GateNetwork,
-    /// `(input lane words, patterns used)` per 64-pattern batch.
-    batches: Vec<(Vec<u64>, usize)>,
+    /// `(input lane words, patterns used)` per `W::LANES`-pattern batch.
+    batches: Vec<(Vec<W>, usize)>,
     /// Golden packed output word per pattern, across all batches.
     golden_words: Vec<u64>,
     /// Start of each batch's span in `golden_words`.
@@ -87,10 +95,10 @@ pub struct SessionContext<'n> {
     patterns: u64,
 }
 
-impl<'n> SessionContext<'n> {
+impl<'n, W: LaneWord> SessionContext<'n, W> {
     /// Prepares a session over `net` with leading control inputs held at
     /// `controls`: generates the LFSR operand streams, packs them into
-    /// 64-lane batches, records the golden response stream and
+    /// `W::LANES`-lane batches, records the golden response stream and
     /// signature, and builds the MISR fast-forward tables.
     ///
     /// Pattern counts beyond [`crate::lfsr::max_useful_patterns`] replay
@@ -117,36 +125,43 @@ impl<'n> SessionContext<'n> {
         );
         let misr_width = width.clamp(2, 32);
         // Generate the full pattern sequence once (both operand streams)
-        // and pack it into 64-pattern lane batches so each network
-        // evaluation covers 64 clocks.
+        // and pack it into `W::LANES`-pattern lane batches so each
+        // network evaluation covers that many clocks. Pattern `p` lands
+        // in bit `p % 64` of 64-lane group `p / 64`, so the packed
+        // streams line up across widths.
         let mut tpg_a = Lfsr::new(misr_width, seeds.0);
         let mut tpg_b = Lfsr::new(misr_width, seeds.1);
         let sequence: Vec<(u64, u64)> = (0..patterns)
             .map(|_| (tpg_a.next_word(), tpg_b.next_word()))
             .collect();
-        let control_lanes: Vec<u64> = controls
+        let control_lanes: Vec<W> = controls
             .iter()
-            .map(|&c| if c { u64::MAX } else { 0 })
+            .map(|&c| if c { W::ONES } else { W::ZERO })
             .collect();
-        let batches: Vec<(Vec<u64>, usize)> = sequence
-            .chunks(64)
+        let pack_bit = |chunk: &[(u64, u64)], bit: u32, second: bool| -> W {
+            let mut group = 0usize;
+            W::from_words(|| {
+                let lo = 64 * group;
+                group += 1;
+                let mut w = 0u64;
+                for (lane, &(a, b)) in chunk.iter().enumerate().skip(lo).take(64) {
+                    let v = if second { b } else { a };
+                    w |= ((v >> bit) & 1) << (lane - lo);
+                }
+                w
+            })
+        };
+        let batches: Vec<(Vec<W>, usize)> = sequence
+            .chunks(W::LANES as usize)
             .map(|chunk| {
                 let mut lanes = control_lanes.clone();
                 // Operand a bits, then operand b bits, one lane per
                 // pattern.
                 for bit in 0..width {
-                    let mut w = 0u64;
-                    for (lane, &(a, _)) in chunk.iter().enumerate() {
-                        w |= ((a >> bit) & 1) << lane;
-                    }
-                    lanes.push(w);
+                    lanes.push(pack_bit(chunk, bit, false));
                 }
                 for bit in 0..width {
-                    let mut w = 0u64;
-                    for (lane, &(_, b)) in chunk.iter().enumerate() {
-                        w |= ((b >> bit) & 1) << lane;
-                    }
-                    lanes.push(w);
+                    lanes.push(pack_bit(chunk, bit, true));
                 }
                 (lanes, chunk.len())
             })
@@ -156,9 +171,13 @@ impl<'n> SessionContext<'n> {
         let mut golden_words: Vec<u64> = Vec::with_capacity(sequence.len());
         let mut batch_word_offsets = Vec::with_capacity(batches.len());
         let mut golden_misr = Misr::new(misr_width);
+        let mut values: Vec<W> = Vec::new();
+        let mut out: Vec<W> = Vec::new();
         for (lanes, used) in &batches {
             batch_word_offsets.push(golden_words.len());
-            let out = net.eval_lanes(lanes);
+            net.eval_all_nets_into(lanes, &mut values);
+            out.clear();
+            out.extend(net.outputs().iter().map(|o| values[o.index()]));
             for lane in 0..*used {
                 let word = pack_outputs(&out, lane as u32);
                 golden_words.push(word);
@@ -235,7 +254,7 @@ impl<'n> SessionContext<'n> {
     ///
     /// Panics if `sim` simulates a network with a different output
     /// count.
-    pub fn detect_flags(&self, sim: &mut DiffSim<'_>, faults: &[Fault]) -> Vec<DetectFlags> {
+    pub fn detect_flags(&self, sim: &mut DiffSim<'_, W>, faults: &[Fault]) -> Vec<DetectFlags> {
         assert_eq!(
             sim.network().outputs().len(),
             self.net.outputs().len(),
@@ -248,18 +267,14 @@ impl<'n> SessionContext<'n> {
         }
         for (bi, (lanes, used)) in self.batches.iter().enumerate() {
             sim.load_batch(lanes);
-            let used_mask = if *used == 64 {
-                u64::MAX
-            } else {
-                (1u64 << *used) - 1
-            };
+            let used_mask = W::lane_mask(*used as u64);
             let base = self.batch_word_offsets[bi];
             for (fi, &fault) in faults.iter().enumerate() {
                 let any = sim.fault_output_diffs(fault);
                 // Lanes beyond `used` are padding (all-zero operands),
                 // not applied patterns: differences there neither detect
                 // nor reach the MISR.
-                if any && sim.out_diffs().iter().any(|&d| d & used_mask != 0) {
+                if any && sim.out_diffs().iter().any(|&d| !(d & used_mask).is_zero()) {
                     ideal[fi] = true;
                     // Fold only the outputs the fault actually reached:
                     // the faulty word is the golden word with the
@@ -268,9 +283,10 @@ impl<'n> SessionContext<'n> {
                     let touched = sim.touched_output_positions();
                     let mut m = Misr::with_signature(self.misr_width, states[fi]);
                     for lane in 0..*used {
+                        let (group, bit) = (lane / 64, lane as u32 % 64);
                         let mut d = 0u64;
                         for &pos in touched {
-                            d |= ((diffs[pos as usize] >> lane) & 1) << pos;
+                            d |= ((diffs[pos as usize].word(group) >> bit) & 1) << pos;
                         }
                         m.absorb(self.golden_words[base + lane] ^ d);
                     }
@@ -366,7 +382,7 @@ pub fn run_session_with_controls(
     seeds: (u64, u64),
     faults: &[Fault],
 ) -> SessionReport {
-    let ctx = SessionContext::prepare(net, controls, width, patterns, seeds);
+    let ctx = SessionContext::<u64>::prepare(net, controls, width, patterns, seeds);
     let mut sim = DiffSim::new(net);
     let flags = ctx.detect_flags(&mut sim, faults);
     ctx.report_from_flags(&flags)
@@ -516,7 +532,7 @@ mod tests {
             ("mul4", array_multiplier(4), 4),
         ] {
             let collapsed = collapse_faults(&net);
-            let ctx = SessionContext::prepare(&net, &[], width, 128, (0xACE1, 0x1BAD));
+            let ctx = SessionContext::<u64>::prepare(&net, &[], width, 128, (0xACE1, 0x1BAD));
             let mut sim = DiffSim::new(&net);
             let full_flags = ctx.detect_flags(&mut sim, collapsed.faults());
             let rep_flags = ctx.detect_flags(&mut sim, collapsed.representatives());
@@ -534,13 +550,55 @@ mod tests {
     fn partitioned_flags_concatenate_to_whole() {
         let net = array_multiplier(4);
         let faults = enumerate_faults(&net);
-        let ctx = SessionContext::prepare(&net, &[], 4, 128, (3, 7));
+        let ctx = SessionContext::<u64>::prepare(&net, &[], 4, 128, (3, 7));
         let mut sim = DiffSim::new(&net);
         let whole = ctx.detect_flags(&mut sim, &faults);
         let mid = faults.len() / 2;
         let mut parts = ctx.detect_flags(&mut sim, &faults[..mid]);
         parts.extend(ctx.detect_flags(&mut sim, &faults[mid..]));
         assert_eq!(parts, whole);
+    }
+
+    #[test]
+    fn wide_sessions_match_the_u64_reference() {
+        use crate::lanes::{W256, W512};
+        // The whole session — golden signature, per-fault ideal and
+        // signature flags — must be byte-identical when the batches pack
+        // 256/512 patterns instead of 64, for budgets aligned and
+        // misaligned with every width.
+        for (name, net, width) in [
+            ("adder4", ripple_adder(4), 4u32),
+            ("mul4", array_multiplier(4), 4),
+        ] {
+            let faults = enumerate_faults(&net);
+            for patterns in [100u64, 128, 300, 515] {
+                let seeds = (0xACE1, 0x1BAD);
+                let ctx64 = SessionContext::<u64>::prepare(&net, &[], width, patterns, seeds);
+                let ctx256 = SessionContext::<W256>::prepare(&net, &[], width, patterns, seeds);
+                let ctx512 = SessionContext::<W512>::prepare(&net, &[], width, patterns, seeds);
+                assert_eq!(ctx64.golden_signature(), ctx256.golden_signature(), "{name}");
+                assert_eq!(ctx64.golden_signature(), ctx512.golden_signature(), "{name}");
+                let mut sim64 = DiffSim::new(&net);
+                let mut sim256 = DiffSim::new(&net);
+                let mut sim512 = DiffSim::new(&net);
+                let flags = ctx64.detect_flags(&mut sim64, &faults);
+                assert_eq!(
+                    ctx256.detect_flags(&mut sim256, &faults),
+                    flags,
+                    "{name} at {patterns} patterns (W256)"
+                );
+                assert_eq!(
+                    ctx512.detect_flags(&mut sim512, &faults),
+                    flags,
+                    "{name} at {patterns} patterns (W512)"
+                );
+                assert_eq!(
+                    ctx256.report_from_flags(&flags),
+                    ctx64.report_from_flags(&flags),
+                    "{name}"
+                );
+            }
+        }
     }
 }
 

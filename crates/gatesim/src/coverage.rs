@@ -1,18 +1,23 @@
 //! Single-stuck-at fault enumeration and coverage measurement.
 //!
 //! Faults are stuck-at-0/1 on every net (inputs, internal nets and
-//! outputs). Simulation is parallel-pattern *differential*: 64 patterns
-//! per pass, one golden evaluation per batch, and per still-undetected
-//! fault an event-driven propagation limited to the fault's output cone
-//! ([`crate::diffsim::DiffSim`]) — orders of magnitude cheaper than the
-//! textbook full-resimulation PPSFP arrangement it replaces, with
-//! byte-identical results.
+//! outputs). Simulation is parallel-pattern *differential*: one lane
+//! word of patterns per pass (64 for `u64`, 256/512 for the wide
+//! [`crate::lanes`] words), one golden evaluation per batch, and per
+//! still-undetected fault an event-driven propagation limited to the
+//! fault's output cone ([`crate::diffsim::DiffSim`]) — orders of
+//! magnitude cheaper than the textbook full-resimulation PPSFP
+//! arrangement it replaces, with byte-identical results. The report —
+//! detections, exact per-pattern first-detection stamps, and patterns
+//! applied — is a pure function of the pattern stream: the same at
+//! every lane width and for any parallel fault partition.
 //!
 //! Use [`crate::collapse::collapse_faults`] to simulate one
 //! representative per structural equivalence class and expand the
 //! report back to the full universe.
 
 use crate::diffsim::DiffSim;
+use crate::lanes::LaneWord;
 use crate::net::{Fault, GateNetwork, NetId};
 
 /// All single stuck-at faults of a network (two per net), excluding
@@ -48,13 +53,20 @@ pub struct CoverageReport {
     pub total_faults: usize,
     /// Faults whose effect reached an output for at least one pattern.
     pub detected: usize,
-    /// Patterns applied (never more than the requested budget: the
-    /// final 64-lane batch is clipped to the remaining budget, and
-    /// out-of-budget lanes do not count toward detection).
+    /// Patterns the measurement needed: when every fault was detected,
+    /// the largest first-detection stamp (the exact point the run could
+    /// have stopped); otherwise the full requested budget. Defined this
+    /// way the figure is invariant across lane widths and parallel
+    /// fault partitions — a batch-count-based figure would not be.
     pub patterns_applied: u64,
-    /// Pattern count at which each fault was first detected (parallel
-    /// batches give a batch-granular figure), indexed like the fault
-    /// list; `None` = undetected.
+    /// Per fault: the number of patterns applied by the end of the
+    /// 64-pattern block in which it was first detected (clipped to the
+    /// budget), indexed like the fault list; `None` = undetected.
+    /// 64-lane blocks align with the batches of the `u64` reference at
+    /// every lane width, so the stamp is width-invariant while letting
+    /// the detection walks keep their early exit (a lane-exact stamp
+    /// would force a full cone walk per detected fault — measured 3×
+    /// slower on the multiplier benches).
     pub first_detection: Vec<Option<u64>>,
 }
 
@@ -70,18 +82,18 @@ impl CoverageReport {
 }
 
 /// Measures coverage of `faults` under a caller-supplied pattern source.
-/// `next_batch` must fill one `u64` lane word per input (64 patterns per
-/// call); `patterns` is the total pattern budget. A final partial batch
-/// is clipped: only its first `patterns % 64` lanes are applied or
-/// counted.
-pub fn measure_coverage<F>(
+/// `next_batch` must fill one lane word per input (`W::LANES` patterns
+/// per call — pattern `p` of the batch in lane `p`); `patterns` is the
+/// total pattern budget. A final partial batch is clipped: only its
+/// first `patterns % W::LANES` lanes are applied or counted.
+pub fn measure_coverage<W: LaneWord, F>(
     net: &GateNetwork,
     faults: &[Fault],
     patterns: u64,
     next_batch: F,
 ) -> CoverageReport
 where
-    F: FnMut() -> Vec<u64>,
+    F: FnMut() -> Vec<W>,
 {
     let mut sim = DiffSim::new(net);
     measure_coverage_with(&mut sim, faults, patterns, next_batch)
@@ -89,35 +101,36 @@ where
 
 /// As [`measure_coverage`], reusing a caller-owned simulator (and its
 /// scratch buffers) across calls; work counters accumulate on `sim`.
-pub fn measure_coverage_with<F>(
-    sim: &mut DiffSim<'_>,
+pub fn measure_coverage_with<W: LaneWord, F>(
+    sim: &mut DiffSim<'_, W>,
     faults: &[Fault],
     patterns: u64,
     mut next_batch: F,
 ) -> CoverageReport
 where
-    F: FnMut() -> Vec<u64>,
+    F: FnMut() -> Vec<W>,
 {
     let mut undetected: Vec<usize> = (0..faults.len()).collect();
     let mut first_detection: Vec<Option<u64>> = vec![None; faults.len()];
     let mut applied = 0u64;
-    while applied < patterns {
-        if undetected.is_empty() {
-            break;
-        }
+    while applied < patterns && !undetected.is_empty() {
         let lanes = next_batch();
-        let in_budget = (patterns - applied).min(64);
+        let base = applied;
+        let in_budget = (patterns - applied).min(W::LANES);
         applied += in_budget;
-        let mask = if in_budget == 64 {
-            u64::MAX
-        } else {
-            (1u64 << in_budget) - 1
-        };
-        sim.load_batch_masked(&lanes, mask);
+        sim.load_batch_masked(&lanes, W::lane_mask(in_budget));
         // In-place compaction; when the two polarities of one net are
         // adjacent in the undetected list (enumerate order, and collapse
         // representatives are (net, stuck)-sorted), one paired cone walk
-        // answers both — byte-identical to two single queries.
+        // answers both — byte-identical to two single queries. The
+        // block queries keep the early exit (see
+        // [`crate::diffsim::DiffSim::detect_block`]) and return the
+        // first detecting 64-lane *block*; blocks align with the
+        // 64-pattern batches of the `u64` reference, so the stamp
+        // `base + min(64·(block+1), in_budget)` — the pattern count
+        // applied by the end of that block — is identical at every lane
+        // width, and identical to what a 64-lane run stamps at the end
+        // of its detecting batch.
         let (mut read, mut write) = (0, 0);
         while read < undetected.len() {
             let fi = undetected[read];
@@ -125,7 +138,7 @@ where
             let paired = undetected.get(read + 1).map(|&fj| faults[fj]);
             let (d0, d1, consumed) = match paired {
                 Some(g) if g.net == f.net && f.stuck_at_one != g.stuck_at_one => {
-                    let both = sim.detects_both(f.net);
+                    let both = sim.detect_block_both(f.net);
                     let (di, dj) = if f.stuck_at_one {
                         (both.1, both.0)
                     } else {
@@ -133,12 +146,13 @@ where
                     };
                     (di, dj, 2)
                 }
-                _ => (sim.detects(f), false, 1),
+                _ => (sim.detect_block(f), None, 1),
             };
             for (d, k) in [(d0, read), (d1, read + 1)].into_iter().take(consumed) {
                 let fk = undetected[k];
-                if d {
-                    first_detection[fk] = Some(applied);
+                if let Some(block) = d {
+                    let by_end_of_block = 64 * (u64::from(block) + 1);
+                    first_detection[fk] = Some(base + by_end_of_block.min(in_budget));
                 } else {
                     undetected[write] = fk;
                     write += 1;
@@ -148,16 +162,30 @@ where
         }
         undetected.truncate(write);
     }
+    let patterns_applied = if undetected.is_empty() {
+        first_detection.iter().flatten().copied().max().unwrap_or(0)
+    } else {
+        patterns
+    };
     CoverageReport {
         total_faults: faults.len(),
         detected: faults.len() - undetected.len(),
-        patterns_applied: applied,
+        patterns_applied,
         first_detection,
     }
 }
 
 /// Coverage under uniform pseudo-random patterns: one decorrelated
-/// xorshift stream per input bit, `patterns` clocks.
+/// xorshift stream per input bit, `patterns` clocks. Simulates at 64
+/// lanes — the widest *profitable* width for this loop. The coverage
+/// walk early-exits on first detection and drops detected faults, which
+/// makes the number of cone visits width-invariant (measured: identical
+/// `cone_evals` at 64/256/512 on the multiplier benches), so a wider
+/// word only adds bytes per visit here; wide words pay off in full-walk
+/// session mode instead ([`crate::lanes::auto_width`]). Wider
+/// simulators remain available through
+/// [`random_pattern_coverage_with`], and the result is byte-identical
+/// at every width.
 ///
 /// Per-bit taps of a *single* LFSR polynomial are unusable here: the
 /// shift-and-add property of m-sequences makes some joint input events
@@ -178,7 +206,7 @@ pub fn random_pattern_coverage(net: &GateNetwork, patterns: u64, seed: u64) -> C
     random_pattern_coverage_of(net, &enumerate_faults(net), patterns, seed)
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -186,23 +214,28 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// As [`random_pattern_coverage`] but over a caller-chosen fault list.
+/// As [`random_pattern_coverage`] but over a caller-chosen fault list
+/// (64-lane for the same reason; see `random_pattern_coverage`).
 pub fn random_pattern_coverage_of(
     net: &GateNetwork,
     faults: &[Fault],
     patterns: u64,
     seed: u64,
 ) -> CoverageReport {
-    let mut sim = DiffSim::new(net);
+    let mut sim = DiffSim::<u64>::new(net);
     random_pattern_coverage_with(&mut sim, faults, patterns, seed)
 }
 
-/// As [`random_pattern_coverage_of`], reusing a caller-owned simulator.
-/// The pattern stream is a pure function of `seed` and the input count,
-/// so any fault sublist simulated with the same seed sees the same
-/// patterns — the property the parallel fault partitions rely on.
-pub fn random_pattern_coverage_with(
-    sim: &mut DiffSim<'_>,
+/// As [`random_pattern_coverage_of`], reusing a caller-owned simulator
+/// of any lane width. The pattern stream is a pure function of `seed`
+/// and the input count — each input's stream is consumed 64 patterns
+/// per `u64` word, and a wide batch packs `W::WORDS` consecutive words
+/// per input, so pattern `p` carries the same input values at every
+/// width. Any fault sublist simulated with the same seed therefore sees
+/// the same patterns — the property the parallel fault partitions (and
+/// the cross-width byte-identity tests) rely on.
+pub fn random_pattern_coverage_with<W: LaneWord>(
+    sim: &mut DiffSim<'_, W>,
     faults: &[Fault],
     patterns: u64,
     seed: u64,
@@ -215,13 +248,17 @@ pub fn random_pattern_coverage_with(
         })
         .collect();
     measure_coverage_with(sim, faults, patterns, || {
-        states.iter_mut().map(splitmix64).collect()
+        states
+            .iter_mut()
+            .map(|s| W::from_words(|| splitmix64(s)))
+            .collect()
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lanes::{W256, W512};
     use crate::modules::{array_multiplier, logic_unit, ripple_adder, subtractor};
     use lobist_dfg::OpKind;
 
@@ -239,31 +276,37 @@ mod tests {
         let mut undetected: Vec<usize> = (0..faults.len()).collect();
         let mut first_detection: Vec<Option<u64>> = vec![None; faults.len()];
         let mut applied = 0u64;
-        while applied < patterns {
-            if undetected.is_empty() {
-                break;
-            }
+        while applied < patterns && !undetected.is_empty() {
             let lanes = next_batch();
+            let base = applied;
             let in_budget = (patterns - applied).min(64);
             applied += in_budget;
             let mask = if in_budget == 64 { u64::MAX } else { (1u64 << in_budget) - 1 };
             let golden = net.eval_lanes(&lanes);
             undetected.retain(|&fi| {
                 let faulty = net.eval_lanes_with(&lanes, Some(faults[fi]));
-                let detected = faulty
+                let lanes_hit = faulty
                     .iter()
                     .zip(&golden)
-                    .any(|(f, g)| (f ^ g) & mask != 0);
-                if detected {
-                    first_detection[fi] = Some(applied);
+                    .fold(0u64, |acc, (f, g)| acc | (f ^ g))
+                    & mask;
+                if lanes_hit != 0 {
+                    // Stamp the end of the detecting 64-pattern batch —
+                    // the block-granular contract of `first_detection`.
+                    first_detection[fi] = Some(base + in_budget);
                 }
-                !detected
+                lanes_hit == 0
             });
         }
+        let patterns_applied = if undetected.is_empty() {
+            first_detection.iter().flatten().copied().max().unwrap_or(0)
+        } else {
+            patterns
+        };
         CoverageReport {
             total_faults: faults.len(),
             detected: faults.len() - undetected.len(),
-            patterns_applied: applied,
+            patterns_applied,
             first_detection,
         }
     }
@@ -281,6 +324,31 @@ mod tests {
                         w |= ((pattern >> i) & 1) << lane;
                     }
                     w
+                })
+                .collect()
+        }
+    }
+
+    /// The same exhaustive counting patterns as [`counter_batches`] but
+    /// packed `W::LANES` per batch — pattern `p` lands in global lane
+    /// `p` at every width.
+    fn counter_batches_wide<W: LaneWord>(num_inputs: usize) -> impl FnMut() -> Vec<W> {
+        let mut counter = 0u64;
+        move || {
+            let base = counter;
+            counter += W::LANES;
+            (0..num_inputs)
+                .map(|i| {
+                    let mut word = 0usize;
+                    W::from_words(|| {
+                        let lo = base + 64 * word as u64;
+                        word += 1;
+                        let mut w = 0u64;
+                        for lane in 0..64u64 {
+                            w |= (((lo + lane) >> i) & 1) << lane;
+                        }
+                        w
+                    })
                 })
                 .collect()
         }
@@ -340,16 +408,17 @@ mod tests {
     #[test]
     fn empty_fault_list() {
         let net = ripple_adder(2);
-        let report = measure_coverage(&net, &[], 64, || vec![0; net.inputs().len()]);
+        let report = measure_coverage(&net, &[], 64, || vec![0u64; net.inputs().len()]);
         assert_eq!(report.total_faults, 0);
         assert!((report.coverage() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn patterns_applied_respects_the_budget() {
-        // 100 patterns = one full batch + a 36-lane partial batch; the
-        // old path reported 128 applied. Budget and stamps now clip.
-        // The network carries a redundant fault (SA0 on the AND of
+        // 100 patterns = a partial trailing batch at every width (36
+        // in-budget lanes after one u64 batch; 100 of 256/512 lanes for
+        // the wide words); the pre-fix path reported 128 applied. The
+        // network carries a redundant fault (SA0 on the AND of
         // `x | (x & y)` never changes the output), so the full budget is
         // always consumed rather than ending early on full detection.
         use crate::net::NetworkBuilder;
@@ -359,19 +428,45 @@ mod tests {
         let a = b.and(x, y);
         let o = b.or(x, a);
         let net = b.finish(vec![o]);
-        let report = random_pattern_coverage(&net, 100, 0xACE1);
+        let faults = enumerate_faults(&net);
+        let report = random_pattern_coverage_of(&net, &faults, 100, 0xACE1);
         assert!(report.detected < report.total_faults);
         assert_eq!(report.patterns_applied, 100);
         for d in report.first_detection.iter().flatten() {
-            assert!(*d <= 100, "stamp {d} exceeds budget");
+            assert!(*d >= 1 && *d <= 100, "stamp {d} outside the budget");
         }
-        // A detection stamped past the first batch must carry the
-        // clipped figure.
-        assert!(report
-            .first_detection
-            .iter()
-            .flatten()
-            .all(|&d| d == 64 || d == 100));
+        // The exact same figures at every width — the trailing partial
+        // batch counts as its in-budget lanes, not the lane width
+        // (regression guard for the batch-overcount bug, generalized).
+        let mut w256 = DiffSim::<W256>::new(&net);
+        let mut w512 = DiffSim::<W512>::new(&net);
+        let wide256 = random_pattern_coverage_with(&mut w256, &faults, 100, 0xACE1);
+        let wide512 = random_pattern_coverage_with(&mut w512, &faults, 100, 0xACE1);
+        assert_eq!(wide256, report);
+        assert_eq!(wide512, report);
+        assert_eq!(wide256.patterns_applied, 100);
+    }
+
+    #[test]
+    fn patterns_applied_stops_at_the_last_detection() {
+        // Exhaustive counting patterns saturate the 2-bit adder well
+        // before the budget; the applied figure is the exact largest
+        // stamp — identical at every width even though the widths load
+        // different batch counts.
+        let net = ripple_adder(2);
+        let faults = enumerate_faults(&net);
+        let narrow = measure_coverage(&net, &faults, 10_000, counter_batches(net.inputs().len()));
+        assert_eq!(narrow.detected, narrow.total_faults);
+        let max_stamp = narrow.first_detection.iter().flatten().copied().max().unwrap();
+        assert_eq!(narrow.patterns_applied, max_stamp);
+        assert!(max_stamp < 10_000);
+        let wide = measure_coverage(
+            &net,
+            &faults,
+            10_000,
+            counter_batches_wide::<W512>(net.inputs().len()),
+        );
+        assert_eq!(wide, narrow);
     }
 
     #[test]
@@ -409,6 +504,26 @@ mod tests {
                     counter_batches(net.inputs().len()),
                 );
                 assert_eq!(fast, slow, "{name} at {patterns} patterns");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_are_byte_identical_to_the_u64_reference() {
+        // The tentpole acceptance property in unit-test form: the full
+        // report (stamps included) matches across widths for budgets
+        // aligned and misaligned with every lane width.
+        for (name, net) in [("adder4", ripple_adder(4)), ("mul4", array_multiplier(4))] {
+            let faults = enumerate_faults(&net);
+            for patterns in [64u64, 100, 256, 300, 512, 515, 1000] {
+                let mut narrow = DiffSim::<u64>::new(&net);
+                let mut wide256 = DiffSim::<W256>::new(&net);
+                let mut wide512 = DiffSim::<W512>::new(&net);
+                let a = random_pattern_coverage_with(&mut narrow, &faults, patterns, 0xBEEF);
+                let b = random_pattern_coverage_with(&mut wide256, &faults, patterns, 0xBEEF);
+                let c = random_pattern_coverage_with(&mut wide512, &faults, patterns, 0xBEEF);
+                assert_eq!(a, b, "{name} at {patterns} patterns (W256)");
+                assert_eq!(a, c, "{name} at {patterns} patterns (W512)");
             }
         }
     }

@@ -4,13 +4,21 @@
 //! O(gates) plus a fresh allocation for *every* fault in *every*
 //! 64-pattern batch. [`DiffSim`] instead evaluates the fault-free
 //! network once per batch (the *golden* pass) and then, per fault,
-//! propagates 64-lane *difference* words event-driven from the fault
-//! site: only gates whose inputs actually changed are re-evaluated, and
-//! propagation stops the moment the difference frontier dies out. On the
-//! paper's module library most faults either fail to be excited (the
-//! golden value at the site already equals the stuck value in all lanes)
-//! or reach an output within a small fraction of the gate list, which is
-//! where the speedup comes from.
+//! propagates lane-parallel *difference* words event-driven from the
+//! fault site: only gates whose inputs actually changed are
+//! re-evaluated, and propagation stops the moment the difference
+//! frontier dies out. On the paper's module library most faults either
+//! fail to be excited (the golden value at the site already equals the
+//! stuck value in all lanes) or reach an output within a small fraction
+//! of the gate list, which is where the speedup comes from.
+//!
+//! The simulator is generic over the lane width
+//! ([`crate::lanes::LaneWord`]): the default `u64` packs 64 patterns
+//! per batch and is the executable reference; [`crate::lanes::W256`]
+//! and [`crate::lanes::W512`] pack 256/512 patterns per batch, turning
+//! the branchless [`GateOp`] evaluation into straight-line array code
+//! the compiler auto-vectorizes. Results are byte-identical across
+//! widths (property-tested) — width is purely a throughput knob.
 //!
 //! Propagation is a *bounded linear walk*: the builder guarantees a
 //! gate's consumers always have larger indices, so scanning the gate
@@ -26,10 +34,16 @@
 //! per-fault setup cost is proportional to the disturbance, not the
 //! network.
 
+use crate::lanes::LaneWord;
 use crate::net::{Fault, GateKind, GateNetwork};
 
 /// Work counters accumulated by a [`DiffSim`] (and summed across the
 /// partitions of a parallel run).
+///
+/// Counters are defined in *walk* units, not pattern units: a wider
+/// lane word loads fewer batches and walks fewer (but heavier) cones
+/// for the same pattern budget, so `batches_loaded` scales as
+/// `ceil(patterns / LANES)` while detection results stay identical.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimCounters {
     /// Golden (fault-free) batch evaluations.
@@ -55,13 +69,23 @@ impl SimCounters {
     }
 }
 
+/// The 64-lane block holding the lowest set lane of `w`, if any
+/// (always 0 for a nonzero `u64`).
+#[inline]
+fn first_block<W: LaneWord>(w: W) -> Option<u32> {
+    w.first_lane().map(|l| (l / 64) as u32)
+}
+
 /// One gate in branchless form, sized to fit three per cache pair
 /// (48 bytes).
 ///
 /// Every two-input kind is `((a ^ inv) OP (b ^ inv)) ^ inv_o` with `OP`
 /// selected between AND and XOR by a mask, so the walk evaluates any
 /// gate with the same handful of word operations — no per-kind branch
-/// to mispredict on the irregular, fault-dependent visit order.
+/// to mispredict on the irregular, fault-dependent visit order. The
+/// masks stay `u64` regardless of lane width; evaluation broadcasts
+/// them with [`LaneWord::splat`] (the identity for `u64`, a register
+/// splat the vectorizer hoists for wide words).
 #[derive(Debug, Clone, Copy)]
 struct GateOp {
     a: u32,
@@ -106,21 +130,24 @@ impl GateOp {
     }
 
     #[inline]
-    fn eval(&self, a: u64, b: u64) -> u64 {
-        let x = a ^ self.inv;
-        let y = b ^ self.inv;
-        (((x & y) & !self.xor_sel) | ((x ^ y) & self.xor_sel)) ^ self.inv_o
+    fn eval<W: LaneWord>(&self, a: W, b: W) -> W {
+        let x = a ^ W::splat(self.inv);
+        let y = b ^ W::splat(self.inv);
+        let xor_sel = W::splat(self.xor_sel);
+        (((x & y) & !xor_sel) | ((x ^ y) & xor_sel)) ^ W::splat(self.inv_o)
     }
 }
 
-/// An event-driven differential fault simulator over one network.
+/// An event-driven differential fault simulator over one network,
+/// generic over the lane width `W` (default `u64` = 64 patterns per
+/// batch; see [`crate::lanes`]).
 ///
-/// Usage: [`load_batch`](Self::load_batch) with 64 patterns of input
-/// lanes, then any number of [`detects`](Self::detects) /
+/// Usage: [`load_batch`](Self::load_batch) with `W::LANES` patterns of
+/// input lanes, then any number of [`detects`](Self::detects) /
 /// [`fault_output_diffs`](Self::fault_output_diffs) calls, then the next
 /// batch.
 #[derive(Debug)]
-pub struct DiffSim<'n> {
+pub struct DiffSim<'n, W: LaneWord = u64> {
     net: &'n GateNetwork,
     /// CSR offsets into `out_positions`, one slot per net plus one.
     out_offsets: Vec<u32>,
@@ -129,11 +156,11 @@ pub struct DiffSim<'n> {
     /// Branchless per-gate evaluation table, indexed by gate index.
     ops: Vec<GateOp>,
     /// Golden value of every net for the current batch.
-    golden: Vec<u64>,
+    golden: Vec<W>,
     /// Working net values: equal to `golden` between propagations; a
     /// propagation writes the disturbed nets and restores them before
     /// returning.
-    val: Vec<u64>,
+    val: Vec<W>,
     /// Nets currently differing from golden in `val` (the undo list).
     touched_nets: Vec<u32>,
     /// Per net: `[first, last]` consumer gate index (`[u32::MAX, 0]`
@@ -147,16 +174,16 @@ pub struct DiffSim<'n> {
     /// Words per cone row (`num_gates / 64`, rounded up).
     nwords: usize,
     /// Per-output difference words of the last `fault_output_diffs`.
-    out_diff: Vec<u64>,
+    out_diff: Vec<W>,
     touched_outputs: Vec<u32>,
-    /// Lanes of the current batch that count toward detection (all 64
-    /// unless the pattern budget clips the final batch).
-    lane_mask: u64,
+    /// Lanes of the current batch that count toward detection (all of
+    /// them unless the pattern budget clips the final batch).
+    lane_mask: W,
     batch_loaded: bool,
     counters: SimCounters,
 }
 
-impl<'n> DiffSim<'n> {
+impl<'n, W: LaneWord> DiffSim<'n, W> {
     /// A simulator for `net`. Construction is a handful of linear
     /// passes over the gate and output lists — deliberately *not* a full
     /// [`crate::fanout::Fanout`] index, since the walk only needs each
@@ -231,9 +258,9 @@ impl<'n> DiffSim<'n> {
             span,
             cone,
             nwords,
-            out_diff: vec![0; net.outputs().len()],
+            out_diff: vec![W::ZERO; net.outputs().len()],
             touched_outputs: Vec::new(),
-            lane_mask: u64::MAX,
+            lane_mask: W::ONES,
             batch_loaded: false,
             counters: SimCounters::default(),
         }
@@ -249,23 +276,24 @@ impl<'n> DiffSim<'n> {
         self.counters
     }
 
-    /// Loads a 64-pattern batch: runs the golden pass over every net.
+    /// Loads a `W::LANES`-pattern batch: runs the golden pass over
+    /// every net.
     ///
     /// # Panics
     ///
     /// Panics if `input_lanes.len() != network.inputs().len()`.
-    pub fn load_batch(&mut self, input_lanes: &[u64]) {
-        self.load_batch_masked(input_lanes, u64::MAX);
+    pub fn load_batch(&mut self, input_lanes: &[W]) {
+        self.load_batch_masked(input_lanes, W::ONES);
     }
 
     /// As [`load_batch`](Self::load_batch), but only lanes set in `mask`
     /// count toward detection — used to clip the final batch of a
-    /// pattern budget that is not a multiple of 64.
+    /// pattern budget that is not a multiple of the lane width.
     ///
     /// # Panics
     ///
     /// Panics if `input_lanes.len() != network.inputs().len()`.
-    pub fn load_batch_masked(&mut self, input_lanes: &[u64], mask: u64) {
+    pub fn load_batch_masked(&mut self, input_lanes: &[W], mask: W) {
         self.net.eval_all_nets_into(input_lanes, &mut self.golden);
         self.val.clear();
         self.val.extend_from_slice(&self.golden);
@@ -279,7 +307,7 @@ impl<'n> DiffSim<'n> {
     /// # Panics
     ///
     /// Panics if no batch is loaded.
-    pub fn golden_output(&self, pos: usize) -> u64 {
+    pub fn golden_output(&self, pos: usize) -> W {
         assert!(self.batch_loaded, "load a batch first");
         self.golden[self.net.outputs()[pos].index()]
     }
@@ -292,7 +320,66 @@ impl<'n> DiffSim<'n> {
     ///
     /// Panics if no batch is loaded.
     pub fn detects(&mut self, fault: Fault) -> bool {
-        self.propagate::<true>(fault)
+        self.propagate::<true>(fault).0
+    }
+
+    /// The first 64-lane *block* of the current batch in which `fault`
+    /// flips some output (`None` when undetected in the in-budget
+    /// lanes).
+    ///
+    /// This is the width-invariant detection query the coverage loop
+    /// uses for first-detection stamps: lane `l` lives in block
+    /// `l / 64`, and blocks align with the 64-pattern batches of the
+    /// `u64` reference, so the returned block index is the same at
+    /// every lane width. Unlike [`detect_lanes`](Self::detect_lanes)
+    /// the walk keeps the early exit: it stops as soon as a detection
+    /// lands in block 0 (no earlier block exists — for `u64` that is
+    /// exactly the "any detection" exit), and only the rare fault whose
+    /// first detection sits in a later block pays for a full cone walk
+    /// to make the minimum exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is loaded.
+    pub fn detect_block(&mut self, fault: Fault) -> Option<u32> {
+        first_block(self.propagate::<true>(fault).1)
+    }
+
+    /// Per-polarity first detecting 64-lane blocks of one net with a
+    /// single (early-exiting) paired cone walk:
+    /// `(stuck-at-0 block, stuck-at-1 block)` — the paired-walk
+    /// counterpart of [`detect_block`](Self::detect_block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is loaded.
+    pub fn detect_block_both(&mut self, site_net: crate::net::NetId) -> (Option<u32>, Option<u32>) {
+        let (d0, d1) = self.both_walk::<false>(site_net);
+        (first_block(d0), first_block(d1))
+    }
+
+    /// The exact set of (in-budget) lanes in which `fault` flips some
+    /// output of the current batch.
+    ///
+    /// Unlike [`detects`](Self::detects) this propagates the *whole*
+    /// cone and ORs the final per-output differences, so the returned
+    /// word — and in particular its [`LaneWord::first_lane`] — depends
+    /// only on the patterns, not on walk order or lane width. This is
+    /// what makes per-pattern first-detection stamps byte-identical
+    /// across `u64`/`W256`/`W512` (an early exit at the first detecting
+    /// *gate* would stamp whichever cone branch the walk reached first,
+    /// which differs between a 64-pattern and a 256-pattern batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is loaded.
+    pub fn detect_lanes(&mut self, fault: Fault) -> W {
+        self.propagate::<false>(fault);
+        let mut acc = W::ZERO;
+        for &pos in &self.touched_outputs {
+            acc = acc | self.out_diff[pos as usize];
+        }
+        acc & self.lane_mask
     }
 
     /// Detection of *both* stuck-at polarities of one net with a single
@@ -312,6 +399,32 @@ impl<'n> DiffSim<'n> {
     ///
     /// Panics if no batch is loaded.
     pub fn detects_both(&mut self, site_net: crate::net::NetId) -> (bool, bool) {
+        let (d0, d1) = self.both_walk::<false>(site_net);
+        (!d0.is_zero(), !d1.is_zero())
+    }
+
+    /// Per-polarity detection *lanes* of one net with a single full
+    /// cone walk: `(stuck-at-0 lanes, stuck-at-1 lanes)`.
+    ///
+    /// The walk-order-independence argument of
+    /// [`detect_lanes`](Self::detect_lanes) applies per polarity, so
+    /// both words are width-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is loaded.
+    pub fn detect_lanes_both(&mut self, site_net: crate::net::NetId) -> (W, W) {
+        self.both_walk::<true>(site_net)
+    }
+
+    /// The paired-polarity walk. `FULL` propagates the entire cone and
+    /// returns exact per-polarity detection lanes; otherwise the walk
+    /// stops as soon as both excited polarities have a detection in
+    /// lane block 0 (cheaper; the returned words are nonzero/zero- and
+    /// first-block-accurate, not lane-exact — for `u64` the block-0
+    /// condition *is* "detected anywhere", i.e. the classic early
+    /// exit).
+    fn both_walk<const FULL: bool>(&mut self, site_net: crate::net::NetId) -> (W, W) {
         assert!(self.batch_loaded, "load a batch first");
         let Self {
             out_offsets,
@@ -337,14 +450,23 @@ impl<'n> DiffSim<'n> {
         // at least one walk is always live.
         let want0 = g0 & lane_mask;
         let want1 = !g0 & lane_mask;
-        let (mut det0, mut det1) = (0u64, 0u64);
+        let (mut det0, mut det1) = (W::ZERO, W::ZERO);
         if out_offsets[site + 1] > out_offsets[site] {
+            // The site drives an output: every excited lane flips that
+            // output, and no walk can detect in an unexcited lane, so
+            // the excitation words are already the exact answer.
             det0 = want0;
             det1 = want1;
         }
-        let resolved =
-            |d0: u64, d1: u64| (d0 != 0 || want0 == 0) && (d1 != 0 || want1 == 0);
-        if !resolved(det0, det1) {
+        let resolved = |d0: W, d1: W| {
+            (d0.word(0) != 0 || want0.is_zero()) && (d1.word(0) != 0 || want1.is_zero())
+        };
+        let settled = if FULL {
+            det0 == want0 && det1 == want1
+        } else {
+            resolved(det0, det1)
+        };
+        if !settled {
             val[site] = !g0;
             touched_nets.push(site as u32);
             let [first, seed_ub] = span[site];
@@ -373,11 +495,11 @@ impl<'n> DiffSim<'n> {
                         val[out] = v;
                         touched_nets.push(out as u32);
                         events += 1;
-                        let o = diff & g.out_sel & lane_mask;
-                        if o != 0 {
-                            det0 |= o & g0;
-                            det1 |= o & !g0;
-                            if resolved(det0, det1) {
+                        let o = diff & W::splat(g.out_sel) & lane_mask;
+                        if !o.is_zero() {
+                            det0 = det0 | (o & g0);
+                            det1 = det1 | (o & !g0);
+                            if !FULL && resolved(det0, det1) {
                                 break 'walk;
                             }
                         }
@@ -397,7 +519,7 @@ impl<'n> DiffSim<'n> {
             }
             touched_nets.clear();
         }
-        (det0 != 0, det1 != 0)
+        (det0, det1)
     }
 
     /// Propagates `fault` through its whole cone and records the
@@ -410,13 +532,13 @@ impl<'n> DiffSim<'n> {
     ///
     /// Panics if no batch is loaded.
     pub fn fault_output_diffs(&mut self, fault: Fault) -> bool {
-        self.propagate::<false>(fault)
+        self.propagate::<false>(fault).0
     }
 
     /// Per-output difference words of the last
     /// [`fault_output_diffs`](Self::fault_output_diffs) call
     /// (`faulty ^ golden`, indexed like `network.outputs()`).
-    pub fn out_diffs(&self) -> &[u64] {
+    pub fn out_diffs(&self) -> &[W] {
         &self.out_diff
     }
 
@@ -428,10 +550,16 @@ impl<'n> DiffSim<'n> {
         &self.touched_outputs
     }
 
-    /// The core event loop. `EARLY` returns at the first masked output
-    /// difference (coverage mode); otherwise the full cone is propagated
-    /// and per-output difference words recorded (session mode).
-    fn propagate<const EARLY: bool>(&mut self, fault: Fault) -> bool {
+    /// The core event loop. `EARLY` accumulates masked output
+    /// differences and returns once a detection lands in lane block 0
+    /// (coverage mode — see [`detect_block`](Self::detect_block) for
+    /// why block 0, and why for `u64` this is the classic
+    /// first-detection exit); otherwise the full cone is propagated and
+    /// per-output difference words recorded (session mode). Returns
+    /// `(detected, accumulated detection word)`; the word is meaningful
+    /// only in `EARLY` mode and is first-block-accurate, not
+    /// lane-exact.
+    fn propagate<const EARLY: bool>(&mut self, fault: Fault) -> (bool, W) {
         assert!(self.batch_loaded, "load a batch first");
         // Split `self` into disjoint borrows: with every buffer behind
         // its own (`&`/`&mut`) binding the compiler knows they cannot
@@ -460,25 +588,27 @@ impl<'n> DiffSim<'n> {
         let nwords = *nwords;
         if !EARLY {
             for pos in touched_outputs.drain(..) {
-                out_diff[pos as usize] = 0;
+                out_diff[pos as usize] = W::ZERO;
             }
         }
         counters.faults_simulated += 1;
         let site = fault.net.index();
-        let fv = fault.stuck_word();
+        let fv = W::splat(fault.stuck_word());
         if fv == golden[site] {
-            return false; // not excited in any lane
+            return (false, W::ZERO); // not excited in any lane
         }
         val[site] = fv;
         touched_nets.push(site as u32);
         let mut detected = false;
+        let mut det = W::ZERO;
         let site_diff = fv ^ golden[site];
         for &pos in &out_positions[out_offsets[site] as usize..out_offsets[site + 1] as usize] {
             if EARLY {
-                if site_diff & lane_mask != 0 {
+                det = site_diff & lane_mask;
+                if det.word(0) != 0 {
                     val[site] = golden[site];
                     touched_nets.clear();
-                    return true;
+                    return (true, det);
                 }
             } else {
                 out_diff[pos as usize] = site_diff;
@@ -526,7 +656,8 @@ impl<'n> DiffSim<'n> {
                     touched_nets.push(out as u32);
                     events += 1;
                     if EARLY {
-                        if diff & g.out_sel & lane_mask != 0 {
+                        det = det | (diff & W::splat(g.out_sel) & lane_mask);
+                        if det.word(0) != 0 {
                             detected = true;
                             break 'walk;
                         }
@@ -553,13 +684,14 @@ impl<'n> DiffSim<'n> {
             val[n as usize] = golden[n as usize];
         }
         touched_nets.clear();
-        detected
+        (if EARLY { !det.is_zero() } else { detected }, det)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lanes::W256;
     use crate::net::{NetId, NetworkBuilder};
 
     fn two_bit_adder() -> GateNetwork {
@@ -580,6 +712,7 @@ mod tests {
         sim.load_batch(&lanes);
         for n in 0..net.num_nets() as u32 {
             let mut single = [false; 2];
+            let mut single_lanes = [0u64; 2];
             for stuck in [false, true] {
                 let fault = Fault { net: NetId(n), stuck_at_one: stuck };
                 let reference = net.eval_lanes_with(&lanes, Some(fault));
@@ -590,12 +723,50 @@ mod tests {
                 }
                 assert_eq!(any, reference != golden, "{fault}");
                 assert_eq!(sim.detects(fault), reference != golden, "{fault}");
+                // The exact detection lanes are the OR of the reference
+                // per-output diffs.
+                let want: u64 = reference.iter().zip(&golden).map(|(&r, &g)| r ^ g).fold(0, |a, d| a | d);
+                assert_eq!(sim.detect_lanes(fault), want, "{fault}");
                 single[usize::from(stuck)] = reference != golden;
+                single_lanes[usize::from(stuck)] = want;
             }
             // The paired walk answers both polarities identically.
             assert_eq!(
                 sim.detects_both(NetId(n)),
                 (single[0], single[1]),
+                "net {n}"
+            );
+            assert_eq!(
+                sim.detect_lanes_both(NetId(n)),
+                (single_lanes[0], single_lanes[1]),
+                "net {n} lanes"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_words_replicate_the_u64_answers() {
+        // Feeding the same 64 patterns into every 64-lane group of a
+        // W256 batch must replicate the u64 detection words per group —
+        // the gate algebra is lane-local.
+        let net = two_bit_adder();
+        let lanes: Vec<u64> = (0..4).map(|i| 0xDEAD_BEEF_CAFE_F00D_u64.rotate_left(i)).collect();
+        let wide: Vec<W256> = lanes.iter().map(|&w| W256([w; 4])).collect();
+        let mut sim = DiffSim::new(&net);
+        let mut wsim = DiffSim::<W256>::new(&net);
+        sim.load_batch(&lanes);
+        wsim.load_batch(&wide);
+        for n in 0..net.num_nets() as u32 {
+            for stuck in [false, true] {
+                let fault = Fault { net: NetId(n), stuck_at_one: stuck };
+                let narrow = sim.detect_lanes(fault);
+                assert_eq!(wsim.detect_lanes(fault), W256([narrow; 4]), "{fault}");
+                assert_eq!(wsim.detects(fault), sim.detects(fault), "{fault}");
+            }
+            let (n0, n1) = sim.detect_lanes_both(NetId(n));
+            assert_eq!(
+                wsim.detect_lanes_both(NetId(n)),
+                (W256([n0; 4]), W256([n1; 4])),
                 "net {n}"
             );
         }
@@ -646,8 +817,10 @@ mod tests {
         // Fault flips lane 1 only; with a mask of lane 0 it goes unseen.
         sim.load_batch_masked(&[0b01], 0b01);
         assert!(!sim.detects(Fault { net: x, stuck_at_one: true }));
+        assert_eq!(sim.detect_lanes(Fault { net: x, stuck_at_one: true }), 0);
         sim.load_batch_masked(&[0b01], 0b11);
         assert!(sim.detects(Fault { net: x, stuck_at_one: true }));
+        assert_eq!(sim.detect_lanes(Fault { net: x, stuck_at_one: true }), 0b10);
     }
 
     #[test]
@@ -687,7 +860,7 @@ mod tests {
     #[should_panic(expected = "load a batch first")]
     fn detect_requires_a_batch() {
         let net = two_bit_adder();
-        let mut sim = DiffSim::new(&net);
+        let mut sim = DiffSim::<u64>::new(&net);
         sim.detects(Fault { net: NetId(0), stuck_at_one: false });
     }
 }

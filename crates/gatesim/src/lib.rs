@@ -16,6 +16,9 @@
 //! * [`lfsr`] — maximal-length LFSRs and MISRs (XAPP052 tap table).
 //! * [`fanout`] — per-net consumer/output CSR index and fault-cone
 //!   queries.
+//! * [`lanes`] — configurable lane widths ([`lanes::LaneWord`]): 64
+//!   lanes per `u64`, or 256/512 lanes per fixed `[u64; N]` word that
+//!   the compiler auto-vectorizes.
 //! * [`diffsim`] — cone-limited event-driven differential fault
 //!   simulation (the fast path behind every coverage measurement).
 //! * [`collapse`] — structural fault collapsing into equivalence
@@ -46,6 +49,7 @@ pub mod collapse;
 pub mod coverage;
 pub mod diffsim;
 pub mod fanout;
+pub mod lanes;
 pub mod lfsr;
 pub mod modules;
 pub mod net;

@@ -8,6 +8,7 @@
 //! propagation arrangement, which makes whole-module fault simulation
 //! cheap enough for the test suite.
 
+use crate::lanes::LaneWord;
 use std::fmt;
 
 /// Identifier of a net (wire) in a gate network.
@@ -86,9 +87,10 @@ impl fmt::Display for Fault {
     }
 }
 
-/// Evaluates one gate function on two 64-lane operand words.
+/// Evaluates one gate function on two lane-word operands (any
+/// [`LaneWord`] width — `u64` for the 64-lane reference path).
 #[inline]
-pub(crate) fn eval_gate(kind: GateKind, a: u64, b: u64) -> u64 {
+pub(crate) fn eval_gate<W: LaneWord>(kind: GateKind, a: W, b: W) -> W {
     match kind {
         GateKind::And => a & b,
         GateKind::Or => a | b,
@@ -227,19 +229,21 @@ impl GateNetwork {
     /// Fault-free evaluation of **every** net into a caller-owned scratch
     /// buffer (resized to `num_nets`), avoiding the per-call allocation
     /// of [`eval_lanes`](Self::eval_lanes). This is the golden pass the
-    /// differential fault simulator diffs against.
+    /// differential fault simulator diffs against; it is generic over the
+    /// lane width (`u64` = 64 patterns per call, [`crate::lanes::W512`]
+    /// = 512).
     ///
     /// # Panics
     ///
     /// Panics if `input_lanes.len() != self.inputs().len()`.
-    pub fn eval_all_nets_into(&self, input_lanes: &[u64], values: &mut Vec<u64>) {
+    pub fn eval_all_nets_into<W: LaneWord>(&self, input_lanes: &[W], values: &mut Vec<W>) {
         assert_eq!(
             input_lanes.len(),
             self.inputs.len(),
             "wrong number of input lanes"
         );
         values.clear();
-        values.resize(self.num_nets, 0);
+        values.resize(self.num_nets, W::ZERO);
         for (i, &net) in self.inputs.iter().enumerate() {
             values[net.index()] = input_lanes[i];
         }

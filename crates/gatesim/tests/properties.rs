@@ -10,9 +10,10 @@ use lobist_dfg::interp::apply;
 use lobist_dfg::OpKind;
 use lobist_gatesim::collapse::collapse_faults;
 use lobist_gatesim::coverage::{
-    enumerate_faults, random_pattern_coverage_of,
+    enumerate_faults, random_pattern_coverage_of, random_pattern_coverage_with,
 };
 use lobist_gatesim::diffsim::DiffSim;
+use lobist_gatesim::lanes::{LaneWord, W256, W512};
 use lobist_gatesim::modules::{alu, unit_for};
 use lobist_gatesim::net::{Fault, GateKind, GateNetwork, NetworkBuilder};
 
@@ -201,6 +202,47 @@ proptest! {
                     "paired walk on net {}", n
                 );
             }
+        }
+    }
+
+    #[test]
+    fn coverage_is_byte_identical_across_lane_widths(
+        seed in any::<u64>(),
+        num_inputs in 2usize..6,
+        num_gates in 1usize..48,
+        patterns in 1u64..600,
+    ) {
+        // The lane width is a throughput knob: on an arbitrary network
+        // and ANY pattern budget — including budgets that leave a
+        // partial (lane-masked) trailing batch at every width — the
+        // full coverage report (counts, budget consumed, and each
+        // fault's first-detecting pattern index) must match the 64-lane
+        // reference exactly. The work counters are width-relative:
+        // wider lanes may only load fewer golden batches and walk fewer
+        // fault cones.
+        let net = random_network(seed, num_inputs, num_gates);
+        let faults = enumerate_faults(&net);
+        let stream = seed ^ 0xC0FFEE;
+        let mut narrow = DiffSim::<u64>::new(&net);
+        let reference = random_pattern_coverage_with(&mut narrow, &faults, patterns, stream);
+        prop_assert!(reference.patterns_applied <= patterns);
+        for stamp in reference.first_detection.iter().flatten() {
+            prop_assert!((1..=patterns).contains(stamp));
+        }
+
+        let mut sim256 = DiffSim::<W256>::new(&net);
+        let wide256 = random_pattern_coverage_with(&mut sim256, &faults, patterns, stream);
+        let mut sim512 = DiffSim::<W512>::new(&net);
+        let wide512 = random_pattern_coverage_with(&mut sim512, &faults, patterns, stream);
+        prop_assert_eq!(&reference, &wide256, "W256 diverged at {} patterns", patterns);
+        prop_assert_eq!(&reference, &wide512, "W512 diverged at {} patterns", patterns);
+
+        let narrow = narrow.counters();
+        prop_assert_eq!(narrow.batches_loaded, reference.patterns_applied.div_ceil(64));
+        for (counters, lanes) in [(sim256.counters(), W256::LANES), (sim512.counters(), W512::LANES)] {
+            prop_assert!(counters.batches_loaded <= patterns.div_ceil(lanes));
+            prop_assert!(counters.batches_loaded <= narrow.batches_loaded);
+            prop_assert!(counters.faults_simulated <= narrow.faults_simulated);
         }
     }
 

@@ -312,6 +312,7 @@ fn faultsim(request: &Request, shared: &Arc<Shared>) -> Result<JobBody, String> 
     let sim_opts = lobist_engine::FaultSimOptions {
         workers: effective_jobs(request, shared),
         collapse: true,
+        lanes: request.lanes,
     };
     let mut rows = Vec::new();
     for m in d.data_path.module_ids() {

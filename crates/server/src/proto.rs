@@ -20,6 +20,8 @@
 //! (timing and cache provenance, which legitimately vary between
 //! runs). Failures end with a terminal `error` event instead.
 
+use lobist_engine::LaneSelect;
+
 use crate::json::Json;
 
 /// The commands a request line can carry.
@@ -101,6 +103,10 @@ pub struct Request {
     pub batch: Option<u32>,
     /// Annealing chain count.
     pub chains: Option<usize>,
+    /// Fault-simulation lane width (64, 256, 512 or `"auto"`).
+    /// Results are byte-identical at every width; this is a
+    /// performance knob only, so it never enters the job key.
+    pub lanes: LaneSelect,
 }
 
 /// Parses one request line.
@@ -150,6 +156,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     if jobs == Some(0) {
         return Err("field `jobs` must be at least 1".into());
     }
+    const LANES_ERR: &str = "field `lanes` must be 64, 256, 512 or \"auto\"";
+    let lanes = match v.get("lanes") {
+        None | Some(Json::Null) => LaneSelect::Auto,
+        Some(Json::Str(s)) => LaneSelect::parse(s).ok_or(LANES_ERR)?,
+        Some(n) => n
+            .as_u64()
+            .and_then(|w| LaneSelect::parse(&w.to_string()))
+            .ok_or(LANES_ERR)?,
+    };
     Ok(Request {
         cmd,
         design: str_field("design")?,
@@ -164,6 +179,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         seed: num("seed")?,
         batch: num("batch")?.map(|n| n as u32),
         chains: num("chains")?.map(|n| n as usize),
+        lanes,
     })
 }
 
@@ -216,9 +232,27 @@ mod tests {
             (r#"{"cmd":"synth","width":1}"#, "`width`"),
             (r#"{"cmd":"synth","jobs":0}"#, "`jobs`"),
             (r#"{"cmd":"synth","modules":7}"#, "`modules` must be a string"),
+            (r#"{"cmd":"faultsim","lanes":128}"#, "`lanes`"),
+            (r#"{"cmd":"faultsim","lanes":"wide"}"#, "`lanes`"),
+            (r#"{"cmd":"faultsim","lanes":1024}"#, "`lanes`"),
+            (r#"{"cmd":"faultsim","lanes":true}"#, "`lanes`"),
         ] {
             let err = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn lanes_accept_numbers_and_auto() {
+        for (line, want) in [
+            (r#"{"cmd":"faultsim"}"#, LaneSelect::Auto),
+            (r#"{"cmd":"faultsim","lanes":null}"#, LaneSelect::Auto),
+            (r#"{"cmd":"faultsim","lanes":"auto"}"#, LaneSelect::Auto),
+            (r#"{"cmd":"faultsim","lanes":64}"#, LaneSelect::W64),
+            (r#"{"cmd":"faultsim","lanes":"256"}"#, LaneSelect::W256),
+            (r#"{"cmd":"faultsim","lanes":512}"#, LaneSelect::W512),
+        ] {
+            assert_eq!(parse_request(line).expect(line).lanes, want, "{line}");
         }
     }
 

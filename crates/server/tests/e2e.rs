@@ -207,6 +207,53 @@ fn malformed_and_oversized_requests_are_rejected() {
 }
 
 #[test]
+fn faultsim_results_are_byte_identical_across_lane_widths() {
+    let (endpoint, thread) = start(ServerConfig::default());
+
+    // Fault simulation is uncached (`cache:"none"`), so the second
+    // request genuinely recomputes at the wider lane width; its result
+    // payload must still match the 64-lane run byte for byte.
+    let submit = |lanes: &str| {
+        let req = format!(
+            r#"{{"cmd":"faultsim","design":"{}","modules":"1+,1*","width":5,"lanes":{lanes}}}"#,
+            lobist_server::json::escape(DESIGN)
+        );
+        let events = client::submit(&endpoint, &req).expect("faultsim submit");
+        assert!(event(&events, "done").contains("\"cache\":\"none\""), "{events:?}");
+        let line = event(&events, "result");
+        line.split_once(",\"faultsim\":")
+            .unwrap_or_else(|| panic!("no faultsim payload in {line}"))
+            .1
+            .to_owned()
+    };
+    let narrow = submit("64");
+    let wide = submit("256");
+    assert_eq!(
+        narrow, wide,
+        "lane width is a throughput knob; it must not change the result"
+    );
+    assert_eq!(narrow, submit("\"auto\""));
+
+    // Malformed lane widths are rejected over the wire, like `jobs`.
+    for bad in [r#""wide""#, "128", "1024", "true"] {
+        let req = format!(
+            r#"{{"cmd":"faultsim","design":"{}","modules":"1+,1*","lanes":{bad}}}"#,
+            lobist_server::json::escape(DESIGN)
+        );
+        let events = client::submit(&endpoint, &req).expect("submit");
+        assert!(event(&events, "error").contains("`lanes`"), "{events:?}");
+    }
+
+    // The metrics JSON tallies the runs under their concrete widths.
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    let line = event(&metrics, "metrics");
+    assert!(line.contains("\"lanes\":{"), "{line}");
+    assert!(line.contains("\"64\":{\"runs\":"), "{line}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
+#[test]
 fn anneal_and_faultsim_run_on_the_daemon() {
     let (endpoint, thread) = start(ServerConfig::default());
     let anneal = client::submit(
