@@ -78,7 +78,7 @@ USAGE:
   lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
   lobist batch [<design.dfg>... | -] --modules <SET> [--faultsim] [--jobs <N>]
                [--lanes <W>] [--metrics]
-  lobist corpus [--sizes <N,N,...>] [--seed <S>] [--out <DIR>]
+  lobist corpus [--sizes <N,N,...>] [--seed <S>] [--permute <S>] [--out <DIR>]
   lobist anneal <design.dfg> --modules <SET> [--iterations <N>] [--seed <S>]
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
@@ -146,6 +146,15 @@ OPTIONS:
                     64 for coverage; byte-identical at every width)
   --sizes <L>       comma-separated size sweep for `corpus`
                     (default 8,16)
+  --permute <S>     `corpus`: also emit a seeded isomorphic twin of
+                    every design (names rewritten, declarations
+                    reordered) — structurally identical, textually
+                    disjoint, so a canonical-cache batch answers the
+                    twins as iso hits
+  --canon <on|off>  isomorphism-level cache keys for `explore`/`batch`/
+                    `serve` (default on): a renamed/reordered twin of a
+                    cached design is answered from cache, remapped,
+                    byte-identically; `off` restores exact-text keying
   --out <DIR>       output directory for `corpus` (default
                     lobist-corpus)
   --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
@@ -212,6 +221,8 @@ struct Options {
     lanes: lobist_engine::LaneSelect,
     sizes: Option<String>,
     out_dir: Option<String>,
+    permute: Option<u64>,
+    canon: bool,
     positional: Vec<String>,
 }
 
@@ -249,6 +260,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         lanes: lobist_engine::LaneSelect::Auto,
         sizes: None,
         out_dir: None,
+        permute: None,
+        canon: true,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -378,6 +391,31 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         "bad lane width `{v}` (expected 64, 256, 512 or auto)"
                     ))
                 })?;
+            }
+            "--permute" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--permute needs a seed".into()))?;
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
+                o.permute = Some(
+                    parsed.map_err(|_| CliError::Usage(format!("bad permute seed `{v}`")))?,
+                );
+            }
+            "--canon" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--canon needs on|off".into()))?;
+                o.canon = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "bad --canon value `{other}` (expected on|off)"
+                        )))
+                    }
+                };
             }
             "--sizes" => {
                 o.sizes = Some(
@@ -830,7 +868,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .collect::<Result<_, _>>()?;
             let mut config = lobist_alloc::explore::ExploreConfig::new(candidates);
             config.flow = flow_options(&o, false);
-            let engine = lobist_engine::Engine::new(worker_count(&o));
+            let engine = lobist_engine::Engine::new(worker_count(&o)).with_canon(o.canon);
             let result = lobist_engine::explore_parallel(&dfg, &config, &engine);
             out.push_str(&lobist_engine::render_report(&result));
             if o.lint {
@@ -932,7 +970,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 });
                 parsed.push((dfg, schedule));
             }
-            let mut engine = lobist_engine::Engine::new(worker_count(&o));
+            let mut engine = lobist_engine::Engine::new(worker_count(&o)).with_canon(o.canon);
             if o.progress {
                 // Stream each engine event as its own flushed JSONL
                 // line so a pipe consumer sees progress live, not at
@@ -1061,6 +1099,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     std::fs::write(&path, text)
                         .map_err(|e| CliError::Io(path.display().to_string(), e))?;
                     let _ = writeln!(out, "{}", path.display());
+                    // With `--permute`, a seeded isomorphic twin rides
+                    // along: same structure, every name rewritten and
+                    // every declaration reordered. A batch over the
+                    // list then exercises the canonical cache — the
+                    // twins are answered as iso hits.
+                    if let Some(pseed) = o.permute {
+                        let (twin, _, _) = lobist_dfg::canon::permute_dfg(&dfg, pseed);
+                        let twin_text = lobist_dfg::parse::to_text_unscheduled(&twin);
+                        let twin_path = dir
+                            .join(format!("{}_n{size}_s{seed}_p{pseed}.dfg", kind.name()));
+                        std::fs::write(&twin_path, twin_text)
+                            .map_err(|e| CliError::Io(twin_path.display().to_string(), e))?;
+                        let _ = writeln!(out, "{}", twin_path.display());
+                    }
                 }
             }
         }
@@ -1227,6 +1279,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 max_active: o.max_active.unwrap_or(defaults.max_active),
                 store: o.store.as_ref().map(PathBuf::from),
                 store_max_bytes: o.store_max_bytes.unwrap_or(defaults.store_max_bytes),
+                canon: o.canon,
                 ..defaults
             };
             let server = lobist_server::Server::bind(config)
@@ -2037,6 +2090,71 @@ mod tests {
         assert!(out.contains("faultsim"), "{out}");
         assert!(out.contains("% coverage"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_permute_twins_batch_as_iso_hits() {
+        let dir = std::env::temp_dir().join("lobist_cli_corpus_permute");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+        let out = run(&argv(&[
+            "corpus", "--sizes", "8", "--seed", "1", "--permute", "11", "--out", &dir_arg,
+        ]))
+        .unwrap();
+        // Each design is followed by its isomorphic twin.
+        let paths: Vec<&str> = out.lines().collect();
+        assert_eq!(paths.len(), 8, "{out}");
+        for pair in paths.chunks(2) {
+            assert!(pair[0].ends_with("_s1.dfg"), "{}", pair[0]);
+            assert!(pair[1].ends_with("_s1_p11.dfg"), "{}", pair[1]);
+            // Twins are textually disjoint from their originals (every
+            // name is rewritten) but structurally identical.
+            let base = std::fs::read_to_string(pair[0]).unwrap();
+            let twin = std::fs::read_to_string(pair[1]).unwrap();
+            assert_ne!(base, twin);
+            assert_eq!(base.lines().count(), twin.lines().count());
+        }
+        // A canonical-cache batch over the list answers twins from
+        // cache as iso hits (where the list scheduler lands both on the
+        // same structural schedule), and reports them under `canon`.
+        let mut args = argv(&["batch"]);
+        args.extend(paths.iter().map(|p| p.to_string()));
+        args.extend(argv(&["--modules", "1+,1*,1-", "--metrics"]));
+        let canon_on = run(&args.clone()).unwrap();
+        let json = canon_on.lines().last().expect("metrics line");
+        let iso_hits: u64 = json
+            .split("\"iso_hits\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no canon section in {json}"));
+        assert!(iso_hits > 0, "no iso hits over permuted twins: {json}");
+        // `--canon off` re-keys by exact text: no iso hits, but every
+        // reported design row is byte-identical — canonization is a
+        // cache strategy, never a result change.
+        args.extend(argv(&["--canon", "off"]));
+        let canon_off = run(&args).unwrap();
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('{'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&canon_on), rows(&canon_off));
+        let off_json = canon_off.lines().last().expect("metrics line");
+        assert!(off_json.contains("\"iso_hits\":0"), "{off_json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn canon_flag_rejects_unknown_values() {
+        let path = write_temp("lobist_cli_canon_bad.dfg", DESIGN);
+        let err =
+            run(&argv(&["batch", &path, "--modules", "1+,1*", "--canon", "maybe"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("bad --canon value"), "{err}");
+        let err = run(&argv(&["corpus", "--permute", "x"])).unwrap_err();
+        assert!(err.to_string().contains("bad permute seed"), "{err}");
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //!
 //! [`explore`] composes the three serially.
 
+use lobist_bist::embedding::PatternSource;
 use lobist_bist::BistSolution;
 use lobist_datapath::area::GateCount;
+use lobist_dfg::canon::{canonize, permute_scheduled, CanonForm};
 use lobist_dfg::fds::force_directed_schedule;
 use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::scheduling::{asap, list_schedule};
@@ -176,29 +178,126 @@ pub fn evaluate_candidate(
 
 /// As [`evaluate_candidate`], also reporting per-stage wall time (zero
 /// for the stages a failing flow never reached).
+///
+/// Evaluation always goes through the *canonical form* of the design:
+/// the candidate is canonized, the canonical relabeling is synthesized,
+/// and the result is remapped back into the requester's coordinates.
+/// Synthesis tie-breaks on variable/operation id order, so synthesizing
+/// the canonical design is what makes the result a pure function of the
+/// design's *structure* — the property the engine's isomorphism-level
+/// cache (and its byte-identity guarantees) rest on.
 pub fn evaluate_candidate_timed(
     dfg: &Dfg,
     candidate: &Candidate,
     flow: &FlowOptions,
 ) -> (Result<DesignPoint, (String, String)>, StageTimings) {
-    match synthesize_timed(dfg, &candidate.schedule, &candidate.modules, flow) {
-        Ok((d, timings)) => (
-            Ok(DesignPoint {
-                modules: candidate.modules.clone(),
-                latency: candidate.schedule.max_step(),
-                functional_gates: d.stats.functional_gates,
-                bist_gates: d.bist.overhead,
-                registers: d.data_path.num_registers(),
-                bist: d.bist,
-                schedule: candidate.schedule.clone(),
-            }),
-            timings,
-        ),
-        Err(e) => (
-            Err((candidate.modules.to_string(), e.to_string())),
-            StageTimings::default(),
-        ),
+    let canon = canonize(dfg, &candidate.schedule);
+    let (result, timings) = evaluate_canonical_timed(&canon, &candidate.modules, flow);
+    (remap_point(result, &canon, candidate), timings)
+}
+
+/// Synthesizes the canonical form of a candidate — the engine's unit of
+/// work under the structural cache. The returned point is in canonical
+/// coordinates (canonical schedule, canonical input ids in BIST
+/// embeddings); [`remap_point`] translates it into a requester's names.
+pub fn evaluate_canonical_timed(
+    canon: &CanonForm,
+    modules: &ModuleSet,
+    flow: &FlowOptions,
+) -> (Result<DesignPoint, (String, String)>, StageTimings) {
+    let first = match synthesize_timed(&canon.dfg, &canon.schedule, modules, flow) {
+        Ok((d, timings)) => {
+            return (
+                Ok(DesignPoint {
+                    modules: modules.clone(),
+                    latency: canon.schedule.max_step(),
+                    functional_gates: d.stats.functional_gates,
+                    bist_gates: d.bist.overhead,
+                    registers: d.data_path.num_registers(),
+                    bist: d.bist,
+                    schedule: canon.schedule.clone(),
+                }),
+                timings,
+            )
+        }
+        Err(e) => e,
+    };
+    // The register allocator and interconnect tie-break on id order, so
+    // a BIST embedding that exists under one labeling can be missed
+    // under the canonical one (Paulin's 1+,2*,1- is the concrete case).
+    // Recover by retrying seeded reorderings *of the canonical form* —
+    // each a pure function of the canonical form, so evaluation stays a
+    // function of the design's structure and every byte-identity
+    // property is preserved. Only embedding failures are retried; the
+    // other flow errors are label-invariant.
+    if matches!(first, crate::flow::FlowError::Bist(_)) {
+        for seed in 0..FEASIBILITY_RECOVERY_SEEDS {
+            let (twin, twin_schedule, var_map) =
+                permute_scheduled(&canon.dfg, &canon.schedule, seed);
+            if let Ok((d, timings)) = synthesize_timed(&twin, &twin_schedule, modules, flow) {
+                let mut bist = d.bist;
+                // Translate the twin's primary-input ids back into
+                // canonical coordinates; register ids are labels of the
+                // twin's own allocation and carry over as-is.
+                let mut canonical_of = vec![lobist_dfg::VarId(0); var_map.len()];
+                for (orig, &new) in var_map.iter().enumerate() {
+                    canonical_of[new.index()] = lobist_dfg::VarId(orig as u32);
+                }
+                for e in &mut bist.embeddings {
+                    for side in [&mut e.left, &mut e.right] {
+                        if let PatternSource::Input(v) = side {
+                            *v = canonical_of[v.index()];
+                        }
+                    }
+                }
+                return (
+                    Ok(DesignPoint {
+                        modules: modules.clone(),
+                        latency: canon.schedule.max_step(),
+                        functional_gates: d.stats.functional_gates,
+                        bist_gates: bist.overhead,
+                        registers: d.data_path.num_registers(),
+                        bist,
+                        schedule: canon.schedule.clone(),
+                    }),
+                    timings,
+                );
+            }
+        }
     }
+    (
+        Err((modules.to_string(), first.to_string())),
+        StageTimings::default(),
+    )
+}
+
+/// How many deterministic reorderings of the canonical form
+/// [`evaluate_canonical_timed`] tries when the canonical-order synthesis
+/// fails BIST embedding before accepting the failure.
+const FEASIBILITY_RECOVERY_SEEDS: u64 = 4;
+
+/// Translates a canonical-coordinate result into the requester's
+/// coordinates: the schedule becomes the requester's own, and BIST
+/// pattern sources naming canonical primary inputs are mapped back
+/// through the inverse variable permutation. Register ids are abstract
+/// labels of the canonical allocation and carry over unchanged; error
+/// entries are already rendered text and pass through.
+pub fn remap_point(
+    result: Result<DesignPoint, (String, String)>,
+    canon: &CanonForm,
+    candidate: &Candidate,
+) -> Result<DesignPoint, (String, String)> {
+    result.map(|mut p| {
+        p.schedule = candidate.schedule.clone();
+        for e in &mut p.bist.embeddings {
+            for side in [&mut e.left, &mut e.right] {
+                if let PatternSource::Input(v) = side {
+                    *v = canon.original_var(*v);
+                }
+            }
+        }
+        p
+    })
 }
 
 /// The exploration outcome: every feasible point plus the Pareto front.

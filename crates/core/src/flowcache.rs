@@ -462,17 +462,31 @@ impl<'a> FlowCache<'a> {
             functional += model.mux(sources.len() + usize::from(ext)).get();
         }
 
-        // Stage 2: embeddings per module, memoized by port connectivity;
-        // modules checked in id order so the first failure matches the
-        // reference solver's.
+        // Stage 2: embeddings per module, memoized by *canonical* port
+        // connectivity: register and input ids are densely relabelled in
+        // sorted order before keying, so two modules whose connectivity
+        // differs only in labels — across moves, across modules, even
+        // across designs sharing one cache — hit the same entry. The
+        // cached list is in canonical labels; each consumer remaps it
+        // back through its own label tables. Sound because
+        // [`enumerate_from_connectivity`] is equivariant under monotone
+        // relabeling (it iterates sorted sets and compares ids only for
+        // equality), so remapping the canonical list is byte-identical
+        // to enumerating directly. Modules are checked in id order so
+        // the first failure matches the reference solver's.
         let mut embs: Vec<Vec<Embedding>> = Vec::with_capacity(nm);
         for (mi, (sides, dests)) in port_sources.iter().zip(&output_dests).enumerate() {
-            let key = connectivity_key(sides, dests);
+            let shape = ConnectivityShape::new(sides, dests);
+            let key = connectivity_key(&shape.sides, &shape.dests);
             let cached = self.embeddings.lock().expect("stage lock").lookup(key);
-            let list = match cached {
+            let canonical = match cached {
                 Some(list) => list,
                 None => {
-                    let list = enumerate_from_connectivity(&sides[0], &sides[1], dests);
+                    let list = enumerate_from_connectivity(
+                        &shape.sides[0],
+                        &shape.sides[1],
+                        &shape.dests,
+                    );
                     self.embeddings
                         .lock()
                         .expect("stage lock")
@@ -480,12 +494,12 @@ impl<'a> FlowCache<'a> {
                     list
                 }
             };
-            if list.is_empty() {
+            if canonical.is_empty() {
                 return Err(FlowError::Bist(BistError::NoEmbedding {
                     module: ModuleId(mi as u32),
                 }));
             }
-            embs.push(list);
+            embs.push(shape.remap(&canonical));
         }
 
         // Stage 3: selection — memoized on the full candidate lists,
@@ -574,6 +588,82 @@ fn source_word(s: SourceRef) -> (u64, u64) {
         SourceRef::Register(r) => (0, u64::from(r.0)),
         SourceRef::ExternalInput(v) => (1, u64::from(v.0)),
         SourceRef::Constant(c) => (2, c as u64),
+    }
+}
+
+/// One module's port connectivity in canonical labels: registers and
+/// external-input variables are densely renumbered in sorted order
+/// (constants keep their literal values — they are semantics, not
+/// labels). The tables remember the original id of each canonical rank
+/// so a cached canonical embedding list can be remapped back.
+struct ConnectivityShape {
+    sides: [BTreeSet<SourceRef>; 2],
+    dests: BTreeSet<RegisterId>,
+    /// Canonical register rank → original id.
+    regs: Vec<RegisterId>,
+    /// Canonical input rank → original id.
+    inputs: Vec<VarId>,
+}
+
+impl ConnectivityShape {
+    fn new(sides: &[BTreeSet<SourceRef>; 2], dests: &BTreeSet<RegisterId>) -> Self {
+        let mut regs: BTreeSet<RegisterId> = dests.clone();
+        let mut inputs: BTreeSet<VarId> = BTreeSet::new();
+        for side in sides {
+            for &s in side {
+                match s {
+                    SourceRef::Register(r) => {
+                        regs.insert(r);
+                    }
+                    SourceRef::ExternalInput(v) => {
+                        inputs.insert(v);
+                    }
+                    SourceRef::Constant(_) => {}
+                }
+            }
+        }
+        let regs: Vec<RegisterId> = regs.into_iter().collect();
+        let inputs: Vec<VarId> = inputs.into_iter().collect();
+        let reg_rank = |r: RegisterId| -> RegisterId {
+            RegisterId(regs.binary_search(&r).expect("collected above") as u32)
+        };
+        let input_rank = |v: VarId| -> VarId {
+            VarId(inputs.binary_search(&v).expect("collected above") as u32)
+        };
+        let canon_side = |side: &BTreeSet<SourceRef>| -> BTreeSet<SourceRef> {
+            side.iter()
+                .map(|&s| match s {
+                    SourceRef::Register(r) => SourceRef::Register(reg_rank(r)),
+                    SourceRef::ExternalInput(v) => SourceRef::ExternalInput(input_rank(v)),
+                    c @ SourceRef::Constant(_) => c,
+                })
+                .collect()
+        };
+        Self {
+            sides: [canon_side(&sides[0]), canon_side(&sides[1])],
+            dests: dests.iter().map(|&r| reg_rank(r)).collect(),
+            regs,
+            inputs,
+        }
+    }
+
+    /// Translates a canonical-label embedding list into this module's
+    /// original labels.
+    fn remap(&self, canonical: &[Embedding]) -> Vec<Embedding> {
+        let source = |p: PatternSource| -> PatternSource {
+            match p {
+                PatternSource::Register(r) => PatternSource::Register(self.regs[r.index()]),
+                PatternSource::Input(v) => PatternSource::Input(self.inputs[v.index()]),
+            }
+        };
+        canonical
+            .iter()
+            .map(|e| Embedding {
+                left: source(e.left),
+                right: source(e.right),
+                sa: self.regs[e.sa.index()],
+            })
+            .collect()
     }
 }
 
@@ -724,6 +814,56 @@ mod tests {
             assert!(stats.interconnect.hits > 0, "{stats:?}");
             assert!(stats.embeddings.hits > 0, "{stats:?}");
         }
+    }
+
+    #[test]
+    fn canonical_connectivity_shapes_hit_across_labelings() {
+        // Two modules whose connectivity differs only by a monotone
+        // register/input relabeling must share one canonical shape (and
+        // hence one embedding-cache entry), and the remapped canonical
+        // list must be byte-identical to enumerating directly.
+        let sides = |rs: [(u32, bool); 3]| -> BTreeSet<SourceRef> {
+            rs.iter()
+                .map(|&(id, reg)| {
+                    if reg {
+                        SourceRef::Register(RegisterId(id))
+                    } else {
+                        SourceRef::ExternalInput(VarId(id))
+                    }
+                })
+                .collect()
+        };
+        let left = sides([(3, true), (9, true), (4, false)]);
+        let right = sides([(9, true), (17, true), (11, false)]);
+        let dests: BTreeSet<RegisterId> = [RegisterId(3), RegisterId(21)].into();
+        // Shift every register id by +10 and every input id by +5:
+        // monotone, so the canonical shape is unchanged.
+        let shift = |s: &BTreeSet<SourceRef>| -> BTreeSet<SourceRef> {
+            s.iter()
+                .map(|&x| match x {
+                    SourceRef::Register(r) => SourceRef::Register(RegisterId(r.0 + 10)),
+                    SourceRef::ExternalInput(v) => SourceRef::ExternalInput(VarId(v.0 + 5)),
+                    c => c,
+                })
+                .collect()
+        };
+        let shifted_dests: BTreeSet<RegisterId> =
+            dests.iter().map(|r| RegisterId(r.0 + 10)).collect();
+        let a = ConnectivityShape::new(&[left.clone(), right.clone()], &dests);
+        let b = ConnectivityShape::new(&[shift(&left), shift(&right)], &shifted_dests);
+        assert_eq!(a.sides, b.sides);
+        assert_eq!(a.dests, b.dests);
+        assert_eq!(
+            connectivity_key(&a.sides, &a.dests),
+            connectivity_key(&b.sides, &b.dests)
+        );
+        // Remapping the canonical enumeration reproduces the direct one.
+        let canonical = enumerate_from_connectivity(&a.sides[0], &a.sides[1], &a.dests);
+        let direct = enumerate_from_connectivity(&left, &right, &dests);
+        assert_eq!(a.remap(&canonical), direct);
+        let shifted_direct =
+            enumerate_from_connectivity(&shift(&left), &shift(&right), &shifted_dests);
+        assert_eq!(b.remap(&canonical), shifted_direct);
     }
 
     #[test]

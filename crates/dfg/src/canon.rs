@@ -1,0 +1,724 @@
+//! Deterministic DFG canonization for structural (isomorphism-level)
+//! cache keys.
+//!
+//! [`canonize`] maps a scheduled DFG to a **canonical form**: a relabeled
+//! copy of the graph (inputs `i0, i1, ...`, operation results
+//! `t0, t1, ...`) whose byte [`CanonForm::encoding`] is identical for any
+//! two designs that differ only in variable/operation names or
+//! declaration order. Two designs with equal encodings are genuinely
+//! isomorphic — the encoding fully determines the canonical graph and
+//! schedule, so equal encodings rebuild the *same* design — which is what
+//! lets the engine's result cache answer a renamed resubmission without
+//! risking a wrong hit.
+//!
+//! The algorithm is the classic two-stage scheme:
+//!
+//! 1. **Color refinement** (Weisfeiler–Leman style): every node — one per
+//!    operation plus one per primary input — starts with a color built
+//!    from invariants (op kind, schedule step, operand shapes, constant
+//!    values, output marking) and is iteratively re-colored by the sorted
+//!    multiset of `(port role, neighbor color)` pairs until the partition
+//!    stops splitting. Port roles distinguish left from right operands,
+//!    so `a - b` and `b - a` never collide.
+//! 2. **Individualization–refinement**: if symmetric nodes remain, the
+//!    smallest ambiguous color class is split one member at a time and
+//!    refinement re-runs, recursing until every class is a singleton.
+//!    Each discrete leaf yields one candidate labeling; the
+//!    lexicographically smallest encoding wins, making the result
+//!    independent of which symmetric twin came first in the input.
+//!
+//! The search is bounded by a leaf budget ([`LEAF_BUDGET`]). Designs too
+//! symmetric to finish inside the budget keep the best leaf found and set
+//! [`CanonForm::bailed`]; the result is still deterministic for that
+//! input and still a valid relabeling, but two isomorphic inputs may then
+//! canonize differently — costing a cache hit, never correctness.
+//!
+//! Initial colors include the schedule step, and refinement only ever
+//! *refines* the existing order (each signature starts with the node's
+//! previous color), so the canonical operation order is step-major and
+//! therefore topological: the canonical graph and schedule always
+//! validate.
+//!
+//! [`permute`] is the adversary: a seeded random renaming/reordering that
+//! produces an isomorphic twin, used by property tests
+//! (`canon(permute(g)) == canon(g)`) and by `lobist corpus --permute` to
+//! build iso-duplicate workloads.
+
+use std::collections::HashMap;
+
+use crate::dfg::{Dfg, DfgBuilder};
+use crate::schedule::Schedule;
+use crate::types::{OpId, OpKind, Operand, VarId};
+
+/// Maximum individualization leaves explored before bailing out with the
+/// best labeling found so far.
+pub const LEAF_BUDGET: usize = 64;
+
+/// The canonical form of a scheduled DFG.
+#[derive(Debug, Clone)]
+pub struct CanonForm {
+    /// The relabeled graph: inputs `i0..`, results `t0..`, declared in
+    /// canonical order.
+    pub dfg: Dfg,
+    /// The schedule expressed over the canonical operation order (same
+    /// per-operation steps as the original).
+    pub schedule: Schedule,
+    /// Canonical byte encoding: equal bytes ⟺ isomorphic designs
+    /// (modulo [`bailed`](Self::bailed) under-approximation).
+    pub encoding: Vec<u8>,
+    /// `op_perm[original op index]` = canonical position of that op.
+    pub op_perm: Vec<u32>,
+    /// `var_perm[original var index]` = canonical [`VarId`] index.
+    pub var_perm: Vec<u32>,
+    /// `var_inverse[canonical var index]` = original [`VarId`] index.
+    pub var_inverse: Vec<u32>,
+    /// `true` if the symmetry search exhausted [`LEAF_BUDGET`]; the form
+    /// is still valid and deterministic, but isomorphic inputs are no
+    /// longer guaranteed to collide.
+    pub bailed: bool,
+}
+
+impl CanonForm {
+    /// Maps an original variable to its canonical id.
+    pub fn canonical_var(&self, v: VarId) -> VarId {
+        VarId(self.var_perm[v.index()])
+    }
+
+    /// Maps a canonical variable back to the original id.
+    pub fn original_var(&self, v: VarId) -> VarId {
+        VarId(self.var_inverse[v.index()])
+    }
+}
+
+/// Edge roles in refinement signatures. Left and right ports are kept
+/// distinct so non-commutative operand order is structural.
+const ROLE_LHS_PRODUCER: u64 = 0;
+const ROLE_LHS_INPUT: u64 = 1;
+const ROLE_RHS_PRODUCER: u64 = 2;
+const ROLE_RHS_INPUT: u64 = 3;
+const ROLE_CONSUMED_LHS: u64 = 4;
+const ROLE_CONSUMED_RHS: u64 = 5;
+
+/// Node layout inside the refinement: ops first (node `i` = `OpId(i)`),
+/// then primary inputs in original id order.
+struct Ctx<'a> {
+    dfg: &'a Dfg,
+    schedule: &'a Schedule,
+    /// Primary inputs in original id order.
+    inputs: Vec<VarId>,
+    /// `input_node[var index]` = node index for input vars, `usize::MAX`
+    /// otherwise.
+    input_node: Vec<usize>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(dfg: &'a Dfg, schedule: &'a Schedule) -> Self {
+        let inputs: Vec<VarId> = dfg.primary_inputs().collect();
+        let mut input_node = vec![usize::MAX; dfg.num_vars()];
+        for (j, &v) in inputs.iter().enumerate() {
+            input_node[v.index()] = dfg.num_ops() + j;
+        }
+        Self {
+            dfg,
+            schedule,
+            inputs,
+            input_node,
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.dfg.num_ops() + self.inputs.len()
+    }
+
+    /// The node carrying a variable operand: its producer op, or its
+    /// input node.
+    fn var_node(&self, v: VarId) -> usize {
+        match self.dfg.var(v).producer {
+            Some(p) => p.index(),
+            None => self.input_node[v.index()],
+        }
+    }
+
+    /// Initial invariant color of a node, as a flat `u64` tuple.
+    fn initial_color(&self, node: usize) -> Vec<u64> {
+        let n = self.dfg.num_ops();
+        if node < n {
+            let op = self.dfg.op(OpId(node as u32));
+            let mut c = vec![
+                0,
+                u64::from(self.schedule.step(OpId(node as u32))),
+                kind_index(op.kind),
+            ];
+            for operand in [op.lhs, op.rhs] {
+                match operand {
+                    Operand::Var(v) if self.dfg.var(v).producer.is_some() => c.push(0),
+                    Operand::Var(_) => c.push(1),
+                    Operand::Const(k) => {
+                        c.push(2);
+                        c.push(k as u64);
+                    }
+                }
+            }
+            c.push(u64::from(self.dfg.var(op.out).is_output));
+            c
+        } else {
+            let v = self.inputs[node - n];
+            vec![1, u64::from(self.dfg.var(v).is_output)]
+        }
+    }
+
+    /// Refinement edges of a node: `(role, neighbor node)` pairs.
+    fn edges(&self, node: usize) -> Vec<(u64, usize)> {
+        let n = self.dfg.num_ops();
+        let mut e = Vec::new();
+        let consumed_edges = |v: VarId, e: &mut Vec<(u64, usize)>| {
+            for &c in &self.dfg.var(v).consumers {
+                let op = self.dfg.op(c);
+                if op.lhs == Operand::Var(v) {
+                    e.push((ROLE_CONSUMED_LHS, c.index()));
+                }
+                if op.rhs == Operand::Var(v) {
+                    e.push((ROLE_CONSUMED_RHS, c.index()));
+                }
+            }
+        };
+        if node < n {
+            let op = self.dfg.op(OpId(node as u32));
+            for (operand, producer_role, input_role) in [
+                (op.lhs, ROLE_LHS_PRODUCER, ROLE_LHS_INPUT),
+                (op.rhs, ROLE_RHS_PRODUCER, ROLE_RHS_INPUT),
+            ] {
+                if let Operand::Var(v) = operand {
+                    let role = if self.dfg.var(v).producer.is_some() {
+                        producer_role
+                    } else {
+                        input_role
+                    };
+                    e.push((role, self.var_node(v)));
+                }
+            }
+            consumed_edges(op.out, &mut e);
+        } else {
+            consumed_edges(self.inputs[node - n], &mut e);
+        }
+        e
+    }
+
+    /// One refinement pass: re-rank nodes by `(old rank, sorted neighbor
+    /// signature)`. Prepending the old rank makes this a strict
+    /// refinement — class order is preserved, classes only split.
+    fn refine(&self, ranks: &mut [usize]) {
+        loop {
+            let before = distinct(ranks);
+            let mut sigs: Vec<(Vec<u64>, usize)> = (0..self.num_nodes())
+                .map(|node| {
+                    let mut sig = vec![ranks[node] as u64];
+                    let mut nb: Vec<(u64, u64)> = self
+                        .edges(node)
+                        .into_iter()
+                        .map(|(role, n)| (role, ranks[n] as u64))
+                        .collect();
+                    nb.sort_unstable();
+                    for (role, r) in nb {
+                        sig.push(role);
+                        sig.push(r);
+                    }
+                    (sig, node)
+                })
+                .collect();
+            rerank(&mut sigs, ranks);
+            if distinct(ranks) == before {
+                return;
+            }
+        }
+    }
+
+    /// Serializes the canonical design under a discrete ranking. The
+    /// bytes fully determine the canonical graph and schedule, so equal
+    /// encodings imply isomorphic originals.
+    fn encode(&self, ranks: &[usize]) -> Vec<u8> {
+        let n = self.dfg.num_ops();
+        let m = self.inputs.len();
+        // Discrete ranks: ops occupy 0..n (step-major), inputs n..n+m.
+        let mut op_at = vec![0usize; n];
+        let mut input_at = vec![0usize; m];
+        for (node, &r) in ranks.iter().enumerate() {
+            if node < n {
+                op_at[r] = node;
+            } else {
+                input_at[r - n] = node - n;
+            }
+        }
+        let canonical_var = |v: VarId| -> u32 {
+            match self.dfg.var(v).producer {
+                Some(p) => (m + ranks[p.index()]) as u32,
+                None => (ranks[self.input_node[v.index()]] - n) as u32,
+            }
+        };
+        let mut out = Vec::with_capacity(16 + 24 * n + 2 * m);
+        out.extend_from_slice(&(m as u32).to_le_bytes());
+        for &j in &input_at {
+            out.push(u8::from(self.dfg.var(self.inputs[j]).is_output));
+        }
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        for &i in &op_at {
+            let op = self.dfg.op(OpId(i as u32));
+            out.push(kind_index(op.kind) as u8);
+            out.extend_from_slice(&self.schedule.step(OpId(i as u32)).to_le_bytes());
+            for operand in [op.lhs, op.rhs] {
+                match operand {
+                    Operand::Var(v) => {
+                        out.push(0);
+                        out.extend_from_slice(&canonical_var(v).to_le_bytes());
+                    }
+                    Operand::Const(k) => {
+                        out.push(1);
+                        out.extend_from_slice(&k.to_le_bytes());
+                    }
+                }
+            }
+            out.push(u8::from(self.dfg.var(op.out).is_output));
+        }
+        out
+    }
+}
+
+fn kind_index(kind: OpKind) -> u64 {
+    OpKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL") as u64
+}
+
+fn distinct(ranks: &[usize]) -> usize {
+    let mut seen: Vec<usize> = ranks.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Sorts signatures and writes dense ranks back into `ranks`.
+fn rerank(sigs: &mut [(Vec<u64>, usize)], ranks: &mut [usize]) {
+    sigs.sort_unstable();
+    let mut rank = 0usize;
+    for i in 0..sigs.len() {
+        if i > 0 && sigs[i].0 != sigs[i - 1].0 {
+            rank += 1;
+        }
+        ranks[sigs[i].1] = rank;
+    }
+}
+
+struct Search<'a> {
+    ctx: &'a Ctx<'a>,
+    best: Option<(Vec<u8>, Vec<usize>)>,
+    leaves: usize,
+    bailed: bool,
+}
+
+impl Search<'_> {
+    fn descend(&mut self, mut ranks: Vec<usize>) {
+        if self.leaves >= LEAF_BUDGET {
+            self.bailed = true;
+            return;
+        }
+        self.ctx.refine(&mut ranks);
+        // Smallest non-singleton class, lowest rank breaking ties.
+        let mut class_size: HashMap<usize, usize> = HashMap::new();
+        for &r in &ranks {
+            *class_size.entry(r).or_insert(0) += 1;
+        }
+        let target = class_size
+            .iter()
+            .filter(|&(_, &size)| size > 1)
+            .map(|(&r, &size)| (size, r))
+            .min();
+        let Some((_, target_rank)) = target else {
+            // Discrete: one candidate labeling.
+            self.leaves += 1;
+            let encoding = self.ctx.encode(&ranks);
+            if self.best.as_ref().is_none_or(|(best, _)| encoding < *best) {
+                self.best = Some((encoding, ranks));
+            }
+            return;
+        };
+        let members: Vec<usize> = (0..ranks.len())
+            .filter(|&node| ranks[node] == target_rank)
+            .collect();
+        for &chosen in &members {
+            let branched: Vec<usize> = (0..ranks.len())
+                .map(|node| {
+                    2 * ranks[node]
+                        + usize::from(ranks[node] == target_rank && node != chosen)
+                })
+                .collect();
+            self.descend(branched);
+            if self.leaves >= LEAF_BUDGET {
+                self.bailed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Canonizes a scheduled DFG. Pure and deterministic: the same design
+/// always yields the same [`CanonForm`], and isomorphic designs yield
+/// byte-identical encodings unless the symmetry search
+/// [bails out](CanonForm::bailed).
+pub fn canonize(dfg: &Dfg, schedule: &Schedule) -> CanonForm {
+    let ctx = Ctx::new(dfg, schedule);
+    let mut sigs: Vec<(Vec<u64>, usize)> = (0..ctx.num_nodes())
+        .map(|node| (ctx.initial_color(node), node))
+        .collect();
+    let mut ranks = vec![0usize; ctx.num_nodes()];
+    rerank(&mut sigs, &mut ranks);
+    let mut search = Search {
+        ctx: &ctx,
+        best: None,
+        leaves: 0,
+        bailed: false,
+    };
+    search.descend(ranks);
+    let (encoding, ranks) = search.best.expect("at least one leaf is always reached");
+    build_form(&ctx, encoding, &ranks, search.bailed)
+}
+
+fn build_form(ctx: &Ctx<'_>, encoding: Vec<u8>, ranks: &[usize], bailed: bool) -> CanonForm {
+    let dfg = ctx.dfg;
+    let n = dfg.num_ops();
+    let m = ctx.inputs.len();
+    let mut op_perm = vec![0u32; n];
+    let mut op_at = vec![OpId(0); n];
+    for i in 0..n {
+        op_perm[i] = ranks[i] as u32;
+        op_at[ranks[i]] = OpId(i as u32);
+    }
+    let mut var_perm = vec![0u32; dfg.num_vars()];
+    for v in dfg.var_ids() {
+        var_perm[v.index()] = match dfg.var(v).producer {
+            Some(p) => (m + ranks[p.index()]) as u32,
+            None => (ranks[ctx.input_node[v.index()]] - n) as u32,
+        };
+    }
+    let mut var_inverse = vec![0u32; dfg.num_vars()];
+    for (orig, &canon) in var_perm.iter().enumerate() {
+        var_inverse[canon as usize] = orig as u32;
+    }
+
+    let mut b = DfgBuilder::new();
+    let mut canon_vars: Vec<VarId> = Vec::with_capacity(dfg.num_vars());
+    for j in 0..m {
+        canon_vars.push(b.input(&format!("i{j}")));
+    }
+    let map_operand = |o: Operand| -> Operand {
+        match o {
+            Operand::Var(v) => Operand::Var(VarId(var_perm[v.index()])),
+            c @ Operand::Const(_) => c,
+        }
+    };
+    let mut steps = Vec::with_capacity(n);
+    for (p, &old) in op_at.iter().enumerate() {
+        let op = dfg.op(old);
+        let out = b.op(op.kind, &format!("t{p}"), map_operand(op.lhs), map_operand(op.rhs));
+        debug_assert_eq!(out.index(), m + p);
+        canon_vars.push(out);
+        steps.push(ctx.schedule.step(old));
+    }
+    for v in dfg.var_ids() {
+        if dfg.var(v).is_output {
+            b.mark_output(canon_vars[var_perm[v.index()] as usize]);
+        }
+    }
+    let canon_dfg = b.build().expect("canonical relabeling preserves validity");
+    let canon_schedule = Schedule::new(&canon_dfg, steps)
+        .expect("canonical op order is step-major, hence topological");
+    CanonForm {
+        dfg: canon_dfg,
+        schedule: canon_schedule,
+        encoding,
+        op_perm,
+        var_perm,
+        var_inverse,
+        bailed,
+    }
+}
+
+/// The simulator's splitmix64 step, reused for seeded permutations.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut u64) {
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(rng) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Produces a seeded isomorphic twin of `dfg`: primary inputs are
+/// re-declared in shuffled order, operations are emitted in a random
+/// topological order, and every name is rewritten to a seed-tagged
+/// fresh one. Returns the twin plus the op map (`ops[i]` = new [`OpId`]
+/// of original op `i`) and the var map (`vars[i]` = new [`VarId`] of
+/// original var `i`).
+pub fn permute_dfg(dfg: &Dfg, seed: u64) -> (Dfg, Vec<OpId>, Vec<VarId>) {
+    let mut rng = seed ^ 0x5bf0_3635;
+    let tag = splitmix64(&mut rng) % 1000;
+    let mut b = DfgBuilder::new();
+    let mut new_var = vec![VarId(0); dfg.num_vars()];
+
+    let mut inputs: Vec<VarId> = dfg.primary_inputs().collect();
+    shuffle(&mut inputs, &mut rng);
+    for (j, &v) in inputs.iter().enumerate() {
+        new_var[v.index()] = b.input(&format!("p{tag}_{j}"));
+    }
+
+    // Random topological order: repeatedly emit a random ready op.
+    let n = dfg.num_ops();
+    let mut pending: Vec<usize> = Vec::with_capacity(n);
+    let mut indeg = vec![0usize; n];
+    for op in dfg.op_ids() {
+        // Count *distinct* produced inputs: `consumers` lists an op once
+        // per variable (not per operand), so an op reading the same var
+        // on both sides gets exactly one ready-decrement for it.
+        let mut ins: Vec<VarId> = dfg
+            .op(op)
+            .input_vars()
+            .filter(|&v| dfg.var(v).producer.is_some())
+            .collect();
+        ins.dedup();
+        indeg[op.index()] = ins.len();
+        if indeg[op.index()] == 0 {
+            pending.push(op.index());
+        }
+    }
+    let mut op_map = vec![OpId(0); n];
+    let mut emitted = 0usize;
+    while !pending.is_empty() {
+        let pick = (splitmix64(&mut rng) % pending.len() as u64) as usize;
+        let i = pending.swap_remove(pick);
+        let op = dfg.op(OpId(i as u32));
+        let map_operand = |o: Operand| -> Operand {
+            match o {
+                Operand::Var(v) => Operand::Var(new_var[v.index()]),
+                c @ Operand::Const(_) => c,
+            }
+        };
+        op_map[i] = OpId(emitted as u32);
+        new_var[op.out.index()] = b.op(
+            op.kind,
+            &format!("q{tag}_{emitted}"),
+            map_operand(op.lhs),
+            map_operand(op.rhs),
+        );
+        emitted += 1;
+        for &c in &dfg.var(op.out).consumers {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                pending.push(c.index());
+            }
+        }
+    }
+    debug_assert_eq!(emitted, n, "validated DFGs are acyclic");
+    for v in dfg.var_ids() {
+        if dfg.var(v).is_output {
+            b.mark_output(new_var[v.index()]);
+        }
+    }
+    (
+        b.build().expect("permutation preserves validity"),
+        op_map,
+        new_var,
+    )
+}
+
+/// As [`permute_dfg`], also carrying the schedule over (each operation
+/// keeps its step, so the twin's schedule is valid and step-identical).
+pub fn permute(dfg: &Dfg, schedule: &Schedule, seed: u64) -> (Dfg, Schedule) {
+    let (twin, schedule, _) = permute_scheduled(dfg, schedule, seed);
+    (twin, schedule)
+}
+
+/// As [`permute`], also returning the var map (`vars[i]` = twin
+/// [`VarId`] of original var `i`) so callers can translate results
+/// computed on the twin back into the original's coordinates.
+pub fn permute_scheduled(dfg: &Dfg, schedule: &Schedule, seed: u64) -> (Dfg, Schedule, Vec<VarId>) {
+    let (twin, op_map, var_map) = permute_dfg(dfg, seed);
+    let mut steps = vec![0u32; dfg.num_ops()];
+    for op in dfg.op_ids() {
+        steps[op_map[op.index()].index()] = schedule.step(op);
+    }
+    let schedule = Schedule::new(&twin, steps).expect("steps are per-op invariants");
+    (twin, schedule, var_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::parse::to_text;
+
+    fn all_benches() -> Vec<(Dfg, Schedule)> {
+        benchmarks::paper_suite()
+            .into_iter()
+            .map(|b| (b.dfg, b.schedule))
+            .collect()
+    }
+
+    #[test]
+    fn canonization_is_idempotent() {
+        for (dfg, schedule) in all_benches() {
+            let c1 = canonize(&dfg, &schedule);
+            let c2 = canonize(&c1.dfg, &c1.schedule);
+            assert_eq!(c1.encoding, c2.encoding);
+            assert_eq!(
+                to_text(&c1.dfg, &c1.schedule),
+                to_text(&c2.dfg, &c2.schedule)
+            );
+        }
+    }
+
+    #[test]
+    fn permuted_twins_share_the_encoding() {
+        for (dfg, schedule) in all_benches() {
+            let base = canonize(&dfg, &schedule);
+            assert!(!base.bailed, "paper suite fits the leaf budget");
+            for seed in 0..8 {
+                let (twin, twin_schedule) = permute(&dfg, &schedule, seed);
+                assert_ne!(
+                    to_text(&dfg, &schedule),
+                    to_text(&twin, &twin_schedule),
+                    "permutation must actually rename"
+                );
+                let c = canonize(&twin, &twin_schedule);
+                assert_eq!(base.encoding, c.encoding, "seed {seed}");
+                assert_eq!(
+                    to_text(&base.dfg, &base.schedule),
+                    to_text(&c.dfg, &c.schedule)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutations_are_bijections() {
+        for (dfg, schedule) in all_benches() {
+            let c = canonize(&dfg, &schedule);
+            let mut seen_ops = vec![false; dfg.num_ops()];
+            for &p in &c.op_perm {
+                assert!(!seen_ops[p as usize]);
+                seen_ops[p as usize] = true;
+            }
+            for v in dfg.var_ids() {
+                assert_eq!(c.original_var(c.canonical_var(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_preserves_structure() {
+        for (dfg, schedule) in all_benches() {
+            let c = canonize(&dfg, &schedule);
+            assert_eq!(c.dfg.num_ops(), dfg.num_ops());
+            assert_eq!(c.dfg.num_vars(), dfg.num_vars());
+            assert_eq!(c.schedule.max_step(), schedule.max_step());
+            for op in dfg.op_ids() {
+                let canon_op = OpId(c.op_perm[op.index()]);
+                assert_eq!(c.dfg.op(canon_op).kind, dfg.op(op).kind);
+                assert_eq!(c.schedule.step(canon_op), schedule.step(op));
+                assert_eq!(
+                    c.dfg.var(c.dfg.op(canon_op).out).is_output,
+                    dfg.var(dfg.op(op).out).is_output
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operand_order_is_structural() {
+        let build = |flip: bool| {
+            let mut b = DfgBuilder::new();
+            let x = b.input("x");
+            let y = b.input("y");
+            let d = if flip {
+                b.op(OpKind::Sub, "d", y.into(), x.into())
+            } else {
+                b.op(OpKind::Sub, "d", x.into(), y.into())
+            };
+            let e = b.op(OpKind::Add, "e", d.into(), x.into());
+            b.mark_output(e);
+            let dfg = b.build().unwrap();
+            let schedule = Schedule::new(&dfg, vec![1, 2]).unwrap();
+            canonize(&dfg, &schedule).encoding
+        };
+        assert_ne!(build(false), build(true), "x - y is not y - x");
+    }
+
+    #[test]
+    fn distinct_designs_get_distinct_encodings() {
+        let build = |kind: OpKind| {
+            let mut b = DfgBuilder::new();
+            let x = b.input("x");
+            let y = b.input("y");
+            let t = b.op(kind, "t", x.into(), y.into());
+            b.mark_output(t);
+            let dfg = b.build().unwrap();
+            let schedule = Schedule::new(&dfg, vec![1]).unwrap();
+            canonize(&dfg, &schedule).encoding
+        };
+        assert_ne!(build(OpKind::Add), build(OpKind::Mul));
+    }
+
+    #[test]
+    fn symmetric_twins_are_broken_deterministically() {
+        // Two interchangeable multiply trees feeding one add: refinement
+        // alone cannot split them; individualization must, and the result
+        // must not depend on declaration order.
+        let build = |swap: bool| {
+            let mut b = DfgBuilder::new();
+            let a = b.input("a");
+            let c = b.input("c");
+            let d = b.input("d");
+            let e = b.input("e");
+            let (p, q) = if swap { ((d, e), (a, c)) } else { ((a, c), (d, e)) };
+            let m1 = b.op(OpKind::Mul, "m1", p.0.into(), p.1.into());
+            let m2 = b.op(OpKind::Mul, "m2", q.0.into(), q.1.into());
+            let s = b.op(OpKind::Add, "s", m1.into(), m2.into());
+            b.mark_output(s);
+            let dfg = b.build().unwrap();
+            let schedule = Schedule::new(&dfg, vec![1, 1, 2]).unwrap();
+            canonize(&dfg, &schedule)
+        };
+        let c1 = build(false);
+        let c2 = build(true);
+        assert!(!c1.bailed);
+        assert_eq!(c1.encoding, c2.encoding);
+        assert_eq!(
+            to_text(&c1.dfg, &c1.schedule),
+            to_text(&c2.dfg, &c2.schedule)
+        );
+    }
+
+    #[test]
+    fn encoding_equality_implies_identical_canonical_text() {
+        // The encoding determines the canonical design, so two equal
+        // encodings must rebuild the same text — spot-check on a corpus
+        // family against its own permutation.
+        use crate::corpus::{generate, CorpusKind};
+        use crate::scheduling::asap;
+        let dfg = generate(CorpusKind::Fir, 8, 3);
+        let schedule = asap(&dfg);
+        let c1 = canonize(&dfg, &schedule);
+        let (twin, twin_schedule) = permute(&dfg, &schedule, 17);
+        let c2 = canonize(&twin, &twin_schedule);
+        assert_eq!(c1.encoding, c2.encoding);
+        assert_eq!(
+            to_text(&c1.dfg, &c1.schedule),
+            to_text(&c2.dfg, &c2.schedule)
+        );
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod canon;
 pub mod corpus;
 mod dfg;
 pub mod dot;

@@ -1,12 +1,15 @@
 //! Content-addressed result cache.
 //!
-//! Jobs are keyed by what actually determines their outcome — the DFG
-//! and schedule (via the canonical text rendering of
-//! [`lobist_dfg::parse::to_text`]), the module set, and the flow
-//! options — not by how the job was labelled or where its design file
-//! lived. Two jobs with the same content share one synthesis, whether
-//! they come from one sweep retried or two batch entries that happen to
-//! coincide.
+//! Jobs are keyed by what actually determines their outcome — the
+//! design (either its canonical structural encoding from
+//! [`lobist_dfg::canon`] or, with canonization disabled, the canonical
+//! text rendering of [`lobist_dfg::parse::to_text`]), the module set,
+//! and the flow options — not by how the job was labelled or where its
+//! design file lived. Two jobs with the same content share one
+//! synthesis, whether they come from one sweep retried or two batch
+//! entries that happen to coincide; under [`canonical_job_key`] even two
+//! *isomorphic* designs (same structure, different names or statement
+//! order) share one synthesis.
 //!
 //! [`ResultCache`] is the in-memory tier: a bounded FIFO map with
 //! hit/miss/eviction accounting, the same pattern as
@@ -19,10 +22,12 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
 use lobist_alloc::explore::Candidate;
-use lobist_alloc::flow::FlowOptions;
+use lobist_alloc::flow::{FlowOptions, RegAllocStrategy};
+use lobist_bist::SolverMode;
+use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::parse::to_text;
 use lobist_dfg::Dfg;
-use lobist_store::{ResultStore, StoreStats};
+use lobist_store::{ResultStore, StoreStats, StoredResult};
 
 pub use lobist_store::JobResult;
 
@@ -50,19 +55,102 @@ fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
     h
 }
 
-/// The stable content hash of one synthesis job.
+/// 64-bit FNV-1a, used for the [`StoredResult::origin`] fingerprint
+/// that classifies a hit as exact (same rendered design text) or
+/// isomorphic (same structure, different names).
+pub fn origin_fingerprint(design_text: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in design_text.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A stable, explicit byte encoding of every [`FlowOptions`] field.
+///
+/// The job key used to hash the options' `Debug` rendering; that was
+/// faithful but fragile — renaming a field or reordering the struct
+/// would silently re-key every stored result. This encoding is the
+/// schema: fixed field order, fixed widths, a leading version byte
+/// (bump it when the option set changes shape).
+pub fn flow_bytes(flow: &FlowOptions) -> Vec<u8> {
+    let mut b = Vec::with_capacity(160);
+    b.push(1u8); // encoding version
+    match &flow.strategy {
+        RegAllocStrategy::Testable(t) => {
+            b.push(0);
+            b.push(t.sd_ordering as u8);
+            b.push(t.case_overrides as u8);
+            b.push(t.lemma2_check as u8);
+        }
+        RegAllocStrategy::Traditional(algo) => {
+            b.push(1);
+            b.push(*algo as u8);
+            b.push(0);
+            b.push(0);
+        }
+    }
+    b.push(flow.bist_aware_interconnect as u8);
+    let a = &flow.area;
+    b.extend_from_slice(&a.width.to_le_bytes());
+    for gates in [
+        a.register_per_bit,
+        a.mux_leg_per_bit,
+        a.add_per_bit,
+        a.sub_per_bit,
+        a.mul_per_bit2,
+        a.div_per_bit2,
+        a.logic_per_bit,
+        a.cmp_per_bit,
+        a.alu_per_bit,
+        a.tpg_extra_per_bit,
+        a.sa_extra_per_bit,
+        a.bilbo_extra_per_bit,
+        a.cbilbo_extra_per_bit,
+    ] {
+        b.extend_from_slice(&gates.to_le_bytes());
+    }
+    b.push(match flow.solver.mode {
+        SolverMode::Auto => 0,
+        SolverMode::Exact => 1,
+        SolverMode::Greedy => 2,
+    });
+    b.extend_from_slice(&(flow.solver.exact_module_limit as u64).to_le_bytes());
+    b.push(flow.lifetime_options.inputs_in_registers as u8);
+    b.push(flow.repair_untestable as u8);
+    b
+}
+
+/// The stable content hash of one synthesis job, keyed by the design's
+/// canonical *text* — exact-match only. Two isomorphic designs with
+/// different names get different keys; [`canonical_job_key`] is the
+/// structural alternative. The leading domain tag keeps the two key
+/// spaces (and any pre-canonization keys) disjoint.
 pub fn job_key(dfg: &Dfg, candidate: &Candidate, flow: &FlowOptions) -> u128 {
     let design = to_text(dfg, &candidate.schedule);
     let modules = candidate.modules.to_string();
-    // FlowOptions derives Debug over plain-data fields, so its Debug
-    // rendering is a faithful canonical encoding of every option.
-    let flow = format!("{flow:?}");
-    fnv1a_128(&[design.as_bytes(), modules.as_bytes(), flow.as_bytes()])
+    let flow = flow_bytes(flow);
+    fnv1a_128(&[b"text2", design.as_bytes(), modules.as_bytes(), &flow])
+}
+
+/// The stable content hash of one synthesis job, keyed by the design's
+/// canonical structural encoding ([`lobist_dfg::canon::CanonForm::encoding`]).
+/// Every member of an isomorphism class shares this key, so a permuted
+/// resubmission is a cache hit. Sound because encoding equality implies
+/// the designs share one canonical form — the engine synthesizes that
+/// form and remaps, so the stored result is correct for every requester.
+pub fn canonical_job_key(encoding: &[u8], modules: &ModuleSet, flow: &FlowOptions) -> u128 {
+    let modules = modules.to_string();
+    let flow = flow_bytes(flow);
+    fnv1a_128(&[b"canon2", encoding, modules.as_bytes(), &flow])
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<u128, JobResult>,
+    map: HashMap<u128, StoredResult>,
     /// Insertion order for FIFO eviction (never reordered on hits,
     /// matching the flowcache stage caches).
     order: VecDeque<u128>,
@@ -104,7 +192,7 @@ impl ResultCache {
     }
 
     /// Returns the cached result for `key`, if any.
-    pub fn get(&self, key: u128) -> Option<JobResult> {
+    pub fn get(&self, key: u128) -> Option<StoredResult> {
         let mut inner = self.inner.lock().expect("cache lock");
         let result = inner.map.get(&key).cloned();
         if result.is_some() {
@@ -119,7 +207,7 @@ impl ResultCache {
     /// cache is full. Last write wins; concurrent writers for the same
     /// key hold identical results (evaluation is deterministic), so the
     /// race is benign.
-    pub fn insert(&self, key: u128, result: JobResult) {
+    pub fn insert(&self, key: u128, result: StoredResult) {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.stats.insertions += 1;
         if !inner.map.contains_key(&key) {
@@ -153,11 +241,11 @@ impl ResultCache {
 }
 
 impl ResultStore for ResultCache {
-    fn get(&self, key: u128) -> Option<JobResult> {
+    fn get(&self, key: u128) -> Option<StoredResult> {
         ResultCache::get(self, key)
     }
 
-    fn put(&self, key: u128, result: &JobResult) {
+    fn put(&self, key: u128, result: &StoredResult) {
         ResultCache::insert(self, key, result.clone());
     }
 
@@ -174,6 +262,7 @@ impl ResultStore for ResultCache {
 mod tests {
     use super::*;
     use lobist_dfg::benchmarks;
+    use lobist_dfg::canon::{canonize, permute};
 
     fn candidate() -> (Dfg, Candidate) {
         let bench = benchmarks::ex1();
@@ -184,6 +273,13 @@ mod tests {
                 schedule: bench.schedule,
             },
         )
+    }
+
+    fn stored_err(m: &str, e: &str) -> StoredResult {
+        StoredResult {
+            origin: 0,
+            result: Err((m.to_owned(), e.to_owned())),
+        }
     }
 
     #[test]
@@ -203,6 +299,61 @@ mod tests {
     }
 
     #[test]
+    fn flow_bytes_distinguish_every_option_family() {
+        let base = FlowOptions::testable();
+        let variants = [
+            FlowOptions::traditional(),
+            FlowOptions {
+                bist_aware_interconnect: false,
+                ..base.clone()
+            },
+            FlowOptions {
+                repair_untestable: true,
+                ..base.clone()
+            },
+            base.clone().with_lifetimes(lobist_dfg::lifetime::LifetimeOptions {
+                inputs_in_registers: false,
+            }),
+            FlowOptions {
+                solver: lobist_bist::SolverConfig {
+                    mode: SolverMode::Greedy,
+                    exact_module_limit: 10,
+                },
+                ..base.clone()
+            },
+            base.clone().with_area(lobist_datapath::area::AreaModel {
+                width: 16,
+                ..Default::default()
+            }),
+        ];
+        let base_bytes = flow_bytes(&base);
+        assert_eq!(base_bytes, flow_bytes(&base), "encoding is deterministic");
+        for v in &variants {
+            assert_ne!(base_bytes, flow_bytes(v), "{v:?} must re-key");
+        }
+    }
+
+    #[test]
+    fn canonical_key_is_shared_by_isomorphic_twins() {
+        let (dfg, cand) = candidate();
+        let flow = FlowOptions::testable();
+        let c = canonize(&dfg, &cand.schedule);
+        let key = canonical_job_key(&c.encoding, &cand.modules, &flow);
+        let (twin, twin_schedule) = permute(&dfg, &cand.schedule, 99);
+        let tc = canonize(&twin, &twin_schedule);
+        assert_eq!(key, canonical_job_key(&tc.encoding, &cand.modules, &flow));
+        // Text keys of the same pair differ — that is the gap the
+        // canonical key closes.
+        let twin_cand = Candidate {
+            modules: cand.modules.clone(),
+            schedule: twin_schedule,
+        };
+        assert_ne!(job_key(&dfg, &cand, &flow), job_key(&twin, &twin_cand, &flow));
+        // The two key spaces never collide (domain tags differ).
+        assert_ne!(key, job_key(&dfg, &cand, &flow));
+    }
+
+    #[test]
     fn separator_prevents_chunk_boundary_collisions() {
         assert_ne!(fnv1a_128(&[b"ab", b"c"]), fnv1a_128(&[b"a", b"bc"]));
         assert_ne!(fnv1a_128(&[b"ab"]), fnv1a_128(&[b"a", b"b"]));
@@ -213,9 +364,9 @@ mod tests {
         let cache = ResultCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY);
-        cache.insert(7, Err(("1+".into(), "boom".into())));
+        cache.insert(7, stored_err("1+", "boom"));
         assert_eq!(cache.len(), 1);
-        assert!(matches!(cache.get(7), Some(Err((m, e))) if m == "1+" && e == "boom"));
+        assert!(matches!(cache.get(7).map(|s| s.result), Some(Err((m, e))) if m == "1+" && e == "boom"));
         assert!(cache.get(8).is_none());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
@@ -228,7 +379,7 @@ mod tests {
     fn capacity_bound_evicts_fifo() {
         let cache = ResultCache::with_capacity(3);
         for i in 0..5u128 {
-            cache.insert(i, Err(("m".into(), format!("entry {i}"))));
+            cache.insert(i, stored_err("m", &format!("entry {i}")));
         }
         assert_eq!(cache.len(), 3);
         // 0 and 1 were inserted first, so they were evicted first.
@@ -245,12 +396,12 @@ mod tests {
     #[test]
     fn overwriting_a_key_does_not_evict() {
         let cache = ResultCache::with_capacity(2);
-        cache.insert(1, Err(("m".into(), "a".into())));
-        cache.insert(2, Err(("m".into(), "b".into())));
-        cache.insert(1, Err(("m".into(), "updated".into())));
+        cache.insert(1, stored_err("m", "a"));
+        cache.insert(2, stored_err("m", "b"));
+        cache.insert(1, stored_err("m", "updated"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 0);
-        assert!(matches!(cache.get(1), Some(Err((_, e))) if e == "updated"));
+        assert!(matches!(cache.get(1).map(|s| s.result), Some(Err((_, e))) if e == "updated"));
         assert!(cache.get(2).is_some());
     }
 
@@ -258,9 +409,9 @@ mod tests {
     fn trait_object_view_matches_inherent_api() {
         let cache = ResultCache::with_capacity(4);
         let store: &dyn ResultStore = &cache;
-        store.put(9, &Err(("1+".into(), "via trait".into())));
+        store.put(9, &stored_err("1+", "via trait"));
         assert_eq!(store.len(), 1);
-        assert!(matches!(store.get(9), Some(Err((_, e))) if e == "via trait"));
+        assert!(matches!(store.get(9).map(|s| s.result), Some(Err((_, e))) if e == "via trait"));
         assert!(store.flush().is_ok());
     }
 }

@@ -2,14 +2,19 @@
 //! the content-addressed cache and instrumented by the metrics layer.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use lobist_alloc::explore::{evaluate_candidate_timed, Candidate};
+use lobist_alloc::explore::{
+    evaluate_candidate_timed, evaluate_canonical_timed, remap_point, Candidate,
+};
 use lobist_alloc::flow::{FlowOptions, StageTimings};
+use lobist_dfg::canon::canonize;
+use lobist_dfg::parse::to_text;
 use lobist_dfg::Dfg;
 
-use lobist_store::ResultStore;
+use lobist_store::{ResultStore, StoredResult};
 
-use crate::cache::{job_key, JobResult, ResultCache};
+use crate::cache::{canonical_job_key, job_key, origin_fingerprint, JobResult, ResultCache};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool;
 
@@ -43,6 +48,11 @@ pub struct JobOutcome {
     /// `true` if the result came from the durable store (and was
     /// promoted into the in-memory cache on the way out).
     pub store_hit: bool,
+    /// `true` if the hit was *isomorphic*: the stored result was
+    /// produced by a differently-named (or reordered) twin of this
+    /// design and was remapped into this job's coordinates. Always
+    /// `false` on misses and with canonization disabled.
+    pub iso_hit: bool,
     /// Per-stage wall time (zero on cache hits and failures-before-BIST).
     pub timings: StageTimings,
 }
@@ -67,6 +77,7 @@ pub struct Engine {
     store: Option<Arc<dyn ResultStore>>,
     metrics: Metrics,
     progress: Option<ProgressSink>,
+    canon: bool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -95,7 +106,25 @@ impl Engine {
             store: None,
             metrics: Metrics::new(),
             progress: None,
+            canon: true,
         }
+    }
+
+    /// Enables or disables canonical (isomorphism-level) job keys
+    /// (builder style; default on). Evaluation itself always goes
+    /// through the canonical form — see
+    /// [`lobist_alloc::explore::evaluate_candidate_timed`] — so results
+    /// are byte-identical either way; the toggle only controls whether
+    /// the cache can answer a renamed/reordered twin, and exists for the
+    /// overhead benchmarks and as an escape hatch.
+    pub fn with_canon(mut self, canon: bool) -> Self {
+        self.canon = canon;
+        self
+    }
+
+    /// `true` when canonical (isomorphism-level) job keys are enabled.
+    pub fn canon(&self) -> bool {
+        self.canon
     }
 
     /// Attaches a durable second-tier result store (builder style).
@@ -212,6 +241,7 @@ impl Engine {
                         label,
                         cache_hit: false,
                         store_hit: false,
+                        iso_hit: false,
                         timings: StageTimings::default(),
                     }
                 }
@@ -227,35 +257,73 @@ impl Engine {
     }
 
     fn run_one(&self, index: usize, job: Job) -> JobOutcome {
-        let key = job_key(&job.dfg, &job.candidate, &job.flow);
-        if let Some(result) = self.cache.get(key) {
+        // Canonize first (cheap, microseconds against a synthesis of
+        // milliseconds): the canonical encoding keys the cache at
+        // isomorphism level, and a miss synthesizes the canonical form
+        // anyway. With canonization disabled the key falls back to the
+        // exact text rendering and results are stored in the
+        // requester's own coordinates — no remap needed on those hits.
+        let canon = if self.canon {
+            let t0 = Instant::now();
+            let c = canonize(&job.dfg, &job.candidate.schedule);
+            self.metrics.record_canonization(t0.elapsed(), c.bailed);
+            Some(c)
+        } else {
+            None
+        };
+        let origin = origin_fingerprint(&to_text(&job.dfg, &job.candidate.schedule));
+        let key = match &canon {
+            Some(c) => canonical_job_key(&c.encoding, &job.candidate.modules, &job.flow),
+            None => job_key(&job.dfg, &job.candidate, &job.flow),
+        };
+        let unpack = |stored: StoredResult| -> (JobResult, bool) {
+            let iso = stored.origin != origin;
+            match &canon {
+                Some(c) => {
+                    self.metrics.canon_hit(iso);
+                    self.metrics.canon_remap();
+                    (remap_point(stored.result, c, &job.candidate), iso)
+                }
+                None => (stored.result, false),
+            }
+        };
+        if let Some(stored) = self.cache.get(key) {
+            let (result, iso_hit) = unpack(stored);
             self.metrics.job_done(true);
             self.emit(&format!(
-                "{{\"event\":\"job\",\"index\":{index},\"label\":{:?},\"cache_hit\":true,\"ok\":{}}}",
-                job.label,
-                result.is_ok()
+                concat!(
+                    "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
+                    "\"cache_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
+                ),
+                index = index,
+                label = job.label,
+                iso = iso_hit,
+                ok = result.is_ok()
             ));
             return JobOutcome {
                 label: job.label,
                 result,
                 cache_hit: true,
                 store_hit: false,
+                iso_hit,
                 timings: StageTimings::default(),
             };
         }
         if let Some(store) = &self.store {
-            if let Some(result) = store.get(key) {
+            if let Some(stored) = store.get(key) {
                 // Promote the durable hit into the in-memory tier so a
                 // rerun within this process skips the disk read.
-                self.cache.insert(key, result.clone());
+                self.cache.insert(key, stored.clone());
+                let (result, iso_hit) = unpack(stored);
                 self.metrics.job_done_from_store();
                 self.emit(&format!(
                     concat!(
                         "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
-                        "\"cache_hit\":false,\"store_hit\":true,\"ok\":{ok}}}"
+                        "\"cache_hit\":false,\"store_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
                     ),
                     index = index,
                     label = job.label,
+                    iso = iso_hit,
                     ok = result.is_ok()
                 ));
                 return JobOutcome {
@@ -263,6 +331,7 @@ impl Engine {
                     result,
                     cache_hit: false,
                     store_hit: true,
+                    iso_hit,
                     timings: StageTimings::default(),
                 };
             }
@@ -270,10 +339,34 @@ impl Engine {
         // The expensive part runs outside any lock, so a panic here
         // (caught at the pool's job boundary) cannot poison the cache or
         // the metrics.
-        let (result, timings) = evaluate_candidate_timed(&job.dfg, &job.candidate, &job.flow);
-        self.cache.insert(key, result.clone());
+        let (stored, result, timings) = match &canon {
+            Some(c) => {
+                // Store in canonical coordinates, return in the
+                // requester's: every isomorphic requester — this one
+                // included — gets the identical remapped bytes.
+                let (canonical, timings) =
+                    evaluate_canonical_timed(c, &job.candidate.modules, &job.flow);
+                let stored = StoredResult {
+                    origin,
+                    result: canonical,
+                };
+                self.metrics.canon_remap();
+                let result = remap_point(stored.result.clone(), c, &job.candidate);
+                (stored, result, timings)
+            }
+            None => {
+                let (result, timings) =
+                    evaluate_candidate_timed(&job.dfg, &job.candidate, &job.flow);
+                let stored = StoredResult {
+                    origin,
+                    result: result.clone(),
+                };
+                (stored, result, timings)
+            }
+        };
+        self.cache.insert(key, stored.clone());
         if let Some(store) = &self.store {
-            store.put(key, &result);
+            store.put(key, &stored);
         }
         self.metrics.job_done(false);
         self.metrics.record_stages(&timings);
@@ -288,6 +381,7 @@ impl Engine {
             result,
             cache_hit: false,
             store_hit: false,
+            iso_hit: false,
             timings,
         }
     }

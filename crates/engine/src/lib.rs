@@ -43,7 +43,10 @@ pub mod pool;
 mod explore;
 
 pub use anneal::{anneal_multichain, anneal_parallel, AnnealStats, PoolEvaluator};
-pub use cache::{job_key, JobResult, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    canonical_job_key, job_key, origin_fingerprint, JobResult, ResultCache,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use engine::{Engine, Job, JobOutcome, ProgressSink};
 pub use explore::{explore_parallel, render_report};
 pub use faultsim::{
@@ -52,7 +55,7 @@ pub use faultsim::{
 pub use lint::{lint_parallel, LintRunStats};
 pub use lobist_store::{ResultStore, StoreStats};
 pub use metrics::{
-    AnnealSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot, ServerSnapshot,
-    NUM_BUCKETS, STAGE_NAMES,
+    AnnealSnapshot, CanonSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot,
+    ServerSnapshot, NUM_BUCKETS, STAGE_NAMES,
 };
 pub use pool::{run_jobs, PoolStats};

@@ -86,6 +86,12 @@ pub struct Metrics {
     an_wall_nanos: AtomicU64,
     // Incremental flow-cache work beneath the oracle (lobist_alloc::flowcache).
     fc: Mutex<FlowCacheStats>,
+    // Canonization work (the structural result cache in crate::engine).
+    canon_exact_hits: AtomicU64,
+    canon_iso_hits: AtomicU64,
+    canon_remaps: AtomicU64,
+    canon_bailouts: AtomicU64,
+    canon_hist: Mutex<[u64; NUM_BUCKETS]>,
     // Lint runs (crate::lint drives).
     lint_runs: AtomicU64,
     lint_errors: AtomicU64,
@@ -198,6 +204,35 @@ impl Metrics {
         }
     }
 
+    /// One canonization performed: its wall time lands in the log2-µs
+    /// histogram, and a search that hit its leaf budget (falling back to
+    /// a deterministic but not label-invariant order) counts a bailout.
+    pub(crate) fn record_canonization(&self, took: Duration, bailed: bool) {
+        let mut h = self.canon_hist.lock().expect("canon histogram lock");
+        h[bucket(took.as_micros())] += 1;
+        drop(h);
+        if bailed {
+            self.canon_bailouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A structural-cache hit, classified by origin fingerprint: `iso`
+    /// when the stored result came from a differently-labelled
+    /// isomorphic submission, exact otherwise.
+    pub(crate) fn canon_hit(&self, iso: bool) {
+        if iso {
+            self.canon_iso_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.canon_exact_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A stored canonical-coordinate result was translated back into a
+    /// requester's own names.
+    pub(crate) fn canon_remap(&self) {
+        self.canon_remaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Accumulates the outcome and per-pass timings of one lint run
     /// ([`crate::lint::lint_parallel`]).
     pub fn record_lint(&self, report: &lobist_lint::Report, stats: &LintRunStats) {
@@ -254,6 +289,13 @@ impl Metrics {
                 wall: Duration::from_nanos(self.an_wall_nanos.load(Ordering::Relaxed)),
             },
             flow_cache: self.fc.lock().expect("flow-cache lock").clone(),
+            canon: CanonSnapshot {
+                exact_hits: self.canon_exact_hits.load(Ordering::Relaxed),
+                iso_hits: self.canon_iso_hits.load(Ordering::Relaxed),
+                remaps: self.canon_remaps.load(Ordering::Relaxed),
+                bailouts: self.canon_bailouts.load(Ordering::Relaxed),
+                canon_micros_log2: *self.canon_hist.lock().expect("canon histogram lock"),
+            },
             lint: LintSnapshot {
                 runs: self.lint_runs.load(Ordering::Relaxed),
                 errors: self.lint_errors.load(Ordering::Relaxed),
@@ -361,6 +403,53 @@ pub struct LintSnapshot {
     pub pass_histograms: BTreeMap<&'static str, [u64; NUM_BUCKETS]>,
 }
 
+/// Accumulated canonization work of the structural result cache, as
+/// carried in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonSnapshot {
+    /// Cache/store hits whose origin fingerprint matched the request —
+    /// the same rendered design resubmitted.
+    pub exact_hits: u64,
+    /// Cache/store hits answered across an isomorphism class — a
+    /// renamed or reordered twin of an already-synthesized design.
+    pub iso_hits: u64,
+    /// Stored canonical-coordinate results translated back into a
+    /// requester's own names.
+    pub remaps: u64,
+    /// Canonizations whose refinement search hit its leaf budget (the
+    /// key stays sound; hits may be missed for that design).
+    pub bailouts: u64,
+    /// Log2-microsecond histogram of canonization wall time (same
+    /// bucketing as the flow-stage histograms).
+    pub canon_micros_log2: [u64; NUM_BUCKETS],
+}
+
+impl Default for CanonSnapshot {
+    fn default() -> Self {
+        Self {
+            exact_hits: 0,
+            iso_hits: 0,
+            remaps: 0,
+            bailouts: 0,
+            canon_micros_log2: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl CanonSnapshot {
+    /// Isomorphic hits as a fraction of all structural-cache hits
+    /// (0.0 when none) — how much of the hit rate only canonization
+    /// could have delivered.
+    pub fn iso_share(&self) -> f64 {
+        let total = self.exact_hits + self.iso_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.iso_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Accumulated daemon-side request accounting, as carried in a
 /// [`MetricsSnapshot`]. The server fills this in before rendering; a
 /// plain engine leaves it `None` and the JSON omits the section.
@@ -437,6 +526,8 @@ pub struct MetricsSnapshot {
     pub flow_cache: FlowCacheStats,
     /// Accumulated lint work.
     pub lint: LintSnapshot,
+    /// Accumulated canonization work of the structural result cache.
+    pub canon: CanonSnapshot,
     /// Live counters of the in-memory result cache (its own
     /// hit/miss/eviction view; attached by [`Engine::metrics`]).
     ///
@@ -511,7 +602,8 @@ impl MetricsSnapshot {
                     "{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
                     "\"insertions\":{},\"evictions\":{},\"entries\":{},",
                     "\"payload_bytes\":{},\"bytes_read\":{},\"bytes_written\":{},",
-                    "\"compactions\":{},\"recovered_drops\":{},\"write_errors\":{}}}"
+                    "\"compactions\":{},\"recovered_drops\":{},\"write_errors\":{},",
+                    "\"version_skips\":{}}}"
                 ),
                 s.hits,
                 s.misses,
@@ -525,6 +617,7 @@ impl MetricsSnapshot {
                 s.compactions,
                 s.recovered_drops,
                 s.write_errors,
+                s.version_skips,
             )
         }
         // Optional gauges inside the "cache" section: present once the
@@ -585,6 +678,9 @@ impl MetricsSnapshot {
                 "\"lint\":{{\"runs\":{li_runs},\"errors\":{li_err},",
                 "\"warnings\":{li_warn},\"wall_micros\":{li_wall},",
                 "\"pass_micros_log2_histograms\":{{{li_hist}}}}},",
+                "\"canon\":{{\"exact_hits\":{cn_exact},\"iso_hits\":{cn_iso},",
+                "\"iso_share\":{cn_share:.4},\"remaps\":{cn_remaps},",
+                "\"bailouts\":{cn_bail},\"canon_micros_log2\":[{cn_hist}]}},",
                 "\"stage_micros_log2_histograms\":{{{hist}}}{tail}}}"
             ),
             sub = self.jobs_submitted,
@@ -632,6 +728,12 @@ impl MetricsSnapshot {
             li_warn = self.lint.warnings,
             li_wall = self.lint.wall.as_micros(),
             li_hist = lint_hist,
+            cn_exact = self.canon.exact_hits,
+            cn_iso = self.canon.iso_hits,
+            cn_share = self.canon.iso_share(),
+            cn_remaps = self.canon.remaps,
+            cn_bail = self.canon.bailouts,
+            cn_hist = trim_row(&self.canon.canon_micros_log2),
             hist = hist,
             cache_extra = cache_extra,
             tail = tail,

@@ -191,6 +191,134 @@ mod anneal_identity {
     }
 }
 
+mod canonical_cache {
+    //! Isomorphism-level caching: a renamed/reordered twin of an
+    //! already-synthesized design must be answered from cache as an
+    //! *iso* hit, and the remapped answer must be byte-identical to
+    //! what a cold engine would synthesize for the twin directly.
+
+    use std::sync::Arc;
+
+    use lobist_alloc::explore::Candidate;
+    use lobist_alloc::flow::FlowOptions;
+    use lobist_dfg::benchmarks::{self, Benchmark};
+    use lobist_dfg::canon::permute;
+    use lobist_engine::{Engine, Job, JobResult};
+    use lobist_store::{codec, StoredResult};
+
+    fn job(bench: &Benchmark, label: &str) -> Job {
+        Job {
+            dfg: Arc::new(bench.dfg.clone()),
+            candidate: Candidate {
+                modules: bench.module_allocation.clone(),
+                schedule: bench.schedule.clone(),
+            },
+            flow: FlowOptions::testable().with_lifetimes(bench.lifetime_options),
+            label: label.to_owned(),
+        }
+    }
+
+    fn twin_job(bench: &Benchmark, seed: u64) -> Job {
+        let (dfg, schedule) = permute(&bench.dfg, &bench.schedule, seed);
+        Job {
+            dfg: Arc::new(dfg),
+            candidate: Candidate {
+                modules: bench.module_allocation.clone(),
+                schedule,
+            },
+            flow: FlowOptions::testable().with_lifetimes(bench.lifetime_options),
+            label: format!("twin-{seed}"),
+        }
+    }
+
+    /// The store codec's byte rendering of a result — the strictest
+    /// equality the system offers (every embedding, register class and
+    /// schedule step is encoded).
+    fn bytes(result: &JobResult) -> Vec<u8> {
+        codec::encode(&StoredResult { origin: 0, result: result.clone() })
+    }
+
+    #[test]
+    fn iso_hits_are_byte_identical_to_fresh_synthesis() {
+        for bench in [benchmarks::ex1(), benchmarks::paulin()] {
+            let engine = Engine::new(2);
+            let first = engine.run(vec![job(&bench, "base")]);
+            assert!(!first[0].cache_hit && !first[0].iso_hit, "{}", bench.name);
+            assert!(first[0].result.is_ok(), "{}", bench.name);
+            for seed in [3u64, 17, 40] {
+                let twin = twin_job(&bench, seed);
+                let served = engine.run(vec![twin.clone()]);
+                assert!(
+                    served[0].cache_hit,
+                    "{} seed {seed}: twin missed the cache",
+                    bench.name
+                );
+                assert!(
+                    served[0].iso_hit,
+                    "{} seed {seed}: hit was not flagged isomorphic",
+                    bench.name
+                );
+                // A cold engine synthesizing the twin from scratch must
+                // agree byte-for-byte with the remapped cached answer.
+                let fresh = Engine::new(1).run(vec![twin]);
+                assert!(!fresh[0].cache_hit, "{} seed {seed}", bench.name);
+                assert_eq!(
+                    bytes(&served[0].result),
+                    bytes(&fresh[0].result),
+                    "{} seed {seed}: remapped iso-hit differs from fresh synthesis",
+                    bench.name
+                );
+            }
+            let snap = engine.metrics();
+            assert_eq!(snap.canon.iso_hits, 3, "{}", bench.name);
+            assert_eq!(snap.canon.remaps, 4, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn resubmitting_the_same_design_is_an_exact_hit_not_iso() {
+        let bench = benchmarks::ex1();
+        let engine = Engine::new(1);
+        engine.run(vec![job(&bench, "base")]);
+        let again = engine.run(vec![job(&bench, "base")]);
+        assert!(again[0].cache_hit && !again[0].iso_hit);
+        let snap = engine.metrics();
+        assert_eq!(snap.canon.exact_hits, 1);
+        assert_eq!(snap.canon.iso_hits, 0);
+    }
+
+    #[test]
+    fn canon_toggle_never_changes_result_bytes() {
+        // Canonization only re-keys the cache; evaluation itself always
+        // goes through the canonical form, so enabling or disabling it
+        // must not perturb a single output byte — for the original or
+        // for its twins.
+        for bench in [benchmarks::ex1(), benchmarks::paulin()] {
+            let jobs =
+                |label: &str| vec![job(&bench, label), twin_job(&bench, 7), twin_job(&bench, 23)];
+            let on = Engine::new(2).with_canon(true).run(jobs("on"));
+            let off = Engine::new(2).with_canon(false).run(jobs("off"));
+            assert_eq!(on.len(), off.len());
+            for (a, b) in on.iter().zip(&off) {
+                assert_eq!(
+                    bytes(&a.result),
+                    bytes(&b.result),
+                    "{}: canon on/off disagree",
+                    bench.name
+                );
+            }
+            // With canonization off the twins are distinct keys: no hits.
+            let plain = Engine::new(1).with_canon(false);
+            let first = plain.run(jobs("off-first"));
+            let twins = plain.run(vec![twin_job(&bench, 7)]);
+            assert!(first.iter().all(|o| !o.cache_hit), "{}", bench.name);
+            assert!(twins[0].cache_hit, "{}: exact resubmission still hits", bench.name);
+            assert!(!twins[0].iso_hit, "{}", bench.name);
+            assert_eq!(plain.metrics().canon.iso_hits, 0, "{}", bench.name);
+        }
+    }
+}
+
 #[test]
 fn a_panicking_job_does_not_poison_the_batch() {
     let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![

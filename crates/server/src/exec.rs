@@ -30,7 +30,9 @@ pub(crate) struct JobBody {
     /// findings is still `ok`: the response is well-formed).
     pub ok: bool,
     /// Cache provenance: `"memory"`, `"store"`, or `"fresh"` for
-    /// engine-cached commands; `"none"` for commands that always run.
+    /// engine-cached commands; `"iso"` when the hit was isomorphic (a
+    /// renamed/reordered twin answered from the canonical cache and
+    /// remapped); `"none"` for commands that always run.
     pub cache: &'static str,
     /// The `result` event body: `"key":value` pairs without the
     /// surrounding braces or the `event`/`id` fields.
@@ -148,7 +150,11 @@ fn synth(request: &Request, shared: &Arc<Shared>) -> Result<JobBody, String> {
     let jobs = effective_jobs(request, shared);
     let mut outcomes = shared.engine.run_with_workers(vec![job], jobs);
     let outcome = outcomes.pop().expect("one job, one outcome");
-    let cache = if outcome.cache_hit {
+    let cache = if outcome.iso_hit {
+        // An isomorphic twin answered from the canonical cache: the
+        // caller's exact design was never synthesized, only remapped.
+        "iso"
+    } else if outcome.cache_hit {
         "memory"
     } else if outcome.store_hit {
         "store"
@@ -223,12 +229,19 @@ fn explore(request: &Request, shared: &Arc<Shared>) -> Result<JobBody, String> {
     })
 }
 
-/// Summarizes a batch's cache provenance: `"memory"`/`"store"` only
-/// when every job came from that tier, `"fresh"` otherwise.
+/// Summarizes a batch's cache provenance: `"iso"` when every job was a
+/// hit and at least one was isomorphic, `"memory"`/`"store"` only when
+/// every job came from that tier, `"fresh"` otherwise.
 fn cache_provenance(outcomes: &[lobist_engine::JobOutcome]) -> &'static str {
-    if !outcomes.is_empty() && outcomes.iter().all(|o| o.cache_hit) {
+    if outcomes.is_empty() {
+        return "fresh";
+    }
+    let all_hits = outcomes.iter().all(|o| o.cache_hit || o.store_hit);
+    if all_hits && outcomes.iter().any(|o| o.iso_hit) {
+        "iso"
+    } else if outcomes.iter().all(|o| o.cache_hit) {
         "memory"
-    } else if !outcomes.is_empty() && outcomes.iter().all(|o| o.cache_hit || o.store_hit) {
+    } else if all_hits {
         "store"
     } else {
         "fresh"

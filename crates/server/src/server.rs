@@ -55,6 +55,11 @@ pub struct ServerConfig {
     pub store: Option<PathBuf>,
     /// Store size budget (compaction threshold), in bytes.
     pub store_max_bytes: u64,
+    /// Canonical (isomorphism-level) job keys: when `true` (the
+    /// default), a renamed/reordered twin of a cached design is
+    /// answered from cache as an `"iso"` hit. Results are byte-identical
+    /// either way; `false` restores exact-text keying.
+    pub canon: bool,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
             max_design_bytes: 1 << 20,
             store: None,
             store_max_bytes: DiskStoreConfig::default().max_bytes,
+            canon: true,
         }
     }
 }
@@ -264,7 +270,7 @@ impl Server {
             }
             None => None,
         };
-        let mut engine = Engine::new(config.workers.max(1));
+        let mut engine = Engine::new(config.workers.max(1)).with_canon(config.canon);
         if let Some(path) = &config.store {
             let store: Arc<dyn ResultStore> = Arc::new(DiskStore::open(
                 path,

@@ -97,6 +97,42 @@ fn sequential_clients_share_cache_and_restart_hits_the_store() {
     thread.join().expect("run thread").expect("clean shutdown");
 }
 
+#[test]
+fn permuted_twin_is_answered_as_an_iso_hit() {
+    // The same design as DESIGN with every name changed and the two
+    // adds' lines swapped: structurally isomorphic, textually disjoint.
+    let twin: &str = "input p q r t\n\
+                      t2 = r + t @ 2\n\
+                      t1 = p + q @ 1\n\
+                      z = t1 * t2 @ 3\n\
+                      output z\n";
+    let (endpoint, thread) = start(ServerConfig::default());
+
+    let first = client::submit(&endpoint, &synth_request()).expect("first submit");
+    assert!(event(&first, "done").contains("\"cache\":\"fresh\""), "{first:?}");
+    let first_result = event(&first, "result").clone();
+
+    // The twin never synthesizes: the canonical cache answers it as an
+    // isomorphic hit, remapped — and the rendered point is identical
+    // byte for byte (every reported quantity is label-invariant).
+    let req = format!(
+        r#"{{"cmd":"synth","design":"{}","modules":"1+,1*"}}"#,
+        lobist_server::json::escape(twin)
+    );
+    let second = client::submit(&endpoint, &req).expect("twin submit");
+    assert!(event(&second, "done").contains("\"cache\":\"iso\""), "{second:?}");
+    assert_eq!(payload_of(&first_result), payload_of(event(&second, "result")));
+
+    // The metrics JSON carries the canon section with the iso hit.
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    let line = event(&metrics, "metrics");
+    assert!(line.contains("\"canon\":{"), "{line}");
+    assert!(line.contains("\"iso_hits\":1"), "{line}");
+    assert!(line.contains("\"canon_micros_log2\":["), "{line}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
 /// Strips the varying `"id":N` field, keeping everything else byte-for-
 /// byte (the payload follows the id).
 fn payload_of(result_line: &str) -> String {

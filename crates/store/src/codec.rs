@@ -1,4 +1,4 @@
-//! A versioned, byte-stable binary encoding of [`JobResult`].
+//! A versioned, byte-stable binary encoding of [`StoredResult`].
 //!
 //! The encoding is hand-rolled (the workspace is dependency-free) and
 //! deliberately boring: little-endian fixed-width integers, `u32`
@@ -10,7 +10,10 @@
 //! Every payload starts with a one-byte format version; decoding an
 //! unknown version fails cleanly instead of misreading the bytes, so a
 //! future format change invalidates old records rather than corrupting
-//! them.
+//! them. Version 2 (the canonical-key schema) added the producing
+//! submission's origin fingerprint after the version byte; version-1
+//! records from pre-canonization stores are rejected as
+//! [`CodecError::UnknownVersion`] and skipped by the disk store.
 
 use std::fmt;
 
@@ -21,10 +24,10 @@ use lobist_datapath::area::{BistStyle, GateCount};
 use lobist_datapath::RegisterId;
 use lobist_dfg::{Schedule, VarId};
 
-use crate::JobResult;
+use crate::{JobResult, StoredResult};
 
 /// Codec format version (the first payload byte).
-pub const FORMAT_VERSION: u8 = 1;
+pub const FORMAT_VERSION: u8 = 2;
 
 const TAG_OK: u8 = 0;
 const TAG_ERR: u8 = 1;
@@ -157,11 +160,12 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serializes one job result as a self-describing byte payload.
-pub fn encode(result: &JobResult) -> Vec<u8> {
+/// Serializes one stored result as a self-describing byte payload.
+pub fn encode(stored: &StoredResult) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(128));
     w.u8(FORMAT_VERSION);
-    match result {
+    w.u64(stored.origin);
+    match &stored.result {
         Ok(p) => {
             w.u8(TAG_OK);
             w.bytes(p.modules.to_string().as_bytes());
@@ -199,20 +203,21 @@ pub fn encode(result: &JobResult) -> Vec<u8> {
     w.0
 }
 
-/// Reconstructs a job result from a payload produced by [`encode`].
+/// Reconstructs a stored result from a payload produced by [`encode`].
 ///
 /// # Errors
 ///
 /// Returns [`CodecError`] if the payload is from an unknown format
 /// version, truncated, carries trailing bytes, or contains a value no
 /// current type maps to.
-pub fn decode(payload: &[u8]) -> Result<JobResult, CodecError> {
+pub fn decode(payload: &[u8]) -> Result<StoredResult, CodecError> {
     let mut r = Reader { buf: payload, pos: 0 };
     let version = r.u8()?;
     if version != FORMAT_VERSION {
         return Err(CodecError::UnknownVersion(version));
     }
-    let result = match r.u8()? {
+    let origin = r.u64()?;
+    let result: JobResult = match r.u8()? {
         TAG_OK => {
             let modules_text = r.string()?;
             let modules = modules_text
@@ -269,7 +274,7 @@ pub fn decode(payload: &[u8]) -> Result<JobResult, CodecError> {
     if r.pos != payload.len() {
         return Err(CodecError::TrailingBytes(payload.len() - r.pos));
     }
-    Ok(result)
+    Ok(StoredResult { origin, result })
 }
 
 #[cfg(test)]
@@ -307,13 +312,21 @@ mod tests {
         }
     }
 
+    fn stored(result: JobResult) -> StoredResult {
+        StoredResult {
+            origin: 0x0123_4567_89AB_CDEF,
+            result,
+        }
+    }
+
     #[test]
     fn ok_round_trip_is_byte_identical() {
-        let original: JobResult = Ok(sample_point());
+        let original = stored(Ok(sample_point()));
         let bytes = encode(&original);
         let decoded = decode(&bytes).expect("decodes");
         assert_eq!(encode(&decoded), bytes);
-        let p = decoded.expect("ok");
+        assert_eq!(decoded.origin, original.origin);
+        let p = decoded.result.expect("ok");
         assert_eq!(p.modules.to_string(), "1+,2*");
         assert_eq!(p.latency, 4);
         assert_eq!(p.registers, 5);
@@ -324,17 +337,18 @@ mod tests {
 
     #[test]
     fn err_round_trip_is_byte_identical() {
-        let original: JobResult = Err(("1+,1*".into(), "no BIST embedding for M2".into()));
+        let original = stored(Err(("1+,1*".into(), "no BIST embedding for M2".into())));
         let bytes = encode(&original);
         let decoded = decode(&bytes).expect("decodes");
         assert_eq!(encode(&decoded), bytes);
-        assert!(matches!(decoded, Err((m, e))
+        assert_eq!(decoded.origin, original.origin);
+        assert!(matches!(decoded.result, Err((m, e))
             if m == "1+,1*" && e == "no BIST embedding for M2"));
     }
 
     #[test]
     fn truncation_anywhere_fails_cleanly() {
-        let bytes = encode(&Ok(sample_point()));
+        let bytes = encode(&stored(Ok(sample_point())));
         for len in 0..bytes.len() {
             let err = decode(&bytes[..len]).expect_err("truncated payload must not decode");
             assert!(
@@ -346,7 +360,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = encode(&Ok(sample_point()));
+        let mut bytes = encode(&stored(Ok(sample_point())));
         bytes.push(0);
         let err = decode(&bytes).expect_err("trailing bytes must fail");
         assert_eq!(err, CodecError::TrailingBytes(1));
@@ -354,16 +368,31 @@ mod tests {
 
     #[test]
     fn unknown_version_is_rejected() {
-        let mut bytes = encode(&Err(("m".into(), "e".into())));
+        let mut bytes = encode(&stored(Err(("m".into(), "e".into()))));
         bytes[0] = 99;
         let err = decode(&bytes).expect_err("unknown version must fail");
         assert_eq!(err, CodecError::UnknownVersion(99));
     }
 
     #[test]
+    fn pre_canonization_v1_payloads_are_rejected_not_misread() {
+        // A version-1 payload (no origin word): version byte, TAG_ERR,
+        // two length-prefixed strings. Must fail with UnknownVersion(1),
+        // never decode as garbage.
+        let mut v1 = vec![1u8, TAG_ERR];
+        for s in ["1+", "stale entry"] {
+            v1.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            v1.extend_from_slice(s.as_bytes());
+        }
+        let err = decode(&v1).expect_err("v1 must be rejected");
+        assert_eq!(err, CodecError::UnknownVersion(1));
+    }
+
+    #[test]
     fn bad_tags_are_rejected() {
-        let mut bytes = encode(&Err(("m".into(), "e".into())));
-        bytes[1] = 7;
+        let mut bytes = encode(&stored(Err(("m".into(), "e".into()))));
+        // Result tag sits after the version byte and the origin word.
+        bytes[9] = 7;
         let err = decode(&bytes).expect_err("bad tag must fail");
         assert_eq!(err, CodecError::BadTag("result", 7));
     }

@@ -44,8 +44,8 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use crate::codec;
-use crate::{JobResult, ResultStore, StoreStats};
+use crate::codec::{self, CodecError};
+use crate::{ResultStore, StoreStats, StoredResult};
 
 /// File magic: store name plus format version. Bump the trailing
 /// digits on any incompatible layout change.
@@ -326,7 +326,7 @@ impl Inner {
 }
 
 impl ResultStore for DiskStore {
-    fn get(&self, key: u128) -> Option<JobResult> {
+    fn get(&self, key: u128) -> Option<StoredResult> {
         let mut inner = self.inner.lock().expect("store lock");
         let Some(entry) = inner.index.get(&key).copied() else {
             inner.stats.misses += 1;
@@ -355,17 +355,25 @@ impl ResultStore for DiskStore {
                 inner.stats.bytes_read += payload.len() as u64;
                 Some(result)
             }
-            Err(_) => {
+            Err(e) => {
+                // Replay only CRC-checks, so a pre-canonization record
+                // can sit in the index until first read; drop it here —
+                // counted separately from corruption — rather than
+                // misreading it under the new schema.
                 inner.index.remove(&key);
                 inner.stats.entries = inner.index.len() as u64;
-                inner.stats.recovered_drops += 1;
+                if matches!(e, CodecError::UnknownVersion(_)) {
+                    inner.stats.version_skips += 1;
+                } else {
+                    inner.stats.recovered_drops += 1;
+                }
                 inner.stats.misses += 1;
                 None
             }
         }
     }
 
-    fn put(&self, key: u128, result: &JobResult) {
+    fn put(&self, key: u128, result: &StoredResult) {
         let payload = codec::encode(result);
         let mut inner = self.inner.lock().expect("store lock");
         inner.stats.insertions += 1;
@@ -399,8 +407,18 @@ mod tests {
         path
     }
 
-    fn err_result(m: &str, e: &str) -> JobResult {
-        Err((m.to_owned(), e.to_owned()))
+    fn err_result(m: &str, e: &str) -> StoredResult {
+        StoredResult {
+            origin: 0xFEED,
+            result: Err((m.to_owned(), e.to_owned())),
+        }
+    }
+
+    fn err_text(s: &StoredResult) -> &str {
+        match &s.result {
+            Err((_, e)) => e,
+            Ok(_) => panic!("expected an error entry"),
+        }
     }
 
     #[test]
@@ -423,8 +441,8 @@ mod tests {
         }
         let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("reopen");
         assert_eq!(store.len(), 2);
-        assert!(matches!(store.get(1), Some(Err((_, e))) if e == "updated"));
-        assert!(matches!(store.get(2), Some(Err((_, e))) if e == "second"));
+        assert_eq!(err_text(&store.get(1).expect("key 1")), "updated");
+        assert_eq!(err_text(&store.get(2).expect("key 2")), "second");
         assert!(store.get(3).is_none());
         let stats = store.stats();
         assert_eq!(stats.hits, 2);
@@ -461,7 +479,45 @@ mod tests {
             store.put(i, &err_result("1+", &format!("filler {i}")));
             i += 1;
         }
-        assert!(matches!(store.get(7), Some(Err((_, e))) if e == "keep me"));
+        assert_eq!(err_text(&store.get(7).expect("key 7")), "keep me");
+    }
+
+    #[test]
+    fn pre_canonization_logs_reopen_and_skip_old_records() {
+        let path = temp_path("v1compat.log");
+        // Craft a version-1-era log by hand: magic plus one CRC-clean
+        // record whose payload uses codec version 1 (no origin word).
+        let mut v1_payload = vec![1u8, 1u8]; // codec v1, TAG_ERR
+        for s in ["1+", "stale pre-canonization entry"] {
+            v1_payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            v1_payload.extend_from_slice(s.as_bytes());
+        }
+        let mut file = MAGIC.to_vec();
+        let mut header = [0u8; RECORD_HEADER_LEN as usize];
+        header[..16].copy_from_slice(&7u128.to_le_bytes());
+        header[16..20].copy_from_slice(&(v1_payload.len() as u32).to_le_bytes());
+        let crc = crc32(&[&header[..20], &v1_payload]);
+        header[20..24].copy_from_slice(&crc.to_le_bytes());
+        file.extend_from_slice(&header);
+        file.extend_from_slice(&v1_payload);
+        std::fs::write(&path, &file).expect("write v1 log");
+
+        // Replay is CRC-only, so the old record opens cleanly...
+        let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("v1 log reopens");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().recovered_drops, 0);
+        // ...but reading it skips instead of misreading: no stale hit,
+        // counted as a version skip, not as corruption.
+        assert!(store.get(7).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.version_skips, 1);
+        assert_eq!(stats.recovered_drops, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(store.len(), 0);
+        // The same key is fully writable under the new schema.
+        store.put(7, &err_result("1+", "fresh"));
+        assert_eq!(err_text(&store.get(7).expect("fresh entry")), "fresh");
+        assert_eq!(store.stats().version_skips, 1, "skip counted once");
     }
 
     #[test]

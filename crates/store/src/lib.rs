@@ -33,6 +33,23 @@ pub use disk::{DiskStore, DiskStoreConfig};
 /// here so the store does not depend on the engine.
 pub type JobResult = Result<DesignPoint, (String, String)>;
 
+/// A cached job result plus the provenance of the submission that
+/// produced it.
+///
+/// Since the canonical-key schema, results are stored in *canonical*
+/// coordinates (the engine remaps them into each requester's names on a
+/// hit). `origin` is the FNV-1a-64 fingerprint of the producing
+/// submission's rendered design text: a later requester whose
+/// fingerprint matches got an **exact** hit, any other requester got an
+/// **isomorphic** hit — same canonical design, different names.
+#[derive(Debug, Clone)]
+pub struct StoredResult {
+    /// FNV-1a-64 of the producing submission's design text.
+    pub origin: u64,
+    /// The result, in canonical coordinates.
+    pub result: JobResult,
+}
+
 /// Point-in-time counters of one result store.
 ///
 /// All fields are cumulative since the store was opened (or created),
@@ -64,6 +81,10 @@ pub struct StoreStats {
     /// Writes that failed at the I/O layer and were dropped (the store
     /// degrades to a cache instead of failing the job).
     pub write_errors: u64,
+    /// Records skipped because their payload used an older codec
+    /// version — stale pre-canonization entries dropped on first read
+    /// rather than misread (0 for in-memory stores).
+    pub version_skips: u64,
 }
 
 impl StoreStats {
@@ -80,17 +101,17 @@ impl StoreStats {
 
 /// The shared interface of the engine's in-memory result cache and the
 /// on-disk store: a thread-safe map from 128-bit content key to
-/// completed [`JobResult`].
+/// completed [`StoredResult`].
 ///
 /// Implementations must be last-write-wins under concurrent insertion;
 /// because evaluation is deterministic, racing writers for one key hold
 /// identical results and the race is benign.
 pub trait ResultStore: Send + Sync {
     /// Returns the stored result for `key`, if any.
-    fn get(&self, key: u128) -> Option<JobResult>;
+    fn get(&self, key: u128) -> Option<StoredResult>;
 
     /// Stores `result` under `key`.
-    fn put(&self, key: u128, result: &JobResult);
+    fn put(&self, key: u128, result: &StoredResult);
 
     /// Number of distinct results held.
     fn len(&self) -> usize;

@@ -14,7 +14,7 @@ use lobist_bist::{BistSolution, Embedding};
 use lobist_datapath::area::{BistStyle, GateCount};
 use lobist_datapath::RegisterId;
 use lobist_dfg::{benchmarks, Schedule, VarId};
-use lobist_store::{codec, DiskStore, DiskStoreConfig, JobResult, ResultStore};
+use lobist_store::{codec, DiskStore, DiskStoreConfig, ResultStore, StoredResult};
 
 fn temp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("lobist-store-durability");
@@ -26,7 +26,7 @@ fn temp_path(name: &str) -> PathBuf {
 
 /// A synthesized result from the real flow — the exact value the
 /// engine caches.
-fn real_result() -> JobResult {
+fn real_result() -> StoredResult {
     let bench = benchmarks::ex1();
     let candidate = Candidate {
         modules: bench.module_allocation.clone(),
@@ -35,7 +35,17 @@ fn real_result() -> JobResult {
     let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
     let (result, _) = evaluate_candidate_timed(&bench.dfg, &candidate, &flow);
     assert!(result.is_ok(), "ex1 must synthesize");
-    result
+    StoredResult {
+        origin: 0x000A_11CE,
+        result,
+    }
+}
+
+fn stored_err(m: &str, e: &str) -> StoredResult {
+    StoredResult {
+        origin: 0xBEEF,
+        result: Err((m.to_owned(), e.to_owned())),
+    }
 }
 
 #[test]
@@ -51,8 +61,9 @@ fn real_design_point_survives_reopen_byte_identically() {
     let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("reopen");
     let restored = store.get(42).expect("entry survived the restart");
     assert_eq!(codec::encode(&restored), original_bytes);
+    assert_eq!(restored.origin, original.origin);
     // Spot-check the semantic fields too, not just the encoding.
-    let (a, b) = (original.expect("ok"), restored.expect("ok"));
+    let (a, b) = (original.result.expect("ok"), restored.result.expect("ok"));
     assert_eq!(a.latency, b.latency);
     assert_eq!(a.registers, b.registers);
     assert_eq!(a.functional_gates, b.functional_gates);
@@ -66,7 +77,7 @@ fn real_design_point_survives_reopen_byte_identically() {
 /// interprets the semantics, so arbitrary ids and steps exercise the
 /// codec just as well as real flows do — except the module set, which
 /// must re-parse, so it is drawn from real sets.
-fn result_strategy() -> impl Strategy<Value = JobResult> {
+fn result_strategy() -> impl Strategy<Value = StoredResult> {
     let modules = prop::sample::select(vec!["1+", "1+,1*", "1+,2*,1-", "2+,3ALU"]);
     let source = (any::<bool>(), 0u32..32).prop_map(|(reg, id)| {
         if reg {
@@ -117,7 +128,8 @@ fn result_strategy() -> impl Strategy<Value = JobResult> {
     let err = ("[a-z+*,0-9]{0,12}", "[ -~]{0,40}").prop_map(|(m, e)| Err((m, e)));
     // One in five results is a failure entry (the shim has no
     // `prop_oneof!`, so draw both and select).
-    (0u8..5, ok, err).prop_map(|(sel, ok, err)| if sel == 0 { err } else { ok })
+    let result = (0u8..5, ok, err).prop_map(|(sel, ok, err)| if sel == 0 { err } else { ok });
+    (any::<u64>(), result).prop_map(|(origin, result)| StoredResult { origin, result })
 }
 
 proptest! {
@@ -154,7 +166,7 @@ fn truncated_tail_recovers_to_the_intact_prefix() {
     {
         let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("open");
         store.put(1, &first);
-        store.put(2, &Err(("1*".into(), "second entry".into())));
+        store.put(2, &stored_err("1*", "second entry"));
         store.flush().expect("flush");
     }
     // Chop bytes off the tail, cutting record 2 mid-payload — a
@@ -168,7 +180,7 @@ fn truncated_tail_recovers_to_the_intact_prefix() {
     assert_eq!(codec::encode(&restored), first_bytes);
     assert!(store.get(2).is_none());
     // The truncated file is valid again: new writes and reopen work.
-    store.put(3, &Err(("1+".into(), "after recovery".into())));
+    store.put(3, &stored_err("1+", "after recovery"));
     store.flush().expect("flush");
     drop(store);
     let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("clean reopen");
@@ -181,8 +193,8 @@ fn corrupted_record_recovers_to_the_intact_prefix() {
     let path = temp_path("corrupt.log");
     {
         let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("open");
-        store.put(1, &Err(("1+".into(), "good".into())));
-        store.put(2, &Err(("2*".into(), "will be flipped".into())));
+        store.put(1, &stored_err("1+", "good"));
+        store.put(2, &stored_err("2*", "will be flipped"));
         store.flush().expect("flush");
     }
     // Flip one payload byte of the last record: its CRC no longer
@@ -194,6 +206,8 @@ fn corrupted_record_recovers_to_the_intact_prefix() {
     let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("recovering open");
     assert_eq!(store.len(), 1);
     assert_eq!(store.stats().recovered_drops, 1);
-    assert!(matches!(store.get(1), Some(Err((_, e))) if e == "good"));
+    assert!(
+        matches!(store.get(1).map(|s| s.result), Some(Err((_, e))) if e == "good")
+    );
     assert!(store.get(2).is_none());
 }

@@ -167,7 +167,7 @@ fn unscheduled_flow_via_list_scheduler() {
 
 #[test]
 fn explorer_api_is_consistent_end_to_end() {
-    use lobist::alloc::explore::{explore, ExploreConfig};
+    use lobist::alloc::explore::{evaluate_candidate, explore, Candidate, ExploreConfig};
     let bench = benchmarks::paulin();
     let mut config = ExploreConfig::new(
         ["1+,2*,1-", "1+,2ALU"].iter().map(|s| s.parse().expect("valid")).collect(),
@@ -176,15 +176,24 @@ fn explorer_api_is_consistent_end_to_end() {
     let result = explore(&bench.dfg, &config);
     assert!(!result.pareto.is_empty());
     for p in &result.points {
-        // Every point's schedule must be a valid schedule of the DFG and
-        // its BIST solution must verify against a rebuilt design.
+        // Every point's schedule must be a valid schedule of the DFG,
+        // and re-evaluating its candidate must reproduce it exactly —
+        // explore points are pure functions of the design's structure
+        // (evaluation goes through the canonical form), so a repeat
+        // evaluation is byte-identical, not merely close.
         assert!(p.latency >= 4, "below the critical path");
         assert_eq!(p.schedule.len(), bench.dfg.num_ops());
         let opts = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
-        let d = synthesize(&bench.dfg, &p.schedule, &p.modules, &opts)
-            .expect("point re-synthesizes");
-        assert_eq!(d.bist.overhead, p.bist.overhead);
-        assert_eq!(d.stats.functional_gates, p.functional_gates);
+        let candidate = Candidate {
+            modules: p.modules.clone(),
+            schedule: p.schedule.clone(),
+        };
+        let again = evaluate_candidate(&bench.dfg, &candidate, &opts)
+            .expect("point re-evaluates");
+        assert_eq!(again.bist.overhead, p.bist.overhead);
+        assert_eq!(again.functional_gates, p.functional_gates);
+        assert_eq!(again.bist.embeddings, p.bist.embeddings);
+        assert_eq!(again.registers, p.registers);
     }
 }
 
