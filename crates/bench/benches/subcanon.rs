@@ -1,0 +1,145 @@
+//! Criterion benchmarks for subgraph-level canonical memoization: raw
+//! fragment-extraction latency (the per-job cost the subcanon tier adds
+//! to every miss), the miss-path overhead over distinct paper designs
+//! (acceptance: < 5%), and the payoff — a twin-kernel corpus batch
+//! where every design arrives with a schedule-shifted sibling that
+//! misses the whole-design cache but hits the synthesis-core memo
+//! (acceptance: >= 1.5x wall-clock).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lobist_alloc::explore::Candidate;
+use lobist_alloc::flow::FlowOptions;
+use lobist_dfg::benchmarks::{self, Benchmark};
+use lobist_dfg::canon::permute_scheduled;
+use lobist_dfg::corpus::{self, CorpusKind};
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::scheduling::list_schedule;
+use lobist_dfg::subcanon::{extract_fragments, ExtractOptions};
+use lobist_dfg::{Dfg, Schedule};
+use lobist_engine::{Engine, Job};
+
+fn job_of(bench: &Benchmark, label: String) -> Job {
+    Job {
+        dfg: Arc::new(bench.dfg.clone()),
+        candidate: Candidate {
+            modules: bench.module_allocation.clone(),
+            schedule: bench.schedule.clone(),
+        },
+        flow: FlowOptions::testable().with_lifetimes(bench.lifetime_options),
+        label,
+    }
+}
+
+/// The twin-kernel corpus: FIR and matmul sweeps where each design is
+/// paired with a renamed, schedule-shifted sibling. The sibling is not
+/// whole-design isomorphic (its absolute steps differ, so its canonical
+/// job key differs), but its rebased synthesis core is identical — the
+/// case only the fragment tier can answer.
+fn twin_kernel_jobs() -> Vec<Job> {
+    let modules: ModuleSet = "1+,1*,1-".parse().expect("known-good set");
+    let mut jobs = Vec::new();
+    let mut add = |kind: CorpusKind, size: u32, seed: u64| {
+        let dfg = corpus::generate(kind, size, seed);
+        let schedule = list_schedule(&dfg, &modules).expect("corpus schedules under 1+,1*,1-");
+        let (twin, twin_schedule, _) = permute_scheduled(&dfg, &schedule, seed ^ 0x5EED);
+        let steps: Vec<u32> = twin_schedule.as_slice().iter().map(|s| s + 1).collect();
+        let shifted = Schedule::new(&twin, steps).expect("uniform shifts stay topological");
+        let base = format!("{}-{size}", kind.name());
+        jobs.push(scheduled_job(&dfg, &schedule, &modules, base.clone()));
+        jobs.push(scheduled_job(
+            &twin,
+            &shifted,
+            &modules,
+            format!("{base}-twin"),
+        ));
+    };
+    for size in [16, 24, 32] {
+        add(CorpusKind::Fir, size, 7);
+    }
+    for size in [8, 12] {
+        add(CorpusKind::Matmul, size, 7);
+    }
+    jobs
+}
+
+fn scheduled_job(dfg: &Dfg, schedule: &Schedule, modules: &ModuleSet, label: String) -> Job {
+    Job {
+        dfg: Arc::new(dfg.clone()),
+        candidate: Candidate {
+            modules: modules.clone(),
+            schedule: schedule.clone(),
+        },
+        flow: FlowOptions::testable(),
+        label,
+    }
+}
+
+/// Raw extraction latency: the windowed ancestor-cone walk plus one WL
+/// canonization per fragment — the cost `observe_fragments` adds to
+/// every synthesized job.
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subcanon_extract");
+    for bench in benchmarks::paper_suite() {
+        group.bench_with_input(
+            BenchmarkId::new("paper", &bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    extract_fragments(&bench.dfg, &bench.schedule, &ExtractOptions::default())
+                })
+            },
+        );
+    }
+    let big = benchmarks::diffeq_unrolled(4);
+    group.bench_with_input(BenchmarkId::new("large", &big.name), &big, |b, bench| {
+        b.iter(|| extract_fragments(&bench.dfg, &bench.schedule, &ExtractOptions::default()))
+    });
+    group.finish();
+}
+
+/// Miss-path overhead: a cold engine over the five distinct paper
+/// designs extracts fragments and consults the core memo on every job
+/// without ever winning anything back (acceptance: < 5%).
+fn bench_miss_overhead(c: &mut Criterion) {
+    let jobs = || -> Vec<Job> {
+        benchmarks::paper_suite()
+            .iter()
+            .map(|b| job_of(b, b.name.to_owned()))
+            .collect()
+    };
+    let mut group = c.benchmark_group("subcanon_miss_path");
+    group.bench_function("subcanon_on", |b| {
+        b.iter(|| Engine::new(1).with_subcanon(true).run(jobs()))
+    });
+    group.bench_function("subcanon_off", |b| {
+        b.iter(|| Engine::new(1).with_subcanon(false).run(jobs()))
+    });
+    group.finish();
+}
+
+/// The payoff: the twin-kernel corpus batch. Every sibling misses the
+/// whole-design cache either way; with the fragment tier on, its
+/// synthesis core is answered from the memo and only the cheap
+/// schedule-dependent reconstruction runs (acceptance: >= 1.5x).
+fn bench_twin_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subcanon_twin_kernels");
+    group.sample_size(10);
+    group.bench_function("subcanon_on", |b| {
+        b.iter(|| Engine::new(1).with_subcanon(true).run(twin_kernel_jobs()))
+    });
+    group.bench_function("subcanon_off", |b| {
+        b.iter(|| Engine::new(1).with_subcanon(false).run(twin_kernel_jobs()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extract,
+    bench_miss_overhead,
+    bench_twin_kernels
+);
+criterion_main!(benches);

@@ -78,7 +78,8 @@ USAGE:
   lobist explore <design.dfg> --candidates <SET;SET;...> [--jobs <N>] [--metrics]
   lobist batch [<design.dfg>... | -] --modules <SET> [--faultsim] [--jobs <N>]
                [--lanes <W>] [--metrics]
-  lobist corpus [--sizes <N,N,...>] [--seed <S>] [--permute <S>] [--out <DIR>]
+  lobist corpus [--sizes <N,N,...>] [--seed <S>] [--permute <S>]
+                [--twin-kernels <S>] [--out <DIR>]
   lobist anneal <design.dfg> --modules <SET> [--iterations <N>] [--seed <S>]
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
@@ -155,6 +156,19 @@ OPTIONS:
                     `serve` (default on): a renamed/reordered twin of a
                     cached design is answered from cache, remapped,
                     byte-identically; `off` restores exact-text keying
+  --subcanon <on|off>  subgraph-level fragment tier for `explore`/
+                    `batch`/`serve` (default on): the shift-invariant
+                    synthesis core is memoized by rebased canonical
+                    encoding and canonical DFG fragments are tracked
+                    across designs, so twin kernels inside otherwise
+                    different designs reuse work; results are
+                    byte-identical either way
+  --twin-kernels <S>  `corpus`: also emit a scheduled sibling of every
+                    design, permute-renamed and schedule-shifted by one
+                    step — not whole-design isomorphic, but identical in
+                    its rebased synthesis core, so a batch over the list
+                    (with matching --modules) exercises the subcanon
+                    tier
   --out <DIR>       output directory for `corpus` (default
                     lobist-corpus)
   --jobs <N>        worker threads for `explore`/`batch`/`faultsim`/
@@ -222,7 +236,9 @@ struct Options {
     sizes: Option<String>,
     out_dir: Option<String>,
     permute: Option<u64>,
+    twin_kernels: Option<u64>,
     canon: bool,
+    subcanon: bool,
     positional: Vec<String>,
 }
 
@@ -261,7 +277,9 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         sizes: None,
         out_dir: None,
         permute: None,
+        twin_kernels: None,
         canon: true,
+        subcanon: true,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -291,9 +309,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .ok()
                     .filter(|w| (2..=64).contains(w))
-                    .ok_or_else(|| {
-                        CliError::Usage(format!("bad width `{v}` (expected 2..=64)"))
-                    })?;
+                    .ok_or_else(|| CliError::Usage(format!("bad width `{v}` (expected 2..=64)")))?;
             }
             "--port-inputs" => o.port_inputs = true,
             "--netlist" => o.netlist = true,
@@ -317,8 +333,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| CliError::Usage(format!("bad job count `{v}`")))?;
                 if n == 0 {
                     return Err(CliError::Usage(
-                        "--jobs 0 makes no sense: the engine needs at least one worker"
-                            .into(),
+                        "--jobs 0 makes no sense: the engine needs at least one worker".into(),
                     ));
                 }
                 o.jobs = Some(n);
@@ -340,8 +355,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 let parsed = v
                     .strip_prefix("0x")
                     .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
-                o.seed =
-                    Some(parsed.map_err(|_| CliError::Usage(format!("bad seed `{v}`")))?);
+                o.seed = Some(parsed.map_err(|_| CliError::Usage(format!("bad seed `{v}`")))?);
             }
             "--batch" => {
                 let v = it
@@ -399,9 +413,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 let parsed = v
                     .strip_prefix("0x")
                     .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
-                o.permute = Some(
-                    parsed.map_err(|_| CliError::Usage(format!("bad permute seed `{v}`")))?,
-                );
+                o.permute =
+                    Some(parsed.map_err(|_| CliError::Usage(format!("bad permute seed `{v}`")))?);
             }
             "--canon" => {
                 let v = it
@@ -416,6 +429,31 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         )))
                     }
                 };
+            }
+            "--subcanon" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--subcanon needs on|off".into()))?;
+                o.subcanon = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "bad --subcanon value `{other}` (expected on|off)"
+                        )))
+                    }
+                };
+            }
+            "--twin-kernels" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--twin-kernels needs a seed".into()))?;
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
+                o.twin_kernels = Some(
+                    parsed.map_err(|_| CliError::Usage(format!("bad twin-kernels seed `{v}`")))?,
+                );
             }
             "--sizes" => {
                 o.sizes = Some(
@@ -453,9 +491,9 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--store-max-bytes" => {
-                let v = it.next().ok_or_else(|| {
-                    CliError::Usage("--store-max-bytes needs a value".into())
-                })?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--store-max-bytes needs a value".into()))?;
                 let n: u64 = v
                     .parse()
                     .ok()
@@ -464,9 +502,9 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 o.store_max_bytes = Some(n);
             }
             "--max-request-jobs" => {
-                let v = it.next().ok_or_else(|| {
-                    CliError::Usage("--max-request-jobs needs a value".into())
-                })?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-request-jobs needs a value".into()))?;
                 let n: usize = v
                     .parse()
                     .ok()
@@ -478,11 +516,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 let v = it
                     .next()
                     .ok_or_else(|| CliError::Usage("--max-active needs a value".into()))?;
-                let n: usize = v
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| CliError::Usage(format!("bad active-request count `{v}`")))?;
+                let n: usize =
+                    v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("bad active-request count `{v}`"))
+                    })?;
                 o.max_active = Some(n);
             }
             "--cmd" => {
@@ -536,7 +573,9 @@ fn flow_options(o: &Options, traditional: bool) -> FlowOptions {
     f
 }
 
-fn load_design(o: &Options) -> Result<(lobist_dfg::Dfg, lobist_dfg::Schedule, ModuleSet), CliError> {
+fn load_design(
+    o: &Options,
+) -> Result<(lobist_dfg::Dfg, lobist_dfg::Schedule, ModuleSet), CliError> {
     let path = o
         .positional
         .get(1)
@@ -651,7 +690,9 @@ fn fault_sim_design(
                 let net = lobist_gatesim::modules::alu(&kinds, width);
                 let mut controls = vec![false; kinds.len()];
                 controls[0] = true;
-                lobist_engine::bist_session_parallel(&net, &controls, width, patterns, seeds, sim_opts)
+                lobist_engine::bist_session_parallel(
+                    &net, &controls, width, patterns, seeds, sim_opts,
+                )
             }
         };
         metrics.record_fault_sim(&stats);
@@ -688,11 +729,7 @@ fn append_lint_verdict(out: &mut String, label: &str, report: &Report) {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     use std::fmt::Write as _;
     let o = parse_args(args)?;
-    let command = o
-        .positional
-        .first()
-        .map(String::as_str)
-        .unwrap_or("help");
+    let command = o.positional.first().map(String::as_str).unwrap_or("help");
     let mut out = String::new();
     match command {
         "help" | "--help" | "-h" => out.push_str(USAGE),
@@ -715,7 +752,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = write!(out, "{}", d.bist);
             if o.netlist {
                 let _ = writeln!(out, "\nNetlist:");
-                let _ = write!(out, "{}", lobist_datapath::stats::describe(&d.data_path, &dfg));
+                let _ = write!(
+                    out,
+                    "{}",
+                    lobist_datapath::stats::describe(&d.data_path, &dfg)
+                );
             }
             if o.trace {
                 if let Some(trace) = &d.trace {
@@ -749,8 +790,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 rows.push((label, d));
             }
             if o.json {
-                let items: Vec<String> =
-                    rows.iter().map(|(l, d)| design_json(l, d)).collect();
+                let items: Vec<String> = rows.iter().map(|(l, d)| design_json(l, d)).collect();
                 let _ = writeln!(out, "[{}]", items.join(","));
                 return Ok(out);
             }
@@ -774,8 +814,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let (_, t) = &rows[0];
             let (_, tr) = &rows[1];
             if tr.bist.overhead.get() > 0 {
-                let red = 100.0
-                    * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
+                let red = 100.0 * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
                     / tr.bist.overhead.get() as f64;
                 let _ = writeln!(out, "BIST area reduction: {red:.1}%");
             }
@@ -785,8 +824,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::Usage("missing design file".into()))?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
             let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
             let critical = lobist_dfg::scheduling::asap(&dfg).max_step();
             let latency = o.latency.unwrap_or(critical);
@@ -808,8 +846,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut peaks: Vec<(String, usize)> =
                 peaks.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
             peaks.sort();
-            let summary: Vec<String> =
-                peaks.into_iter().map(|(k, c)| format!("{c}{k}")).collect();
+            let summary: Vec<String> = peaks.into_iter().map(|(k, c)| format!("{c}{k}")).collect();
             let _ = writeln!(out, "peak units: {}", summary.join(","));
             let _ = writeln!(out, "{}", lobist_dfg::parse::to_text(&dfg, &schedule));
         }
@@ -856,8 +893,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::Usage("missing design file".into()))?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
             let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
             let candidates: Vec<ModuleSet> = o
                 .candidates
@@ -868,7 +904,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .collect::<Result<_, _>>()?;
             let mut config = lobist_alloc::explore::ExploreConfig::new(candidates);
             config.flow = flow_options(&o, false);
-            let engine = lobist_engine::Engine::new(worker_count(&o)).with_canon(o.canon);
+            let engine = lobist_engine::Engine::new(worker_count(&o))
+                .with_canon(o.canon)
+                .with_subcanon(o.subcanon);
             let result = lobist_engine::explore_parallel(&dfg, &config, &engine);
             out.push_str(&lobist_engine::render_report(&result));
             if o.lint {
@@ -877,14 +915,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 for p in &result.points {
                     let d = synthesize(&dfg, &p.schedule, &p.modules, &config.flow)
                         .map_err(CliError::Flow)?;
-                    let report = lint_design(
-                        &dfg,
-                        &p.schedule,
-                        &d,
-                        &config.flow,
-                        worker_count(&o),
-                        None,
-                    );
+                    let report =
+                        lint_design(&dfg, &p.schedule, &d, &config.flow, worker_count(&o), None);
                     append_lint_verdict(
                         &mut out,
                         &format!("{} latency {}", p.modules, p.latency),
@@ -893,7 +925,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     denied += policy.denied_count(&report);
                 }
                 if denied > 0 {
-                    return Err(CliError::Lint { output: out, denied });
+                    return Err(CliError::Lint {
+                        output: out,
+                        denied,
+                    });
                 }
             }
             if o.metrics {
@@ -911,8 +946,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let mut stdin = std::io::stdin();
                 if !dash && stdin.is_terminal() {
                     return Err(CliError::Usage(
-                        "batch needs at least one design file (or a path list on stdin)"
-                            .into(),
+                        "batch needs at least one design file (or a path list on stdin)".into(),
                     ));
                 }
                 let mut buf = String::new();
@@ -970,7 +1004,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 });
                 parsed.push((dfg, schedule));
             }
-            let mut engine = lobist_engine::Engine::new(worker_count(&o)).with_canon(o.canon);
+            let mut engine = lobist_engine::Engine::new(worker_count(&o))
+                .with_canon(o.canon)
+                .with_subcanon(o.subcanon);
             if o.progress {
                 // Stream each engine event as its own flushed JSONL
                 // line so a pipe consumer sees progress live, not at
@@ -1031,8 +1067,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     if outcome.result.is_err() {
                         continue;
                     }
-                    let d = synthesize(dfg, schedule, &modules, &flow)
-                        .map_err(CliError::Flow)?;
+                    let d = synthesize(dfg, schedule, &modules, &flow).map_err(CliError::Flow)?;
                     for (label, report) in
                         fault_sim_design(dfg, &d, width, sim_opts, engine.metrics_handle())
                     {
@@ -1055,14 +1090,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     if outcome.result.is_err() {
                         continue;
                     }
-                    let d = synthesize(dfg, schedule, &modules, &flow)
-                        .map_err(CliError::Flow)?;
+                    let d = synthesize(dfg, schedule, &modules, &flow).map_err(CliError::Flow)?;
                     let report = lint_design(dfg, schedule, &d, &flow, workers, None);
                     append_lint_verdict(&mut out, &outcome.label, &report);
                     denied += policy.denied_count(&report);
                 }
                 if denied > 0 {
-                    return Err(CliError::Lint { output: out, denied });
+                    return Err(CliError::Lint {
+                        output: out,
+                        denied,
+                    });
                 }
             }
             if o.metrics {
@@ -1070,21 +1107,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "corpus" => {
-            let sizes: Vec<u32> = o
-                .sizes
-                .as_deref()
-                .unwrap_or("8,16")
-                .split(',')
-                .map(|s| {
-                    s.trim()
-                        .parse()
-                        .ok()
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| {
+            let sizes: Vec<u32> =
+                o.sizes
+                    .as_deref()
+                    .unwrap_or("8,16")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().ok().filter(|&n| n > 0).ok_or_else(|| {
                             CliError::Usage(format!("bad corpus size `{}`", s.trim()))
                         })
-                })
-                .collect::<Result<_, _>>()?;
+                    })
+                    .collect::<Result<_, _>>()?;
             let seed = o.seed.unwrap_or(1);
             let dir = std::path::PathBuf::from(o.out_dir.as_deref().unwrap_or("lobist-corpus"));
             std::fs::create_dir_all(&dir)
@@ -1107,8 +1140,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     if let Some(pseed) = o.permute {
                         let (twin, _, _) = lobist_dfg::canon::permute_dfg(&dfg, pseed);
                         let twin_text = lobist_dfg::parse::to_text_unscheduled(&twin);
-                        let twin_path = dir
-                            .join(format!("{}_n{size}_s{seed}_p{pseed}.dfg", kind.name()));
+                        let twin_path =
+                            dir.join(format!("{}_n{size}_s{seed}_p{pseed}.dfg", kind.name()));
+                        std::fs::write(&twin_path, twin_text)
+                            .map_err(|e| CliError::Io(twin_path.display().to_string(), e))?;
+                        let _ = writeln!(out, "{}", twin_path.display());
+                    }
+                    // With `--twin-kernels`, a *scheduled* sibling rides
+                    // along: permute-renamed and shifted one control
+                    // step later. It is not whole-design isomorphic to
+                    // the base (the canonical job keys differ), but its
+                    // rebased synthesis core is identical — a batch over
+                    // the list (with matching --modules) answers it from
+                    // the subcanon tier's core memo.
+                    if let Some(kseed) = o.twin_kernels {
+                        let modules: ModuleSet = o
+                            .modules
+                            .as_deref()
+                            .unwrap_or("1+,1*,1-")
+                            .parse()
+                            .map_err(CliError::Modules)?;
+                        let schedule = lobist_dfg::scheduling::list_schedule(&dfg, &modules)
+                            .map_err(|e| {
+                                CliError::Usage(format!(
+                                    "corpus design does not schedule under `{modules}`: {e}"
+                                ))
+                            })?;
+                        let (twin, twin_schedule, _) =
+                            lobist_dfg::canon::permute_scheduled(&dfg, &schedule, kseed);
+                        let steps: Vec<u32> =
+                            twin_schedule.as_slice().iter().map(|s| s + 1).collect();
+                        let moved = lobist_dfg::Schedule::new(&twin, steps)
+                            .expect("uniform shifts stay topological");
+                        let twin_text = lobist_dfg::parse::to_text(&twin, &moved);
+                        let twin_path =
+                            dir.join(format!("{}_n{size}_s{seed}_k{kseed}.dfg", kind.name()));
                         std::fs::write(&twin_path, twin_text)
                             .map_err(|e| CliError::Io(twin_path.display().to_string(), e))?;
                         let _ = writeln!(out, "{}", twin_path.display());
@@ -1164,14 +1230,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 "annealed search: {} iterations, seed 0x{:X}, batch {}, {} chain(s), {} worker(s)",
                 config.iterations, config.seed, config.batch, chains, workers
             );
-            let _ = writeln!(out, "initial (left-edge) overhead: {} gates", result.initial_overhead);
-            let _ = writeln!(out, "annealed best overhead:       {} gates", result.overhead);
+            let _ = writeln!(
+                out,
+                "initial (left-edge) overhead: {} gates",
+                result.initial_overhead
+            );
+            let _ = writeln!(
+                out,
+                "annealed best overhead:       {} gates",
+                result.overhead
+            );
             if let Some(h) = heuristic {
                 let _ = writeln!(out, "constructive heuristic:       {h} gates");
             }
             if chains > 1 {
-                let per: Vec<String> =
-                    stats.chain_overheads.iter().map(u64::to_string).collect();
+                let per: Vec<String> = stats.chain_overheads.iter().map(u64::to_string).collect();
                 let _ = writeln!(
                     out,
                     "chains: [{}] gates, best from chain {}",
@@ -1182,7 +1255,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "moves: {} evaluated, {} accepted, {} skipped, {} stalled, {} infeasible",
-                result.evaluated, result.accepted, result.skipped, result.stalled,
+                result.evaluated,
+                result.accepted,
+                result.skipped,
+                result.stalled,
                 result.infeasible
             );
             let _ = writeln!(
@@ -1206,8 +1282,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::Usage("missing design file".into()))?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
             let modules: ModuleSet = o
                 .modules
                 .as_deref()
@@ -1219,20 +1294,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let (dfg, schedule) = match parse_dfg(&text) {
                 Ok(parsed) => parsed,
                 Err(_) => {
-                    let dfg = lobist_dfg::parse::parse_unscheduled_dfg(&text)
-                        .map_err(CliError::Parse)?;
+                    let dfg =
+                        lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
                     let schedule = lobist_dfg::scheduling::list_schedule(&dfg, &modules)
-                        .map_err(|e| {
-                            CliError::Usage(format!("{path}: cannot schedule: {e}"))
-                        })?;
+                        .map_err(|e| CliError::Usage(format!("{path}: cannot schedule: {e}")))?;
                     (dfg, schedule)
                 }
             };
             let flow = flow_options(&o, o.flow == "traditional");
             let d = synthesize(&dfg, &schedule, &modules, &flow).map_err(CliError::Flow)?;
             let metrics = o.metrics.then(lobist_engine::Metrics::new);
-            let report =
-                lint_design(&dfg, &schedule, &d, &flow, worker_count(&o), metrics.as_ref());
+            let report = lint_design(
+                &dfg,
+                &schedule,
+                &d,
+                &flow,
+                worker_count(&o),
+                metrics.as_ref(),
+            );
             if o.json {
                 let _ = writeln!(out, "{}", report.to_json());
             } else if report.is_clean() {
@@ -1256,7 +1335,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let denied = policy.denied_count(&report);
             if denied > 0 {
-                return Err(CliError::Lint { output: out, denied });
+                return Err(CliError::Lint {
+                    output: out,
+                    denied,
+                });
             }
         }
         "serve" => {
@@ -1280,10 +1362,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 store: o.store.as_ref().map(PathBuf::from),
                 store_max_bytes: o.store_max_bytes.unwrap_or(defaults.store_max_bytes),
                 canon: o.canon,
+                subcanon: o.subcanon,
                 ..defaults
             };
-            let server = lobist_server::Server::bind(config)
-                .map_err(|e| CliError::Io("serve".into(), e))?;
+            let server =
+                lobist_server::Server::bind(config).map_err(|e| CliError::Io("serve".into(), e))?;
             // Announce the endpoints on stdout immediately (before the
             // blocking run), so scripts binding an ephemeral `:0` port
             // can discover it and connect.
@@ -1328,7 +1411,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 ));
             }
             if let Some(m) = &o.modules {
-                fields.push(format!("\"modules\":\"{}\"", lobist_server::json::escape(m)));
+                fields.push(format!(
+                    "\"modules\":\"{}\"",
+                    lobist_server::json::escape(m)
+                ));
             }
             if let Some(c) = &o.candidates {
                 fields.push(format!(
@@ -1386,12 +1472,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     f.lifetime_options = bench.lifetime_options;
                     f
                 };
-                let t = synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &mk(false))
-                    .map_err(CliError::Flow)?;
-                let tr = synthesize(&bench.dfg, &bench.schedule, &bench.module_allocation, &mk(true))
-                    .map_err(CliError::Flow)?;
-                let red = 100.0
-                    * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
+                let t = synthesize(
+                    &bench.dfg,
+                    &bench.schedule,
+                    &bench.module_allocation,
+                    &mk(false),
+                )
+                .map_err(CliError::Flow)?;
+                let tr = synthesize(
+                    &bench.dfg,
+                    &bench.schedule,
+                    &bench.module_allocation,
+                    &mk(true),
+                )
+                .map_err(CliError::Flow)?;
+                let red = 100.0 * (tr.bist.overhead.get() as f64 - t.bist.overhead.get() as f64)
                     / tr.bist.overhead.get() as f64;
                 let _ = writeln!(
                     out,
@@ -1443,8 +1538,15 @@ mod tests {
     #[test]
     fn synth_reports_bist_solution() {
         let path = write_temp("lobist_cli_synth.dfg", DESIGN);
-        let out = run(&argv(&["synth", &path, "--modules", "1+,1*", "--netlist", "--trace"]))
-            .unwrap();
+        let out = run(&argv(&[
+            "synth",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--netlist",
+            "--trace",
+        ]))
+        .unwrap();
         assert!(out.contains("testable flow: 3 registers"), "{out}");
         assert!(out.contains("BIST solution:"));
         assert!(out.contains("Netlist:"));
@@ -1471,8 +1573,24 @@ mod tests {
     #[test]
     fn width_option_changes_costs() {
         let path = write_temp("lobist_cli_width.dfg", DESIGN);
-        let narrow = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", "4"])).unwrap();
-        let wide = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", "16"])).unwrap();
+        let narrow = run(&argv(&[
+            "synth",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--width",
+            "4",
+        ]))
+        .unwrap();
+        let wide = run(&argv(&[
+            "synth",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--width",
+            "16",
+        ]))
+        .unwrap();
         assert_ne!(narrow, wide);
     }
 
@@ -1480,8 +1598,15 @@ mod tests {
     fn width_bounds_are_enforced() {
         let path = write_temp("lobist_cli_width_bounds.dfg", DESIGN);
         for bad in ["0", "1", "65", "-4", "wide"] {
-            let err = run(&argv(&["synth", &path, "--modules", "1+,1*", "--width", bad]))
-                .unwrap_err();
+            let err = run(&argv(&[
+                "synth",
+                &path,
+                "--modules",
+                "1+,1*",
+                "--width",
+                bad,
+            ]))
+            .unwrap_err();
             assert!(err.to_string().contains("bad width"), "{bad}: {err}");
         }
     }
@@ -1498,16 +1623,20 @@ mod tests {
             run(&argv(&["synth", &path, "--modules", "9?"])),
             Err(CliError::Modules(_))
         ));
-        assert!(matches!(
-            run(&argv(&["bogus"])),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(&argv(&["bogus"])), Err(CliError::Usage(_))));
         assert!(matches!(
             run(&argv(&["synth", "/nonexistent/x.dfg", "--modules", "1+"])),
             Err(CliError::Io(..))
         ));
-        let err = run(&argv(&["synth", &path, "--flow", "magic", "--modules", "1+"]))
-            .unwrap_err();
+        let err = run(&argv(&[
+            "synth",
+            &path,
+            "--flow",
+            "magic",
+            "--modules",
+            "1+",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("unknown flow"));
     }
 
@@ -1515,10 +1644,20 @@ mod tests {
     fn anneal_command_reports_the_search() {
         let path = write_temp("lobist_cli_anneal.dfg", DESIGN);
         let out = run(&argv(&[
-            "anneal", &path, "--modules", "1+,1*", "--iterations", "40", "--seed", "0xBEEF",
+            "anneal",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--iterations",
+            "40",
+            "--seed",
+            "0xBEEF",
         ]))
         .unwrap();
-        assert!(out.contains("annealed search: 40 iterations, seed 0xBEEF"), "{out}");
+        assert!(
+            out.contains("annealed search: 40 iterations, seed 0xBEEF"),
+            "{out}"
+        );
         assert!(out.contains("initial (left-edge) overhead:"), "{out}");
         assert!(out.contains("annealed best overhead:"), "{out}");
         assert!(out.contains("constructive heuristic:"), "{out}");
@@ -1556,8 +1695,17 @@ mod tests {
     fn anneal_multichain_runs_and_reports_chains() {
         let path = write_temp("lobist_cli_anneal_mc.dfg", DESIGN);
         let out = run(&argv(&[
-            "anneal", &path, "--modules", "1+,1*", "--iterations", "20", "--chains", "3",
-            "--jobs", "2", "--metrics",
+            "anneal",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--iterations",
+            "20",
+            "--chains",
+            "3",
+            "--jobs",
+            "2",
+            "--metrics",
         ]))
         .unwrap();
         assert!(out.contains("3 chain(s)"), "{out}");
@@ -1583,7 +1731,13 @@ mod tests {
                       output xl yl ul\n";
         let path = write_temp("lobist_cli_anneal_fc.dfg", paulin);
         let out = run(&argv(&[
-            "anneal", &path, "--modules", "1+,2*,1-", "--iterations", "200", "--metrics",
+            "anneal",
+            &path,
+            "--modules",
+            "1+,2*,1-",
+            "--iterations",
+            "200",
+            "--metrics",
         ]))
         .unwrap();
         let json = out.lines().last().expect("metrics line");
@@ -1608,10 +1762,20 @@ mod tests {
             vec!["anneal", &path, "--modules", "1+,1*", "--batch", "0"],
             vec!["anneal", &path, "--modules", "1+,1*", "--chains", "0"],
             vec!["anneal", &path, "--modules", "1+,1*", "--seed", "zzz"],
-            vec!["anneal", &path, "--modules", "1+,1*", "--iterations", "many"],
+            vec![
+                "anneal",
+                &path,
+                "--modules",
+                "1+,1*",
+                "--iterations",
+                "many",
+            ],
             vec!["anneal", &path],
         ] {
-            assert!(matches!(run(&argv(&bad)), Err(CliError::Usage(_))), "{bad:?}");
+            assert!(
+                matches!(run(&argv(&bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
         }
     }
 
@@ -1639,8 +1803,7 @@ mod tests {
         );
         let err = run(&argv(&["synth", &path, "--modules", "1*,1+"])).unwrap_err();
         assert!(err.to_string().contains("no BIST embedding"), "{err}");
-        let out =
-            run(&argv(&["synth", &path, "--modules", "1*,1+", "--repair"])).unwrap();
+        let out = run(&argv(&["synth", &path, "--modules", "1*,1+", "--repair"])).unwrap();
         assert!(out.contains("BIST solution:"), "{out}");
     }
 
@@ -1674,13 +1837,7 @@ mod tests {
             "lobist_cli_explore.dfg",
             "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
         );
-        let out = run(&argv(&[
-            "explore",
-            &path,
-            "--candidates",
-            "1+,1*;2+,1*",
-        ]))
-        .unwrap();
+        let out = run(&argv(&["explore", &path, "--candidates", "1+,1*;2+,1*"])).unwrap();
         assert!(out.contains("Pareto front"), "{out}");
         assert!(out.contains('*'), "{out}");
         assert!(out.contains("1+,1*"), "{out}");
@@ -1714,8 +1871,15 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         assert!(err.to_string().contains("--jobs 0"), "{err}");
-        let err = run(&argv(&["explore", &path, "--candidates", "1+,1*", "--jobs", "many"]))
-            .unwrap_err();
+        let err = run(&argv(&[
+            "explore",
+            &path,
+            "--candidates",
+            "1+,1*",
+            "--jobs",
+            "many",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("bad job count"), "{err}");
     }
 
@@ -1740,7 +1904,11 @@ mod tests {
         assert!(out.contains(&scheduled), "{out}");
         assert!(out.contains(&unscheduled), "{out}");
         // Both designs synthesize: two data rows with a BIST percentage.
-        assert_eq!(out.matches('%').count() - usize::from(out.contains("BIST %")), 2, "{out}");
+        assert_eq!(
+            out.matches('%').count() - usize::from(out.contains("BIST %")),
+            2,
+            "{out}"
+        );
     }
 
     #[test]
@@ -1756,12 +1924,23 @@ mod tests {
     fn metrics_flag_appends_engine_json() {
         let path = write_temp("lobist_cli_metrics.dfg", DESIGN);
         let out = run(&argv(&[
-            "batch", &path, "--modules", "1+,1*", "--jobs", "2", "--metrics",
+            "batch",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--jobs",
+            "2",
+            "--metrics",
         ]))
         .unwrap();
         let json = out.lines().last().expect("metrics line");
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
-        for key in ["\"jobs\":", "\"cache\":", "\"utilization\":", "\"stage_micros_log2_histograms\":"] {
+        for key in [
+            "\"jobs\":",
+            "\"cache\":",
+            "\"utilization\":",
+            "\"stage_micros_log2_histograms\":",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
     }
@@ -1769,7 +1948,15 @@ mod tests {
     #[test]
     fn faultsim_reports_coverage() {
         let path = write_temp("lobist_cli_faultsim.dfg", DESIGN);
-        let out = run(&argv(&["faultsim", &path, "--modules", "1+,1*", "--width", "6"])).unwrap();
+        let out = run(&argv(&[
+            "faultsim",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--width",
+            "6",
+        ]))
+        .unwrap();
         assert!(out.contains("signature"), "{out}");
         assert!(out.contains("M1 (+)"), "{out}");
         assert!(out.contains("M2 (*)"), "{out}");
@@ -1783,7 +1970,14 @@ mod tests {
             .iter()
             .map(|jobs| {
                 run(&argv(&[
-                    "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--jobs", jobs,
+                    "faultsim",
+                    &path,
+                    "--modules",
+                    "1+,1*",
+                    "--width",
+                    "5",
+                    "--jobs",
+                    jobs,
                 ]))
                 .unwrap()
             })
@@ -1796,7 +1990,13 @@ mod tests {
     fn faultsim_metrics_flag_appends_fault_sim_json() {
         let path = write_temp("lobist_cli_faultsim_metrics.dfg", DESIGN);
         let out = run(&argv(&[
-            "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--metrics",
+            "faultsim",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--width",
+            "5",
+            "--metrics",
         ]))
         .unwrap();
         let json = out.lines().last().expect("metrics line");
@@ -1834,9 +2034,20 @@ mod tests {
     fn lint_reports_clean_on_a_shipped_design() {
         let path = write_temp("lobist_cli_lint.dfg", DESIGN);
         let out = run(&argv(&["lint", &path, "--modules", "1+,1*"])).unwrap();
-        assert!(out.contains("lint: clean (3 registers, 2 modules audited)"), "{out}");
+        assert!(
+            out.contains("lint: clean (3 registers, 2 modules audited)"),
+            "{out}"
+        );
         // `--deny all` also passes: the design really has no findings.
-        let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--deny", "all"])).unwrap();
+        let out = run(&argv(&[
+            "lint",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--deny",
+            "all",
+        ]))
+        .unwrap();
         assert!(out.contains("lint: clean"), "{out}");
     }
 
@@ -1869,15 +2080,42 @@ mod tests {
     #[test]
     fn lint_rejects_unknown_codes() {
         let path = write_temp("lobist_cli_lint_bad.dfg", DESIGN);
-        let err = run(&argv(&["lint", &path, "--modules", "1+,1*", "--deny", "Z999"]))
-            .unwrap_err();
-        assert!(err.to_string().contains("unknown lint code `Z999`"), "{err}");
-        let err = run(&argv(&["lint", &path, "--modules", "1+,1*", "--allow", "nope"]))
-            .unwrap_err();
-        assert!(err.to_string().contains("unknown lint code `nope`"), "{err}");
+        let err = run(&argv(&[
+            "lint",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--deny",
+            "Z999",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown lint code `Z999`"),
+            "{err}"
+        );
+        let err = run(&argv(&[
+            "lint",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--allow",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown lint code `nope`"),
+            "{err}"
+        );
         // Real codes parse, case-insensitively.
         let out = run(&argv(&[
-            "lint", &path, "--modules", "1+,1*", "--deny", "b208", "--allow", "L007",
+            "lint",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--deny",
+            "b208",
+            "--allow",
+            "L007",
         ]))
         .unwrap();
         assert!(out.contains("lint: clean"), "{out}");
@@ -1888,11 +2126,23 @@ mod tests {
         let path = write_temp("lobist_cli_lint_metrics.dfg", DESIGN);
         let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--metrics"])).unwrap();
         let json = out.lines().last().expect("metrics line");
-        assert!(json.contains("\"lint\":{\"runs\":1,\"errors\":0,\"warnings\":0"), "{json}");
+        assert!(
+            json.contains("\"lint\":{\"runs\":1,\"errors\":0,\"warnings\":0"),
+            "{json}"
+        );
         assert!(json.contains("\"pass_micros_log2_histograms\":"), "{json}");
-        for pass in ["structure", "gates", "coloring", "binding", "bist-legality", "lemma2-audit"]
-        {
-            assert!(json.contains(&format!("\"{pass}\":[")), "missing {pass} in {json}");
+        for pass in [
+            "structure",
+            "gates",
+            "coloring",
+            "binding",
+            "bist-legality",
+            "lemma2-audit",
+        ] {
+            assert!(
+                json.contains(&format!("\"{pass}\":[")),
+                "missing {pass} in {json}"
+            );
         }
     }
 
@@ -1904,7 +2154,14 @@ mod tests {
             "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
         );
         let out = run(&argv(&[
-            "batch", &scheduled, &unscheduled, "--modules", "1+,1*", "--lint", "--deny", "all",
+            "batch",
+            &scheduled,
+            &unscheduled,
+            "--modules",
+            "1+,1*",
+            "--lint",
+            "--deny",
+            "all",
         ]))
         .unwrap();
         assert!(out.contains(&format!("lint {scheduled}: clean")), "{out}");
@@ -1918,7 +2175,11 @@ mod tests {
             "input a b c d\ns1 = a + b\ns2 = c + d\ny = s1 * s2\noutput y\n",
         );
         let out = run(&argv(&[
-            "explore", &path, "--candidates", "1+,1*;2+,1*", "--lint",
+            "explore",
+            &path,
+            "--candidates",
+            "1+,1*;2+,1*",
+            "--lint",
         ]))
         .unwrap();
         assert!(out.contains("lint 1+,1* latency"), "{out}");
@@ -1951,7 +2212,15 @@ mod tests {
             "lobist_cli_prog_b.dfg",
             "input a b\ny = a + b @ 1\noutput y\n",
         );
-        let out = run(&argv(&["batch", &a, &b, "--modules", "1+,1*", "--progress"])).unwrap();
+        let out = run(&argv(&[
+            "batch",
+            &a,
+            &b,
+            "--modules",
+            "1+,1*",
+            "--progress",
+        ]))
+        .unwrap();
         assert!(
             out.contains("{\"event\":\"done\",\"designs\":2,\"ok\":2,\"failed\":0}"),
             "{out}"
@@ -1979,19 +2248,32 @@ mod tests {
         let daemon = std::thread::spawn(move || run(&serve_args));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while !sock.exists() {
-            assert!(std::time::Instant::now() < deadline, "daemon never listened");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never listened"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
 
         let design = write_temp("lobist_cli_submit.dfg", DESIGN);
         let first = run(&argv(&[
-            "submit", &design, "--unix", &sock_arg, "--modules", "1+,1*",
+            "submit",
+            &design,
+            "--unix",
+            &sock_arg,
+            "--modules",
+            "1+,1*",
         ]))
         .unwrap();
         assert!(first.contains("\"event\":\"result\""), "{first}");
         assert!(first.contains("\"cache\":\"fresh\""), "{first}");
         let second = run(&argv(&[
-            "submit", &design, "--unix", &sock_arg, "--modules", "1+,1*",
+            "submit",
+            &design,
+            "--unix",
+            &sock_arg,
+            "--modules",
+            "1+,1*",
         ]))
         .unwrap();
         assert!(second.contains("\"cache\":\"memory\""), "{second}");
@@ -2014,9 +2296,7 @@ mod tests {
         let base = argv(&["faultsim", &path, "--modules", "1+,1*", "--width", "5"]);
         let runs: Vec<String> = ["64", "256", "512", "auto"]
             .iter()
-            .map(|lanes| {
-                run(&[base.clone(), argv(&["--lanes", lanes])].concat()).unwrap()
-            })
+            .map(|lanes| run(&[base.clone(), argv(&["--lanes", lanes])].concat()).unwrap())
             .collect();
         for wider in &runs[1..] {
             assert_eq!(&runs[0], wider, "lane width changed the report");
@@ -2029,7 +2309,12 @@ mod tests {
         let path = write_temp("lobist_cli_lanes_bad.dfg", DESIGN);
         for bad in ["128", "0", "wide", "1024"] {
             let err = run(&argv(&[
-                "faultsim", &path, "--modules", "1+,1*", "--lanes", bad,
+                "faultsim",
+                &path,
+                "--modules",
+                "1+,1*",
+                "--lanes",
+                bad,
             ]))
             .unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad}");
@@ -2041,7 +2326,14 @@ mod tests {
     fn faultsim_metrics_tally_runs_under_the_resolved_width() {
         let path = write_temp("lobist_cli_faultsim_lanes_m.dfg", DESIGN);
         let out = run(&argv(&[
-            "faultsim", &path, "--modules", "1+,1*", "--width", "5", "--lanes", "512",
+            "faultsim",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--width",
+            "5",
+            "--lanes",
+            "512",
             "--metrics",
         ]))
         .unwrap();
@@ -2056,8 +2348,10 @@ mod tests {
         let dir = std::env::temp_dir().join("lobist_cli_corpus");
         let _ = std::fs::remove_dir_all(&dir);
         let dir_arg = dir.to_string_lossy().into_owned();
-        let out = run(&argv(&["corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg]))
-            .unwrap();
+        let out = run(&argv(&[
+            "corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg,
+        ]))
+        .unwrap();
         // One path per line and nothing else, so the output pipes
         // straight into `lobist batch -`.
         let paths: Vec<&str> = out.lines().collect();
@@ -2069,7 +2363,10 @@ mod tests {
         // Regenerating with the same seed is byte-identical; a new seed
         // moves the coefficients.
         let text = std::fs::read_to_string(paths[0]).unwrap();
-        run(&argv(&["corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg])).unwrap();
+        run(&argv(&[
+            "corpus", "--sizes", "8,16", "--seed", "1", "--out", &dir_arg,
+        ]))
+        .unwrap();
         assert_eq!(text, std::fs::read_to_string(paths[0]).unwrap());
 
         // The whole corpus drives through batch with in-loop fault
@@ -2080,7 +2377,12 @@ mod tests {
         let mut args = argv(&["batch"]);
         args.extend(paths.iter().map(|p| p.to_string()));
         args.extend(argv(&[
-            "--modules", "1+,1*,1-", "--faultsim", "--lanes", "256", "--progress",
+            "--modules",
+            "1+,1*,1-",
+            "--faultsim",
+            "--lanes",
+            "256",
+            "--progress",
         ]));
         let out = run(&args).unwrap();
         assert!(
@@ -2098,7 +2400,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dir_arg = dir.to_string_lossy().into_owned();
         let out = run(&argv(&[
-            "corpus", "--sizes", "8", "--seed", "1", "--permute", "11", "--out", &dir_arg,
+            "corpus",
+            "--sizes",
+            "8",
+            "--seed",
+            "1",
+            "--permute",
+            "11",
+            "--out",
+            &dir_arg,
         ]))
         .unwrap();
         // Each design is followed by its isomorphic twin.
@@ -2149,12 +2459,96 @@ mod tests {
     #[test]
     fn canon_flag_rejects_unknown_values() {
         let path = write_temp("lobist_cli_canon_bad.dfg", DESIGN);
-        let err =
-            run(&argv(&["batch", &path, "--modules", "1+,1*", "--canon", "maybe"])).unwrap_err();
+        let err = run(&argv(&[
+            "batch",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--canon",
+            "maybe",
+        ]))
+        .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         assert!(err.to_string().contains("bad --canon value"), "{err}");
         let err = run(&argv(&["corpus", "--permute", "x"])).unwrap_err();
         assert!(err.to_string().contains("bad permute seed"), "{err}");
+        let err = run(&argv(&[
+            "batch",
+            &path,
+            "--modules",
+            "1+,1*",
+            "--subcanon",
+            "maybe",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("bad --subcanon value"), "{err}");
+        let err = run(&argv(&["corpus", "--twin-kernels", "x"])).unwrap_err();
+        assert!(err.to_string().contains("bad twin-kernels seed"), "{err}");
+    }
+
+    #[test]
+    fn corpus_twin_kernels_batch_through_the_fragment_tier() {
+        let dir = std::env::temp_dir().join("lobist_cli_corpus_twin_kernels");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+        let out = run(&argv(&[
+            "corpus",
+            "--sizes",
+            "8",
+            "--seed",
+            "1",
+            "--twin-kernels",
+            "9",
+            "--modules",
+            "1+,1*,1-",
+            "--out",
+            &dir_arg,
+        ]))
+        .unwrap();
+        // Each design is followed by its scheduled, shifted sibling.
+        let paths: Vec<&str> = out.lines().collect();
+        assert_eq!(paths.len(), 8, "{out}");
+        for pair in paths.chunks(2) {
+            assert!(pair[0].ends_with("_s1.dfg"), "{}", pair[0]);
+            assert!(pair[1].ends_with("_s1_k9.dfg"), "{}", pair[1]);
+            // The sibling is scheduled (carries `@ step` annotations);
+            // the base is not.
+            let base = std::fs::read_to_string(pair[0]).unwrap();
+            let twin = std::fs::read_to_string(pair[1]).unwrap();
+            assert!(!base.contains('@'), "{}", pair[0]);
+            assert!(twin.contains('@'), "{}", pair[1]);
+        }
+        // A batch over the list (same --modules as corpus scheduling)
+        // misses the whole-design cache on every sibling — the shifted
+        // schedule is a different canonical design — but the fragment
+        // tier answers its synthesis core.
+        let mut args = argv(&["batch"]);
+        args.extend(paths.iter().map(|p| p.to_string()));
+        args.extend(argv(&["--modules", "1+,1*,1-", "--metrics"]));
+        let on = run(&args.clone()).unwrap();
+        let json = on.lines().last().expect("metrics line");
+        let core_hits: u64 = json
+            .split("\"core_hits\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no subcanon section in {json}"));
+        assert!(core_hits > 0, "no core hits over twin kernels: {json}");
+        assert!(json.contains("\"cache\":{\"hits\":0"), "{json}");
+        // `--subcanon off` synthesizes every sibling from scratch: no
+        // subcanon section, byte-identical design rows.
+        args.extend(argv(&["--subcanon", "off"]));
+        let off = run(&args).unwrap();
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('{'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&on), rows(&off));
+        let off_json = off.lines().last().expect("metrics line");
+        assert!(!off_json.contains("\"subcanon\""), "{off_json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

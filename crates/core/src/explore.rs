@@ -27,9 +27,11 @@ use lobist_dfg::canon::{canonize, permute_scheduled, CanonForm};
 use lobist_dfg::fds::force_directed_schedule;
 use lobist_dfg::modules::ModuleSet;
 use lobist_dfg::scheduling::{asap, list_schedule};
+use lobist_dfg::subcanon;
 use lobist_dfg::{Dfg, Schedule};
 
 use crate::flow::{synthesize_timed, FlowOptions, StageTimings};
+use crate::flowcache::{FragmentTier, SynthCore};
 
 /// One explored design point.
 #[derive(Debug, Clone)]
@@ -150,8 +152,7 @@ pub fn enumerate_candidates(
         let mut schedules: Vec<Schedule> = vec![anchor.clone()];
         for latency in critical..=anchor.max_step() + max_slack {
             if schedule_fits(dfg, modules, latency) {
-                let s = force_directed_schedule(dfg, latency)
-                    .expect("latency >= critical path");
+                let s = force_directed_schedule(dfg, latency).expect("latency >= critical path");
                 if !schedules.contains(&s) {
                     schedules.push(s);
                 }
@@ -191,9 +192,23 @@ pub fn evaluate_candidate_timed(
     candidate: &Candidate,
     flow: &FlowOptions,
 ) -> (Result<DesignPoint, (String, String)>, StageTimings) {
+    let (result, timings, _) = evaluate_candidate_timed_with_tier(dfg, candidate, flow, None);
+    (result, timings)
+}
+
+/// As [`evaluate_candidate_timed`], consulting a shared [`FragmentTier`]
+/// before synthesizing (see [`evaluate_canonical_timed_with_tier`]).
+/// The third element reports whether the memo answered.
+pub fn evaluate_candidate_timed_with_tier(
+    dfg: &Dfg,
+    candidate: &Candidate,
+    flow: &FlowOptions,
+    tier: Option<&FragmentTier>,
+) -> (Result<DesignPoint, (String, String)>, StageTimings, bool) {
     let canon = canonize(dfg, &candidate.schedule);
-    let (result, timings) = evaluate_canonical_timed(&canon, &candidate.modules, flow);
-    (remap_point(result, &canon, candidate), timings)
+    let (result, timings, core_hit) =
+        evaluate_canonical_timed_with_tier(&canon, &candidate.modules, flow, tier);
+    (remap_point(result, &canon, candidate), timings, core_hit)
 }
 
 /// Synthesizes the canonical form of a candidate — the engine's unit of
@@ -201,6 +216,66 @@ pub fn evaluate_candidate_timed(
 /// coordinates (canonical schedule, canonical input ids in BIST
 /// embeddings); [`remap_point`] translates it into a requester's names.
 pub fn evaluate_canonical_timed(
+    canon: &CanonForm,
+    modules: &ModuleSet,
+    flow: &FlowOptions,
+) -> (Result<DesignPoint, (String, String)>, StageTimings) {
+    let (result, timings, _) = evaluate_canonical_timed_with_tier(canon, modules, flow, None);
+    (result, timings)
+}
+
+/// As [`evaluate_canonical_timed`], first consulting a shared
+/// [`FragmentTier`] synthesis-core memo keyed on the *rebased* canonical
+/// encoding. Designs that match an earlier job up to a uniform schedule
+/// shift skip the whole pipeline; the latency and schedule come from
+/// this design's own canonical schedule, so a memo hit is byte-identical
+/// to direct synthesis (shift-invariance is property-tested in
+/// `tests/shift_invariance.rs`). Misses populate the memo on success.
+/// The third element reports whether the memo answered — callers use it
+/// to skip per-design bookkeeping that only fresh syntheses need.
+pub fn evaluate_canonical_timed_with_tier(
+    canon: &CanonForm,
+    modules: &ModuleSet,
+    flow: &FlowOptions,
+    tier: Option<&FragmentTier>,
+) -> (Result<DesignPoint, (String, String)>, StageTimings, bool) {
+    let memo = tier.and_then(|t| {
+        subcanon::rebase_encoding(&canon.encoding)
+            .map(|rebased| (t, FragmentTier::core_key(&rebased, modules, flow)))
+    });
+    if let Some((t, key)) = memo {
+        if let Some(core) = t.lookup_core(key) {
+            return (
+                Ok(DesignPoint {
+                    modules: modules.clone(),
+                    latency: canon.schedule.max_step(),
+                    functional_gates: core.functional_gates,
+                    bist_gates: core.bist_gates,
+                    registers: core.registers,
+                    bist: core.bist,
+                    schedule: canon.schedule.clone(),
+                }),
+                StageTimings::default(),
+                true,
+            );
+        }
+    }
+    let (result, timings) = evaluate_canonical_uncached(canon, modules, flow);
+    if let (Some((t, key)), Ok(p)) = (memo, &result) {
+        t.insert_core(
+            key,
+            SynthCore {
+                functional_gates: p.functional_gates,
+                bist_gates: p.bist_gates,
+                registers: p.registers,
+                bist: p.bist.clone(),
+            },
+        );
+    }
+    (result, timings, false)
+}
+
+fn evaluate_canonical_uncached(
     canon: &CanonForm,
     modules: &ModuleSet,
     flow: &FlowOptions,
@@ -316,10 +391,7 @@ pub struct ExploreResult {
 /// result. Pure: two runs that produce the same points and failures (in
 /// the same order) yield identical results, regardless of how the
 /// evaluations were scheduled.
-pub fn assemble(
-    points: Vec<DesignPoint>,
-    failures: Vec<(String, String)>,
-) -> ExploreResult {
+pub fn assemble(points: Vec<DesignPoint>, failures: Vec<(String, String)>) -> ExploreResult {
     let objectives: Vec<Objectives> = points.iter().map(DesignPoint::objectives).collect();
     let pareto = pareto_front(&objectives);
     ExploreResult {
@@ -368,13 +440,12 @@ fn schedule_fits(dfg: &Dfg, modules: &ModuleSet, latency: u32) -> bool {
         for dedicated_pass in [true, false] {
             for op in schedule.ops_in_step(step) {
                 let kind = dfg.op(op).kind;
-                let pick = modules
-                    .supporting(kind)
-                    .filter(|&m| free[m])
-                    .find(|&m| match modules.class(m) {
+                let pick = modules.supporting(kind).filter(|&m| free[m]).find(|&m| {
+                    match modules.class(m) {
                         lobist_dfg::modules::ModuleClass::Op(_) => dedicated_pass,
                         lobist_dfg::modules::ModuleClass::Alu => !dedicated_pass,
-                    });
+                    }
+                });
                 if let Some(m) = pick {
                     free[m] = false;
                     placed += 1;
@@ -411,10 +482,7 @@ mod tests {
         assert!(!result.pareto.is_empty());
         // Every Pareto point is actually non-dominated.
         for &i in &result.pareto {
-            assert!(!result
-                .points
-                .iter()
-                .any(|p| p.dominates(&result.points[i])));
+            assert!(!result.points.iter().any(|p| p.dominates(&result.points[i])));
         }
     }
 
@@ -426,8 +494,11 @@ mod tests {
         let result = explore(&bench.dfg, &config);
         // The front must contain at least two distinct latencies (serial
         // and parallel corners).
-        let mut latencies: Vec<u32> =
-            result.pareto.iter().map(|&i| result.points[i].latency).collect();
+        let mut latencies: Vec<u32> = result
+            .pareto
+            .iter()
+            .map(|&i| result.points[i].latency)
+            .collect();
         latencies.dedup();
         assert!(latencies.len() >= 2, "{latencies:?}");
         // And along the front, a slower point must win on some other

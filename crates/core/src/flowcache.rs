@@ -42,7 +42,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use lobist_bist::embedding::PatternSource;
-use lobist_bist::{choice_cost, enumerate_from_connectivity, select_embeddings, BistError, Embedding};
+use lobist_bist::{
+    choice_cost, enumerate_from_connectivity, select_embeddings, BistError, Embedding,
+};
 use lobist_datapath::{
     DataPath, DataPathError, ModuleId, PortSide, RegisterAssignment, RegisterId, SourceRef,
 };
@@ -409,8 +411,9 @@ impl<'a> FlowCache<'a> {
         // connection-loop validation folded in.
         let nm = self.ma.num_modules();
         let nr = ra.num_registers();
-        let mut port_sources: Vec<[BTreeSet<SourceRef>; 2]> =
-            (0..nm).map(|_| [BTreeSet::new(), BTreeSet::new()]).collect();
+        let mut port_sources: Vec<[BTreeSet<SourceRef>; 2]> = (0..nm)
+            .map(|_| [BTreeSet::new(), BTreeSet::new()])
+            .collect();
         let mut output_dests: Vec<BTreeSet<RegisterId>> = vec![BTreeSet::new(); nm];
         let mut register_sources: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nr];
         let mut external_loads = vec![false; nr];
@@ -482,11 +485,8 @@ impl<'a> FlowCache<'a> {
             let canonical = match cached {
                 Some(list) => list,
                 None => {
-                    let list = enumerate_from_connectivity(
-                        &shape.sides[0],
-                        &shape.sides[1],
-                        &shape.dests,
-                    );
+                    let list =
+                        enumerate_from_connectivity(&shape.sides[0], &shape.sides[1], &shape.dests);
                     self.embeddings
                         .lock()
                         .expect("stage lock")
@@ -537,7 +537,11 @@ impl<'a> FlowCache<'a> {
             }
         };
 
-        Ok(FlowEval { overhead, functional, choice })
+        Ok(FlowEval {
+            overhead,
+            functional,
+            choice,
+        })
     }
 }
 
@@ -559,7 +563,10 @@ fn precheck_modules(
         steps.sort_unstable();
         for w in steps.windows(2) {
             if w[0] == w[1] {
-                return Some(DataPathError::ModuleOverlap { module: m, step: w[0] });
+                return Some(DataPathError::ModuleOverlap {
+                    module: m,
+                    step: w[0],
+                });
             }
         }
     }
@@ -712,6 +719,228 @@ fn selection_key(num_registers: usize, embs: &[Vec<Embedding>]) -> u128 {
     h
 }
 
+// ===== Fragment tier (subgraph-level canonical memoization) =====
+
+/// The schedule-shift-invariant part of a synthesized design point:
+/// everything except the latency and the schedule itself.
+///
+/// Two canonical designs with equal *rebased* encodings
+/// ([`lobist_dfg::subcanon::rebase_encoding`]) differ at most by a
+/// uniform schedule shift. The synthesis pipeline consumes the schedule
+/// only through lifetime overlap structure (interval intersections,
+/// step-major op order), which uniform shifts preserve, so module
+/// assignment, register classes, interconnect, area and the BIST solve
+/// all coincide — a property the core crate pins down with
+/// shift-invariance tests. The latency is reconstructed from the
+/// requesting design's own canonical schedule.
+#[derive(Debug, Clone)]
+pub struct SynthCore {
+    /// Functional gate count (registers + modules + muxes).
+    pub functional_gates: lobist_datapath::area::GateCount,
+    /// BIST upgrade gate count.
+    pub bist_gates: lobist_datapath::area::GateCount,
+    /// Registers used.
+    pub registers: usize,
+    /// The BIST solution, in canonical coordinates.
+    pub bist: lobist_bist::BistSolution,
+}
+
+/// Counter snapshot of a [`FragmentTier`], rendered by the engine as
+/// the `"subcanon"` metrics section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubcanonStats {
+    /// Fragment occurrences observed (post window dedup).
+    pub fragments: u64,
+    /// Fragment keys re-observed from the same origin design.
+    pub intra_hits: u64,
+    /// Fragment keys re-observed from a different origin design.
+    pub cross_hits: u64,
+    /// Fragments whose canonization bailed (excluded from the registry).
+    pub bailouts: u64,
+    /// Synthesis-core memo hits (full pipeline skipped).
+    pub core_hits: u64,
+    /// Synthesis-core memo misses.
+    pub core_misses: u64,
+    /// Live fragment registry entries.
+    pub registry_entries: u64,
+    /// Extraction wall time, log2-µs histogram per design.
+    pub extract_micros_log2: [u64; NUM_BUCKETS],
+}
+
+impl Default for SubcanonStats {
+    fn default() -> Self {
+        SubcanonStats {
+            fragments: 0,
+            intra_hits: 0,
+            cross_hits: 0,
+            bailouts: 0,
+            core_hits: 0,
+            core_misses: 0,
+            registry_entries: 0,
+            extract_micros_log2: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+/// The fragment tier: subgraph-level canonical memoization shared by
+/// every job an engine runs (one tier per engine, so reuse spans a whole
+/// batch or daemon session).
+///
+/// Two layers:
+///
+/// * **Synthesis-core memo** — keyed by the *rebased* canonical
+///   encoding plus module set plus the full flow options; a hit returns
+///   the shift-invariant [`SynthCore`] and skips register allocation,
+///   interconnect, data-path assembly and the BIST solve outright.
+///   Values are pure functions of their keys, so (as with every stage
+///   cache in this module) eviction and worker interleaving can only
+///   change hit counters, never bytes.
+/// * **Fragment registry** — canonical fragment key → origin fingerprint
+///   of the design that first exhibited the fragment, feeding the
+///   intra-/cross-design hit counters and the store's fragment records.
+pub struct FragmentTier {
+    core: Mutex<StageCache<SynthCore>>,
+    registry: Mutex<StageCache<u64>>,
+    fragments: AtomicU64,
+    intra_hits: AtomicU64,
+    cross_hits: AtomicU64,
+    bailouts: AtomicU64,
+    core_hits: AtomicU64,
+    core_misses: AtomicU64,
+    extract_hist: [AtomicU64; NUM_BUCKETS],
+}
+
+/// FNV-1a-128 sink for formatted text, used to key on `Display`/`Debug`
+/// renderings without allocating the intermediate string.
+struct FnvWriter(u128);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Entries in the synthesis-core memo.
+const CORE_MEMO_CAPACITY: usize = 4096;
+/// Entries in the fragment registry.
+const FRAGMENT_REGISTRY_CAPACITY: usize = 65536;
+
+impl Default for FragmentTier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FragmentTier {
+    /// An empty tier with default capacities.
+    pub fn new() -> Self {
+        FragmentTier {
+            core: Mutex::new(StageCache::new(CORE_MEMO_CAPACITY)),
+            registry: Mutex::new(StageCache::new(FRAGMENT_REGISTRY_CAPACITY)),
+            fragments: AtomicU64::new(0),
+            intra_hits: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
+            bailouts: AtomicU64::new(0),
+            core_hits: AtomicU64::new(0),
+            core_misses: AtomicU64::new(0),
+            extract_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The synthesis-core memo key: rebased canonical encoding + module
+    /// set + every flow option. The flow discriminator uses the `Debug`
+    /// rendering — acceptable here (unlike the persistent job key)
+    /// because this memo never outlives the process. Rendering streams
+    /// straight into the hash (no `String`): this runs on every job's
+    /// miss path, where allocations are the tier's overhead budget.
+    pub fn core_key(
+        rebased_encoding: &[u8],
+        modules: &lobist_dfg::modules::ModuleSet,
+        flow: &FlowOptions,
+    ) -> u128 {
+        use std::fmt::Write as _;
+        let mut h = FNV_OFFSET;
+        for &b in rebased_encoding {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        let mut w = FnvWriter(fnv_sep(h));
+        let _ = write!(w, "{modules}");
+        w.0 = fnv_sep(w.0);
+        let _ = write!(w, "{flow:?}");
+        w.0
+    }
+
+    /// Looks up a synthesis core, counting the hit or miss.
+    pub fn lookup_core(&self, key: u128) -> Option<SynthCore> {
+        let found = self.core.lock().unwrap().lookup(key);
+        match found {
+            Some(core) => {
+                self.core_hits.fetch_add(1, Ordering::Relaxed);
+                Some(core)
+            }
+            None => {
+                self.core_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoizes a freshly synthesized core (first writer wins).
+    pub fn insert_core(&self, key: u128, core: SynthCore) {
+        self.core.lock().unwrap().insert(key, core);
+    }
+
+    /// The origin fingerprint registered for a fragment key, if any.
+    pub fn lookup_fragment(&self, key: u128) -> Option<u64> {
+        self.registry.lock().unwrap().map.get(&key).copied()
+    }
+
+    /// Registers a fragment's first-seen origin (first writer wins).
+    pub fn register_fragment(&self, key: u128, origin: u64) {
+        self.registry.lock().unwrap().insert(key, origin);
+    }
+
+    /// Counts one re-observed fragment: `cross` when the prior origin
+    /// differs from the observing design's.
+    pub fn record_fragment_hit(&self, cross: bool) {
+        if cross {
+            self.cross_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.intra_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one extraction pass over a design.
+    pub fn record_extract(&self, fragments: u64, bailouts: u64, took: Duration) {
+        self.fragments.fetch_add(fragments, Ordering::Relaxed);
+        self.bailouts.fetch_add(bailouts, Ordering::Relaxed);
+        self.extract_hist[bucket(took.as_micros())].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A counter snapshot for the `"subcanon"` metrics section.
+    pub fn stats(&self) -> SubcanonStats {
+        let mut extract_micros_log2 = [0u64; NUM_BUCKETS];
+        for (slot, counter) in extract_micros_log2.iter_mut().zip(&self.extract_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        SubcanonStats {
+            fragments: self.fragments.load(Ordering::Relaxed),
+            intra_hits: self.intra_hits.load(Ordering::Relaxed),
+            cross_hits: self.cross_hits.load(Ordering::Relaxed),
+            bailouts: self.bailouts.load(Ordering::Relaxed),
+            core_hits: self.core_hits.load(Ordering::Relaxed),
+            core_misses: self.core_misses.load(Ordering::Relaxed),
+            registry_entries: self.registry.lock().unwrap().map.len() as u64,
+            extract_micros_log2,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,8 +964,7 @@ mod tests {
     impl Walk {
         fn new(bench: &Benchmark, ma: &ModuleAssignment, seed: u64) -> Self {
             let _ = ma;
-            let lifetimes =
-                Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
+            let lifetimes = Lifetimes::compute(&bench.dfg, &bench.schedule, bench.lifetime_options);
             let initial = baseline_regalloc::allocate_registers(
                 &bench.dfg,
                 &bench.schedule,
@@ -752,7 +980,13 @@ mod tests {
                 }
             }
             let reg_vars = lifetimes.reg_vars().to_vec();
-            Walk { classes, reg_of, reg_vars, lifetimes, rng: StdRng::seed_from_u64(seed) }
+            Walk {
+                classes,
+                reg_of,
+                reg_vars,
+                lifetimes,
+                rng: StdRng::seed_from_u64(seed),
+            }
         }
 
         /// Attempts one move; `true` if the coloring changed.
@@ -763,7 +997,9 @@ mod tests {
                 let to = self.rng.gen_range(0..self.classes.len());
                 let ok = to != from
                     && self.classes[from].len() > 1
-                    && !self.classes[to].iter().any(|&u| self.lifetimes.conflicts(u, v));
+                    && !self.classes[to]
+                        .iter()
+                        .any(|&u| self.lifetimes.conflicts(u, v));
                 if ok {
                     self.classes[from].retain(|&u| u != v);
                     self.classes[to].push(v);
@@ -777,8 +1013,7 @@ mod tests {
 
     fn check_walk(bench: &Benchmark, config: FlowCacheConfig, steps: usize, seed: u64) {
         let flow = crate::flow::FlowOptions::testable().with_lifetimes(bench.lifetime_options);
-        let ma =
-            assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
+        let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
         let cache = FlowCache::with_config(
             &bench.dfg,
             &bench.schedule,
@@ -873,7 +1108,12 @@ mod tests {
 
     #[test]
     fn incremental_matches_reference_on_paulin_walk() {
-        check_walk(&benchmarks::paulin(), FlowCacheConfig::default(), 120, 0xCAFE);
+        check_walk(
+            &benchmarks::paulin(),
+            FlowCacheConfig::default(),
+            120,
+            0xCAFE,
+        );
     }
 
     #[test]
@@ -888,8 +1128,7 @@ mod tests {
         let bench = benchmarks::ex1();
         check_walk(&bench, config, 100, 0xE71C);
         let flow = crate::flow::FlowOptions::testable().with_lifetimes(bench.lifetime_options);
-        let ma =
-            assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
+        let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
         let cache = FlowCache::with_config(
             &bench.dfg,
             &bench.schedule,
@@ -918,15 +1157,17 @@ mod tests {
         // the next.
         let bench = benchmarks::paulin();
         let flow = crate::flow::FlowOptions::testable().with_lifetimes(bench.lifetime_options);
-        let ma =
-            assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
+        let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
         let cache = FlowCache::with_config(
             &bench.dfg,
             &bench.schedule,
             bench.lifetime_options,
             &ma,
             &flow,
-            FlowCacheConfig { selection_capacity: 1, ..FlowCacheConfig::default() },
+            FlowCacheConfig {
+                selection_capacity: 1,
+                ..FlowCacheConfig::default()
+            },
         );
         let mut walk = Walk::new(&bench, &ma, 0x3A3A);
         for _ in 0..80 {
@@ -944,8 +1185,7 @@ mod tests {
         // both paths.
         let bench = benchmarks::ex1();
         let flow = crate::flow::FlowOptions::testable().with_lifetimes(bench.lifetime_options);
-        let ma =
-            assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
+        let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation).unwrap();
         let cache = FlowCache::new(
             &bench.dfg,
             &bench.schedule,

@@ -1,0 +1,146 @@
+//! Soundness tests for the fragment tier's synthesis-core memo.
+//!
+//! The memo (`flowcache::FragmentTier`) keys on the *rebased* canonical
+//! encoding: two designs collide iff they are isomorphic up to a uniform
+//! schedule shift. A hit replays the stored gate counts, register count
+//! and BIST solution verbatim, reconstructing only latency and schedule
+//! from the requesting design. That is sound exactly when the whole
+//! synthesis pipeline is shift-invariant in those fields — which these
+//! tests pin down across the paper suite and the corpus generators, for
+//! both allocation strategies, and end-to-end through the tier itself.
+
+use lobist_alloc::explore::{
+    evaluate_canonical_timed, evaluate_canonical_timed_with_tier, Candidate, DesignPoint,
+};
+use lobist_alloc::flow::FlowOptions;
+use lobist_alloc::flowcache::FragmentTier;
+use lobist_dfg::canon::canonize;
+use lobist_dfg::corpus::{generate, CorpusKind};
+use lobist_dfg::modules::ModuleSet;
+use lobist_dfg::scheduling::list_schedule;
+use lobist_dfg::{benchmarks, Dfg, Schedule};
+
+fn shifted(dfg: &Dfg, schedule: &Schedule, k: u32) -> Schedule {
+    let steps: Vec<u32> = schedule.as_slice().iter().map(|s| s + k).collect();
+    Schedule::new(dfg, steps).expect("uniform shifts stay topological")
+}
+
+/// Everything in a design point except latency and schedule must match.
+fn assert_core_equal(label: &str, k: u32, base: &DesignPoint, moved: &DesignPoint) {
+    assert_eq!(moved.latency, base.latency + k, "{label}: latency shift");
+    assert_eq!(base.functional_gates, moved.functional_gates, "{label}");
+    assert_eq!(base.bist_gates, moved.bist_gates, "{label}");
+    assert_eq!(base.registers, moved.registers, "{label}");
+    assert_eq!(base.bist.styles, moved.bist.styles, "{label}");
+    assert_eq!(base.bist.embeddings, moved.bist.embeddings, "{label}");
+    assert_eq!(base.bist.sessions, moved.bist.sessions, "{label}");
+    assert_eq!(base.bist.overhead, moved.bist.overhead, "{label}");
+    assert_eq!(
+        base.bist.overhead_percent.to_bits(),
+        moved.bist.overhead_percent.to_bits(),
+        "{label}"
+    );
+}
+
+fn workloads() -> Vec<(String, Dfg, Schedule, Candidate, FlowOptions)> {
+    let mut out = Vec::new();
+    for bench in benchmarks::paper_suite() {
+        let candidate = Candidate {
+            modules: bench.module_allocation.clone(),
+            schedule: bench.schedule.clone(),
+        };
+        let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
+        out.push((
+            bench.name.clone(),
+            bench.dfg,
+            bench.schedule,
+            candidate,
+            flow,
+        ));
+    }
+    for (kind, size) in [
+        (CorpusKind::Fir, 12),
+        (CorpusKind::Fir, 24),
+        (CorpusKind::Iir, 12),
+        (CorpusKind::Matmul, 16),
+        (CorpusKind::Diffeq, 16),
+    ] {
+        let dfg = generate(kind, size, 5);
+        let modules: ModuleSet = match kind {
+            CorpusKind::Diffeq => "1+,1*,1-".parse().expect("module set"),
+            _ => "1+,1*".parse().expect("module set"),
+        };
+        let schedule = list_schedule(&dfg, &modules).expect("corpus designs schedule");
+        let candidate = Candidate {
+            modules,
+            schedule: schedule.clone(),
+        };
+        out.push((
+            format!("{}{}", kind.name(), size),
+            dfg,
+            schedule,
+            candidate,
+            FlowOptions::testable(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn synthesis_is_invariant_under_uniform_schedule_shift() {
+    let mut successes = 0;
+    for (name, dfg, schedule, candidate, flow) in workloads() {
+        let base_canon = canonize(&dfg, &schedule);
+        let (base, _) = evaluate_canonical_timed(&base_canon, &candidate.modules, &flow);
+        for k in [1u32, 3] {
+            let moved_schedule = shifted(&dfg, &schedule, k);
+            let moved_canon = canonize(&dfg, &moved_schedule);
+            let (moved, _) = evaluate_canonical_timed(&moved_canon, &candidate.modules, &flow);
+            match (&base, &moved) {
+                // Only successes are memoized, so the soundness
+                // requirement is on Ok results; error *messages* may
+                // embed absolute steps and are recomputed per design.
+                (Ok(b), Ok(m)) => {
+                    assert_core_equal(&name, k, b, m);
+                    successes += 1;
+                }
+                (Err(_), Err(_)) => {}
+                (b, m) => panic!("{name}: shift changed feasibility: {b:?} vs {m:?}"),
+            }
+        }
+    }
+    assert!(successes >= 16, "too few feasible workloads: {successes}");
+}
+
+/// A tier hit must replay byte-for-byte what direct synthesis of the
+/// shifted design would have produced.
+#[test]
+fn tier_hits_match_direct_synthesis() {
+    for (name, dfg, schedule, candidate, flow) in workloads() {
+        let tier = FragmentTier::new();
+        let base_canon = canonize(&dfg, &schedule);
+        let (_, _, _) =
+            evaluate_canonical_timed_with_tier(&base_canon, &candidate.modules, &flow, Some(&tier));
+        let moved_schedule = shifted(&dfg, &schedule, 2);
+        let moved_canon = canonize(&dfg, &moved_schedule);
+        let (direct, _) = evaluate_canonical_timed(&moved_canon, &candidate.modules, &flow);
+        let (via_tier, _, core_hit) = evaluate_canonical_timed_with_tier(
+            &moved_canon,
+            &candidate.modules,
+            &flow,
+            Some(&tier),
+        );
+        match (&direct, &via_tier) {
+            (Ok(d), Ok(t)) => {
+                assert_eq!(d.latency, t.latency, "{name}");
+                assert_eq!(d.schedule.as_slice(), t.schedule.as_slice(), "{name}");
+                assert_core_equal(&name, 0, d, t);
+                let stats = tier.stats();
+                assert_eq!(stats.core_hits, 1, "{name}: shifted twin must hit the memo");
+                assert!(core_hit, "{name}: hit must be reported to the caller");
+            }
+            (Err(d), Err(t)) => assert_eq!(d, t, "{name}"),
+            (d, t) => panic!("{name}: tier changed feasibility: {d:?} vs {t:?}"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The fragment tier must be invisible along random anneal-style walks:
+//! starting from a random scheduled design, each step permutes names or
+//! shifts the schedule (the move set that preserves the synthesis core)
+//! and evaluates both with and without the tier. The tier-backed result
+//! must match the direct one field-for-field at every step — including
+//! the steps the memo answers.
+
+use proptest::prelude::*;
+
+use lobist_alloc::explore::{
+    evaluate_canonical_timed, evaluate_canonical_timed_with_tier, DesignPoint,
+};
+use lobist_alloc::flow::FlowOptions;
+use lobist_alloc::flowcache::FragmentTier;
+use lobist_dfg::canon::{canonize, permute};
+use lobist_dfg::modules::{ModuleClass, ModuleSet};
+use lobist_dfg::random::{random_scheduled_dfg, RandomDfgConfig};
+use lobist_dfg::{Dfg, Schedule};
+
+/// splitmix64 — a deterministic walk driver (no ambient randomness).
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn assert_points_equal(step: usize, direct: &DesignPoint, tiered: &DesignPoint) {
+    assert_eq!(direct.latency, tiered.latency, "step {step}");
+    assert_eq!(
+        direct.schedule.as_slice(),
+        tiered.schedule.as_slice(),
+        "step {step}"
+    );
+    assert_eq!(
+        direct.functional_gates, tiered.functional_gates,
+        "step {step}"
+    );
+    assert_eq!(direct.bist_gates, tiered.bist_gates, "step {step}");
+    assert_eq!(direct.registers, tiered.registers, "step {step}");
+    assert_eq!(direct.bist.styles, tiered.bist.styles, "step {step}");
+    assert_eq!(
+        direct.bist.embeddings, tiered.bist.embeddings,
+        "step {step}"
+    );
+    assert_eq!(direct.bist.sessions, tiered.bist.sessions, "step {step}");
+    assert_eq!(direct.bist.overhead, tiered.bist.overhead, "step {step}");
+    assert_eq!(
+        direct.bist.overhead_percent.to_bits(),
+        tiered.bist.overhead_percent.to_bits(),
+        "step {step}"
+    );
+}
+
+proptest! {
+    // Each case runs the full synthesis pipeline several times; a small
+    // case count keeps the suite fast while still walking hundreds of
+    // tier hits across runs.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tier_is_invisible_along_random_walks(seed in any::<u64>(), walk in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 14,
+            num_inputs: 5,
+            max_ops_per_step: 3,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        // Three ALUs cover any three ops per step, so every walk state
+        // is schedulable; infeasibility can still arise downstream and
+        // must then arise identically on both paths.
+        let modules = ModuleSet::new(vec![ModuleClass::Alu; 3]);
+        let flow = FlowOptions::testable();
+        let tier = FragmentTier::new();
+        let mut rng = walk;
+        let mut cur: (Dfg, Schedule) = (dfg, schedule);
+        for step in 0..6usize {
+            let canon = canonize(&cur.0, &cur.1);
+            let (direct, _) = evaluate_canonical_timed(&canon, &modules, &flow);
+            let (tiered, _, _) =
+                evaluate_canonical_timed_with_tier(&canon, &modules, &flow, Some(&tier));
+            match (&direct, &tiered) {
+                (Ok(d), Ok(t)) => assert_points_equal(step, d, t),
+                (Err(d), Err(t)) => prop_assert_eq!(d, t, "step {}", step),
+                (d, t) => panic!("step {step}: tier changed feasibility: {d:?} vs {t:?}"),
+            }
+            // Next walk state: a rename/reorder twin, a uniform shift,
+            // or both — all core-preserving moves.
+            let roll = next(&mut rng);
+            if roll & 1 == 1 {
+                cur = permute(&cur.0, &cur.1, next(&mut rng));
+            }
+            if roll & 2 == 2 {
+                let k = (next(&mut rng) % 3 + 1) as u32;
+                let steps: Vec<u32> = cur.1.as_slice().iter().map(|s| s + k).collect();
+                cur.1 = Schedule::new(&cur.0, steps).expect("uniform shifts stay topological");
+            }
+        }
+        let stats = tier.stats();
+        prop_assert!(
+            stats.core_hits + stats.core_misses > 0,
+            "walk never consulted the memo"
+        );
+    }
+}

@@ -54,6 +54,7 @@ pub mod parse;
 pub mod random;
 mod schedule;
 pub mod scheduling;
+pub mod subcanon;
 mod types;
 
 pub use dfg::{Dfg, DfgBuilder, DfgError};

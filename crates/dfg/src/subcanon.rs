@@ -1,0 +1,622 @@
+//! Subgraph-level canonization: deterministic extraction of convex,
+//! size-bounded DFG fragments plus canonical fragment keys.
+//!
+//! Whole-design canonization ([`crate::canon`]) only pays off when two
+//! *entire* designs are isomorphic. Real workloads (the `lobist corpus`
+//! FIR/IIR/matmul/diffeq sweeps) are instead full of repeated internal
+//! kernels — FIR taps, MAC chains, unrolled loop bodies — that are
+//! isomorphic to each other while the enclosing designs are not. This
+//! module slices a scheduled DFG into small fragments and canonizes each
+//! one with the PR 8 WL canonizer, so isomorphic kernels collide on the
+//! same canonical fragment key within a design and across designs.
+//!
+//! ## Extraction rules
+//!
+//! One fragment window is seeded per operation. The window is the
+//! operation's **ancestor cone restricted to a schedule-step window**:
+//!
+//! ```text
+//!   frag(seed, w) = { op ∈ ancestors*(seed) : step(op) ≥ step(seed) − w }
+//! ```
+//!
+//! Schedule steps strictly increase along data edges, so this set is
+//! **convex**: for any `u, x ∈ frag` and any data path `u ⇝ v ⇝ x`, the
+//! intermediate `v` is itself an ancestor of the seed with
+//! `step(v) > step(u) ≥ step(seed) − w`, hence `v ∈ frag`. Convexity is
+//! what makes a fragment a legal stand-alone scheduled DFG: no value
+//! leaves the fragment and re-enters it.
+//!
+//! The window starts at [`ExtractOptions::window_steps`] and shrinks one
+//! step at a time until the cone fits [`ExtractOptions::max_ops`]; at
+//! `w = 1` the cone is at most the seed plus its two producers, so every
+//! seed with an in-window producer yields a fragment. Single-op windows
+//! are skipped as trivial. Windows with identical op sets (nested cones
+//! from different seeds) are deduplicated before keying.
+//!
+//! Each surviving window is keyed **in place** by the same
+//! Weisfeiler–Leman color-refinement discipline the whole-design
+//! canonizer ([`crate::canon`]) uses — seed colors from (op kind,
+//! window-rebased step, operand class, escape flag), then rounds of
+//! hashing producer/consumer colors until stable — but *without* the
+//! lexicographic tie-breaking pass: the [`Fragment::key`] is an FNV-1a
+//! hash of the sorted final color multiset plus the boundary-port
+//! signature. That makes the key invariant under renaming, declaration
+//! reorder, and uniform schedule shifts (property-tested), at the cost
+//! of completeness: two non-isomorphic fragments *can* collide. The key
+//! feeds only the fragment registry and its counters — the synthesis
+//! memo below keys on rebased whole-design encodings — so a collision
+//! can at worst over-count a sighting, never corrupt a result. Skipping
+//! the tie-break (and the sub-DFG rebuild a full canonization would
+//! need) is what keeps extraction to single-digit percent of a
+//! synthesis run; there is no leaf budget to exhaust, so
+//! [`Fragment::bailed`] is reserved and currently always `false`.
+//!
+//! ## Rebased whole-design encodings
+//!
+//! [`rebase_encoding`] rewrites the schedule steps inside a canonical
+//! encoding ([`crate::canon::CanonForm::encoding`]) so the earliest step
+//! becomes 1. Two designs share a rebased encoding **iff** they are
+//! isomorphic up to a uniform schedule shift — the refinement order is
+//! step-major and shift-invariant, so the relabeling is unchanged and
+//! only the absolute step bytes differ. Downstream synthesis consumes
+//! the schedule purely through lifetime overlap structure, which a
+//! uniform shift preserves, so rebased encodings are a sound memo key
+//! for everything except the latency itself (see
+//! `lobist_alloc::flowcache::FragmentTier`).
+
+use std::collections::HashSet;
+
+use crate::dfg::Dfg;
+use crate::schedule::Schedule;
+use crate::types::{OpId, Operand};
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv128(h: u128, bytes: &[u8]) -> u128 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv64(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// Bounds on fragment extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractOptions {
+    /// Maximum operations per fragment; windows larger than this shrink
+    /// their step window until they fit.
+    pub max_ops: usize,
+    /// Initial schedule-step window height (`w` above).
+    pub window_steps: u32,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            max_ops: 8,
+            window_steps: 4,
+        }
+    }
+}
+
+/// Boundary-port signature of a fragment: how it connects to the rest of
+/// the design. Already captured structurally by the canonical encoding;
+/// kept separate for metrics and store records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundarySignature {
+    /// External values feeding the fragment (fragment inputs).
+    pub inputs: u32,
+    /// Values produced inside and visible outside (fragment outputs).
+    pub outputs: u32,
+    /// Inline constant operands.
+    pub consts: u32,
+}
+
+/// One extracted fragment of a scheduled DFG.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The seed operation the window was grown from (parent ids).
+    pub seed: OpId,
+    /// Member operations in (step, id) order (parent ids).
+    pub ops: Vec<OpId>,
+    /// FNV-1a-128 of the fragment's WL color multiset + boundary
+    /// signature: invariant under renaming, reordering, and uniform
+    /// schedule shifts.
+    pub key: u128,
+    /// Boundary-port signature.
+    pub boundary: BoundarySignature,
+    /// Reserved: the multiset hash has no tie-breaking budget to
+    /// exhaust, so this is currently always `false`. Callers must still
+    /// skip `bailed` fragments so a future exact keying scheme can
+    /// reintroduce bailouts without breaking them.
+    pub bailed: bool,
+}
+
+/// Counters from one extraction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Seeds visited (= operations in the design).
+    pub seeds: u64,
+    /// Windows that survived the size bound and dedup.
+    pub windows: u64,
+    /// Seeds dropped because their window was a single operation.
+    pub trivial: u64,
+    /// Fragments whose canonization bailed out.
+    pub bailouts: u64,
+}
+
+/// Reusable buffers for one extraction pass: everything the per-window
+/// walk and keying need, allocated once per design instead of once per
+/// window (extraction runs on every fresh synthesis, so its constant
+/// factors are the subcanon tier's whole miss-path overhead).
+struct Scratch {
+    /// Cone-walk visited stamps, one slot per design op.
+    stamp: Vec<u32>,
+    generation: u32,
+    stack: Vec<OpId>,
+    members: Vec<OpId>,
+    /// Intra-window producer edges per member op (lhs, rhs slots).
+    producers: Vec<[Option<usize>; 2]>,
+    /// Intra-window consumer lists per member op.
+    consumers: Vec<Vec<usize>>,
+    color: Vec<u64>,
+    next: Vec<u64>,
+    sorted: Vec<u64>,
+    /// (external var id, use count) pairs, linear-searched (windows
+    /// hold at most `max_ops` ops, so a handful of externals).
+    external_uses: Vec<(u32, u64)>,
+}
+
+impl Scratch {
+    fn new(num_ops: usize) -> Self {
+        Scratch {
+            stamp: vec![0; num_ops],
+            generation: 0,
+            stack: Vec::new(),
+            members: Vec::new(),
+            producers: Vec::new(),
+            consumers: Vec::new(),
+            color: Vec::new(),
+            next: Vec::new(),
+            sorted: Vec::new(),
+            external_uses: Vec::new(),
+        }
+    }
+
+    /// The ancestor cone of `seed` restricted to steps ≥
+    /// `step(seed) − w`, left in `self.members`; `false` if it exceeds
+    /// `max_ops`.
+    fn windowed_cone(
+        &mut self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        seed: OpId,
+        w: u32,
+        max_ops: usize,
+    ) -> bool {
+        let threshold = schedule.step(seed).saturating_sub(w);
+        self.generation += 1;
+        self.stack.clear();
+        self.members.clear();
+        self.stack.push(seed);
+        self.stamp[seed.index()] = self.generation;
+        while let Some(op) = self.stack.pop() {
+            self.members.push(op);
+            if self.members.len() > max_ops {
+                return false;
+            }
+            for v in dfg.op(op).input_vars() {
+                if let Some(p) = dfg.var(v).producer {
+                    if schedule.step(p) >= threshold && self.stamp[p.index()] != self.generation {
+                        self.stamp[p.index()] = self.generation;
+                        self.stack.push(p);
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Extracts all deduplicated fragments of a scheduled DFG.
+pub fn extract_fragments(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    opts: &ExtractOptions,
+) -> (Vec<Fragment>, ExtractStats) {
+    let mut stats = ExtractStats::default();
+    let mut fragments = Vec::new();
+    // Windows deduplicate by a hash of their member id set. A hash
+    // collision could drop a distinct window, which would skew a
+    // sighting counter but never a result; ids are deterministic, so
+    // the outcome is identical run to run.
+    let mut seen_windows: HashSet<u64> = HashSet::new();
+    let max_ops = opts.max_ops.max(2);
+    let mut scratch = Scratch::new(dfg.op_ids().count());
+    for seed in dfg.op_ids() {
+        stats.seeds += 1;
+        let mut found = false;
+        let mut w = opts.window_steps.max(1);
+        loop {
+            if scratch.windowed_cone(dfg, schedule, seed, w, max_ops) {
+                found = true;
+                break;
+            }
+            w -= 1;
+            if w == 0 {
+                break;
+            }
+        }
+        if !found || scratch.members.len() < 2 {
+            stats.trivial += 1;
+            continue;
+        }
+        scratch
+            .members
+            .sort_unstable_by_key(|op| (schedule.step(*op), op.index()));
+        let id_hash = scratch
+            .members
+            .iter()
+            .fold(FNV64_OFFSET, |h, op| fnv64(h, op.index() as u64));
+        if !seen_windows.insert(id_hash) {
+            continue;
+        }
+        stats.windows += 1;
+        let window = scratch.members.clone();
+        let fragment = build_fragment(dfg, schedule, seed, window, &mut scratch);
+        if fragment.bailed {
+            stats.bailouts += 1;
+        }
+        fragments.push(fragment);
+    }
+    (fragments, stats)
+}
+
+/// Keys a window in place: WL color refinement over the member ops (no
+/// sub-DFG rebuild, no tie-breaking), hashed as a sorted multiset.
+fn build_fragment(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    seed: OpId,
+    ops: Vec<OpId>,
+    s: &mut Scratch,
+) -> Fragment {
+    let n = ops.len();
+    // `ops` is (step, id)-sorted; windows are tiny (≤ max_ops), so
+    // member lookups are linear scans rather than hash maps.
+    let local = |op: OpId| ops.iter().position(|&m| m == op);
+    let min_step = schedule.step(ops[0]);
+    let mut boundary = BoundarySignature::default();
+    s.producers.clear();
+    s.producers.resize(n, [None, None]);
+    s.consumers.iter_mut().for_each(Vec::clear);
+    s.consumers.resize_with(n.max(s.consumers.len()), Vec::new);
+    s.color.clear();
+    s.external_uses.clear();
+    for (i, &op) in ops.iter().enumerate() {
+        let info = dfg.op(op);
+        let mut seed_color = fnv64(FNV64_OFFSET, info.kind as u64);
+        seed_color = fnv64(seed_color, u64::from(schedule.step(op) - min_step));
+        for (slot, operand) in [info.lhs, info.rhs].into_iter().enumerate() {
+            let class = match operand {
+                Operand::Const(k) => {
+                    boundary.consts += 1;
+                    fnv64(0xC0_u64, k as u64)
+                }
+                // External operands keep a fixed class (their identity
+                // is not shift/permutation-invariant); how often each
+                // distinct external value feeds the window is captured
+                // separately in `external_uses`.
+                Operand::Var(v) => match dfg.var(v).producer.and_then(&local) {
+                    Some(p) => {
+                        s.producers[i][slot] = Some(p);
+                        s.consumers[p].push(i);
+                        0x1A7E_44A1 // intra-window edge; refined below
+                    }
+                    None => {
+                        match s.external_uses.iter_mut().find(|(id, _)| *id == v.0) {
+                            Some((_, uses)) => *uses += 1,
+                            None => {
+                                boundary.inputs += 1;
+                                s.external_uses.push((v.0, 1));
+                            }
+                        }
+                        0xE47E_44A1 // external value
+                    }
+                },
+            };
+            seed_color = fnv64(seed_color, class);
+        }
+        let out = dfg.var(info.out);
+        let escapes = out.is_output || out.consumers.iter().any(|&c| local(c).is_none());
+        if escapes {
+            boundary.outputs += 1;
+        }
+        s.color.push(fnv64(seed_color, u64::from(escapes)));
+    }
+    // Refinement: each round folds in producer colors (port-ordered —
+    // permutation never swaps operands) and the sorted consumer color
+    // multiset. The *values* change every round, so convergence is
+    // judged on the partition: stop once the number of distinct colors
+    // stops growing (WL never merges classes) or every op is singled
+    // out. At most n rounds either way.
+    let mut classes = distinct_count(&s.color, &mut s.sorted);
+    for _ in 0..n {
+        if classes == n {
+            break;
+        }
+        s.next.clear();
+        for i in 0..n {
+            let mut c = fnv64(s.color[i], 0x52_0417);
+            for p in s.producers[i] {
+                c = fnv64(c, p.map_or(0, |p| s.color[p]));
+            }
+            s.sorted.clear();
+            s.sorted.extend(s.consumers[i].iter().map(|&u| s.color[u]));
+            s.sorted.sort_unstable();
+            for &u in &s.sorted {
+                c = fnv64(c, u);
+            }
+            s.next.push(c);
+        }
+        let refined = distinct_count(&s.next, &mut s.sorted);
+        std::mem::swap(&mut s.color, &mut s.next);
+        if refined == classes {
+            break;
+        }
+        classes = refined;
+    }
+    // The key hashes order-invariant views only: sorted final colors,
+    // sorted external use counts, boundary counts, size.
+    s.color.sort_unstable();
+    s.sorted.clear();
+    s.sorted
+        .extend(s.external_uses.iter().map(|&(_, uses)| uses));
+    s.sorted.sort_unstable();
+    let mut key = fnv128(FNV_OFFSET, b"frag1");
+    key = fnv128(key, &(n as u32).to_le_bytes());
+    key = fnv128(key, &boundary.inputs.to_le_bytes());
+    key = fnv128(key, &boundary.outputs.to_le_bytes());
+    key = fnv128(key, &boundary.consts.to_le_bytes());
+    for c in &s.color {
+        key = fnv128(key, &c.to_le_bytes());
+    }
+    for u in &s.sorted {
+        key = fnv128(key, &u.to_le_bytes());
+    }
+    Fragment {
+        seed,
+        key,
+        boundary,
+        bailed: false,
+        ops,
+    }
+}
+
+/// Number of distinct values in `vals` (`buf` is reused scratch).
+fn distinct_count(vals: &[u64], buf: &mut Vec<u64>) -> usize {
+    buf.clear();
+    buf.extend_from_slice(vals);
+    buf.sort_unstable();
+    buf.dedup();
+    buf.len()
+}
+
+/// Rewrites the schedule steps inside a canonical encoding so the
+/// earliest step is 1. Returns `None` if the bytes do not parse as a
+/// [`crate::canon::CanonForm::encoding`] (never the case for encodings
+/// produced by this crate).
+pub fn rebase_encoding(encoding: &[u8]) -> Option<Vec<u8>> {
+    let step_positions = step_positions(encoding)?;
+    let mut min_step = u32::MAX;
+    for &pos in &step_positions {
+        let step = u32::from_le_bytes(encoding[pos..pos + 4].try_into().ok()?);
+        min_step = min_step.min(step);
+    }
+    let mut out = encoding.to_vec();
+    if step_positions.is_empty() || min_step == 1 {
+        return Some(out);
+    }
+    for &pos in &step_positions {
+        let step = u32::from_le_bytes(encoding[pos..pos + 4].try_into().ok()?);
+        out[pos..pos + 4].copy_from_slice(&(step - min_step + 1).to_le_bytes());
+    }
+    Some(out)
+}
+
+/// Byte offsets of every per-op schedule step inside a canonical
+/// encoding, validating the layout along the way.
+fn step_positions(encoding: &[u8]) -> Option<Vec<usize>> {
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let bytes = encoding.get(*pos..*pos + 4)?;
+        *pos += 4;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    };
+    let mut pos = 0usize;
+    let m = take_u32(&mut pos)? as usize;
+    pos = pos.checked_add(m)?; // per-input is_output flags
+    let n = take_u32(&mut pos)? as usize;
+    if n > encoding.len() {
+        return None;
+    }
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        pos = pos.checked_add(1)?; // op kind
+        positions.push(pos);
+        take_u32(&mut pos)?; // step
+        for _ in 0..2 {
+            let tag = *encoding.get(pos)?;
+            pos += 1;
+            match tag {
+                0 => pos = pos.checked_add(4)?, // canonical var id
+                1 => pos = pos.checked_add(8)?, // inline constant
+                _ => return None,
+            }
+        }
+        pos = pos.checked_add(1)?; // is_output flag
+    }
+    if pos == encoding.len() {
+        Some(positions)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::{canonize, permute_scheduled};
+    use crate::corpus::{generate, CorpusKind};
+    use crate::scheduling::asap;
+    use crate::{benchmarks, OpId};
+    use std::collections::BTreeMap;
+
+    fn fir(size: u32) -> (Dfg, Schedule) {
+        let dfg = generate(CorpusKind::Fir, size, 7);
+        let schedule = asap(&dfg);
+        (dfg, schedule)
+    }
+
+    fn shifted(dfg: &Dfg, schedule: &Schedule, k: u32) -> Schedule {
+        let steps: Vec<u32> = schedule.as_slice().iter().map(|s| s + k).collect();
+        Schedule::new(dfg, steps).expect("uniform shifts stay topological")
+    }
+
+    #[test]
+    fn fir_taps_repeat_within_one_design() {
+        let (dfg, schedule) = fir(24);
+        let (fragments, stats) = extract_fragments(&dfg, &schedule, &ExtractOptions::default());
+        assert!(stats.windows >= 8, "expected many windows, got {stats:?}");
+        assert_eq!(stats.windows as usize, fragments.len());
+        let mut by_key: BTreeMap<u128, usize> = BTreeMap::new();
+        for f in &fragments {
+            *by_key.entry(f.key).or_default() += 1;
+        }
+        let repeats: usize = by_key.values().filter(|&&c| c > 1).count();
+        assert!(
+            repeats > 0,
+            "FIR taps are isomorphic; some fragment key must repeat"
+        );
+    }
+
+    #[test]
+    fn windows_are_convex() {
+        let (dfg, schedule) = fir(16);
+        let (fragments, _) = extract_fragments(&dfg, &schedule, &ExtractOptions::default());
+        for f in &fragments {
+            let member: HashSet<OpId> = f.ops.iter().copied().collect();
+            // ancestors-of-members ∩ descendants-of-members ⊆ members.
+            let mut ancestors = HashSet::new();
+            let mut stack: Vec<OpId> = f.ops.clone();
+            while let Some(op) = stack.pop() {
+                for v in dfg.op(op).input_vars() {
+                    if let Some(p) = dfg.var(v).producer {
+                        if ancestors.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            let mut descendants = HashSet::new();
+            let mut stack: Vec<OpId> = f.ops.clone();
+            while let Some(op) = stack.pop() {
+                for &c in &dfg.var(dfg.op(op).out).consumers {
+                    if descendants.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+            for op in dfg.op_ids() {
+                if ancestors.contains(&op) && descendants.contains(&op) {
+                    assert!(
+                        member.contains(&op),
+                        "op {} lies on a path between fragment members but is outside",
+                        op.index()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_keys_survive_whole_design_permutation() {
+        for (kind, size) in [(CorpusKind::Fir, 20), (CorpusKind::Matmul, 16)] {
+            let dfg = generate(kind, size, 3);
+            let schedule = asap(&dfg);
+            let (twin, twin_schedule, _) = permute_scheduled(&dfg, &schedule, 0xD1CE);
+            let opts = ExtractOptions::default();
+            let (base, _) = extract_fragments(&dfg, &schedule, &opts);
+            let (perm, _) = extract_fragments(&twin, &twin_schedule, &opts);
+            let keys = |fs: &[Fragment]| {
+                let mut ks: Vec<u128> = fs.iter().filter(|f| !f.bailed).map(|f| f.key).collect();
+                ks.sort_unstable();
+                ks
+            };
+            assert_eq!(keys(&base), keys(&perm), "{kind:?} fragment keys drifted");
+        }
+    }
+
+    #[test]
+    fn boundary_signatures_count_ports() {
+        let (dfg, schedule) = fir(8);
+        let (fragments, _) = extract_fragments(&dfg, &schedule, &ExtractOptions::default());
+        for f in &fragments {
+            assert!(f.boundary.inputs > 0, "fragments always import values");
+            assert!(
+                f.boundary.outputs > 0,
+                "the seed's value escapes the window"
+            );
+        }
+    }
+
+    #[test]
+    fn rebase_is_identity_on_asap_schedules() {
+        let bench = benchmarks::ex1();
+        let canon = canonize(&bench.dfg, &bench.schedule);
+        let rebased = rebase_encoding(&canon.encoding).expect("well-formed encoding");
+        assert_eq!(rebased, canon.encoding);
+    }
+
+    #[test]
+    fn rebase_collapses_uniform_shifts() {
+        let (dfg, schedule) = fir(12);
+        let base = canonize(&dfg, &schedule);
+        for k in [1u32, 3, 17] {
+            let shifted_schedule = shifted(&dfg, &schedule, k);
+            let moved = canonize(&dfg, &shifted_schedule);
+            assert_ne!(
+                base.encoding, moved.encoding,
+                "absolute steps must differ at k={k}"
+            );
+            assert_eq!(
+                rebase_encoding(&base.encoding).unwrap(),
+                rebase_encoding(&moved.encoding).unwrap(),
+                "rebased encodings must collide at k={k}"
+            );
+            assert_eq!(base.op_perm, moved.op_perm, "relabeling is shift-invariant");
+            assert_eq!(base.var_perm, moved.var_perm);
+        }
+    }
+
+    #[test]
+    fn rebase_rejects_garbage() {
+        assert!(rebase_encoding(&[1, 2, 3]).is_none());
+        let (dfg, schedule) = fir(8);
+        let mut truncated = canonize(&dfg, &schedule).encoding;
+        truncated.pop();
+        assert!(rebase_encoding(&truncated).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Fragment-extraction invariance properties over random scheduled
+//! DFGs: canonical fragment keys never change under a seeded isomorphic
+//! permutation or a uniform schedule shift, and the rebased whole-design
+//! encoding collapses shifted twins onto one memo key — the two facts
+//! the subcanon cache tier rests on.
+
+use proptest::prelude::*;
+
+use lobist_dfg::canon::{canonize, permute};
+use lobist_dfg::random::{random_scheduled_dfg, RandomDfgConfig};
+use lobist_dfg::subcanon::{extract_fragments, rebase_encoding, ExtractOptions};
+use lobist_dfg::{Dfg, Schedule};
+
+/// Sorted multiset of non-bailed fragment keys — the registry's view of
+/// a design.
+fn fragment_keys(dfg: &Dfg, schedule: &Schedule) -> Vec<u128> {
+    let (fragments, _) = extract_fragments(dfg, schedule, &ExtractOptions::default());
+    let mut keys: Vec<u128> = fragments
+        .iter()
+        .filter(|f| !f.bailed)
+        .map(|f| f.key)
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn shifted(dfg: &Dfg, schedule: &Schedule, k: u32) -> Schedule {
+    let steps: Vec<u32> = schedule.as_slice().iter().map(|s| s + k).collect();
+    Schedule::new(dfg, steps).expect("uniform shifts stay topological")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fragment_keys_survive_permutation(seed in any::<u64>(), twist in any::<u64>()) {
+        let cfg = RandomDfgConfig {
+            num_ops: 14,
+            num_inputs: 5,
+            max_ops_per_step: 3,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let base = fragment_keys(&dfg, &schedule);
+        let (p_dfg, p_schedule) = permute(&dfg, &schedule, twist);
+        let twin = fragment_keys(&p_dfg, &p_schedule);
+        prop_assert_eq!(base, twin, "seed {} twist {}", seed, twist);
+    }
+
+    #[test]
+    fn shifts_change_the_encoding_but_not_the_rebased_core(
+        seed in any::<u64>(),
+        k in 1u32..4,
+    ) {
+        let cfg = RandomDfgConfig {
+            num_ops: 14,
+            num_inputs: 5,
+            max_ops_per_step: 3,
+            ..RandomDfgConfig::default()
+        };
+        let (dfg, schedule) = random_scheduled_dfg(seed, &cfg);
+        let base = canonize(&dfg, &schedule);
+        let moved = canonize(&dfg, &shifted(&dfg, &schedule, k));
+        // Absolute steps differ, so the whole-design keys differ...
+        prop_assert_ne!(&base.encoding, &moved.encoding);
+        // ...but the rebased encodings — the synthesis-core memo key —
+        // coincide, as do the (already rebased) fragment keys.
+        prop_assert_eq!(
+            rebase_encoding(&base.encoding).expect("canonical encodings parse"),
+            rebase_encoding(&moved.encoding).expect("canonical encodings parse"),
+            "seed {} k {}", seed, k
+        );
+        prop_assert_eq!(
+            fragment_keys(&dfg, &schedule),
+            fragment_keys(&dfg, &shifted(&dfg, &schedule, k)),
+            "seed {} k {}", seed, k
+        );
+    }
+}

@@ -1,17 +1,20 @@
 //! The engine proper: a job queue drained by a thread pool, fronted by
 //! the content-addressed cache and instrumented by the metrics layer.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use lobist_alloc::explore::{
-    evaluate_candidate_timed, evaluate_canonical_timed, remap_point, Candidate,
+    evaluate_candidate_timed_with_tier, evaluate_canonical_timed_with_tier, remap_point, Candidate,
 };
 use lobist_alloc::flow::{FlowOptions, StageTimings};
+use lobist_alloc::flowcache::FragmentTier;
 use lobist_dfg::canon::canonize;
 use lobist_dfg::parse::to_text;
-use lobist_dfg::Dfg;
+use lobist_dfg::{subcanon, Dfg};
 
+use lobist_store::codec::FragmentRecord;
 use lobist_store::{ResultStore, StoredResult};
 
 use crate::cache::{canonical_job_key, job_key, origin_fingerprint, JobResult, ResultCache};
@@ -78,6 +81,39 @@ pub struct Engine {
     metrics: Metrics,
     progress: Option<ProgressSink>,
     canon: bool,
+    subcanon: Option<Arc<FragmentTier>>,
+    inflight: Mutex<HashMap<u128, Arc<Inflight>>>,
+}
+
+/// One in-flight evaluation other workers can block on (single-flight
+/// dedup of identical concurrent jobs).
+struct Inflight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Poison-tolerant lock: an unrelated panic while a lock was held must
+/// not cascade into every later job (the pool already isolates the
+/// panicking job itself).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Removes the in-flight entry and wakes followers — on the normal exit
+/// *and* when the leader's evaluation panics (via `Drop` during unwind),
+/// so a follower can retry leadership instead of waiting forever.
+struct InflightGuard<'a> {
+    engine: &'a Engine,
+    key: u128,
+    slot: Arc<Inflight>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        lock_ok(&self.engine.inflight).remove(&self.key);
+        *lock_ok(&self.slot.done) = true;
+        self.slot.cv.notify_all();
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -107,7 +143,26 @@ impl Engine {
             metrics: Metrics::new(),
             progress: None,
             canon: true,
+            subcanon: Some(Arc::new(FragmentTier::new())),
+            inflight: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Enables or disables the subgraph-level fragment tier (builder
+    /// style; default on). The tier memoizes the shift-invariant
+    /// synthesis core by rebased canonical encoding and tracks canonical
+    /// fragment keys across designs; results are byte-identical either
+    /// way (shift-invariance is property-tested in the core crate), so
+    /// the toggle exists for the overhead benchmarks and as an escape
+    /// hatch.
+    pub fn with_subcanon(mut self, enabled: bool) -> Self {
+        self.subcanon = enabled.then(|| Arc::new(FragmentTier::new()));
+        self
+    }
+
+    /// `true` when the subgraph-level fragment tier is enabled.
+    pub fn subcanon(&self) -> bool {
+        self.subcanon.is_some()
     }
 
     /// Enables or disables canonical (isomorphism-level) job keys
@@ -176,6 +231,7 @@ impl Engine {
         snap.result_cache = Some(self.cache.stats());
         snap.cache_capacity = self.cache.capacity() as u64;
         snap.store = self.store.as_ref().map(|s| s.stats());
+        snap.subcanon = self.subcanon.as_ref().map(|t| t.stats());
         snap
     }
 
@@ -256,6 +312,49 @@ impl Engine {
         outcomes
     }
 
+    /// Extracts the design's canonical fragments after a fresh
+    /// evaluation, classifies each key against the session registry
+    /// (falling back to the durable store's fragment records, so a
+    /// restarted daemon keeps its cross-design memory), and persists
+    /// first sightings.
+    fn observe_fragments(&self, tier: &FragmentTier, job: &Job, origin: u64) {
+        let t0 = Instant::now();
+        let opts = subcanon::ExtractOptions::default();
+        let (fragments, stats) =
+            subcanon::extract_fragments(&job.dfg, &job.candidate.schedule, &opts);
+        let mut observed = 0u64;
+        for frag in &fragments {
+            if frag.bailed {
+                continue;
+            }
+            observed += 1;
+            let prior = tier.lookup_fragment(frag.key).or_else(|| {
+                let rec = self.store.as_ref()?.get_fragment(frag.key)?;
+                tier.register_fragment(frag.key, rec.origin);
+                Some(rec.origin)
+            });
+            match prior {
+                Some(first_origin) => tier.record_fragment_hit(first_origin != origin),
+                None => {
+                    tier.register_fragment(frag.key, origin);
+                    if let Some(store) = &self.store {
+                        store.put_fragment(
+                            frag.key,
+                            &FragmentRecord {
+                                origin,
+                                size: frag.ops.len() as u32,
+                                inputs: frag.boundary.inputs,
+                                outputs: frag.boundary.outputs,
+                                consts: frag.boundary.consts,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        tier.record_extract(observed, stats.bailouts, t0.elapsed());
+    }
+
     fn run_one(&self, index: usize, job: Job) -> JobOutcome {
         // Canonize first (cheap, microseconds against a synthesis of
         // milliseconds): the canonical encoding keys the cache at
@@ -287,39 +386,17 @@ impl Engine {
                 None => (stored.result, false),
             }
         };
-        if let Some(stored) = self.cache.get(key) {
-            let (result, iso_hit) = unpack(stored);
-            self.metrics.job_done(true);
-            self.emit(&format!(
-                concat!(
-                    "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
-                    "\"cache_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
-                ),
-                index = index,
-                label = job.label,
-                iso = iso_hit,
-                ok = result.is_ok()
-            ));
-            return JobOutcome {
-                label: job.label,
-                result,
-                cache_hit: true,
-                store_hit: false,
-                iso_hit,
-                timings: StageTimings::default(),
-            };
-        }
-        if let Some(store) = &self.store {
-            if let Some(stored) = store.get(key) {
-                // Promote the durable hit into the in-memory tier so a
-                // rerun within this process skips the disk read.
-                self.cache.insert(key, stored.clone());
+        // Single-flight loop: check both cache tiers, then either become
+        // the leader for this key (and fall through to evaluate) or wait
+        // for the in-flight leader and re-check the caches.
+        let _guard = loop {
+            if let Some(stored) = self.cache.get(key) {
                 let (result, iso_hit) = unpack(stored);
-                self.metrics.job_done_from_store();
+                self.metrics.job_done(true);
                 self.emit(&format!(
                     concat!(
                         "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
-                        "\"cache_hit\":false,\"store_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
+                        "\"cache_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
                     ),
                     index = index,
                     label = job.label,
@@ -329,44 +406,119 @@ impl Engine {
                 return JobOutcome {
                     label: job.label,
                     result,
-                    cache_hit: false,
-                    store_hit: true,
+                    cache_hit: true,
+                    store_hit: false,
                     iso_hit,
                     timings: StageTimings::default(),
                 };
             }
-        }
+            if let Some(store) = &self.store {
+                if let Some(stored) = store.get(key) {
+                    // Promote the durable hit into the in-memory tier so a
+                    // rerun within this process skips the disk read.
+                    self.cache.insert(key, stored.clone());
+                    let (result, iso_hit) = unpack(stored);
+                    self.metrics.job_done_from_store();
+                    self.emit(&format!(
+                        concat!(
+                            "{{\"event\":\"job\",\"index\":{index},\"label\":{label:?},",
+                            "\"cache_hit\":false,\"store_hit\":true,\"iso\":{iso},\"ok\":{ok}}}"
+                        ),
+                        index = index,
+                        label = job.label,
+                        iso = iso_hit,
+                        ok = result.is_ok()
+                    ));
+                    return JobOutcome {
+                        label: job.label,
+                        result,
+                        cache_hit: false,
+                        store_hit: true,
+                        iso_hit,
+                        timings: StageTimings::default(),
+                    };
+                }
+            }
+            // Miss in both tiers: either claim leadership of this key or
+            // coalesce onto the worker already evaluating it.
+            let claimed = {
+                let mut map = lock_ok(&self.inflight);
+                match map.get(&key) {
+                    Some(slot) => Err(Arc::clone(slot)),
+                    None => {
+                        let slot = Arc::new(Inflight {
+                            done: Mutex::new(false),
+                            cv: Condvar::new(),
+                        });
+                        map.insert(key, Arc::clone(&slot));
+                        Ok(slot)
+                    }
+                }
+            };
+            match claimed {
+                Ok(slot) => {
+                    break InflightGuard {
+                        engine: self,
+                        key,
+                        slot,
+                    }
+                }
+                Err(slot) => {
+                    // Identical job already running: block on its
+                    // completion, then loop back to the caches. If the
+                    // leader panicked (or its entry was evicted before we
+                    // woke), the re-check misses and we claim leadership
+                    // ourselves — never a wrong result, at worst a second
+                    // evaluation of a pure function.
+                    self.metrics.coalesced();
+                    let mut done = lock_ok(&slot.done);
+                    while !*done {
+                        done = slot.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
         // The expensive part runs outside any lock, so a panic here
         // (caught at the pool's job boundary) cannot poison the cache or
         // the metrics.
-        let (stored, result, timings) = match &canon {
+        let tier = self.subcanon.as_deref();
+        let (stored, result, timings, core_hit) = match &canon {
             Some(c) => {
                 // Store in canonical coordinates, return in the
                 // requester's: every isomorphic requester — this one
                 // included — gets the identical remapped bytes.
-                let (canonical, timings) =
-                    evaluate_canonical_timed(c, &job.candidate.modules, &job.flow);
+                let (canonical, timings, core_hit) =
+                    evaluate_canonical_timed_with_tier(c, &job.candidate.modules, &job.flow, tier);
                 let stored = StoredResult {
                     origin,
                     result: canonical,
                 };
                 self.metrics.canon_remap();
                 let result = remap_point(stored.result.clone(), c, &job.candidate);
-                (stored, result, timings)
+                (stored, result, timings, core_hit)
             }
             None => {
-                let (result, timings) =
-                    evaluate_candidate_timed(&job.dfg, &job.candidate, &job.flow);
+                let (result, timings, core_hit) =
+                    evaluate_candidate_timed_with_tier(&job.dfg, &job.candidate, &job.flow, tier);
                 let stored = StoredResult {
                     origin,
                     result: result.clone(),
                 };
-                (stored, result, timings)
+                (stored, result, timings, core_hit)
             }
         };
         self.cache.insert(key, stored.clone());
         if let Some(store) = &self.store {
             store.put(key, &stored);
+        }
+        // Fragments are observed only when a design was actually
+        // synthesized: a core-memo hit's fragments were registered when
+        // its core was first built, and re-walking them would put the
+        // extraction cost right back on the path the memo just skipped.
+        if !core_hit {
+            if let Some(tier) = &self.subcanon {
+                self.observe_fragments(tier, &job, origin);
+            }
         }
         self.metrics.job_done(false);
         self.metrics.record_stages(&timings);
@@ -466,6 +618,54 @@ mod tests {
         let json = second.metrics().to_json();
         assert!(json.contains("\"store\":{"), "{json}");
         assert!(json.contains("\"store_hits\":1"), "{json}");
+    }
+
+    #[test]
+    fn identical_concurrent_jobs_coalesce_to_one_evaluation() {
+        // Four identical jobs in one parallel batch: exactly one may
+        // evaluate. A follower either coalesces onto the in-flight
+        // leader or arrives after the insert and hits the cache — both
+        // paths end at misses == 1, hits == 3, deterministically.
+        let engine = Engine::new(4);
+        let outcomes = engine.run(vec![
+            ex1_job(FlowOptions::testable()),
+            ex1_job(FlowOptions::testable()),
+            ex1_job(FlowOptions::testable()),
+            ex1_job(FlowOptions::testable()),
+        ]);
+        assert_eq!(outcomes.len(), 4);
+        let baseline = outcomes[0].result.as_ref().expect("synthesizes");
+        for o in &outcomes {
+            let point = o.result.as_ref().expect("synthesizes");
+            assert_eq!(point.latency, baseline.latency);
+            assert_eq!(point.functional_gates, baseline.functional_gates);
+            assert_eq!(point.bist_gates, baseline.bist_gates);
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.cache_misses, 1, "single evaluation for the batch");
+        assert_eq!(snap.cache_hits, 3);
+        let json = snap.to_json();
+        assert!(json.contains("\"coalesced\":"), "{json}");
+    }
+
+    #[test]
+    fn subcanon_tier_reports_metrics_and_can_be_disabled() {
+        let engine = Engine::new(1);
+        assert!(engine.subcanon(), "tier defaults on");
+        engine.run(vec![ex1_job(FlowOptions::testable())]);
+        let snap = engine.metrics();
+        let stats = snap.subcanon.as_ref().expect("tier stats attached");
+        assert_eq!(stats.core_misses, 1, "first evaluation misses the memo");
+        assert!(stats.fragments > 0, "ex1 yields at least one fragment");
+        let json = snap.to_json();
+        assert!(json.contains("\"subcanon\":{\"fragments\":"), "{json}");
+        assert!(json.contains("\"extract_micros_log2\":["), "{json}");
+
+        let off = Engine::new(1).with_subcanon(false);
+        assert!(!off.subcanon());
+        off.run(vec![ex1_job(FlowOptions::testable())]);
+        let json = off.metrics().to_json();
+        assert!(!json.contains("\"subcanon\""), "{json}");
     }
 
     #[test]

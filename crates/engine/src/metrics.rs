@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use lobist_alloc::anneal::AnnealResult;
 use lobist_alloc::flow::StageTimings;
-use lobist_alloc::flowcache::{FlowCacheStats, StageStats};
+use lobist_alloc::flowcache::{FlowCacheStats, StageStats, SubcanonStats};
 use lobist_store::StoreStats;
 
 use crate::anneal::AnnealStats;
@@ -59,6 +59,7 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     store_hits: AtomicU64,
+    coalesced: AtomicU64,
     panics: AtomicU64,
     busy_nanos: AtomicU64,
     // Pool capacity = wall × workers, the denominator of utilization.
@@ -130,6 +131,12 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A job found an identical job already in flight and waited for its
+    /// result instead of evaluating (single-flight deduplication).
+    pub(crate) fn coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn job_panicked(&self) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         self.panics.fetch_add(1, Ordering::Relaxed);
@@ -168,15 +175,15 @@ impl Metrics {
             .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
         let idx = lane_index(stats.lanes);
         self.fs_runs_by_lanes[idx].fetch_add(1, Ordering::Relaxed);
-        self.fs_batches_by_lanes[idx]
-            .fetch_add(stats.counters.batches_loaded, Ordering::Relaxed);
+        self.fs_batches_by_lanes[idx].fetch_add(stats.counters.batches_loaded, Ordering::Relaxed);
     }
 
     /// Accumulates the work accounting of one annealing run
     /// ([`crate::anneal`]).
     pub fn record_anneal(&self, result: &AnnealResult, stats: &AnnealStats) {
         self.an_runs.fetch_add(1, Ordering::Relaxed);
-        self.an_chains.fetch_add(stats.chains as u64, Ordering::Relaxed);
+        self.an_chains
+            .fetch_add(stats.chains as u64, Ordering::Relaxed);
         self.an_evaluated
             .fetch_add(u64::from(result.evaluated), Ordering::Relaxed);
         self.an_accepted
@@ -196,10 +203,18 @@ impl Metrics {
         accumulate_stage(&mut fc.embeddings, &result.flow_cache.embeddings);
         accumulate_stage(&mut fc.selection, &result.flow_cache.selection);
         fc.warm_starts += result.flow_cache.warm_starts;
-        for (acc, &n) in fc.delta_micros.iter_mut().zip(&result.flow_cache.delta_micros) {
+        for (acc, &n) in fc
+            .delta_micros
+            .iter_mut()
+            .zip(&result.flow_cache.delta_micros)
+        {
             *acc += n;
         }
-        for (acc, &n) in fc.full_micros.iter_mut().zip(&result.flow_cache.full_micros) {
+        for (acc, &n) in fc
+            .full_micros
+            .iter_mut()
+            .zip(&result.flow_cache.full_micros)
+        {
             *acc += n;
         }
     }
@@ -257,6 +272,7 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             capacity: Duration::from_nanos(self.capacity_nanos.load(Ordering::Relaxed)),
@@ -307,6 +323,7 @@ impl Metrics {
             cache_capacity: 0,
             store: None,
             server: None,
+            subcanon: None,
         }
     }
 }
@@ -507,6 +524,9 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Jobs answered from the durable store tier.
     pub store_hits: u64,
+    /// Jobs that waited for an identical in-flight job instead of
+    /// evaluating (single-flight deduplication).
+    pub coalesced: u64,
     /// Jobs that panicked (isolated; reported as failures).
     pub panics: u64,
     /// Total time workers spent running jobs.
@@ -540,6 +560,11 @@ pub struct MetricsSnapshot {
     pub store: Option<StoreStats>,
     /// Daemon request accounting, when rendered by `lobist serve`.
     pub server: Option<ServerSnapshot>,
+    /// Fragment-tier counters, when the subcanon tier is enabled
+    /// (attached by [`Engine::metrics`]; `None` renders no section).
+    ///
+    /// [`Engine::metrics`]: crate::Engine::metrics
+    pub subcanon: Option<SubcanonStats>,
 }
 
 impl MetricsSnapshot {
@@ -622,7 +647,10 @@ impl MetricsSnapshot {
         }
         // Optional gauges inside the "cache" section: present once the
         // engine attaches the live cache view.
-        let mut cache_extra = format!(",\"store_hits\":{}", self.store_hits);
+        let mut cache_extra = format!(
+            ",\"store_hits\":{},\"coalesced\":{}",
+            self.store_hits, self.coalesced
+        );
         if let Some(rc) = &self.result_cache {
             let _ = write!(
                 cache_extra,
@@ -633,6 +661,25 @@ impl MetricsSnapshot {
         // Optional trailing sections for the durable store and the
         // daemon.
         let mut tail = String::new();
+        if let Some(sc) = &self.subcanon {
+            let _ = write!(
+                tail,
+                concat!(
+                    ",\"subcanon\":{{\"fragments\":{},\"intra_hits\":{},",
+                    "\"cross_hits\":{},\"bailouts\":{},\"core_hits\":{},",
+                    "\"core_misses\":{},\"registry_entries\":{},",
+                    "\"extract_micros_log2\":[{}]}}"
+                ),
+                sc.fragments,
+                sc.intra_hits,
+                sc.cross_hits,
+                sc.bailouts,
+                sc.core_hits,
+                sc.core_misses,
+                sc.registry_entries,
+                trim_row(&sc.extract_micros_log2),
+            );
+        }
         if let Some(store) = &self.store {
             let _ = write!(tail, ",\"store\":{}", store_json(store));
         }
@@ -778,7 +825,10 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"submitted\":3"), "{json}");
         assert!(json.contains("\"hit_rate\":0.5000"), "{json}");
-        assert!(json.contains("\"register_alloc\":[0,0,0,0,0,0,0,0,0,1]"), "{json}");
+        assert!(
+            json.contains("\"register_alloc\":[0,0,0,0,0,0,0,0,0,1]"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -805,7 +855,10 @@ mod tests {
         assert_eq!(snap.fault_sim.runs_by_lanes, [0, 1, 0]);
         assert_eq!(snap.fault_sim.batches_by_lanes, [0, 4, 0]);
         let json = snap.to_json();
-        assert!(json.contains("\"fault_sim\":{\"batches_loaded\":4"), "{json}");
+        assert!(
+            json.contains("\"fault_sim\":{\"batches_loaded\":4"),
+            "{json}"
+        );
         assert!(json.contains("\"cone_evals\":700"), "{json}");
         assert!(json.contains("\"wall_micros\":1500"), "{json}");
         assert!(

@@ -15,8 +15,8 @@ fn load_design(name: &str) -> Dfg {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../designs")
         .join(name);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     // `parse_unscheduled_dfg` ignores `@ step` annotations, so it loads
     // both the unscheduled diffeq.dfg and the scheduled ex1.dfg.
     parse_unscheduled_dfg(&text).expect("valid design file")
@@ -76,7 +76,11 @@ fn repeated_sweep_hits_the_cache_with_identical_results() {
         let config = ExploreConfig::new(sets);
         let engine = Engine::new(4);
         let first = explore_parallel(&dfg, &config, &engine);
-        assert_eq!(engine.metrics().cache_hits, 0, "{name}: cold run hit the cache");
+        assert_eq!(
+            engine.metrics().cache_hits,
+            0,
+            "{name}: cold run hit the cache"
+        );
         let second = explore_parallel(&dfg, &config, &engine);
         let metrics = engine.metrics();
         assert!(
@@ -114,7 +118,10 @@ mod anneal_identity {
             let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
             let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
                 .expect("module assignment");
-            let base = AnnealConfig { iterations: 80, ..Default::default() };
+            let base = AnnealConfig {
+                iterations: 80,
+                ..Default::default()
+            };
             let serial = anneal_registers(
                 &bench.dfg,
                 &bench.schedule,
@@ -154,7 +161,10 @@ mod anneal_identity {
             let flow = FlowOptions::testable().with_lifetimes(bench.lifetime_options);
             let ma = assign_modules(&bench.dfg, &bench.schedule, &bench.module_allocation)
                 .expect("module assignment");
-            let config = AnnealConfig { iterations: 50, ..Default::default() };
+            let config = AnnealConfig {
+                iterations: 50,
+                ..Default::default()
+            };
             let reference = anneal_multichain(
                 &bench.dfg,
                 &bench.schedule,
@@ -184,7 +194,11 @@ mod anneal_identity {
                     "{}: best-of differs at {workers} workers",
                     bench.name
                 );
-                assert_eq!(reference.1.chain_overheads, stats.chain_overheads, "{}", bench.name);
+                assert_eq!(
+                    reference.1.chain_overheads, stats.chain_overheads,
+                    "{}",
+                    bench.name
+                );
                 assert_eq!(reference.1.best_chain, stats.best_chain, "{}", bench.name);
             }
         }
@@ -235,7 +249,10 @@ mod canonical_cache {
     /// equality the system offers (every embedding, register class and
     /// schedule step is encoded).
     fn bytes(result: &JobResult) -> Vec<u8> {
-        codec::encode(&StoredResult { origin: 0, result: result.clone() })
+        codec::encode(&StoredResult {
+            origin: 0,
+            result: result.clone(),
+        })
     }
 
     #[test]
@@ -294,8 +311,13 @@ mod canonical_cache {
         // must not perturb a single output byte — for the original or
         // for its twins.
         for bench in [benchmarks::ex1(), benchmarks::paulin()] {
-            let jobs =
-                |label: &str| vec![job(&bench, label), twin_job(&bench, 7), twin_job(&bench, 23)];
+            let jobs = |label: &str| {
+                vec![
+                    job(&bench, label),
+                    twin_job(&bench, 7),
+                    twin_job(&bench, 23),
+                ]
+            };
             let on = Engine::new(2).with_canon(true).run(jobs("on"));
             let off = Engine::new(2).with_canon(false).run(jobs("off"));
             assert_eq!(on.len(), off.len());
@@ -312,9 +334,148 @@ mod canonical_cache {
             let first = plain.run(jobs("off-first"));
             let twins = plain.run(vec![twin_job(&bench, 7)]);
             assert!(first.iter().all(|o| !o.cache_hit), "{}", bench.name);
-            assert!(twins[0].cache_hit, "{}: exact resubmission still hits", bench.name);
+            assert!(
+                twins[0].cache_hit,
+                "{}: exact resubmission still hits",
+                bench.name
+            );
             assert!(!twins[0].iso_hit, "{}", bench.name);
             assert_eq!(plain.metrics().canon.iso_hits, 0, "{}", bench.name);
+        }
+    }
+}
+
+mod subcanon_identity {
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    use lobist_alloc::explore::Candidate;
+    use lobist_alloc::flow::FlowOptions;
+    use lobist_dfg::benchmarks;
+    use lobist_dfg::corpus::{generate, CorpusKind};
+    use lobist_dfg::modules::ModuleSet;
+    use lobist_dfg::parse::parse_unscheduled_dfg;
+    use lobist_dfg::scheduling::list_schedule;
+    use lobist_dfg::Schedule;
+    use lobist_engine::{Engine, Job, JobResult};
+    use lobist_store::{codec, StoredResult};
+
+    /// The store codec's byte rendering — the strictest equality the
+    /// system offers.
+    fn bytes(result: &JobResult) -> Vec<u8> {
+        codec::encode(&StoredResult {
+            origin: 0,
+            result: result.clone(),
+        })
+    }
+
+    /// The same design one control step later: a whole-design cache
+    /// miss whose rebased synthesis core the fragment tier must answer.
+    fn shifted_twin(job: &Job, k: u32) -> Job {
+        let steps: Vec<u32> = job
+            .candidate
+            .schedule
+            .as_slice()
+            .iter()
+            .map(|s| s + k)
+            .collect();
+        let schedule = Schedule::new(&job.dfg, steps).expect("uniform shifts stay topological");
+        Job {
+            dfg: Arc::clone(&job.dfg),
+            candidate: Candidate {
+                modules: job.candidate.modules.clone(),
+                schedule,
+            },
+            flow: job.flow.clone(),
+            label: format!("{}+{k}", job.label),
+        }
+    }
+
+    /// Every design file in `designs/`, the paper suite, and a corpus
+    /// sweep — each followed by its shifted twin so the batch contains
+    /// memo-hit work, not just misses.
+    fn workload() -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for bench in benchmarks::paper_suite() {
+            jobs.push(Job {
+                dfg: Arc::new(bench.dfg.clone()),
+                candidate: Candidate {
+                    modules: bench.module_allocation.clone(),
+                    schedule: bench.schedule.clone(),
+                },
+                flow: FlowOptions::testable().with_lifetimes(bench.lifetime_options),
+                label: bench.name.clone(),
+            });
+        }
+        let modules: ModuleSet = "1+,1*,1-".parse().expect("module set");
+        let designs_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../designs");
+        let mut names: Vec<_> = std::fs::read_dir(&designs_dir)
+            .expect("designs dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .filter(|n| n.ends_with(".dfg"))
+            .collect();
+        names.sort();
+        for name in names {
+            let text = std::fs::read_to_string(designs_dir.join(&name)).expect("read design");
+            let dfg = parse_unscheduled_dfg(&text).expect("valid design file");
+            let schedule = list_schedule(&dfg, &modules).expect("designs schedule");
+            jobs.push(Job {
+                dfg: Arc::new(dfg),
+                candidate: Candidate {
+                    modules: modules.clone(),
+                    schedule,
+                },
+                flow: FlowOptions::testable(),
+                label: name,
+            });
+        }
+        for (kind, size) in [
+            (CorpusKind::Fir, 16),
+            (CorpusKind::Iir, 12),
+            (CorpusKind::Matmul, 12),
+            (CorpusKind::Diffeq, 12),
+        ] {
+            let dfg = generate(kind, size, 5);
+            let schedule = list_schedule(&dfg, &modules).expect("corpus designs schedule");
+            jobs.push(Job {
+                dfg: Arc::new(dfg),
+                candidate: Candidate {
+                    modules: modules.clone(),
+                    schedule,
+                },
+                flow: FlowOptions::testable(),
+                label: format!("{}{size}", kind.name()),
+            });
+        }
+        let twins: Vec<Job> = jobs.iter().map(|j| shifted_twin(j, 1)).collect();
+        jobs.extend(twins);
+        jobs
+    }
+
+    #[test]
+    fn subcanon_toggle_never_changes_result_bytes_serial_and_parallel() {
+        let jobs = workload();
+        let reference = Engine::new(1).with_subcanon(false).run(jobs.clone());
+        let expected: Vec<Vec<u8>> = reference.iter().map(|o| bytes(&o.result)).collect();
+        for (workers, subcanon) in [(1usize, true), (4, true), (4, false)] {
+            let engine = Engine::new(workers).with_subcanon(subcanon);
+            let run = engine.run(jobs.clone());
+            assert_eq!(run.len(), expected.len());
+            for (o, want) in run.iter().zip(&expected) {
+                assert_eq!(
+                    &bytes(&o.result),
+                    want,
+                    "{}: subcanon={subcanon} workers={workers} diverged",
+                    o.label
+                );
+            }
+            if subcanon {
+                let stats = engine.metrics().subcanon.expect("tier stats");
+                assert!(
+                    stats.core_hits > 0,
+                    "workers={workers}: shifted twins never hit the core memo"
+                );
+            }
         }
     }
 }

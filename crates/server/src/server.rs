@@ -60,6 +60,12 @@ pub struct ServerConfig {
     /// answered from cache as an `"iso"` hit. Results are byte-identical
     /// either way; `false` restores exact-text keying.
     pub canon: bool,
+    /// Subgraph-level fragment tier: when `true` (the default), the
+    /// shift-invariant synthesis core is memoized by rebased canonical
+    /// encoding and canonical DFG fragments are tracked across designs
+    /// (with durable fragment records when a store is attached).
+    /// Results are byte-identical either way.
+    pub subcanon: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             store: None,
             store_max_bytes: DiskStoreConfig::default().max_bytes,
             canon: true,
+            subcanon: true,
         }
     }
 }
@@ -171,14 +178,13 @@ impl Shared {
             return Err("server is shutting down".into());
         }
         if st.waiting >= self.config.max_queue {
-            return Err(format!(
-                "queue full ({} requests waiting)",
-                st.waiting
-            ));
+            return Err(format!("queue full ({} requests waiting)", st.waiting));
         }
         let depth = st.waiting as u64;
         st.waiting += 1;
-        self.stats.queue_depth.store(st.waiting as u64, Ordering::Relaxed);
+        self.stats
+            .queue_depth
+            .store(st.waiting as u64, Ordering::Relaxed);
         self.stats
             .peak_queue_depth
             .fetch_max(st.waiting as u64, Ordering::Relaxed);
@@ -186,7 +192,9 @@ impl Shared {
             st = self.gate.cv.wait(st).expect("gate lock");
         }
         st.waiting -= 1;
-        self.stats.queue_depth.store(st.waiting as u64, Ordering::Relaxed);
+        self.stats
+            .queue_depth
+            .store(st.waiting as u64, Ordering::Relaxed);
         if self.shutting_down() {
             self.gate.cv.notify_all();
             return Err("server is shutting down".into());
@@ -270,7 +278,9 @@ impl Server {
             }
             None => None,
         };
-        let mut engine = Engine::new(config.workers.max(1)).with_canon(config.canon);
+        let mut engine = Engine::new(config.workers.max(1))
+            .with_canon(config.canon)
+            .with_subcanon(config.subcanon);
         if let Some(path) = &config.store {
             let store: Arc<dyn ResultStore> = Arc::new(DiskStore::open(
                 path,
@@ -509,11 +519,7 @@ fn handle_connection(conn: Conn, shared: &Arc<Shared>) {
 
 /// Serves one request line. Returns `Ok(false)` when the connection
 /// should close (after a shutdown request).
-fn serve_request(
-    line: &str,
-    out: &mut Conn,
-    shared: &Arc<Shared>,
-) -> std::io::Result<bool> {
+fn serve_request(line: &str, out: &mut Conn, shared: &Arc<Shared>) -> std::io::Result<bool> {
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let request = match parse_request(line) {
         Ok(r) => r,

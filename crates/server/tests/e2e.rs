@@ -62,13 +62,19 @@ fn sequential_clients_share_cache_and_restart_hits_the_store() {
     // First client: fresh evaluation, written through to the store.
     let first = client::submit(&endpoint, &synth_request()).expect("first submit");
     let first_result = event(&first, "result").clone();
-    assert!(event(&first, "done").contains("\"cache\":\"fresh\""), "{first:?}");
+    assert!(
+        event(&first, "done").contains("\"cache\":\"fresh\""),
+        "{first:?}"
+    );
     assert!(first_result.contains("\"point\":{"), "{first_result}");
 
     // Second client, same daemon: answered from memory, byte-identical
     // result event (ids differ; the payload must not).
     let second = client::submit(&endpoint, &synth_request()).expect("second submit");
-    assert!(event(&second, "done").contains("\"cache\":\"memory\""), "{second:?}");
+    assert!(
+        event(&second, "done").contains("\"cache\":\"memory\""),
+        "{second:?}"
+    );
     assert_eq!(
         payload_of(&first_result),
         payload_of(event(&second, "result")),
@@ -83,8 +89,14 @@ fn sequential_clients_share_cache_and_restart_hits_the_store() {
     // the payload is still byte-identical.
     let (endpoint, thread) = start(config);
     let third = client::submit(&endpoint, &synth_request()).expect("post-restart submit");
-    assert!(event(&third, "done").contains("\"cache\":\"store\""), "{third:?}");
-    assert_eq!(payload_of(&first_result), payload_of(event(&third, "result")));
+    assert!(
+        event(&third, "done").contains("\"cache\":\"store\""),
+        "{third:?}"
+    );
+    assert_eq!(
+        payload_of(&first_result),
+        payload_of(event(&third, "result"))
+    );
 
     // The metrics JSON reports the store section with the hit.
     let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
@@ -109,7 +121,10 @@ fn permuted_twin_is_answered_as_an_iso_hit() {
     let (endpoint, thread) = start(ServerConfig::default());
 
     let first = client::submit(&endpoint, &synth_request()).expect("first submit");
-    assert!(event(&first, "done").contains("\"cache\":\"fresh\""), "{first:?}");
+    assert!(
+        event(&first, "done").contains("\"cache\":\"fresh\""),
+        "{first:?}"
+    );
     let first_result = event(&first, "result").clone();
 
     // The twin never synthesizes: the canonical cache answers it as an
@@ -120,8 +135,14 @@ fn permuted_twin_is_answered_as_an_iso_hit() {
         lobist_server::json::escape(twin)
     );
     let second = client::submit(&endpoint, &req).expect("twin submit");
-    assert!(event(&second, "done").contains("\"cache\":\"iso\""), "{second:?}");
-    assert_eq!(payload_of(&first_result), payload_of(event(&second, "result")));
+    assert!(
+        event(&second, "done").contains("\"cache\":\"iso\""),
+        "{second:?}"
+    );
+    assert_eq!(
+        payload_of(&first_result),
+        payload_of(event(&second, "result"))
+    );
 
     // The metrics JSON carries the canon section with the iso hit.
     let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
@@ -168,6 +189,50 @@ fn concurrent_clients_get_identical_results() {
 }
 
 #[test]
+fn concurrent_identical_requests_coalesce_to_one_evaluation() {
+    // Wide-open admission so identical requests genuinely overlap. The
+    // engine's single-flight layer guarantees exactly one evaluation:
+    // a follower either coalesces onto the in-flight leader or arrives
+    // after the insert and hits the cache — both end at misses == 1,
+    // hits == 3, deterministically, with identical payloads.
+    let config = ServerConfig {
+        workers: 4,
+        max_active: 8,
+        max_request_jobs: 8,
+        ..ServerConfig::default()
+    };
+    let (endpoint, thread) = start(config);
+    let mut workers = Vec::new();
+    for _ in 0..4 {
+        let endpoint = endpoint.clone();
+        workers.push(std::thread::spawn(move || {
+            client::submit(&endpoint, &synth_request()).expect("submit")
+        }));
+    }
+    let runs: Vec<Vec<String>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let reference = payload_of(event(&runs[0], "result"));
+    for run in &runs[1..] {
+        assert_eq!(reference, payload_of(event(run, "result")));
+    }
+    let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
+    let line = event(&metrics, "metrics");
+    assert!(
+        line.contains("\"cache\":{\"hits\":3,\"misses\":1"),
+        "single-flight must leave one miss and three hits: {line}"
+    );
+    // The coalesced counter is rendered (its exact value depends on
+    // timing: a late follower hits the cache without ever waiting).
+    assert!(line.contains("\"coalesced\":"), "{line}");
+    // The fragment tier is on by default and reports its section.
+    assert!(line.contains("\"subcanon\":{\"fragments\":"), "{line}");
+    shutdown(&endpoint);
+    thread.join().expect("run thread").expect("clean shutdown");
+}
+
+#[test]
 fn unix_socket_round_trips_every_command_kind() {
     let dir = temp_dir("unix");
     let sock = dir.join("lobist.sock");
@@ -198,7 +263,10 @@ fn unix_socket_round_trips_every_command_kind() {
         ),
     )
     .expect("explore");
-    assert!(event(&explore, "result").contains("\"pareto\":["), "{explore:?}");
+    assert!(
+        event(&explore, "result").contains("\"pareto\":["),
+        "{explore:?}"
+    );
 
     let lint = client::submit(
         &endpoint,
@@ -208,7 +276,10 @@ fn unix_socket_round_trips_every_command_kind() {
         ),
     )
     .expect("lint");
-    assert!(event(&lint, "result").contains("\"clean\":true"), "{lint:?}");
+    assert!(
+        event(&lint, "result").contains("\"clean\":true"),
+        "{lint:?}"
+    );
 
     shutdown(&endpoint);
     thread.join().expect("run thread").expect("clean shutdown");
@@ -227,17 +298,29 @@ fn malformed_and_oversized_requests_are_rejected() {
     assert!(event(&bad, "error").contains("invalid JSON"), "{bad:?}");
 
     let unknown = client::submit(&endpoint, r#"{"cmd":"levitate"}"#).expect("submit");
-    assert!(event(&unknown, "error").contains("unknown command"), "{unknown:?}");
+    assert!(
+        event(&unknown, "error").contains("unknown command"),
+        "{unknown:?}"
+    );
 
     let oversized = client::submit(&endpoint, &synth_request()).expect("submit");
-    assert!(event(&oversized, "error").contains("design too large"), "{oversized:?}");
+    assert!(
+        event(&oversized, "error").contains("design too large"),
+        "{oversized:?}"
+    );
 
     let missing = client::submit(&endpoint, r#"{"cmd":"synth","modules":"1+"}"#).expect("submit");
-    assert!(event(&missing, "error").contains("missing field `design`"), "{missing:?}");
+    assert!(
+        event(&missing, "error").contains("missing field `design`"),
+        "{missing:?}"
+    );
 
     // Rejections are counted, and the daemon still works afterwards.
     let metrics = client::submit(&endpoint, r#"{"cmd":"metrics"}"#).expect("metrics");
-    assert!(event(&metrics, "metrics").contains("\"rejected\":"), "{metrics:?}");
+    assert!(
+        event(&metrics, "metrics").contains("\"rejected\":"),
+        "{metrics:?}"
+    );
     shutdown(&endpoint);
     thread.join().expect("run thread").expect("clean shutdown");
 }
@@ -255,7 +338,10 @@ fn faultsim_results_are_byte_identical_across_lane_widths() {
             lobist_server::json::escape(DESIGN)
         );
         let events = client::submit(&endpoint, &req).expect("faultsim submit");
-        assert!(event(&events, "done").contains("\"cache\":\"none\""), "{events:?}");
+        assert!(
+            event(&events, "done").contains("\"cache\":\"none\""),
+            "{events:?}"
+        );
         let line = event(&events, "result");
         line.split_once(",\"faultsim\":")
             .unwrap_or_else(|| panic!("no faultsim payload in {line}"))
@@ -301,7 +387,10 @@ fn anneal_and_faultsim_run_on_the_daemon() {
     )
     .expect("anneal");
     let line = event(&anneal, "result");
-    assert!(line.contains("\"anneal\":{\"iterations\":30,\"seed\":48879"), "{line}");
+    assert!(
+        line.contains("\"anneal\":{\"iterations\":30,\"seed\":48879"),
+        "{line}"
+    );
     assert!(line.contains("\"overhead\":"), "{line}");
 
     let fs = client::submit(

@@ -31,6 +31,12 @@ pub const FORMAT_VERSION: u8 = 2;
 
 const TAG_OK: u8 = 0;
 const TAG_ERR: u8 = 1;
+/// Record kind introduced by the fragment tier: the payload describes a
+/// canonical DFG fragment sighting, not a job result. Still format
+/// version 2 — the tag sits in the position result records use, so old
+/// readers fail with a clean `BadTag` instead of misreading, and v2 logs
+/// containing a mix of result and fragment records replay compatibly.
+const TAG_FRAG: u8 = 2;
 
 const SOURCE_REGISTER: u8 = 0;
 const SOURCE_INPUT: u8 = 1;
@@ -137,10 +143,14 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let n = self.u32()? as usize;
@@ -158,6 +168,74 @@ impl<'a> Reader<'a> {
             other => Err(CodecError::BadTag("pattern source", other)),
         }
     }
+}
+
+/// One persisted fragment sighting: which design (by origin
+/// fingerprint) first exhibited a canonical fragment key, plus the
+/// fragment's size and boundary-port signature. Keyed in the store under
+/// a namespaced key derived from the canonical fragment key, so fragment
+/// records never shadow job results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentRecord {
+    /// Origin fingerprint of the first design exhibiting the fragment.
+    pub origin: u64,
+    /// Operations in the fragment.
+    pub size: u32,
+    /// External values feeding the fragment.
+    pub inputs: u32,
+    /// Values produced inside and visible outside.
+    pub outputs: u32,
+    /// Inline constant operands.
+    pub consts: u32,
+}
+
+/// Serializes one fragment record as a self-describing byte payload
+/// (same format version as result records, distinguished by tag).
+pub fn encode_fragment(rec: &FragmentRecord) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(32));
+    w.u8(FORMAT_VERSION);
+    w.u64(rec.origin);
+    w.u8(TAG_FRAG);
+    w.u32(rec.size);
+    w.u32(rec.inputs);
+    w.u32(rec.outputs);
+    w.u32(rec.consts);
+    w.0
+}
+
+/// Reconstructs a fragment record from a payload produced by
+/// [`encode_fragment`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on unknown versions, truncation, trailing
+/// bytes, or when the payload is a result record rather than a fragment
+/// record.
+pub fn decode_fragment(payload: &[u8]) -> Result<FragmentRecord, CodecError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnknownVersion(version));
+    }
+    let origin = r.u64()?;
+    match r.u8()? {
+        TAG_FRAG => {}
+        other => return Err(CodecError::BadTag("fragment", other)),
+    }
+    let rec = FragmentRecord {
+        origin,
+        size: r.u32()?,
+        inputs: r.u32()?,
+        outputs: r.u32()?,
+        consts: r.u32()?,
+    };
+    if r.pos != payload.len() {
+        return Err(CodecError::TrailingBytes(payload.len() - r.pos));
+    }
+    Ok(rec)
 }
 
 /// Serializes one stored result as a self-describing byte payload.
@@ -211,7 +289,10 @@ pub fn encode(stored: &StoredResult) -> Vec<u8> {
 /// version, truncated, carries trailing bytes, or contains a value no
 /// current type maps to.
 pub fn decode(payload: &[u8]) -> Result<StoredResult, CodecError> {
-    let mut r = Reader { buf: payload, pos: 0 };
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
     let version = r.u8()?;
     if version != FORMAT_VERSION {
         return Err(CodecError::UnknownVersion(version));
@@ -386,6 +467,59 @@ mod tests {
         }
         let err = decode(&v1).expect_err("v1 must be rejected");
         assert_eq!(err, CodecError::UnknownVersion(1));
+    }
+
+    #[test]
+    fn fragment_round_trip_is_byte_identical() {
+        let rec = FragmentRecord {
+            origin: 0xFEED_F00D,
+            size: 6,
+            inputs: 4,
+            outputs: 2,
+            consts: 1,
+        };
+        let bytes = encode_fragment(&rec);
+        let decoded = decode_fragment(&bytes).expect("decodes");
+        assert_eq!(decoded, rec);
+        assert_eq!(encode_fragment(&decoded), bytes);
+    }
+
+    #[test]
+    fn fragment_and_result_payloads_reject_each_other() {
+        let frag = encode_fragment(&FragmentRecord {
+            origin: 1,
+            size: 2,
+            inputs: 3,
+            outputs: 1,
+            consts: 0,
+        });
+        assert_eq!(
+            decode(&frag).expect_err("result decoder must refuse fragments"),
+            CodecError::BadTag("result", TAG_FRAG)
+        );
+        let result = encode(&stored(Err(("m".into(), "e".into()))));
+        assert_eq!(
+            decode_fragment(&result).expect_err("fragment decoder must refuse results"),
+            CodecError::BadTag("fragment", TAG_ERR)
+        );
+    }
+
+    #[test]
+    fn truncated_fragment_payloads_fail_cleanly() {
+        let bytes = encode_fragment(&FragmentRecord {
+            origin: 9,
+            size: 5,
+            inputs: 2,
+            outputs: 1,
+            consts: 0,
+        });
+        for len in 0..bytes.len() {
+            let err = decode_fragment(&bytes[..len]).expect_err("must not decode");
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::UnknownVersion(_)),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -40,11 +40,11 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use crate::codec::{self, CodecError};
+use crate::codec::{self, CodecError, FragmentRecord};
 use crate::{ResultStore, StoreStats, StoredResult};
 
 /// File magic: store name plus format version. Bump the trailing
@@ -52,6 +52,18 @@ use crate::{ResultStore, StoreStats, StoredResult};
 pub const MAGIC: [u8; 8] = *b"LOBST001";
 
 const RECORD_HEADER_LEN: u64 = 16 + 4 + 4;
+
+/// Replay reads the log through a buffer this large instead of
+/// slurping the whole file: open-time memory stays flat no matter how
+/// big the log grew.
+const REPLAY_BUF_LEN: usize = 64 << 10;
+
+/// XOR mask that moves fragment keys into their own index namespace
+/// (`b"FRAG"` repeated). Job-result keys and fragment keys are hashes
+/// over disjoint byte domains, but the log index is one map — the mask
+/// makes the separation structural, so a fragment record can never
+/// shadow a job result (or vice versa) even on a hash collision.
+const FRAGMENT_KEY_NS: u128 = 0x4652_4147_4652_4147_4652_4147_4652_4147;
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), bitwise — records are
 /// small enough that a table buys nothing measurable.
@@ -82,7 +94,9 @@ impl Default for DiskStoreConfig {
     fn default() -> Self {
         // Generous for result records (a few hundred bytes each) while
         // still bounded: ~64 MiB holds on the order of 10^5 results.
-        Self { max_bytes: 64 << 20 }
+        Self {
+            max_bytes: 64 << 20,
+        }
     }
 }
 
@@ -140,40 +154,63 @@ impl DiskStore {
             file.sync_all()?;
             MAGIC.len() as u64
         } else {
-            let mut contents = Vec::with_capacity(len as usize);
             file.seek(SeekFrom::Start(0))?;
-            file.read_to_end(&mut contents)?;
-            if contents.len() < MAGIC.len() || contents[..MAGIC.len()] != MAGIC {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{} is not a lobist store (bad magic)", path.display()),
-                ));
-            }
-            let mut pos = MAGIC.len() as u64;
-            loop {
-                match parse_record(&contents, pos) {
-                    Some((key, payload_len)) => {
-                        tick += 1;
-                        index.insert(
-                            key,
-                            Entry {
-                                offset: pos,
-                                payload_len,
-                                tick,
-                            },
-                        );
-                        pos += RECORD_HEADER_LEN + payload_len as u64;
+            let pos = {
+                // Stream the replay through a fixed-size buffer; only
+                // one record's payload is ever resident at a time.
+                let mut reader = BufReader::with_capacity(REPLAY_BUF_LEN, &mut file);
+                let mut magic = [0u8; MAGIC.len()];
+                if read_fill(&mut reader, &mut magic)? != MAGIC.len() || magic != MAGIC {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{} is not a lobist store (bad magic)", path.display()),
+                    ));
+                }
+                let mut pos = MAGIC.len() as u64;
+                let mut header = [0u8; RECORD_HEADER_LEN as usize];
+                loop {
+                    let got = read_fill(&mut reader, &mut header)?;
+                    if got == 0 {
+                        break; // clean end of log
                     }
-                    None => {
-                        if pos < contents.len() as u64 {
-                            // Partial or corrupt tail: cut it off.
-                            file.set_len(pos)?;
-                            file.sync_all()?;
-                            stats.recovered_drops += 1;
-                        }
+                    if got < header.len() {
+                        break; // torn header at the tail
+                    }
+                    let key = u128::from_le_bytes(header[..16].try_into().expect("16 bytes"));
+                    let payload_len =
+                        u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+                    let crc = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+                    // A corrupt length field could otherwise demand an
+                    // absurd allocation; the record cannot extend past
+                    // the file, so cap it there before trusting it.
+                    if pos + RECORD_HEADER_LEN + payload_len as u64 > len {
                         break;
                     }
+                    let mut payload = vec![0u8; payload_len as usize];
+                    if read_fill(&mut reader, &mut payload)? < payload.len() {
+                        break; // torn payload at the tail
+                    }
+                    if crc32(&[&header[..20], &payload]) != crc {
+                        break; // corrupt record
+                    }
+                    tick += 1;
+                    index.insert(
+                        key,
+                        Entry {
+                            offset: pos,
+                            payload_len,
+                            tick,
+                        },
+                    );
+                    pos += RECORD_HEADER_LEN + payload_len as u64;
                 }
+                pos
+            };
+            if pos < len {
+                // Partial or corrupt tail: cut it off.
+                file.set_len(pos)?;
+                file.sync_all()?;
+                stats.recovered_drops += 1;
             }
             pos
         };
@@ -198,24 +235,21 @@ impl DiskStore {
     }
 }
 
-/// Validates the record starting at `pos`, returning its key and
-/// payload length, or `None` if the bytes there do not form a complete,
-/// CRC-clean record.
-fn parse_record(contents: &[u8], pos: u64) -> Option<(u128, u32)> {
-    let pos = pos as usize;
-    if contents.len() == pos {
-        return None; // clean end of log
+/// Fills `buf` from `reader` as far as the stream allows, returning the
+/// number of bytes read. Unlike `read_exact`, a short count is an
+/// answer (the log ends mid-record — torn tail), not an error; only
+/// real I/O failures propagate.
+fn read_fill(reader: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
-    let header = contents.get(pos..pos + RECORD_HEADER_LEN as usize)?;
-    let key = u128::from_le_bytes(header[..16].try_into().expect("16 bytes"));
-    let payload_len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
-    let start = pos + RECORD_HEADER_LEN as usize;
-    let payload = contents.get(start..start + payload_len as usize)?;
-    if crc32(&[&header[..20], payload]) != crc {
-        return None;
-    }
-    Some((key, payload_len))
+    Ok(filled)
 }
 
 impl Inner {
@@ -264,8 +298,7 @@ impl Inner {
     /// most-recently-used entries surviving first.
     fn compact(&mut self) -> std::io::Result<()> {
         let budget = (self.max_bytes / 4 * 3).max(1);
-        let mut live: Vec<(u128, Entry)> =
-            self.index.iter().map(|(&k, &e)| (k, e)).collect();
+        let mut live: Vec<(u128, Entry)> = self.index.iter().map(|(&k, &e)| (k, e)).collect();
         // Most recent first for the keep decision...
         live.sort_by_key(|(_, e)| std::cmp::Reverse(e.tick));
         let mut kept_bytes = 0u64;
@@ -318,8 +351,7 @@ impl Inner {
         self.tick = new_index.len() as u64;
         self.index = new_index;
         self.stats.entries = self.index.len() as u64;
-        self.stats.payload_bytes =
-            self.index.values().map(|e| e.payload_len as u64).sum();
+        self.stats.payload_bytes = self.index.values().map(|e| e.payload_len as u64).sum();
         self.stats.compactions += 1;
         Ok(())
     }
@@ -392,6 +424,53 @@ impl ResultStore for DiskStore {
 
     fn flush(&self) -> std::io::Result<()> {
         self.inner.lock().expect("store lock").file.sync_all()
+    }
+
+    fn get_fragment(&self, key: u128) -> Option<FragmentRecord> {
+        let key = key ^ FRAGMENT_KEY_NS;
+        let mut inner = self.inner.lock().expect("store lock");
+        let entry = inner.index.get(&key).copied()?;
+        let payload = match inner.read_payload(entry) {
+            Ok(p) => p,
+            Err(_) => {
+                inner.index.remove(&key);
+                inner.stats.entries = inner.index.len() as u64;
+                inner.stats.recovered_drops += 1;
+                return None;
+            }
+        };
+        match codec::decode_fragment(&payload) {
+            Ok(rec) => {
+                // Touch for recency so live fragments survive
+                // compaction alongside live results.
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(e) = inner.index.get_mut(&key) {
+                    e.tick = tick;
+                }
+                inner.stats.bytes_read += payload.len() as u64;
+                Some(rec)
+            }
+            Err(e) => {
+                inner.index.remove(&key);
+                inner.stats.entries = inner.index.len() as u64;
+                if matches!(e, CodecError::UnknownVersion(_)) {
+                    inner.stats.version_skips += 1;
+                } else {
+                    inner.stats.recovered_drops += 1;
+                }
+                None
+            }
+        }
+    }
+
+    fn put_fragment(&self, key: u128, rec: &FragmentRecord) {
+        let payload = codec::encode_fragment(rec);
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.insertions += 1;
+        if inner.append(key ^ FRAGMENT_KEY_NS, &payload).is_err() {
+            inner.stats.write_errors += 1;
+        }
     }
 }
 
@@ -527,6 +606,8 @@ mod tests {
         let err = DiskStore::open(&path, DiskStoreConfig::default()).expect_err("must refuse");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         // And the file is untouched.
-        assert!(std::fs::read(&path).expect("read").starts_with(b"#!/bin/sh"));
+        assert!(std::fs::read(&path)
+            .expect("read")
+            .starts_with(b"#!/bin/sh"));
     }
 }

@@ -128,4 +128,18 @@ pub trait ResultStore: Send + Sync {
     fn flush(&self) -> std::io::Result<()> {
         Ok(())
     }
+
+    /// Returns the fragment record for a canonical fragment `key`, if
+    /// this store persists fragment sightings (default: it does not).
+    ///
+    /// Fragment records live in a separate key namespace from job
+    /// results, so the same `u128` can safely name both a job and a
+    /// fragment.
+    fn get_fragment(&self, _key: u128) -> Option<codec::FragmentRecord> {
+        None
+    }
+
+    /// Persists one fragment sighting (default no-op; stores that only
+    /// hold job results may ignore fragment traffic).
+    fn put_fragment(&self, _key: u128, _rec: &codec::FragmentRecord) {}
 }

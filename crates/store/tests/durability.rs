@@ -86,8 +86,11 @@ fn result_strategy() -> impl Strategy<Value = StoredResult> {
             PatternSource::Input(VarId(id))
         }
     });
-    let embedding = (source.clone(), source, 0u32..32)
-        .prop_map(|(left, right, sa)| Embedding { left, right, sa: RegisterId(sa) });
+    let embedding = (source.clone(), source, 0u32..32).prop_map(|(left, right, sa)| Embedding {
+        left,
+        right,
+        sa: RegisterId(sa),
+    });
     let style = (0u8..5).prop_map(|b| match b {
         0 => BistStyle::Normal,
         1 => BistStyle::Tpg,
@@ -107,7 +110,13 @@ fn result_strategy() -> impl Strategy<Value = StoredResult> {
         prop::collection::vec(1u32..20, 0..24),
     )
         .prop_map(
-            |(m, (latency, func, bist, regs), (styles, embeddings, sessions), (ov, pctm), steps)| {
+            |(
+                m,
+                (latency, func, bist, regs),
+                (styles, embeddings, sessions),
+                (ov, pctm),
+                steps,
+            )| {
                 Ok(DesignPoint {
                     modules: m.parse().expect("known-good set"),
                     latency,
@@ -189,6 +198,71 @@ fn truncated_tail_recovers_to_the_intact_prefix() {
 }
 
 #[test]
+fn mixed_result_and_fragment_logs_reopen_byte_compatibly() {
+    // A v2 log holding job results *and* fragment records must replay
+    // them all: results byte-identical, fragment sightings intact, and
+    // neither namespace shadowing the other even at the same key.
+    let path = temp_path("fragments.log");
+    let result = real_result();
+    let result_bytes = codec::encode(&result);
+    let frag = codec::FragmentRecord {
+        origin: 0xFEED_F00D,
+        size: 6,
+        inputs: 3,
+        outputs: 1,
+        consts: 2,
+    };
+    let frag_bytes = codec::encode_fragment(&frag);
+    {
+        let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("open");
+        store.put(42, &result);
+        // Same 128-bit key as the job result: the namespaces must keep
+        // them apart.
+        store.put_fragment(42, &frag);
+        store.put_fragment(7, &frag);
+        store.put(7, &stored_err("1*", "error entry"));
+        store.flush().expect("flush");
+    }
+    let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("reopen");
+    assert_eq!(store.len(), 4, "two results + two fragment records");
+    assert_eq!(store.stats().recovered_drops, 0);
+    let restored = store.get(42).expect("result survived");
+    assert_eq!(codec::encode(&restored), result_bytes);
+    let restored_frag = store.get_fragment(42).expect("fragment survived");
+    assert_eq!(codec::encode_fragment(&restored_frag), frag_bytes);
+    assert_eq!(restored_frag, frag);
+    assert_eq!(store.get_fragment(7).expect("second fragment"), frag);
+    assert!(matches!(store.get(7).map(|s| s.result), Some(Err((_, e))) if e == "error entry"));
+    // A key with only a fragment record is not a job result and vice
+    // versa.
+    assert!(store.get_fragment(99).is_none());
+    assert!(store.get(99).is_none());
+}
+
+#[test]
+fn pre_fragment_logs_reopen_unchanged() {
+    // A log written before fragment records existed (results only) must
+    // reopen exactly as before — same entries, same bytes, no drops.
+    let path = temp_path("pre-fragment.log");
+    let result = real_result();
+    let result_bytes = codec::encode(&result);
+    {
+        let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("open");
+        store.put(1, &result);
+        store.put(2, &stored_err("1+", "plain"));
+        store.flush().expect("flush");
+    }
+    let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("reopen");
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.stats().recovered_drops, 0);
+    assert_eq!(codec::encode(&store.get(1).expect("result")), result_bytes);
+    assert!(
+        store.get_fragment(1).is_none(),
+        "no fragment namespace entries"
+    );
+}
+
+#[test]
 fn corrupted_record_recovers_to_the_intact_prefix() {
     let path = temp_path("corrupt.log");
     {
@@ -206,8 +280,6 @@ fn corrupted_record_recovers_to_the_intact_prefix() {
     let store = DiskStore::open(&path, DiskStoreConfig::default()).expect("recovering open");
     assert_eq!(store.len(), 1);
     assert_eq!(store.stats().recovered_drops, 1);
-    assert!(
-        matches!(store.get(1).map(|s| s.result), Some(Err((_, e))) if e == "good")
-    );
+    assert!(matches!(store.get(1).map(|s| s.result), Some(Err((_, e))) if e == "good"));
     assert!(store.get(2).is_none());
 }
