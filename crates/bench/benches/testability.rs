@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the static testability analysis: the COP /
+//! constant-propagation fixpoint solves per cone against the
+//! 256-pattern differential fault simulation they predict, and the
+//! design-level parallel driver over the paper suite.
+//!
+//! The point of the comparison: `lobist analyze` answers "which faults
+//! will a pseudorandom session struggle with" without simulating — the
+//! bench quantifies how much cheaper the static answer is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lobist_alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist_dfg::benchmarks;
+use lobist_dfg::OpKind;
+use lobist_gatesim::coverage::random_pattern_coverage;
+use lobist_gatesim::modules::unit_for;
+use lobist_lint::{analyze_design, FixpointScratch, LintUnit, RANDOM_PATTERN_BUDGET};
+
+fn bench_cone_analysis_vs_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testability_cone");
+    for &width in &[4u32, 8, 16] {
+        for kind in [OpKind::Add, OpKind::Mul] {
+            let net = unit_for(kind, width);
+            let label = format!("{kind}{width}");
+            group.bench_with_input(BenchmarkId::new("analyze", &label), &net, |b, net| {
+                let mut scratch = FixpointScratch::new();
+                b.iter(|| lobist_lint::analysis::testability::analyze_network(net, &mut scratch))
+            });
+            group.bench_with_input(BenchmarkId::new("diffsim256", &label), &net, |b, net| {
+                b.iter(|| random_pattern_coverage(net, RANDOM_PATTERN_BUDGET, 0xBEEF))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_paper_suite_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testability_suite");
+    let opts = FlowOptions::testable();
+    for bench in benchmarks::paper_suite() {
+        let design = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+        group.bench_function(BenchmarkId::new("analyze_design", &bench.name), |b| {
+            let unit = LintUnit::of_design(
+                &bench.dfg,
+                &bench.schedule,
+                &design,
+                bench.lifetime_options,
+                &opts.area,
+            );
+            let mut scratch = FixpointScratch::new();
+            b.iter(|| analyze_design(&unit, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cone_analysis_vs_simulation,
+    bench_paper_suite_analysis
+);
+criterion_main!(benches);

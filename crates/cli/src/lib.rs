@@ -84,6 +84,8 @@ USAGE:
                 [--batch <K>] [--chains <C>] [--jobs <N>] [--metrics]
   lobist lint <design.dfg> --modules <SET> [--deny <CODE|all>] [--allow <CODE>]
               [--json] [--jobs <N>] [--metrics] [OPTIONS]
+  lobist analyze <design.dfg> --modules <SET> [--json] [--full] [--jobs <N>]
+              [--metrics] [OPTIONS]
   lobist serve [--tcp <ADDR>] [--unix <PATH>] [--store <FILE>] [--jobs <N>]
                [--max-request-jobs <N>] [--max-active <N>] [--metrics]
   lobist submit [<design.dfg>] [--cmd <C>] [--tcp <ADDR> | --unix <PATH>]
@@ -107,6 +109,10 @@ COMMANDS:
   lint      synthesize, then run the static verifier passes (netlist
             structure L0xx, allocation invariants A1xx, BIST legality
             B2xx); exits nonzero if the policy denies any finding
+  analyze   synthesize, then run the static testability analyses (COP
+            detection probabilities, constant/redundant faults, test-mode
+            register reachability) over every module cone — no
+            simulation; advisory, always exits zero
   serve     run the persistent synthesis daemon: line-delimited JSON
             over TCP and/or a Unix socket, request queue onto the shared
             engine, optional on-disk content-addressed result store
@@ -123,6 +129,8 @@ OPTIONS:
   --trace           print the allocator's decision trace (testable flow)
   --verilog         emit the synthesized design as Verilog RTL
   --json            machine-readable output for `synth` and `compare`
+  --full            `analyze`: list every fault score, not just the
+                    flagged ones
   --repair          insert test points for otherwise-untestable modules
   --latency <N>     target latency for `schedule` (default: critical path)
   --candidates <L>  semicolon-separated module sets for `explore`
@@ -185,7 +193,7 @@ OPTIONS:
   --max-request-jobs <N> `serve`: ceiling on any request's `jobs` field
   --max-active <N>  `serve`: requests allowed to execute concurrently
   --cmd <C>         `submit` command: synth | explore | anneal |
-                    faultsim | lint | ping | metrics | shutdown
+                    faultsim | lint | analyze | ping | metrics | shutdown
                     (default synth)
   --progress        `batch`: stream engine progress as JSONL (flushed
                     per event) and append a terminal done record
@@ -211,6 +219,7 @@ struct Options {
     trace: bool,
     verilog: bool,
     json: bool,
+    full: bool,
     repair: bool,
     latency: Option<u32>,
     candidates: Option<String>,
@@ -252,6 +261,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         trace: false,
         verilog: false,
         json: false,
+        full: false,
         repair: false,
         latency: None,
         candidates: None,
@@ -316,6 +326,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--trace" => o.trace = true,
             "--verilog" => o.verilog = true,
             "--json" => o.json = true,
+            "--full" => o.full = true,
             "--repair" => o.repair = true,
             "--candidates" => {
                 o.candidates = Some(
@@ -651,11 +662,32 @@ fn lint_design(
     flow: &FlowOptions,
     workers: usize,
     metrics: Option<&lobist_engine::Metrics>,
-) -> Report {
+) -> (Report, lobist_engine::LintRunStats) {
     let unit = LintUnit::of_design(dfg, schedule, design, flow.lifetime_options, &flow.area);
     let registry = PassRegistry::default_registry();
-    let (report, _) = lobist_engine::lint_parallel(&unit, &registry, workers, metrics);
-    report
+    lobist_engine::lint_parallel(&unit, &registry, workers, metrics)
+}
+
+/// The `"timing"` object spliced into `lint --json` output: run wall
+/// time plus a per-pass log2-microsecond histogram (same bucketing as
+/// the engine metrics), so a saved report is self-contained.
+fn lint_timing_json(stats: &lobist_engine::LintRunStats) -> String {
+    use std::fmt::Write as _;
+    let mut passes = String::new();
+    for (i, (name, took)) in stats.passes.iter().enumerate() {
+        if i > 0 {
+            passes.push(',');
+        }
+        let mut hist = vec![0u64; lobist_engine::bucket_micros(took.as_micros()) + 1];
+        *hist.last_mut().expect("nonempty histogram") = 1;
+        let cells: Vec<String> = hist.iter().map(u64::to_string).collect();
+        let _ = write!(passes, "\"{}\": [{}]", name, cells.join(","));
+    }
+    format!(
+        "{{\"wall_micros\": {}, \"workers\": {}, \"pass_micros_log2_histograms\": {{{passes}}}}}",
+        stats.wall.as_micros(),
+        stats.workers,
+    )
 }
 
 /// Runs the BIST sessions of every module of a synthesized design on
@@ -915,7 +947,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 for p in &result.points {
                     let d = synthesize(&dfg, &p.schedule, &p.modules, &config.flow)
                         .map_err(CliError::Flow)?;
-                    let report =
+                    let (report, _) =
                         lint_design(&dfg, &p.schedule, &d, &config.flow, worker_count(&o), None);
                     append_lint_verdict(
                         &mut out,
@@ -1091,7 +1123,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         continue;
                     }
                     let d = synthesize(dfg, schedule, &modules, &flow).map_err(CliError::Flow)?;
-                    let report = lint_design(dfg, schedule, &d, &flow, workers, None);
+                    let (report, _) = lint_design(dfg, schedule, &d, &flow, workers, None);
                     append_lint_verdict(&mut out, &outcome.label, &report);
                     denied += policy.denied_count(&report);
                 }
@@ -1304,7 +1336,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let flow = flow_options(&o, o.flow == "traditional");
             let d = synthesize(&dfg, &schedule, &modules, &flow).map_err(CliError::Flow)?;
             let metrics = o.metrics.then(lobist_engine::Metrics::new);
-            let report = lint_design(
+            let (report, stats) = lint_design(
                 &dfg,
                 &schedule,
                 &d,
@@ -1313,7 +1345,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 metrics.as_ref(),
             );
             if o.json {
-                let _ = writeln!(out, "{}", report.to_json());
+                // Splice the run timing in as the report's last key so
+                // `lint --json` output is self-contained; the report
+                // body itself stays byte-stable across worker counts.
+                let json = report.to_json();
+                let body = json
+                    .strip_suffix("\n}")
+                    .expect("report JSON ends with a closing brace");
+                let _ = writeln!(
+                    out,
+                    "{body},\n  \"timing\": {}\n}}",
+                    lint_timing_json(&stats)
+                );
             } else if report.is_clean() {
                 let _ = writeln!(
                     out,
@@ -1339,6 +1382,45 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     output: out,
                     denied,
                 });
+            }
+        }
+        "analyze" => {
+            let path = o
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("missing design file".into()))?;
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let modules: ModuleSet = o
+                .modules
+                .as_deref()
+                .ok_or_else(|| CliError::Usage("missing --modules".into()))?
+                .parse()
+                .map_err(CliError::Modules)?;
+            // Same fallback as `lint`: unscheduled files get a
+            // resource-constrained list schedule under the module set.
+            let (dfg, schedule) = match parse_dfg(&text) {
+                Ok(parsed) => parsed,
+                Err(_) => {
+                    let dfg =
+                        lobist_dfg::parse::parse_unscheduled_dfg(&text).map_err(CliError::Parse)?;
+                    let schedule = lobist_dfg::scheduling::list_schedule(&dfg, &modules)
+                        .map_err(|e| CliError::Usage(format!("{path}: cannot schedule: {e}")))?;
+                    (dfg, schedule)
+                }
+            };
+            let flow = flow_options(&o, o.flow == "traditional");
+            let d = synthesize(&dfg, &schedule, &modules, &flow).map_err(CliError::Flow)?;
+            let unit = LintUnit::of_design(&dfg, &schedule, &d, flow.lifetime_options, &flow.area);
+            let metrics = o.metrics.then(lobist_engine::Metrics::new);
+            let (report, _) =
+                lobist_engine::analyze_parallel(&unit, worker_count(&o), metrics.as_ref());
+            if o.json {
+                let _ = writeln!(out, "{}", report.to_json(o.full));
+            } else {
+                out.push_str(&report.render_text());
+            }
+            if let Some(m) = &metrics {
+                let _ = writeln!(out, "{}", m.snapshot().to_json());
             }
         }
         "serve" => {
@@ -2074,7 +2156,22 @@ mod tests {
         let base = argv(&["lint", &path, "--modules", "1+,1*", "--json"]);
         let serial = run(&[base.clone(), argv(&["--jobs", "1"])].concat()).unwrap();
         let parallel = run(&[base, argv(&["--jobs", "4"])].concat()).unwrap();
-        assert_eq!(serial, parallel);
+        // Wall times differ run to run, so compare the report body —
+        // everything before the spliced `"timing"` key.
+        let body = |s: &str| s.split("\"timing\"").next().unwrap().to_owned();
+        assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn lint_json_carries_per_pass_timing() {
+        let path = write_temp("lobist_cli_lint_timing.dfg", DESIGN);
+        let out = run(&argv(&["lint", &path, "--modules", "1+,1*", "--json"])).unwrap();
+        assert!(out.contains("\"timing\": {\"wall_micros\": "), "{out}");
+        assert!(out.contains("\"pass_micros_log2_histograms\""), "{out}");
+        // Every default-registry pass reports a one-entry histogram.
+        for pass in ["structure", "gates", "coloring", "binding", "bist-legality", "lemma2-audit"] {
+            assert!(out.contains(&format!("\"{pass}\": [")), "{pass}: {out}");
+        }
     }
 
     #[test]
@@ -2119,6 +2216,48 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_testability_without_simulation() {
+        let path = write_temp("lobist_cli_analyze.dfg", DESIGN);
+        let out = run(&argv(&["analyze", &path, "--modules", "1+,1*"])).unwrap();
+        assert!(out.contains("analyze: 2 cone(s)"), "{out}");
+        assert!(out.contains("hard (T301)"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_is_identical_across_worker_counts() {
+        let path = write_temp("lobist_cli_analyze_jobs.dfg", DESIGN);
+        let base = argv(&["analyze", &path, "--modules", "1+,1*", "--json"]);
+        let serial = run(&[base.clone(), argv(&["--jobs", "1"])].concat()).unwrap();
+        for jobs in ["2", "4", "7"] {
+            let parallel = run(&[base.clone(), argv(&["--jobs", jobs])].concat()).unwrap();
+            assert_eq!(serial, parallel, "--jobs {jobs}");
+        }
+        assert!(serial.contains("\"summary\""), "{serial}");
+    }
+
+    #[test]
+    fn analyze_full_lists_every_fault_score() {
+        let path = write_temp("lobist_cli_analyze_full.dfg", DESIGN);
+        let brief = run(&argv(&["analyze", &path, "--modules", "1+,1*", "--json"])).unwrap();
+        let full = run(&argv(&[
+            "analyze", &path, "--modules", "1+,1*", "--json", "--full",
+        ]))
+        .unwrap();
+        assert!(full.len() > brief.len(), "full should be strictly larger");
+        assert!(full.contains("\"scores\""), "{full}");
+    }
+
+    #[test]
+    fn analyze_metrics_prints_the_testability_section() {
+        let path = write_temp("lobist_cli_analyze_metrics.dfg", DESIGN);
+        let out = run(&argv(&[
+            "analyze", &path, "--modules", "1+,1*", "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"testability\":{\"runs\":1"), "{out}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod anneal;
 pub mod cache;
 mod engine;
@@ -42,6 +43,7 @@ pub mod pool;
 
 mod explore;
 
+pub use analyze::{analyze_parallel, AnalyzeRunStats};
 pub use anneal::{anneal_multichain, anneal_parallel, AnnealStats, PoolEvaluator};
 pub use cache::{
     canonical_job_key, job_key, origin_fingerprint, JobResult, ResultCache,
@@ -55,7 +57,7 @@ pub use faultsim::{
 pub use lint::{lint_parallel, LintRunStats};
 pub use lobist_store::{ResultStore, StoreStats};
 pub use metrics::{
-    AnnealSnapshot, CanonSnapshot, FaultSimSnapshot, LintSnapshot, Metrics, MetricsSnapshot,
-    ServerSnapshot, NUM_BUCKETS, STAGE_NAMES,
+    bucket_micros, AnnealSnapshot, CanonSnapshot, FaultSimSnapshot, LintSnapshot, Metrics,
+    MetricsSnapshot, ServerSnapshot, TestabilitySnapshot, NUM_BUCKETS, STAGE_NAMES,
 };
 pub use pool::{run_jobs, PoolStats};

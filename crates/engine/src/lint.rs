@@ -1,15 +1,23 @@
-//! Parallel lint driver: one pool task per registry pass.
+//! Parallel lint driver: contiguous chunks of registry passes fanned
+//! out over the pool.
 //!
 //! Passes are independent read-only analyses over one [`LintUnit`], so
 //! they parallelize trivially — but the report must not depend on the
-//! worker count. [`run_jobs`] returns per-pass results in submission
-//! order, the driver concatenates them in registry order, and
-//! [`Report::new`] sorts into the canonical (code, span) order; the
-//! rendered text and JSON are therefore byte-identical for any `workers`.
+//! worker count. The registry's pass list is split into contiguous
+//! chunks (one per worker at most); [`run_jobs`] returns per-chunk
+//! results in submission order, the driver flattens them back into
+//! registry order, and [`Report::new`] sorts into the canonical
+//! (code, span) order; the rendered text and JSON are therefore
+//! byte-identical for any `workers`.
+//!
+//! Chunking (rather than one task per pass) is what lets each task own
+//! a single [`LintScratch`] reused across every pass it runs — the same
+//! per-worker scratch-reuse discipline the diffsim engine applies, so
+//! gate regeneration and fixpoint worklists stop reallocating per pass.
 
 use std::time::{Duration, Instant};
 
-use lobist_lint::{LintUnit, PassRegistry, Report};
+use lobist_lint::{LintScratch, LintUnit, PassRegistry, Report};
 
 use crate::metrics::Metrics;
 use crate::pool::run_jobs;
@@ -41,27 +49,37 @@ pub fn lint_parallel(
     workers: usize,
     metrics: Option<&Metrics>,
 ) -> (Report, LintRunStats) {
+    assert!(workers > 0, "lint_parallel needs at least one worker");
     let start = Instant::now();
+    let n_passes = registry.passes().len();
+    let chunk_size = n_passes.div_ceil(workers.max(1)).max(1);
     let tasks: Vec<_> = registry
         .passes()
-        .iter()
-        .map(|pass| {
+        .chunks(chunk_size)
+        .map(|chunk| {
             let unit = *unit;
             move || {
-                let t0 = Instant::now();
-                let diags = pass.run(&unit);
-                (pass.name(), diags, t0.elapsed())
+                let mut scratch = LintScratch::new();
+                chunk
+                    .iter()
+                    .map(|pass| {
+                        let t0 = Instant::now();
+                        let diags = pass.run_with(&unit, &mut scratch);
+                        (pass.name(), diags, t0.elapsed())
+                    })
+                    .collect::<Vec<_>>()
             }
         })
         .collect();
     let (results, pool) = run_jobs(workers, tasks);
 
     let mut diagnostics = Vec::new();
-    let mut passes = Vec::with_capacity(results.len());
+    let mut passes = Vec::with_capacity(n_passes);
     for result in results {
-        let (name, diags, took) = result.expect("lint pass panicked");
-        diagnostics.extend(diags);
-        passes.push((name, took));
+        for (name, diags, took) in result.expect("lint pass panicked") {
+            diagnostics.extend(diags);
+            passes.push((name, took));
+        }
     }
     let report = Report::new(diagnostics);
     let stats = LintRunStats {
@@ -95,14 +113,40 @@ mod tests {
             &opts.area,
         );
         let registry = PassRegistry::default_registry();
-        let (serial, _) = lint_parallel(&unit, &registry, 1, None);
+        let (serial, serial_stats) = lint_parallel(&unit, &registry, 1, None);
+        assert_eq!(serial_stats.passes.len(), registry.passes().len());
         for workers in [2, 4, 7] {
             let (parallel, stats) = lint_parallel(&unit, &registry, workers, None);
             assert_eq!(serial.to_json(), parallel.to_json(), "workers={workers}");
             assert_eq!(serial.render_text(), parallel.render_text());
+            // Chunking must not lose or reorder per-pass timings.
             assert_eq!(stats.passes.len(), registry.passes().len());
+            let names: Vec<&str> = stats.passes.iter().map(|(n, _)| *n).collect();
+            let serial_names: Vec<&str> = serial_stats.passes.iter().map(|(n, _)| *n).collect();
+            assert_eq!(names, serial_names, "workers={workers}");
         }
         // And identical to the serial registry entry point.
+        assert_eq!(serial.to_json(), registry.lint(&unit).to_json());
+    }
+
+    #[test]
+    fn full_registry_is_also_byte_stable() {
+        let bench = benchmarks::ex1();
+        let opts = FlowOptions::testable();
+        let design = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+        let unit = LintUnit::of_design(
+            &bench.dfg,
+            &bench.schedule,
+            &design,
+            bench.lifetime_options,
+            &opts.area,
+        );
+        let registry = PassRegistry::full_registry();
+        let (serial, _) = lint_parallel(&unit, &registry, 1, None);
+        for workers in [2, 7] {
+            let (parallel, _) = lint_parallel(&unit, &registry, workers, None);
+            assert_eq!(serial.to_json(), parallel.to_json(), "workers={workers}");
+        }
         assert_eq!(serial.to_json(), registry.lint(&unit).to_json());
     }
 

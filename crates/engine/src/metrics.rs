@@ -101,6 +101,17 @@ pub struct Metrics {
     // Per-pass log2-µs histograms, keyed by pass name (BTreeMap so the
     // JSON section is deterministically ordered).
     lint_hist: Mutex<BTreeMap<&'static str, [u64; NUM_BUCKETS]>>,
+    // Static testability analysis (crate::analyze drives).
+    ta_runs: AtomicU64,
+    ta_cones: AtomicU64,
+    ta_faults: AtomicU64,
+    ta_hard: AtomicU64,
+    ta_redundant: AtomicU64,
+    ta_unreachable: AtomicU64,
+    ta_wall_nanos: AtomicU64,
+    // Per-cone analysis wall time, one aggregated log2-µs histogram
+    // (cone labels are per-design strings, so no static keying).
+    ta_hist: Mutex<[u64; NUM_BUCKETS]>,
 }
 
 impl Metrics {
@@ -264,6 +275,32 @@ impl Metrics {
         }
     }
 
+    /// Accumulates the outcome and per-cone timings of one static
+    /// testability analysis run ([`crate::analyze::analyze_parallel`]).
+    pub fn record_analysis(
+        &self,
+        report: &lobist_lint::TestabilityReport,
+        stats: &crate::analyze::AnalyzeRunStats,
+    ) {
+        self.ta_runs.fetch_add(1, Ordering::Relaxed);
+        self.ta_cones
+            .fetch_add(report.cones.len() as u64, Ordering::Relaxed);
+        self.ta_faults
+            .fetch_add(report.total_faults() as u64, Ordering::Relaxed);
+        self.ta_hard
+            .fetch_add(report.total_hard() as u64, Ordering::Relaxed);
+        self.ta_redundant
+            .fetch_add(report.total_redundant() as u64, Ordering::Relaxed);
+        self.ta_unreachable
+            .fetch_add(report.total_unreachable() as u64, Ordering::Relaxed);
+        self.ta_wall_nanos
+            .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+        let mut hist = self.ta_hist.lock().expect("testability histogram lock");
+        for (_, took) in &stats.cones {
+            hist[bucket(took.as_micros())] += 1;
+        }
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -318,6 +355,16 @@ impl Metrics {
                 warnings: self.lint_warnings.load(Ordering::Relaxed),
                 wall: Duration::from_nanos(self.lint_wall_nanos.load(Ordering::Relaxed)),
                 pass_histograms: self.lint_hist.lock().expect("lint histogram lock").clone(),
+            },
+            testability: TestabilitySnapshot {
+                runs: self.ta_runs.load(Ordering::Relaxed),
+                cones: self.ta_cones.load(Ordering::Relaxed),
+                faults: self.ta_faults.load(Ordering::Relaxed),
+                hard: self.ta_hard.load(Ordering::Relaxed),
+                redundant: self.ta_redundant.load(Ordering::Relaxed),
+                unreachable: self.ta_unreachable.load(Ordering::Relaxed),
+                wall: Duration::from_nanos(self.ta_wall_nanos.load(Ordering::Relaxed)),
+                cone_micros_log2: *self.ta_hist.lock().expect("testability histogram lock"),
             },
             result_cache: None,
             cache_capacity: 0,
@@ -418,6 +465,44 @@ pub struct LintSnapshot {
     /// Per-pass log2-microsecond histograms (same bucketing as the
     /// flow-stage histograms), keyed by pass name.
     pub pass_histograms: BTreeMap<&'static str, [u64; NUM_BUCKETS]>,
+}
+
+/// Accumulated static-testability-analysis work, as carried in a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestabilitySnapshot {
+    /// Analysis runs recorded.
+    pub runs: u64,
+    /// Module cones analyzed.
+    pub cones: u64,
+    /// Faults scored.
+    pub faults: u64,
+    /// `T301` (random-pattern-resistant) flags.
+    pub hard: u64,
+    /// `T303` (redundant) flags.
+    pub redundant: u64,
+    /// `T302` (unreachable-in-test-mode) flags.
+    pub unreachable: u64,
+    /// Wall time of all analysis runs.
+    pub wall: Duration,
+    /// Log2-microsecond histogram of per-cone analysis wall time (same
+    /// bucketing as the flow-stage histograms).
+    pub cone_micros_log2: [u64; NUM_BUCKETS],
+}
+
+impl Default for TestabilitySnapshot {
+    fn default() -> Self {
+        Self {
+            runs: 0,
+            cones: 0,
+            faults: 0,
+            hard: 0,
+            redundant: 0,
+            unreachable: 0,
+            wall: Duration::ZERO,
+            cone_micros_log2: [0; NUM_BUCKETS],
+        }
+    }
 }
 
 /// Accumulated canonization work of the structural result cache, as
@@ -546,6 +631,8 @@ pub struct MetricsSnapshot {
     pub flow_cache: FlowCacheStats,
     /// Accumulated lint work.
     pub lint: LintSnapshot,
+    /// Accumulated static testability analysis work.
+    pub testability: TestabilitySnapshot,
     /// Accumulated canonization work of the structural result cache.
     pub canon: CanonSnapshot,
     /// Live counters of the in-memory result cache (its own
@@ -725,6 +812,10 @@ impl MetricsSnapshot {
                 "\"lint\":{{\"runs\":{li_runs},\"errors\":{li_err},",
                 "\"warnings\":{li_warn},\"wall_micros\":{li_wall},",
                 "\"pass_micros_log2_histograms\":{{{li_hist}}}}},",
+                "\"testability\":{{\"runs\":{ta_runs},\"cones\":{ta_cones},",
+                "\"faults\":{ta_faults},\"hard\":{ta_hard},",
+                "\"redundant\":{ta_red},\"unreachable\":{ta_unreach},",
+                "\"wall_micros\":{ta_wall},\"cone_micros_log2\":[{ta_hist}]}},",
                 "\"canon\":{{\"exact_hits\":{cn_exact},\"iso_hits\":{cn_iso},",
                 "\"iso_share\":{cn_share:.4},\"remaps\":{cn_remaps},",
                 "\"bailouts\":{cn_bail},\"canon_micros_log2\":[{cn_hist}]}},",
@@ -775,6 +866,14 @@ impl MetricsSnapshot {
             li_warn = self.lint.warnings,
             li_wall = self.lint.wall.as_micros(),
             li_hist = lint_hist,
+            ta_runs = self.testability.runs,
+            ta_cones = self.testability.cones,
+            ta_faults = self.testability.faults,
+            ta_hard = self.testability.hard,
+            ta_red = self.testability.redundant,
+            ta_unreach = self.testability.unreachable,
+            ta_wall = self.testability.wall.as_micros(),
+            ta_hist = trim_row(&self.testability.cone_micros_log2),
             cn_exact = self.canon.exact_hits,
             cn_iso = self.canon.iso_hits,
             cn_share = self.canon.iso_share(),

@@ -1,0 +1,258 @@
+//! Constant propagation and structural observability.
+//!
+//! The forward domain is the four-point constant lattice
+//! `Bot < {Zero, One} < Top`; primary inputs start at `Top` (free),
+//! and the builder's constant idioms (`x ^ x`, `!(x ^ x)`) fold to the
+//! literal they are. The backward domain is a boolean "some output can
+//! structurally see this net" analysis that uses the forward facts: an
+//! AND leg whose sibling is a constant 0 is dead, an OR leg whose
+//! sibling is a constant 1 likewise.
+//!
+//! Together they decide *redundancy*: a stuck-at-`c` fault on a net
+//! that is constantly `c` can never be excited, and any fault on a
+//! structurally unobservable net can never propagate — both are
+//! untestable by construction, and no pattern source (pseudorandom or
+//! deterministic) will ever cover them.
+
+use lobist_gatesim::net::{Fault, Gate, GateKind, GateNetwork, NetId};
+
+use super::fixpoint::{backward_fixpoint, forward_fixpoint, BackwardDomain, FixpointScratch, ForwardDomain};
+
+/// A point of the constant lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstVal {
+    /// Nothing reached the net (bottom).
+    Bot,
+    /// Constantly 0.
+    Zero,
+    /// Constantly 1.
+    One,
+    /// Not a constant (top).
+    Top,
+}
+
+impl ConstVal {
+    fn invert(self) -> ConstVal {
+        match self {
+            ConstVal::Zero => ConstVal::One,
+            ConstVal::One => ConstVal::Zero,
+            other => other,
+        }
+    }
+
+    /// The constant this net carries, if any.
+    pub fn literal(self) -> Option<bool> {
+        match self {
+            ConstVal::Zero => Some(false),
+            ConstVal::One => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// Forward constant-propagation domain.
+pub struct ConstDomain;
+
+impl ForwardDomain for ConstDomain {
+    type Value = ConstVal;
+
+    fn bottom(&self) -> ConstVal {
+        ConstVal::Bot
+    }
+
+    fn input(&self, _net: NetId) -> ConstVal {
+        ConstVal::Top
+    }
+
+    fn transfer(&self, gate: &Gate, a: &ConstVal, b: &ConstVal) -> ConstVal {
+        use ConstVal::*;
+        let (a, b) = (*a, *b);
+        if a == Bot || b == Bot {
+            return Bot;
+        }
+        if gate.a == gate.b {
+            // f(x, x): And/Or are the identity, Xor is constant 0,
+            // Nand/Nor invert — even when x itself is free.
+            return match gate.kind {
+                GateKind::And | GateKind::Or | GateKind::Buf => a,
+                GateKind::Xor => Zero,
+                GateKind::Nand | GateKind::Nor | GateKind::Not => a.invert(),
+            };
+        }
+        match gate.kind {
+            GateKind::And => match (a, b) {
+                (Zero, _) | (_, Zero) => Zero,
+                (One, One) => One,
+                _ => Top,
+            },
+            GateKind::Nand => match (a, b) {
+                (Zero, _) | (_, Zero) => One,
+                (One, One) => Zero,
+                _ => Top,
+            },
+            GateKind::Or => match (a, b) {
+                (One, _) | (_, One) => One,
+                (Zero, Zero) => Zero,
+                _ => Top,
+            },
+            GateKind::Nor => match (a, b) {
+                (One, _) | (_, One) => Zero,
+                (Zero, Zero) => One,
+                _ => Top,
+            },
+            GateKind::Xor => match (a.literal(), b.literal()) {
+                (Some(x), Some(y)) => {
+                    if x != y {
+                        One
+                    } else {
+                        Zero
+                    }
+                }
+                _ => Top,
+            },
+            GateKind::Not => a.invert(),
+            GateKind::Buf => a,
+        }
+    }
+
+    fn join(&self, a: &ConstVal, b: &ConstVal) -> ConstVal {
+        use ConstVal::*;
+        match (*a, *b) {
+            (Bot, x) | (x, Bot) => x,
+            (x, y) if x == y => x,
+            _ => Top,
+        }
+    }
+}
+
+/// Backward structural-observability domain: `true` once some path to
+/// an output is not blocked by a constant side input.
+pub struct StructObsDomain<'a> {
+    /// Per-net constant facts, from [`constants`].
+    pub consts: &'a [ConstVal],
+}
+
+impl BackwardDomain for StructObsDomain<'_> {
+    type Value = bool;
+
+    fn bottom(&self) -> bool {
+        false
+    }
+
+    fn output(&self, _net: NetId) -> bool {
+        true
+    }
+
+    fn transfer(&self, gate: &Gate, operand: NetId, out: &bool) -> bool {
+        if !*out {
+            return false;
+        }
+        if gate.a == gate.b {
+            // f(x, x): XOR is constant — no change on x is visible.
+            return !matches!(gate.kind, GateKind::Xor);
+        }
+        let sibling = if operand == gate.a { gate.b } else { gate.a };
+        match gate.kind {
+            GateKind::And | GateKind::Nand => self.consts[sibling.index()] != ConstVal::Zero,
+            GateKind::Or | GateKind::Nor => self.consts[sibling.index()] != ConstVal::One,
+            GateKind::Xor | GateKind::Not | GateKind::Buf => true,
+        }
+    }
+
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+}
+
+/// Constant facts per net. Unreached nets report `Bot`.
+pub fn constants(net: &GateNetwork, scratch: &mut FixpointScratch) -> Vec<ConstVal> {
+    forward_fixpoint(net, &ConstDomain, scratch)
+}
+
+/// Structural observability per net, given the constant facts.
+pub fn structural_observability(
+    net: &GateNetwork,
+    consts: &[ConstVal],
+    scratch: &mut FixpointScratch,
+) -> Vec<bool> {
+    backward_fixpoint(net, &StructObsDomain { consts }, scratch)
+}
+
+/// `true` if the fault is untestable by construction: its net is stuck
+/// at the value it already constantly carries (no excitation exists),
+/// or no structurally live path connects the net to an output.
+pub fn is_redundant(fault: Fault, consts: &[ConstVal], observable: &[bool]) -> bool {
+    let i = fault.net.index();
+    if let Some(c) = consts[i].literal() {
+        if c == fault.stuck_at_one {
+            return true;
+        }
+    }
+    !observable[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_gatesim::net::NetworkBuilder;
+
+    #[test]
+    fn builder_constants_fold() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        let o = b.one();
+        let masked = b.and(x, z); // constant 0
+        let passed = b.or(x, z); // free
+        let net = b.finish(vec![masked, passed, o]);
+        let mut s = FixpointScratch::new();
+        let c = constants(&net, &mut s);
+        assert_eq!(c[z.index()], ConstVal::Zero);
+        assert_eq!(c[o.index()], ConstVal::One);
+        assert_eq!(c[masked.index()], ConstVal::Zero);
+        assert_eq!(c[passed.index()], ConstVal::Top);
+    }
+
+    #[test]
+    fn constant_sibling_blocks_observability() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        let blocked = b.and(x, z); // x is unobservable through here
+        let net = b.finish(vec![blocked]);
+        let mut s = FixpointScratch::new();
+        let c = constants(&net, &mut s);
+        let obs = structural_observability(&net, &c, &mut s);
+        assert!(obs[blocked.index()], "the output itself is observed");
+        assert!(!obs[x.index()], "x is behind a constant-0 AND leg");
+    }
+
+    #[test]
+    fn redundancy_covers_both_causes() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let z = b.zero();
+        let and = b.and(x, z);
+        let net = b.finish(vec![and]);
+        let mut s = FixpointScratch::new();
+        let c = constants(&net, &mut s);
+        let obs = structural_observability(&net, &c, &mut s);
+        // SA0 on a constant-0 net: no excitation.
+        assert!(is_redundant(Fault { net: z, stuck_at_one: false }, &c, &obs));
+        // SA1 on it is excited always and (here) observed.
+        assert!(!is_redundant(Fault { net: z, stuck_at_one: true }, &c, &obs));
+        // Any fault on the blocked input: unobservable.
+        assert!(is_redundant(Fault { net: x, stuck_at_one: true }, &c, &obs));
+        assert!(is_redundant(Fault { net: x, stuck_at_one: false }, &c, &obs));
+    }
+
+    #[test]
+    fn generated_units_have_no_bot_nets() {
+        use lobist_dfg::OpKind;
+        use lobist_gatesim::modules::unit_for;
+        let mut s = FixpointScratch::new();
+        let net = unit_for(OpKind::Add, 4);
+        let c = constants(&net, &mut s);
+        assert!(c.iter().all(|&v| v != ConstVal::Bot));
+    }
+}

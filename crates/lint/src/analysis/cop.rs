@@ -1,0 +1,239 @@
+//! COP-style signal probabilities and observabilities.
+//!
+//! The controllability/observability program (COP) treats every primary
+//! input as an independent fair coin and pushes exact probabilities
+//! through each gate, ignoring reconvergent correlation — the classical
+//! cheap estimator. Two domains on the fixpoint engine:
+//!
+//! * [`ProbDomain`] (forward): `p1(net)` = probability the net carries
+//!   a 1 under uniform random patterns.
+//! * [`ObsDomain`] (backward): `O(net)` = probability a value change on
+//!   the net propagates to some primary output, taking the **maximum**
+//!   over fanout branches. Max (rather than the or-combination) is what
+//!   makes observability monotone under cone truncation — cutting the
+//!   network and promoting cut nets to outputs can only raise `O` — the
+//!   property the T301 flag's soundness argument and the property tests
+//!   rely on.
+//!
+//! The per-fault detection probability is the COP product: a stuck-at-0
+//! on `n` needs the net at 1 *and* observed (`p1 · O`); stuck-at-1
+//! needs `(1 − p1) · O`.
+
+use lobist_gatesim::net::{Gate, GateKind, GateNetwork, NetId};
+
+use super::fixpoint::{backward_fixpoint, forward_fixpoint, BackwardDomain, FixpointScratch, ForwardDomain};
+
+/// Forward domain: probability of observing a 1 on each net.
+///
+/// The lattice value is `Option<f64>` with `None` as bottom ("nothing
+/// reached this net yet"); `NaN` would poison the change detection
+/// (`NaN != NaN` re-queues forever), so absence is explicit.
+pub struct ProbDomain;
+
+impl ForwardDomain for ProbDomain {
+    type Value = Option<f64>;
+
+    fn bottom(&self) -> Option<f64> {
+        None
+    }
+
+    fn input(&self, _net: NetId) -> Option<f64> {
+        Some(0.5)
+    }
+
+    fn transfer(&self, gate: &Gate, a: &Option<f64>, b: &Option<f64>) -> Option<f64> {
+        let a = (*a)?;
+        if gate.a == gate.b {
+            // One net feeds both operands: the operands are perfectly
+            // correlated, so the independent-product formulas are wrong.
+            // These exact forms also fold the builder's `zero()`/`one()`
+            // constant idioms (x^x, !(x^x)).
+            return Some(match gate.kind {
+                GateKind::And | GateKind::Or | GateKind::Buf => a,
+                GateKind::Xor => 0.0,
+                GateKind::Nand | GateKind::Nor | GateKind::Not => 1.0 - a,
+            });
+        }
+        let b = (*b)?;
+        Some(match gate.kind {
+            GateKind::And => a * b,
+            GateKind::Or => a + b - a * b,
+            GateKind::Xor => a + b - 2.0 * a * b,
+            GateKind::Nand => 1.0 - a * b,
+            GateKind::Nor => (1.0 - a) * (1.0 - b),
+            GateKind::Not => 1.0 - a,
+            GateKind::Buf => a,
+        })
+    }
+
+    fn join(&self, a: &Option<f64>, b: &Option<f64>) -> Option<f64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(*y)),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Backward domain: probability a change on the net is observed at an
+/// output, given the forward probabilities.
+pub struct ObsDomain<'a> {
+    /// `p1` per net, from [`signal_probabilities`].
+    pub p1: &'a [f64],
+}
+
+impl BackwardDomain for ObsDomain<'_> {
+    type Value = Option<f64>;
+
+    fn bottom(&self) -> Option<f64> {
+        None
+    }
+
+    fn output(&self, _net: NetId) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn transfer(&self, gate: &Gate, _operand: NetId, out: &Option<f64>) -> Option<f64> {
+        let o = (*out)?;
+        if gate.a == gate.b {
+            // f(x,x) collapses to a unary function: identity or inverter
+            // propagates every change, XOR is constant and propagates
+            // none.
+            return Some(match gate.kind {
+                GateKind::Xor => 0.0,
+                _ => o,
+            });
+        }
+        let sibling = if _operand == gate.a { gate.b } else { gate.a };
+        let sp = self.p1[sibling.index()];
+        Some(match gate.kind {
+            // A change passes an AND when the other leg is 1...
+            GateKind::And | GateKind::Nand => o * sp,
+            // ...an OR when the other leg is 0...
+            GateKind::Or | GateKind::Nor => o * (1.0 - sp),
+            // ...and XOR/inverters always.
+            GateKind::Xor | GateKind::Not | GateKind::Buf => o,
+        })
+    }
+
+    fn join(&self, a: &Option<f64>, b: &Option<f64>) -> Option<f64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(*y)),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        }
+    }
+}
+
+/// `p1` per net. Unreached nets (undriven inputs of broken netlists)
+/// default to the uninformative 0.5; every entry is clamped to `[0, 1]`.
+pub fn signal_probabilities(net: &GateNetwork, scratch: &mut FixpointScratch) -> Vec<f64> {
+    forward_fixpoint(net, &ProbDomain, scratch)
+        .into_iter()
+        .map(|v| v.unwrap_or(0.5).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// `O` per net given forward probabilities. Nets that reach no output
+/// (dead cones) get 0; every entry is clamped to `[0, 1]`.
+pub fn observabilities(
+    net: &GateNetwork,
+    p1: &[f64],
+    scratch: &mut FixpointScratch,
+) -> Vec<f64> {
+    backward_fixpoint(net, &ObsDomain { p1 }, scratch)
+        .into_iter()
+        .map(|v| v.unwrap_or(0.0).clamp(0.0, 1.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobist_gatesim::net::NetworkBuilder;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn probabilities_match_hand_computation() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let and = b.and(x, y); // 0.25
+        let or = b.or(and, z); // 0.25 + 0.5 - 0.125 = 0.625
+        let inv = b.not(or); // 0.375
+        let net = b.finish(vec![inv]);
+        let mut s = FixpointScratch::new();
+        let p = signal_probabilities(&net, &mut s);
+        assert!(close(p[and.index()], 0.25));
+        assert!(close(p[or.index()], 0.625));
+        assert!(close(p[inv.index()], 0.375));
+    }
+
+    #[test]
+    fn constant_idioms_fold_exactly() {
+        let mut b = NetworkBuilder::new();
+        let _x = b.input();
+        let z = b.zero();
+        let o = b.one();
+        let net = b.finish(vec![z, o]);
+        let mut s = FixpointScratch::new();
+        let p = signal_probabilities(&net, &mut s);
+        assert!(close(p[z.index()], 0.0));
+        assert!(close(p[o.index()], 1.0));
+    }
+
+    #[test]
+    fn observability_of_an_and_chain_decays() {
+        // x AND y AND z AND w: O(x) = 0.5^3.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let mut acc = x;
+        for _ in 0..3 {
+            let i = b.input();
+            acc = b.and(acc, i);
+        }
+        let net = b.finish(vec![acc]);
+        let mut s = FixpointScratch::new();
+        let p = signal_probabilities(&net, &mut s);
+        let o = observabilities(&net, &p, &mut s);
+        assert!(close(o[acc.index()], 1.0));
+        assert!(close(o[x.index()], 0.125));
+    }
+
+    #[test]
+    fn fanout_takes_the_best_branch() {
+        // x fans out to an AND (hard leg) and a BUF-like XOR-with-0
+        // path straight to an output: O(x) must be the max, 1.0.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let hard = b.and(x, y);
+        let easy = b.not(x);
+        let net = b.finish(vec![hard, easy]);
+        let mut s = FixpointScratch::new();
+        let p = signal_probabilities(&net, &mut s);
+        let o = observabilities(&net, &p, &mut s);
+        assert!(close(o[x.index()], 1.0));
+        assert!(close(o[y.index()], 0.5));
+    }
+
+    #[test]
+    fn everything_stays_in_unit_interval_on_real_units() {
+        use lobist_gatesim::modules::unit_for;
+        use lobist_dfg::OpKind;
+        let mut s = FixpointScratch::new();
+        for kind in [OpKind::Add, OpKind::Mul, OpKind::Sub, OpKind::Lt] {
+            let net = unit_for(kind, 6);
+            let p = signal_probabilities(&net, &mut s);
+            let o = observabilities(&net, &p, &mut s);
+            for (i, (&pi, &oi)) in p.iter().zip(&o).enumerate() {
+                assert!((0.0..=1.0).contains(&pi), "{kind:?} p1[n{i}] = {pi}");
+                assert!((0.0..=1.0).contains(&oi), "{kind:?} O[n{i}] = {oi}");
+            }
+        }
+    }
+}

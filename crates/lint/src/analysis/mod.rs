@@ -1,0 +1,35 @@
+//! Static testability analysis: a worklist fixpoint engine with
+//! pluggable lattice domains, and three analyses built on it.
+//!
+//! The framework ([`fixpoint`]) runs forward and backward dataflow over
+//! [`lobist_gatesim::net::GateNetwork`]s; the domains are:
+//!
+//! * [`cop`] — COP signal probabilities (forward) and observabilities
+//!   (backward, max over fanout), giving per-fault detection-probability
+//!   estimates;
+//! * [`constprop`] — a constant lattice (forward) and structural
+//!   observability (backward), proving faults untestable by
+//!   construction;
+//! * [`reach`] — test-mode register reachability over the allocation's
+//!   I-paths (which registers can serve as PRPG/MISR for which cones).
+//!
+//! [`testability`] composes them into per-cone [`FaultScore`]s, the
+//! design-level [`TestabilityReport`], and the `T301`/`T302`/`T303`
+//! lint passes. Everything is a pure function of the unit — no
+//! simulation runs — and deterministic, so the engine's parallel
+//! per-cone driver reproduces the serial report byte for byte.
+
+pub mod constprop;
+pub mod cop;
+pub mod fixpoint;
+pub mod reach;
+pub mod testability;
+
+pub use constprop::ConstVal;
+pub use fixpoint::{BackwardDomain, FixpointScratch, ForwardDomain};
+pub use reach::{reach_report, ModuleReach, ReachReport};
+pub use testability::{
+    analyze_cone, analyze_design, analyze_network, design_cones, t301_detect_threshold,
+    ConeReport, ConstPass, CopPass, DesignCone, FaultScore, NetworkTestability, ReachPass,
+    TestabilityReport, DETECT_HIST_BUCKETS, RANDOM_PATTERN_BUDGET,
+};

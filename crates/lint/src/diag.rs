@@ -72,10 +72,20 @@ pub enum Code {
     /// A register styled CBILBO that neither an embedding demands nor
     /// Lemma 2 forces.
     B209UnforcedCbilbo,
+    /// A fault whose COP-estimated detection probability is so low that
+    /// it is more likely than not to survive the pseudorandom pattern
+    /// budget.
+    T301RandomPatternResistant,
+    /// A module port or output no test-mode pattern/signature register
+    /// can reach under the allocation's I-paths.
+    T302UnreachableInTestMode,
+    /// A fault that is untestable by construction: constant excitation
+    /// or no structurally live path to an output.
+    T303ConstantRedundant,
 }
 
 /// Every code, in report order.
-pub const ALL_CODES: [Code; 22] = [
+pub const ALL_CODES: [Code; 25] = [
     Code::L001UndrivenNet,
     Code::L002MultiplyDrivenNet,
     Code::L003CombinationalLoop,
@@ -98,6 +108,9 @@ pub const ALL_CODES: [Code; 22] = [
     Code::B207ShapeMismatch,
     Code::B208MissingForcedCbilbo,
     Code::B209UnforcedCbilbo,
+    Code::T301RandomPatternResistant,
+    Code::T302UnreachableInTestMode,
+    Code::T303ConstantRedundant,
 ];
 
 impl Code {
@@ -126,6 +139,9 @@ impl Code {
             Code::B207ShapeMismatch => "B207",
             Code::B208MissingForcedCbilbo => "B208",
             Code::B209UnforcedCbilbo => "B209",
+            Code::T301RandomPatternResistant => "T301",
+            Code::T302UnreachableInTestMode => "T302",
+            Code::T303ConstantRedundant => "T303",
         }
     }
 
@@ -154,13 +170,20 @@ impl Code {
             Code::B207ShapeMismatch => "shape mismatch",
             Code::B208MissingForcedCbilbo => "missing forced CBILBO",
             Code::B209UnforcedCbilbo => "unforced CBILBO",
+            Code::T301RandomPatternResistant => "random-pattern-resistant fault",
+            Code::T302UnreachableInTestMode => "unreachable in test mode",
+            Code::T303ConstantRedundant => "constant/redundant fault",
         }
     }
 
     /// The severity a finding of this code carries.
     pub fn severity(self) -> Severity {
         match self {
-            Code::L007DeadRegister | Code::B209UnforcedCbilbo => Severity::Warning,
+            Code::L007DeadRegister
+            | Code::B209UnforcedCbilbo
+            | Code::T301RandomPatternResistant
+            | Code::T302UnreachableInTestMode
+            | Code::T303ConstantRedundant => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -457,7 +480,8 @@ mod tests {
             let layer = match s.as_bytes()[0] {
                 b'L' => 0,
                 b'A' => 1,
-                _ => 2,
+                b'B' => 2,
+                _ => 3,
             };
             (layer, s.to_string())
         });

@@ -22,6 +22,13 @@
 //! are the *same functions* [`lobist_bist::verify::verify`] composes —
 //! one source of truth for legality.
 //!
+//! A fourth, **opt-in** layer — the `T3xx` testability analyses in
+//! [`analysis`] — estimates per-fault detection probabilities (COP),
+//! proves faults redundant (constant propagation) and checks test-mode
+//! register reachability. Its findings are advisory warnings describing
+//! test cost, not defects, so they live in
+//! [`PassRegistry::analysis_registry`] rather than the default set.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,15 +54,20 @@
 #![warn(missing_docs)]
 
 pub mod allocation;
+pub mod analysis;
 pub mod bist;
 pub mod context;
 pub mod diag;
 pub mod registry;
 pub mod structural;
 
+pub use analysis::{
+    analyze_cone, analyze_design, design_cones, t301_detect_threshold, ConeReport, DesignCone,
+    FaultScore, FixpointScratch, ReachReport, TestabilityReport, RANDOM_PATTERN_BUDGET,
+};
 pub use context::LintUnit;
 pub use diag::{Code, Diagnostic, LintPolicy, Report, Severity, Span, ALL_CODES};
-pub use registry::{Pass, PassRegistry};
+pub use registry::{LintScratch, Pass, PassRegistry};
 pub use structural::{lint_network, NetworkInterface};
 
 /// Runs the default pass registry over `unit` serially.

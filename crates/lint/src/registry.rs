@@ -1,14 +1,50 @@
 //! The pass trait and registry.
 //!
 //! A pass is a pure function from a [`LintUnit`] to diagnostics; the
-//! registry owns the default pass set and runs it. Passes are
+//! registry owns the shipped pass sets and runs them. Passes are
 //! independent by contract — no pass reads another's output — so a
 //! driver may run them in any order or in parallel and the sorted
 //! [`Report`] comes out identical (the engine's parallel driver relies
 //! on this).
+//!
+//! Two registries ship:
+//!
+//! * [`PassRegistry::default_registry`] — the *verifier* passes
+//!   (`L`/`A`/`B` codes). These gate CI (`--deny all`) and must stay
+//!   clean on every shipped design.
+//! * [`PassRegistry::analysis_registry`] — the *advisory* testability
+//!   analyses (`T3xx` codes, always warnings). They flag faults and
+//!   cones that are hard or impossible to test, which is information,
+//!   not a defect; keeping them out of the default set keeps the CI
+//!   gate and the lint goldens meaningful.
+//!
+//! [`PassRegistry::full_registry`] concatenates both.
+//!
+//! Drivers hand every pass one shared [`LintScratch`] via
+//! [`Pass::run_with`], so the allocation-heavy passes (gate regeneration,
+//! fixpoint worklists) reuse buffers across passes instead of
+//! reallocating per pass — the same discipline the diffsim engine uses
+//! for its per-worker scratch.
 
+use crate::analysis::fixpoint::FixpointScratch;
 use crate::context::LintUnit;
 use crate::diag::{Code, Diagnostic, Report};
+
+/// Reusable buffers shared by every pass a driver runs on one thread.
+#[derive(Debug, Default)]
+pub struct LintScratch {
+    /// Worklist/adjacency buffers for the fixpoint analyses.
+    pub fixpoint: FixpointScratch,
+    /// Per-net driver census for the network checker.
+    pub drivers: Vec<u32>,
+}
+
+impl LintScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One static-analysis pass.
 pub trait Pass: Send + Sync {
@@ -21,6 +57,14 @@ pub trait Pass: Send + Sync {
     /// Runs the pass. Must be deterministic and must not depend on other
     /// passes having run.
     fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic>;
+
+    /// Runs the pass with shared scratch buffers. The default ignores
+    /// the scratch; allocation-heavy passes override this and must
+    /// return exactly what [`Pass::run`] returns.
+    fn run_with(&self, unit: &LintUnit<'_>, scratch: &mut LintScratch) -> Vec<Diagnostic> {
+        let _ = scratch;
+        self.run(unit)
+    }
 }
 
 /// An ordered collection of passes.
@@ -34,7 +78,8 @@ impl PassRegistry {
         Self { passes: Vec::new() }
     }
 
-    /// The default registry: every shipped pass, in layer order.
+    /// The default registry: every shipped verifier pass, in layer
+    /// order.
     pub fn default_registry() -> Self {
         let mut r = Self::new();
         r.register(Box::new(crate::structural::StructurePass));
@@ -43,6 +88,24 @@ impl PassRegistry {
         r.register(Box::new(crate::allocation::BindingPass));
         r.register(Box::new(crate::bist::BistLegalityPass));
         r.register(Box::new(crate::bist::Lemma2AuditPass));
+        r
+    }
+
+    /// The advisory testability analyses (`T3xx`).
+    pub fn analysis_registry() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(crate::analysis::CopPass));
+        r.register(Box::new(crate::analysis::ReachPass));
+        r.register(Box::new(crate::analysis::ConstPass));
+        r
+    }
+
+    /// Verifier passes followed by the testability analyses.
+    pub fn full_registry() -> Self {
+        let mut r = Self::default_registry();
+        for p in Self::analysis_registry().passes {
+            r.register(p);
+        }
         r
     }
 
@@ -56,11 +119,13 @@ impl PassRegistry {
         &self.passes
     }
 
-    /// Runs every pass serially and collects the sorted report.
+    /// Runs every pass serially — through one shared scratch — and
+    /// collects the sorted report.
     pub fn lint(&self, unit: &LintUnit<'_>) -> Report {
+        let mut scratch = LintScratch::new();
         let mut diags = Vec::new();
         for p in &self.passes {
-            diags.extend(p.run(unit));
+            diags.extend(p.run_with(unit, &mut scratch));
         }
         Report::new(diags)
     }
@@ -91,11 +156,36 @@ mod tests {
                 "lemma2-audit"
             ]
         );
-        // Every code is owned by exactly one pass.
+        // The default passes own exactly the verifier codes...
         let mut owned: Vec<Code> = r.passes().iter().flat_map(|p| p.codes()).copied().collect();
+        owned.sort();
+        let mut verifier: Vec<Code> = crate::diag::ALL_CODES
+            .into_iter()
+            .filter(|c| !c.as_str().starts_with('T'))
+            .collect();
+        verifier.sort();
+        assert_eq!(owned, verifier);
+        // ...and the full registry covers every code exactly once.
+        let full = PassRegistry::full_registry();
+        let mut owned: Vec<Code> =
+            full.passes().iter().flat_map(|p| p.codes()).copied().collect();
         owned.sort();
         let mut all = crate::diag::ALL_CODES.to_vec();
         all.sort();
         assert_eq!(owned, all);
+    }
+
+    #[test]
+    fn analysis_registry_is_advisory_only() {
+        let r = PassRegistry::analysis_registry();
+        for p in r.passes() {
+            for c in p.codes() {
+                assert_eq!(
+                    c.severity(),
+                    crate::diag::Severity::Warning,
+                    "{c} must stay advisory"
+                );
+            }
+        }
     }
 }

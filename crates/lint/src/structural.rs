@@ -60,13 +60,26 @@ pub fn lint_network(
     expected: Option<NetworkInterface>,
     module: Option<ModuleId>,
 ) -> Vec<Diagnostic> {
+    lint_network_with(net, expected, module, &mut Vec::new())
+}
+
+/// [`lint_network`] with a caller-owned driver-census buffer, so a
+/// driver checking many module netlists (the `gates` pass over every
+/// cone) reuses one allocation throughout.
+pub fn lint_network_with(
+    net: &GateNetwork,
+    expected: Option<NetworkInterface>,
+    module: Option<ModuleId>,
+    drivers: &mut Vec<u32>,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let n = net.num_nets();
     let net_span = |id: u32| Span::Net { module, net: id };
     let whole_span = module.map(Span::Module).unwrap_or(Span::Design);
 
     // Driver census: primary inputs count as one driver each.
-    let mut drivers = vec![0u32; n];
+    drivers.clear();
+    drivers.resize(n, 0u32);
     for i in net.inputs() {
         drivers[i.index()] += 1;
     }
@@ -263,6 +276,14 @@ impl Pass for GatesPass {
     }
 
     fn run(&self, unit: &LintUnit<'_>) -> Vec<Diagnostic> {
+        self.run_with(unit, &mut crate::registry::LintScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        unit: &LintUnit<'_>,
+        scratch: &mut crate::registry::LintScratch,
+    ) -> Vec<Diagnostic> {
         let width = unit.area.width;
         let mut out = Vec::new();
         for m in unit.modules.module_ids() {
@@ -279,7 +300,7 @@ impl Pass for GatesPass {
                 ModuleClass::Alu => alu(&kinds, width),
             };
             let want = expected_unit_interface(class, &kinds, width);
-            out.extend(lint_network(&net, Some(want), Some(m)));
+            out.extend(lint_network_with(&net, Some(want), Some(m), &mut scratch.drivers));
         }
         out
     }

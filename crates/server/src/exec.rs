@@ -47,6 +47,7 @@ pub(crate) fn execute(request: &Request, shared: &Arc<Shared>) -> Result<JobBody
         Command::Anneal => anneal(request, shared),
         Command::FaultSim => faultsim(request, shared),
         Command::Lint => lint(request, shared),
+        Command::Analyze => analyze(request, shared),
         _ => Err("not a job command".into()),
     }
 }
@@ -399,5 +400,26 @@ fn lint(request: &Request, shared: &Arc<Shared>) -> Result<JobBody, String> {
             report.warning_count(),
             escape(&report.render_text()),
         ),
+    })
+}
+
+fn analyze(request: &Request, shared: &Arc<Shared>) -> Result<JobBody, String> {
+    let design = require(&request.design, "design")?;
+    let modules = parse_modules(request)?;
+    let (dfg, schedule) = load_design(design, &modules)?;
+    let flow = flow_options(request);
+    let d = synthesize(&dfg, &schedule, &modules, &flow).map_err(|e| format!("synthesis: {e}"))?;
+    let unit = LintUnit::of_design(&dfg, &schedule, &d, flow.lifetime_options, &flow.area);
+    let (report, _) = lobist_engine::analyze_parallel(
+        &unit,
+        effective_jobs(request, shared),
+        Some(shared.engine.metrics_handle()),
+    );
+    // The payload is a pure function of the report, so a store-served
+    // replay is byte-identical to the original run.
+    Ok(JobBody {
+        ok: true,
+        cache: "none",
+        payload: format!("\"analyze\":{}", report.to_json(false)),
     })
 }

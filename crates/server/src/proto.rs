@@ -10,6 +10,7 @@
 //! {"cmd":"anneal","design":"...","modules":"1+,1*","iterations":100}
 //! {"cmd":"faultsim","design":"...","modules":"1+,1*","width":6}
 //! {"cmd":"lint","design":"...","modules":"1+,1*"}
+//! {"cmd":"analyze","design":"...","modules":"1+,1*"}
 //! {"cmd":"ping"}   {"cmd":"metrics"}   {"cmd":"shutdown"}
 //! ```
 //!
@@ -37,6 +38,9 @@ pub enum Command {
     FaultSim,
     /// Static verifier passes over the synthesized design.
     Lint,
+    /// Static testability analysis (COP probabilities, redundant
+    /// faults, test-mode reachability) — no simulation.
+    Analyze,
     /// Liveness probe.
     Ping,
     /// Engine + store + server metrics snapshot.
@@ -53,6 +57,7 @@ impl Command {
             "anneal" => Command::Anneal,
             "faultsim" => Command::FaultSim,
             "lint" => Command::Lint,
+            "analyze" => Command::Analyze,
             "ping" => Command::Ping,
             "metrics" => Command::Metrics,
             "shutdown" => Command::Shutdown,
@@ -70,6 +75,7 @@ impl Command {
                 | Command::Anneal
                 | Command::FaultSim
                 | Command::Lint
+                | Command::Analyze
         )
     }
 }
@@ -240,6 +246,15 @@ mod tests {
             let err = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn parses_an_analyze_request() {
+        let r = parse_request(r#"{"cmd":"analyze","design":"input a
+","modules":"1+"}"#)
+            .expect("parses");
+        assert_eq!(r.cmd, Command::Analyze);
+        assert!(r.cmd.is_job());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden-snapshot testability reports for every shipped design under
+//! `designs/`.
+//!
+//! Each design is synthesized with the same recipe the tutorial quotes
+//! (see `sample_designs.rs`), analyzed with the static testability
+//! framework (no simulation), and the JSON report compared byte-for-byte
+//! against `tests/goldens/analyze/<name>.json`. The analysis is a pure
+//! function of the allocation, so any divergence is a real change in the
+//! COP/constant/reachability results — the diff shows exactly which cone
+//! and which fault moved.
+//!
+//! To regenerate after an intentional report-format change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test analyze_designs
+//! ```
+
+use lobist::alloc::flow::{synthesize, Design, FlowOptions};
+use lobist::dfg::lifetime::LifetimeOptions;
+use lobist::dfg::parse::{parse_dfg, parse_unscheduled_dfg};
+use lobist::dfg::{Dfg, Schedule};
+use lobist::lint::{analyze_design, FixpointScratch, LintUnit};
+
+fn read_design(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/designs/");
+    std::fs::read_to_string(format!("{path}{name}")).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn check_golden(name: &str, dfg: &Dfg, schedule: &Schedule, design: &Design, opts: &FlowOptions) {
+    let unit = LintUnit::of_design(dfg, schedule, design, opts.lifetime_options, &opts.area);
+    let mut scratch = FixpointScratch::new();
+    let report = analyze_design(&unit, &mut scratch);
+    assert!(
+        !report.cones.is_empty(),
+        "{name}: every shipped design has at least one used module cone"
+    );
+    let rendered = format!("{}\n", report.to_json(false));
+    let path = format!(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/analyze/{}.json"),
+        name
+    );
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("{path}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDENS=1 to create it)"));
+    assert_eq!(
+        rendered, golden,
+        "{name}: testability report diverged from its golden snapshot"
+    );
+}
+
+#[test]
+fn ex1_analyze_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("ex1.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("ex1", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn quickstart_analyze_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("quickstart.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("quickstart", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn polynomial_analyze_report_matches_golden() {
+    let (dfg, schedule) = parse_dfg(&read_design("polynomial.dfg")).expect("parses");
+    let opts = FlowOptions::testable();
+    let d = synthesize(&dfg, &schedule, &"1+,1*".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("polynomial", &dfg, &schedule, &d, &opts);
+}
+
+#[test]
+fn diffeq_analyze_report_matches_golden() {
+    let dfg = parse_unscheduled_dfg(&read_design("diffeq.dfg")).expect("parses");
+    let schedule = lobist::dfg::fds::force_directed_schedule(&dfg, 4).expect("schedules");
+    let opts = FlowOptions::testable().with_lifetimes(LifetimeOptions::port_inputs());
+    let d =
+        synthesize(&dfg, &schedule, &"1+,2*,1-".parse().unwrap(), &opts).expect("synthesizes");
+    check_golden("diffeq", &dfg, &schedule, &d, &opts);
+}

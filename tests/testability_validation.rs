@@ -1,0 +1,153 @@
+//! Predicted-vs-measured validation of the static testability analysis.
+//!
+//! The COP-based `T301` flag claims a fault is random-pattern resistant
+//! — likely to escape a short pseudorandom session. This test measures
+//! that claim against the gate-level differential fault simulator: over
+//! every module cone of the paper suite plus corpus FIR/IIR sweeps, the
+//! statically flagged faults must be **enriched** among the faults that
+//! a 256-pattern pseudorandom run actually misses:
+//!
+//! ```text
+//! (|hard ∩ missed| / |missed|)  /  (|hard| / |faults|)  >= 2.0
+//! ```
+//!
+//! The universe is the non-redundant fault set (faults the constant
+//! analysis proves undetectable are excluded from both sides — they
+//! are always missed and never flagged `T301`, so counting them would
+//! only blur the measurement). Both the analysis and the simulator are
+//! deterministic, so the enrichment ratio is a fixed number; the 2×
+//! floor leaves headroom under it.
+
+use lobist::alloc::flow::{synthesize_benchmark, FlowOptions};
+use lobist::dfg::benchmarks::{self, Benchmark};
+use lobist::gatesim::coverage::random_pattern_coverage;
+use lobist::lint::{analyze_design, FixpointScratch, LintUnit, RANDOM_PATTERN_BUDGET};
+
+/// Aggregated fault tallies over one set of cones.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    faults: usize,
+    hard: usize,
+    missed: usize,
+    hard_missed: usize,
+}
+
+impl Tally {
+    fn enrichment(&self) -> f64 {
+        let flag_rate = self.hard as f64 / self.faults as f64;
+        let flag_rate_in_missed = self.hard_missed as f64 / self.missed as f64;
+        flag_rate_in_missed / flag_rate
+    }
+}
+
+/// Scores and simulates every used module cone of `bench`'s synthesized
+/// design, accumulating into `tally`. Fault indices line up because the
+/// analysis and the simulator both enumerate `enumerate_faults` order.
+fn accumulate(bench: &Benchmark, seed: u64, tally: &mut Tally) {
+    let opts = FlowOptions::testable();
+    let design = synthesize_benchmark(bench, &opts)
+        .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", bench.name));
+    let unit = LintUnit::of_design(
+        &bench.dfg,
+        &bench.schedule,
+        &design,
+        bench.lifetime_options,
+        &opts.area,
+    );
+    let mut scratch = FixpointScratch::new();
+    let report = analyze_design(&unit, &mut scratch);
+    for cone in &report.cones {
+        let net = cone.cone.build_network(report.width);
+        let measured = random_pattern_coverage(&net, RANDOM_PATTERN_BUDGET, seed);
+        assert_eq!(
+            measured.first_detection.len(),
+            cone.scores.len(),
+            "{}: fault enumeration must line up",
+            cone.cone.label()
+        );
+        for (score, first) in cone.scores.iter().zip(&measured.first_detection) {
+            if score.redundant {
+                // Provably undetectable: the simulator must agree.
+                assert!(
+                    first.is_none(),
+                    "{}: {:?} is statically redundant but was detected",
+                    cone.cone.label(),
+                    score.fault
+                );
+                continue;
+            }
+            tally.faults += 1;
+            let missed = first.is_none();
+            tally.hard += usize::from(score.hard);
+            tally.missed += usize::from(missed);
+            tally.hard_missed += usize::from(score.hard && missed);
+        }
+    }
+}
+
+#[test]
+fn t301_flags_are_enriched_among_simulation_misses() {
+    let mut suite = benchmarks::paper_suite();
+    // Corpus sweeps: deeper arithmetic (FIR taps, IIR biquad chains)
+    // gives the multiplier/divider cones where resistance concentrates.
+    suite.push(benchmarks::fir(8));
+    suite.push(benchmarks::fir(16));
+    suite.push(benchmarks::iir_biquad_cascade(2));
+
+    let mut tally = Tally::default();
+    for bench in &suite {
+        accumulate(bench, 0xBEEF, &mut tally);
+    }
+
+    assert!(tally.faults > 1000, "suite too small: {tally:?}");
+    assert!(
+        tally.hard > 0,
+        "the analysis must flag some faults as resistant: {tally:?}"
+    );
+    assert!(
+        tally.missed > 0,
+        "a {RANDOM_PATTERN_BUDGET}-pattern run must miss some faults: {tally:?}"
+    );
+    let enrichment = tally.enrichment();
+    assert!(
+        enrichment >= 2.0,
+        "T301 flags must be >=2x enriched among simulation misses, got {enrichment:.2} ({tally:?})"
+    );
+}
+
+#[test]
+fn most_unflagged_faults_are_detected_quickly() {
+    // The complement check: faults the analysis does NOT flag should
+    // overwhelmingly be caught by the short pseudorandom session —
+    // otherwise the flag would be enriched but useless as a filter.
+    let bench = benchmarks::ex1();
+    let opts = FlowOptions::testable();
+    let design = synthesize_benchmark(&bench, &opts).expect("synthesizes");
+    let unit = LintUnit::of_design(
+        &bench.dfg,
+        &bench.schedule,
+        &design,
+        bench.lifetime_options,
+        &opts.area,
+    );
+    let mut scratch = FixpointScratch::new();
+    let report = analyze_design(&unit, &mut scratch);
+    let (mut unflagged, mut unflagged_detected) = (0usize, 0usize);
+    for cone in &report.cones {
+        let net = cone.cone.build_network(report.width);
+        let measured = random_pattern_coverage(&net, RANDOM_PATTERN_BUDGET, 0xBEEF);
+        for (score, first) in cone.scores.iter().zip(&measured.first_detection) {
+            if score.redundant || score.hard {
+                continue;
+            }
+            unflagged += 1;
+            unflagged_detected += usize::from(first.is_some());
+        }
+    }
+    assert!(unflagged > 0);
+    let rate = unflagged_detected as f64 / unflagged as f64;
+    assert!(
+        rate >= 0.9,
+        "unflagged faults should mostly be detected: {unflagged_detected}/{unflagged}"
+    );
+}
